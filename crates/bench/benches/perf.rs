@@ -1,0 +1,190 @@
+//! Criterion performance benches for the DynaMiner pipeline: pcap
+//! parsing, WCG construction, feature extraction (incl. the expensive
+//! graph analytics), forest training/prediction, and end-to-end detector
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dynaminer::classifier::{build_dataset, Classifier};
+use dynaminer::detector::{DetectorConfig, OnTheWireDetector};
+use dynaminer::features;
+use dynaminer::wcg::Wcg;
+use mlearn::forest::{ForestConfig, RandomForest};
+use nettrace::TransactionExtractor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synthtraffic::benign::generate_benign;
+use synthtraffic::episode::generate_infection;
+use synthtraffic::pcapgen;
+use synthtraffic::{BenignScenario, EkFamily};
+use wcgraph::{algo, DiGraph};
+
+fn sample_episodes() -> Vec<synthtraffic::Episode> {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut eps = Vec::new();
+    for i in 0..12 {
+        eps.push(generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.4e9));
+        eps.push(generate_benign(&mut rng, BenignScenario::WEIGHTED[i % 8].0, 1.43e9));
+    }
+    eps
+}
+
+fn random_graph(n: usize, e: usize) -> DiGraph<(), ()> {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut g = DiGraph::new();
+    let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+    use rand::Rng;
+    for _ in 0..e {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        g.add_edge(ids[a], ids[b], ());
+    }
+    g
+}
+
+fn bench_pcap(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ep = generate_infection(&mut rng, EkFamily::Nuclear, 1.4e9);
+    let pcap = pcapgen::episode_pcap(&ep).unwrap();
+    let mut group = c.benchmark_group("pcap");
+    group.throughput(Throughput::Bytes(pcap.len() as u64));
+    group.bench_function("parse_and_extract_transactions", |b| {
+        b.iter(|| {
+            let packets = nettrace::pcap::PcapReader::new(pcap.as_slice())
+                .unwrap()
+                .collect_packets()
+                .unwrap();
+            TransactionExtractor::extract(&packets).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_wcg(c: &mut Criterion) {
+    let episodes = sample_episodes();
+    let mut group = c.benchmark_group("wcg");
+    let total_txs: usize = episodes.iter().map(|e| e.transactions.len()).sum();
+    group.throughput(Throughput::Elements(total_txs as u64));
+    group.bench_function("construct_24_conversations", |b| {
+        b.iter(|| {
+            episodes
+                .iter()
+                .map(|e| Wcg::from_transactions(&e.transactions).graph.edge_count())
+                .sum::<usize>()
+        })
+    });
+    let wcgs: Vec<Wcg> =
+        episodes.iter().map(|e| Wcg::from_transactions(&e.transactions)).collect();
+    group.bench_function("extract_features_24_wcgs", |b| {
+        b.iter(|| {
+            wcgs.iter().map(|w| features::extract(w).values()[0]).sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_graph_algorithms(c: &mut Criterion) {
+    let small = random_graph(10, 46); // paper's average infection WCG
+    let large = random_graph(120, 600);
+    let mut group = c.benchmark_group("graph_algorithms");
+    group.bench_function("betweenness_avg_wcg", |b| {
+        b.iter(|| algo::centrality::betweenness_centrality(&small))
+    });
+    group.bench_function("betweenness_120n", |b| {
+        b.iter(|| algo::centrality::betweenness_centrality(&large))
+    });
+    group.bench_function("node_connectivity_avg_wcg", |b| {
+        b.iter(|| algo::connectivity::average_node_connectivity(&small))
+    });
+    group.bench_function("node_connectivity_120n_sampled", |b| {
+        b.iter(|| algo::connectivity::average_node_connectivity(&large))
+    });
+    group.bench_function("pagerank_120n", |b| {
+        b.iter(|| algo::pagerank::pagerank_default(&large))
+    });
+    group.bench_function("diameter_120n", |b| b.iter(|| algo::paths::diameter(&large)));
+    group.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let episodes = sample_episodes();
+    let data = build_dataset(
+        episodes.iter().map(|e| (e.transactions.as_slice(), e.is_infection())),
+    );
+    let mut group = c.benchmark_group("forest");
+    group.bench_function("train_erf_20_trees", |b| {
+        b.iter(|| RandomForest::fit(&data, &ForestConfig::default(), 1).n_trees())
+    });
+    let forest = RandomForest::fit(&data, &ForestConfig::default(), 1);
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("predict_proba", |b| {
+        b.iter(|| {
+            (0..data.len()).map(|i| forest.predict_proba(data.row(i))[1]).sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_flate(c: &mut Criterion) {
+    // A typical gzipped HTML landing page body.
+    let mut rng = StdRng::seed_from_u64(21);
+    let body: Vec<u8> = {
+        use rand::Rng;
+        let mut v = b"<!DOCTYPE html><html>".to_vec();
+        while v.len() < 64 * 1024 {
+            v.push(rng.gen_range(b' '..b'~'));
+        }
+        v
+    };
+    let gz = nettrace::flate::gzip_compress(&body);
+    let mut group = c.benchmark_group("flate");
+    group.throughput(Throughput::Bytes(body.len() as u64));
+    group.bench_function("gzip_decompress_64k", |b| {
+        b.iter(|| nettrace::flate::gzip_decompress(&gz).unwrap().len())
+    });
+    group.finish();
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let episodes = sample_episodes();
+    let data = build_dataset(
+        episodes.iter().map(|e| (e.transactions.as_slice(), e.is_infection())),
+    );
+    let classifier = Classifier::fit_default(&data, 3);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut stream: Vec<nettrace::HttpTransaction> = Vec::new();
+    for i in 0..6 {
+        stream.extend(
+            generate_benign(&mut rng, BenignScenario::WEIGHTED[i % 8].0, 1.43e9).transactions,
+        );
+        stream.extend(generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.43e9).transactions);
+    }
+    stream.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    let mut group = c.benchmark_group("detector");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("on_the_wire_stream", |b| {
+        b.iter_batched(
+            || OnTheWireDetector::new(classifier.clone(), DetectorConfig::default()),
+            |mut det| {
+                for tx in &stream {
+                    det.observe(tx);
+                }
+                det.alerts().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep the full `cargo bench --workspace` run in the minutes range:
+    // the heaviest case (sampled all-pairs node connectivity at 120
+    // nodes) runs ~300 ms per iteration.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_pcap, bench_wcg, bench_graph_algorithms, bench_forest, bench_flate, bench_detector
+}
+criterion_main!(benches);

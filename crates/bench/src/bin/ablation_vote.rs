@@ -1,0 +1,43 @@
+//! Ablation: **probability averaging vs majority voting** in the ensemble.
+//!
+//! The paper's Sec. V-A argues for combining trees "by averaging their
+//! probabilistic prediction (which reduces variance)" instead of the
+//! standard majority vote. This bench runs 10-fold CV with both
+//! combination rules and also reports score granularity (how many distinct
+//! operating points each rule offers a deployment).
+
+use mlearn::crossval::cross_validate;
+use mlearn::forest::{Combination, ForestConfig};
+
+fn main() {
+    bench::banner("Ablation: probability averaging vs majority voting");
+    let corpus = bench::ground_truth_corpus();
+    let data = bench::corpus_dataset(&corpus);
+    println!(
+        "{:<24} {:>7} {:>7} {:>9} {:>9} {:>16}",
+        "Combination", "TPR", "FPR", "F-score", "ROC area", "distinct scores"
+    );
+    for combination in [Combination::ProbabilityAveraging, Combination::MajorityVote] {
+        let config = ForestConfig { combination, ..ForestConfig::default() };
+        let r = cross_validate(&data, 10, &config, 1, bench::EXPERIMENT_SEED);
+        let distinct: std::collections::BTreeSet<u64> =
+            r.scores.iter().map(|s| s.to_bits()).collect();
+        println!(
+            "{:<24} {:>7.3} {:>7.3} {:>9.3} {:>9.3} {:>16}",
+            match combination {
+                Combination::ProbabilityAveraging => "probability averaging",
+                Combination::MajorityVote => "majority vote",
+            },
+            r.confusion.tpr(),
+            r.confusion.fpr(),
+            r.confusion.f1(),
+            r.roc_area,
+            distinct.len(),
+        );
+    }
+    println!(
+        "\nexpected: averaging matches or beats voting on ROC area and offers a much\n\
+         finer score lattice (more deployable operating points); the paper chose\n\
+         averaging for its variance reduction."
+    );
+}

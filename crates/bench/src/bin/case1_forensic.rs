@@ -1,0 +1,100 @@
+//! Regenerates **Case Study 1** (Sec. VI-C): forensic detection on a
+//! recorded free-live-streaming session.
+//!
+//! The paper's capture: a 90-minute EURO2016 stream with 18 open tabs,
+//! three "out-of-date player" interruptions whose download links the user
+//! followed, 32 downloaded payloads, longest redirect chain 4, 3011 HTTP
+//! transactions; DynaMiner (redirect threshold 3) raised 5 alerts —
+//! 3 Flash-player executables, a JAR, and a PDF. VirusTotal immediately
+//! confirmed 4 of the 5; the PDF was flagged clean by all 56 engines and
+//! only detected 11 days later by 3 engines.
+
+use dynaminer::detector::{ClueConfig, DetectorConfig};
+use dynaminer::forensic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synthtraffic::benign::generate_benign;
+use synthtraffic::episode::generate_infection;
+use synthtraffic::{BenignScenario, EkFamily};
+use vtsim::{ScanRequest, VirusTotalSim, DAY_SECS};
+
+fn main() {
+    bench::banner("Case study 1: forensic detection on a streaming session");
+    let train = bench::ground_truth_corpus();
+    let classifier = bench::train_default(&train);
+
+    // Record the session: ~90 minutes of streaming/browsing tabs plus
+    // five player-update infection conversations.
+    let mut rng = StdRng::seed_from_u64(716); // July 2016
+    let session_start = 1_468_166_400.0; // 2016-07-10
+    let mut stream: Vec<nettrace::HttpTransaction> = Vec::new();
+    for i in 0..18 {
+        let scenario = if i % 3 == 0 { BenignScenario::Video } else { BenignScenario::AlexaBrowse };
+        let ep = generate_benign(&mut rng, scenario, session_start + i as f64 * 280.0);
+        stream.extend(ep.transactions);
+    }
+    let families =
+        [EkFamily::Angler, EkFamily::Angler, EkFamily::FlashPack, EkFamily::Rig, EkFamily::Nuclear];
+    let mut malicious = std::collections::BTreeSet::new();
+    for (i, family) in families.iter().enumerate() {
+        let ep = generate_infection(&mut rng, *family, session_start + 1000.0 + i as f64 * 850.0);
+        malicious.extend(ep.malicious_digests.iter().copied());
+        stream.extend(ep.transactions);
+    }
+    stream.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    println!("session: {} transactions over {:.0} minutes", stream.len(),
+        (stream.last().unwrap().ts - session_start) / 60.0);
+
+    // Replay with the paper's forensic settings: redirect threshold 3.
+    let config = DetectorConfig {
+        clue: ClueConfig { redirect_threshold: 3, ..ClueConfig::default() },
+        ..DetectorConfig::default()
+    };
+    let report = forensic::analyze_transactions(&stream, classifier, config);
+    println!(
+        "DynaMiner alerts: {} on {} conversations (paper: 5 alerts on 3011 transactions)",
+        report.alerts,
+        report.conversations.len()
+    );
+    println!("payload downloads observed: {} (paper: 32)", report.downloads.len());
+
+    // Submit every downloaded payload to the comparator, at capture time
+    // and again 11 days later (the paper's resubmission).
+    let vt = VirusTotalSim::with_default_engines(bench::EXPERIMENT_SEED);
+    let mut flagged_now = 0usize;
+    let mut flagged_later = 0usize;
+    let mut lag_examples: Vec<(String, usize)> = Vec::new();
+    for d in &report.downloads {
+        let req = ScanRequest {
+            digest: d.digest,
+            truly_malicious: malicious.contains(&d.digest),
+            first_seen_ts: d.ts,
+            unofficial_benign_source: false,
+        };
+        let now = vt.scan(&req, d.ts);
+        let later = vt.scan(&req, d.ts + 11.0 * DAY_SECS);
+        flagged_now += usize::from(now.is_flagged());
+        flagged_later += usize::from(later.is_flagged());
+        if !now.is_flagged() && later.is_flagged() {
+            if let Some(days) = vt.days_until_flagged(&req, 30) {
+                lag_examples.push((format!("{} ({})", d.host, d.class), days));
+            }
+        }
+    }
+    println!(
+        "comparator at capture time: {flagged_now}/{} payloads flagged",
+        report.downloads.len()
+    );
+    println!(
+        "comparator 11 days later:   {flagged_later}/{} payloads flagged",
+        report.downloads.len()
+    );
+    for (what, days) in lag_examples.iter().take(5) {
+        println!("  {what}: first flagged after {days} day(s)");
+    }
+    println!(
+        "\npaper: VirusTotal confirmed 4/5 alerted payloads immediately; the PDF\n\
+         was flagged clean by all 56 engines and took 11 days to be detected\n\
+         (prior work reports a 9.25-day average lag)."
+    );
+}

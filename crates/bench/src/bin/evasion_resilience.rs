@@ -1,0 +1,71 @@
+//! Extension experiment: **evasion resilience** (the paper's Sec. VII
+//! discussion, quantified).
+//!
+//! Applies each cloaking strategy a determined adversary might use —
+//! fileless (in-memory) infection, direct infection without redirects,
+//! silent or delayed C&C — to held-out infections and measures both the
+//! offline classifier's detection rate and the live detector's alert
+//! rate. The paper predicts graceful degradation: missing one kind of
+//! dynamics is survivable because the ERF averages over substructures;
+//! fileless + no-redirect + silent ("full cloaking") removes the most
+//! revealing features and should evade.
+
+use dynaminer::detector::{DetectorConfig, OnTheWireDetector};
+use dynaminer::wcg::Wcg;
+use synthtraffic::evasion::{self, Evasion};
+
+fn main() {
+    bench::banner("Extension: evasion resilience (Sec. VII quantified)");
+    let train = bench::ground_truth_corpus();
+    let classifier = bench::train_default(&train);
+
+    let validation = bench::validation_corpus();
+    let stride = (validation.len() / 500).max(1);
+    let infections: Vec<_> = validation
+        .into_iter()
+        .step_by(stride)
+        .filter(|e| e.is_infection())
+        .collect();
+    println!("{} held-out infections per variant\n", infections.len());
+
+    println!(
+        "{:<22} {:>18} {:>18} {:>12}",
+        "Evasion", "offline detected", "live alerted", "mean score"
+    );
+    for evasion in Evasion::ALL {
+        let mut offline = 0usize;
+        let mut live = 0usize;
+        let mut score_sum = 0.0f64;
+        for ep in &infections {
+            let cloaked = evasion::apply(evasion, ep.clone());
+            let wcg = Wcg::from_transactions(&cloaked.transactions);
+            let score = classifier.score_wcg(&wcg);
+            score_sum += score;
+            offline += usize::from(score >= 0.5);
+            let mut det =
+                OnTheWireDetector::new(classifier.clone(), DetectorConfig::default());
+            for tx in &cloaked.transactions {
+                det.observe(tx);
+            }
+            live += usize::from(!det.alerts().is_empty());
+        }
+        let n = infections.len();
+        println!(
+            "{:<22} {:>11}/{:<5} {:>12}/{:<5} {:>11.3}",
+            evasion.label(),
+            offline,
+            n,
+            live,
+            n,
+            score_sum / n as f64
+        );
+    }
+    println!(
+        "\nreading guide: single-stage cloaking should cost the attacker little\n\
+         effectiveness but also buy limited evasion (the ERF's substructure\n\
+         averaging); full cloaking defeats a payload-agnostic detector — the\n\
+         limitation the paper concedes for fileless drive-bys. Note the live\n\
+         detector depends on the clue gate: fileless infections without risky\n\
+         downloads are only caught when their redirect chains trip it."
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 1**: the overall distribution of enticement
+//! strategies across infection traces (category, count, percentage).
+
+use synthtraffic::Enticement;
+
+fn main() {
+    bench::banner("Figure 1: enticement strategy distribution");
+    let corpus = bench::ground_truth_corpus();
+    let infections: Vec<_> = corpus.iter().filter(|e| e.is_infection()).collect();
+    let total = infections.len();
+    println!("{:<20} {:>6} {:>9} {:>14}", "Category", "Count", "Measured", "Paper share");
+    for category in Enticement::ALL {
+        let count = infections.iter().filter(|e| e.enticement == category).count();
+        println!(
+            "{:<20} {:>6} {:>8.2}% {:>13.2}%",
+            category.label(),
+            count,
+            100.0 * count as f64 / total as f64,
+            100.0 * category.paper_share(),
+        );
+    }
+    let search = infections
+        .iter()
+        .filter(|e| {
+            matches!(e.enticement, Enticement::GoogleSearch | Enticement::BingSearch)
+        })
+        .count();
+    println!(
+        "\nsearch engines drive {:.1}% of exposure (paper: 62%)",
+        100.0 * search as f64 / total as f64
+    );
+}

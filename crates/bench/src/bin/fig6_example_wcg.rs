@@ -1,0 +1,118 @@
+//! Regenerates **Figure 6**: the example Angler WCG captured 12/21/2015 —
+//! a bing.com origin, a compromised site A, a landing page B, an exploit
+//! server C serving Flash, and post-download POSTs to three C&C IPs
+//! serving CryptoWall. The paper's graph has 8 nodes and 31 edges.
+//!
+//! Prints the DOT rendering plus the node/edge/stage accounting.
+
+use dynaminer::wcg::{Stage, Wcg};
+use nettrace::http::{HeaderMap, Method};
+use nettrace::payload::PayloadClass;
+use nettrace::reassembly::Endpoint;
+use nettrace::HttpTransaction;
+use std::net::Ipv4Addr;
+
+#[allow(clippy::too_many_arguments)]
+fn tx(
+    ts: f64,
+    host: &str,
+    uri: &str,
+    method: Method,
+    status: u16,
+    class: PayloadClass,
+    size: usize,
+    referer: Option<&str>,
+    location: Option<&str>,
+) -> HttpTransaction {
+    let mut req_headers = HeaderMap::new();
+    req_headers.append("Host", host);
+    req_headers.append("User-Agent", "Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 6.1)");
+    if let Some(r) = referer {
+        req_headers.append("Referer", r);
+    }
+    let mut resp_headers = HeaderMap::new();
+    resp_headers.append("Content-Type", "text/html");
+    if let Some(l) = location {
+        resp_headers.append("Location", l);
+    }
+    HttpTransaction {
+        ts,
+        resp_ts: ts + 0.08,
+        client: Endpoint::new(Ipv4Addr::new(10, 1, 1, 20), 49500),
+        server: Endpoint::new(Ipv4Addr::new(185, 14, 28, 6), 80),
+        host: host.into(),
+        method,
+        uri: uri.into(),
+        req_headers,
+        status,
+        resp_headers,
+        payload_class: class,
+        payload_size: size,
+        body_preview: Vec::new(),
+        payload_digest: (ts * 1000.0) as u64,
+    }
+}
+
+fn main() {
+    bench::banner("Figure 6: example Angler WCG (12/21/2015)");
+    // Timestamps relative to 2015-12-21 00:00 UTC.
+    let t0 = 1_450_656_000.0;
+    use Method::{Get, Post};
+    use PayloadClass as P;
+    let g = |d: f64| t0 + d;
+    let txs = vec![
+        // Pre-download: bing (origin) referred the victim to compromised
+        // site A, which bounces through landing B to exploit server C.
+        tx(g(0.0), "compromised-a.com", "/blog/entry.html", Get, 302, P::Empty, 0,
+            Some("http://www.bing.com/search?q=live+stream"),
+            Some("http://landing-b.net/forum/view.php?id=9")),
+        tx(g(0.4), "landing-b.net", "/forum/view.php?id=9", Get, 302, P::Empty, 0,
+            Some("http://compromised-a.com/blog/entry.html"),
+            Some("http://exploit-c.ru/gate.php?k=dGVzdA")),
+        tx(g(0.9), "exploit-c.ru", "/gate.php?k=dGVzdA", Get, 200, P::Html, 38_221,
+            Some("http://landing-b.net/forum/view.php?id=9"), None),
+        // Fingerprinting probes on the exploit server.
+        tx(g(1.4), "exploit-c.ru", "/check.js", Get, 200, P::Js, 4_412,
+            Some("http://exploit-c.ru/gate.php?k=dGVzdA"), None),
+        tx(g(1.8), "exploit-c.ru", "/viewtopic.js", Get, 200, P::Js, 2_007,
+            Some("http://exploit-c.ru/gate.php?k=dGVzdA"), None),
+        // Download dynamics: Flash exploit payloads.
+        tx(g(2.4), "exploit-c.ru", "/media/player.swf", Get, 200, P::Swf, 91_337,
+            Some("http://exploit-c.ru/gate.php?k=dGVzdA"), None),
+        tx(g(3.1), "exploit-c.ru", "/media/loader.swf", Get, 200, P::Swf, 44_092,
+            Some("http://exploit-c.ru/gate.php?k=dGVzdA"), None),
+        tx(g(4.0), "exploit-c.ru", "/media/update.exe", Get, 200, P::Exe, 312_448,
+            Some("http://exploit-c.ru/gate.php?k=dGVzdA"), None),
+        // Stray asset fetches on A and B while the page rendered.
+        tx(g(1.1), "compromised-a.com", "/wp-content/theme.css", Get, 200, P::Css, 8_114,
+            Some("http://compromised-a.com/blog/entry.html"), None),
+        tx(g(1.2), "landing-b.net", "/img/banner.png", Get, 200, P::Image, 17_551,
+            Some("http://landing-b.net/forum/view.php?id=9"), None),
+        // Post-download: CryptoWall C&C call-backs to hosts D, E, F.
+        tx(g(22.0), "103.21.59.9", "/gate.php", Post, 200, P::Text, 52, None, None),
+        tx(g(31.5), "91.223.88.14", "/gate.php", Post, 200, P::Text, 44, None, None),
+        tx(g(47.2), "185.46.11.30", "/gate.php", Post, 404, P::Empty, 0, None, None),
+        tx(g(55.0), "103.21.59.9", "/tasks.php", Post, 200, P::Text, 96, None, None),
+    ];
+
+    let wcg = Wcg::from_transactions(&txs);
+    println!("{}", wcg.to_dot("angler_fig6"));
+    println!(
+        "nodes = {} (paper: 8), edges = {} (paper: 31)",
+        wcg.graph.node_count(),
+        wcg.graph.edge_count()
+    );
+    println!(
+        "stage transactions: pre-download {}, download {}, post-download {}",
+        wcg.stage_counts[0], wcg.stage_counts[1], wcg.stage_counts[2]
+    );
+    println!("max redirect chain: {}", wcg.redirects.max_chain);
+    let origin = wcg.origin.map(|o| wcg.graph.node(o).name.clone());
+    println!("origin node: {:?} (paper: bing.com)", origin);
+    let post_edges = wcg
+        .graph
+        .edges()
+        .filter(|(_, _, _, e)| e.stage == Stage::PostDownload)
+        .count();
+    println!("post-download edges: {post_edges} (paper: POSTs to 3 CryptoWall IPs)");
+}

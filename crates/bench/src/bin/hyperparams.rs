@@ -1,0 +1,47 @@
+//! Reproduces the paper's hyper-parameter selection (Sec. VI-A): "the
+//! training was ran by varying the number of trees (N_t) and number of
+//! features (N_f) to get the best balance between true positive and false
+//! positive rates. The best performance … is with N_t = 20 and
+//! N_f = log2(NumFeatures)+1."
+//!
+//! Sweeps N_t ∈ {5, 10, 20, 50, 100} × N_f ∈ {log2+1, sqrt, all} with
+//! 10-fold cross-validation.
+
+use mlearn::crossval::cross_validate;
+use mlearn::forest::{ForestConfig, MaxFeatures};
+
+fn main() {
+    bench::banner("Hyper-parameter sweep: N_t × N_f (Sec. VI-A)");
+    let corpus = bench::ground_truth_corpus();
+    let data = bench::corpus_dataset(&corpus);
+    println!("{} WCGs\n", data.len());
+    println!(
+        "{:>5} {:>14} {:>7} {:>7} {:>9} {:>9}",
+        "N_t", "N_f", "TPR", "FPR", "F-score", "ROC area"
+    );
+    for n_trees in [5usize, 10, 20, 50, 100] {
+        for (label, max_features) in [
+            ("log2(F)+1", MaxFeatures::Log2PlusOne),
+            ("sqrt(F)", MaxFeatures::Sqrt),
+            ("all", MaxFeatures::All),
+        ] {
+            let config = ForestConfig { n_trees, max_features, ..ForestConfig::default() };
+            let r = cross_validate(&data, 10, &config, 1, bench::EXPERIMENT_SEED);
+            let marker = if n_trees == 20 && label == "log2(F)+1" { "  ← paper's pick" } else { "" };
+            println!(
+                "{:>5} {:>14} {:>7.3} {:>7.3} {:>9.3} {:>9.3}{marker}",
+                n_trees,
+                label,
+                r.confusion.tpr(),
+                r.confusion.fpr(),
+                r.confusion.f1(),
+                r.roc_area,
+            );
+        }
+    }
+    println!(
+        "\nexpected: quality saturates around N_t ≈ 20; narrow feature subsets\n\
+         (log2/sqrt) match or beat 'all' thanks to tree decorrelation — the\n\
+         balance the paper selected."
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table I**: the ground-truth dataset summary — per-family
+//! trace counts, host-count min/max/avg, redirect min/max/avg, and payload
+//! counts per file type.
+
+use synthtraffic::corpus::CorpusStats;
+
+/// Paper values: (label, pcaps, hosts(min,max,avg), redirects(min,max,avg)).
+const PAPER: [(&str, usize, (usize, usize, usize), (usize, usize, usize)); 11] = [
+    ("Benign", 980, (2, 34, 3), (0, 2, 0)),
+    ("Angler", 253, (2, 74, 6), (0, 18, 1)),
+    ("RIG", 62, (2, 17, 4), (0, 3, 1)),
+    ("Nuclear", 132, (2, 213, 8), (0, 18, 1)),
+    ("Magnitude", 43, (2, 231, 20), (0, 12, 2)),
+    ("SweetOrange", 33, (2, 90, 8), (0, 6, 1)),
+    ("FlashPack", 29, (2, 15, 5), (0, 8, 2)),
+    ("Neutrino", 40, (2, 30, 6), (0, 14, 2)),
+    ("Goon", 19, (2, 90, 9), (0, 30, 2)),
+    ("Fiesta", 89, (2, 182, 7), (0, 3, 1)),
+    ("Other Kits", 70, (2, 68, 4), (0, 5, 1)),
+];
+
+fn main() {
+    bench::banner("Table I: ground-truth dataset");
+    let corpus = bench::ground_truth_corpus();
+    let rows = CorpusStats::table_rows(&corpus);
+    println!(
+        "{:<12} {:>6} | {:>4} {:>4} {:>5} | {:>4} {:>4} {:>5} | {:>5} {:>5} {:>5} {:>5} {:>6} {:>5}",
+        "Family", "PCAPs", "Hmin", "Hmax", "Havg", "Rmin", "Rmax", "Ravg", "pdf", "exe", "jar",
+        "swf", "crypt", "js"
+    );
+    for row in &rows {
+        let p = row.payload_counts;
+        println!(
+            "{:<12} {:>6} | {:>4} {:>4} {:>5.1} | {:>4} {:>4} {:>5.1} | {:>5} {:>5} {:>5} {:>5} {:>6} {:>5}",
+            row.label, row.episodes, row.hosts.0, row.hosts.1, row.hosts.2, row.redirects.0,
+            row.redirects.1, row.redirects.2, p[0], p[1], p[2], p[3], p[4], p[5]
+        );
+    }
+    println!("\npaper reference (hosts / redirects):");
+    for (label, pcaps, h, r) in PAPER {
+        println!(
+            "{label:<12} {pcaps:>6} | {:>4} {:>4} {:>5} | {:>4} {:>4} {:>5}",
+            h.0, h.1, h.2, r.0, r.1, r.2
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Table III**: impact of feature groups on classifier
+//! accuracy — all features vs graph features only vs everything except
+//! graph features, evaluated with 10-fold cross-validation on the ground
+//! truth (TPR, FPR, F-score, ROC area).
+
+use dynaminer::classifier::FeatureSelection;
+use mlearn::crossval::cross_validate;
+use mlearn::forest::ForestConfig;
+
+const PAPER: [(&str, f64, f64, f64, f64); 3] = [
+    ("All", 0.973, 0.015, 0.972, 0.978),
+    ("GFs", 0.958, 0.059, 0.954, 0.928),
+    ("HLFs+HFs+TFs", 0.806, 0.304, 0.848, 0.860),
+];
+
+fn main() {
+    bench::banner("Table III: feature-group ablation (10-fold CV)");
+    let corpus = bench::ground_truth_corpus();
+    let data = bench::corpus_dataset(&corpus);
+    println!("{} WCGs featurized\n", data.len());
+    println!(
+        "{:<14} {:>22} {:>22} {:>22} {:>22}",
+        "Features", "TPR", "FPR", "F-score", "ROC Area"
+    );
+    for (i, selection) in
+        [FeatureSelection::All, FeatureSelection::GraphOnly, FeatureSelection::NonGraph]
+            .into_iter()
+            .enumerate()
+    {
+        let projected = data.select_features(&selection.columns());
+        let r = cross_validate(&projected, 10, &ForestConfig::default(), 1, bench::EXPERIMENT_SEED);
+        let paper = PAPER[i];
+        println!(
+            "{:<14} {} {} {} {}",
+            selection.label(),
+            bench::vs(r.confusion.tpr(), paper.1),
+            bench::vs(r.confusion.fpr(), paper.2),
+            bench::vs(r.confusion.f1(), paper.3),
+            bench::vs(r.roc_area, paper.4),
+        );
+    }
+}

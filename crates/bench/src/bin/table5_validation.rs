@@ -1,0 +1,116 @@
+//! Regenerates **Table V**: classifier performance on independent test
+//! data — DynaMiner vs the VirusTotal-style comparator on a held-out
+//! validation set (paper: 1500 benign + 7489 infection WCGs).
+//!
+//! DynaMiner classifies each conversation's WCG; the comparator scans
+//! every downloaded payload and flags a conversation when any payload
+//! reaches the 3-engine threshold.
+
+use dynaminer::wcg::Wcg;
+use synthtraffic::{BenignScenario, EpisodeLabel};
+use vtsim::{ScanRequest, VirusTotalSim, DAY_SECS};
+
+fn main() {
+    bench::banner("Table V: independent validation, DynaMiner vs VirusTotal-sim");
+    let train = bench::ground_truth_corpus();
+    let classifier = bench::train_default(&train);
+    let validation = bench::validation_corpus();
+    let vt = VirusTotalSim::with_default_engines(bench::EXPERIMENT_SEED);
+    // The paper submitted the archived test set to VirusTotal at analysis
+    // time, months after capture.
+    let analysis_ts = synthtraffic::corpus::INFECTION_WINDOW_END + 90.0 * DAY_SECS;
+
+    let mut dm = Counts::default();
+    let mut vt_counts = Counts::default();
+    let mut vt_timeouts = 0usize;
+
+    for ep in &validation {
+        let infected = ep.is_infection();
+        // --- DynaMiner ---------------------------------------------------
+        let verdict = classifier.predict_wcg(&Wcg::from_transactions(&ep.transactions));
+        dm.record(infected, verdict);
+
+        // --- VirusTotal-sim ----------------------------------------------
+        let unofficial = matches!(
+            ep.label,
+            EpisodeLabel::Benign(BenignScenario::UnofficialDownload)
+                | EpisodeLabel::Benign(BenignScenario::TorrentSession)
+        );
+        let mut flagged = false;
+        let mut any_scan = false;
+        let mut all_timed_out = true;
+        for tx in &ep.transactions {
+            let scannable = tx.status / 100 == 2
+                && tx.payload_size > 0
+                && (tx.payload_class.is_exploit_type() || tx.payload_class.is_binary());
+            if !scannable {
+                continue;
+            }
+            any_scan = true;
+            let report = vt.scan(
+                &ScanRequest {
+                    digest: tx.payload_digest,
+                    truly_malicious: ep.malicious_digests.contains(&tx.payload_digest),
+                    first_seen_ts: ep.start_ts,
+                    unofficial_benign_source: unofficial,
+                },
+                analysis_ts,
+            );
+            if !report.timed_out {
+                all_timed_out = false;
+            }
+            flagged |= report.is_flagged();
+        }
+        if infected && any_scan && all_timed_out {
+            vt_timeouts += 1;
+        }
+        vt_counts.record(infected, flagged);
+    }
+
+    println!(
+        "{:<12} {:>22} {:>24} {:>6} {:>6}",
+        "System", "benign correct", "infection correct", "FP", "FN"
+    );
+    for (name, c) in [("DynaMiner", &dm), ("VirusTotal", &vt_counts)] {
+        println!(
+            "{:<12} {:>9}/{:<6} {:>4.1}% {:>10}/{:<6} {:>5.2}% {:>6} {:>6}",
+            name,
+            c.tn,
+            c.tn + c.fp,
+            100.0 * c.tn as f64 / (c.tn + c.fp).max(1) as f64,
+            c.tp,
+            c.tp + c.fn_,
+            100.0 * c.tp as f64 / (c.tp + c.fn_).max(1) as f64,
+            c.fp,
+            c.fn_,
+        );
+    }
+    println!("\nVirusTotal scan timeouts among missed infections: {vt_timeouts}");
+    println!(
+        "\npaper: DynaMiner benign 1471/1500 (98.1%), infection 7283/7489 (97.38%), 29 FP, 206 FN\n\
+         paper: VirusTotal benign 1409/1500 (94.0%), infection 6310/7489 (84.3%), 91 FP, 1179 FN (110 timeouts)\n\
+         headline: DynaMiner outperforms the content-based ensemble by ~11.5% on infections."
+    );
+    let dm_tpr = dm.tp as f64 / (dm.tp + dm.fn_).max(1) as f64;
+    let vt_tpr = vt_counts.tp as f64 / (vt_counts.tp + vt_counts.fn_).max(1) as f64;
+    println!("measured margin: {:.1}%", 100.0 * (dm_tpr - vt_tpr));
+}
+
+#[derive(Default)]
+struct Counts {
+    tp: usize,
+    fp: usize,
+    tn: usize,
+    fn_: usize,
+}
+
+impl Counts {
+    fn record(&mut self, infected: bool, verdict: bool) {
+        match (infected, verdict) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+}

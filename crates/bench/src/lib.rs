@@ -1,0 +1,72 @@
+//! Shared support for the experiment binaries.
+//!
+//! Every paper table and figure has a binary under `src/bin/` that
+//! regenerates it (see DESIGN.md's per-experiment index). All binaries
+//! honor the `DYNAMINER_SCALE` environment variable (default `1.0` =
+//! paper-sized corpora; use e.g. `0.2` for a quick pass) and print the
+//! paper's reported values next to the measured ones.
+
+use dynaminer::classifier::Classifier;
+use mlearn::dataset::Dataset;
+use synthtraffic::Episode;
+
+/// Seed used by every experiment binary so tables regenerate identically.
+pub const EXPERIMENT_SEED: u64 = 42;
+
+/// Corpus scale factor from `DYNAMINER_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("DYNAMINER_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.001, 10.0)
+}
+
+/// The ground-truth corpus at the configured scale.
+pub fn ground_truth_corpus() -> Vec<Episode> {
+    synthtraffic::ground_truth(EXPERIMENT_SEED, scale())
+}
+
+/// The held-out validation corpus at the configured scale.
+pub fn validation_corpus() -> Vec<Episode> {
+    synthtraffic::validation_set(EXPERIMENT_SEED, scale())
+}
+
+/// Featurizes a corpus into a 37-column dataset (benign = 0, infection = 1),
+/// extracting in parallel across available cores.
+pub fn corpus_dataset(corpus: &[Episode]) -> Dataset {
+    let items: Vec<(&[nettrace::HttpTransaction], bool)> =
+        corpus.iter().map(|e| (e.transactions.as_slice(), e.is_infection())).collect();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    dynaminer::classifier::build_dataset_parallel(&items, threads)
+}
+
+/// Trains the paper's default classifier on a corpus.
+pub fn train_default(corpus: &[Episode]) -> Classifier {
+    Classifier::fit_default(&corpus_dataset(corpus), EXPERIMENT_SEED)
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(what: &str) {
+    println!("=== {what} ===");
+    println!("(corpus scale {}; set DYNAMINER_SCALE to change)\n", scale());
+}
+
+/// Formats a measured-vs-paper comparison cell.
+pub fn vs(measured: f64, paper: f64) -> String {
+    format!("{measured:>7.3} (paper {paper:.3})")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scale_is_positive_by_default() {
+        assert!(super::scale() > 0.0);
+    }
+
+    #[test]
+    fn vs_formats_both_numbers() {
+        let s = super::vs(0.5, 0.973);
+        assert!(s.contains("0.500") && s.contains("0.973"));
+    }
+}

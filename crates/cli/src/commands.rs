@@ -1,0 +1,333 @@
+//! Subcommand implementations and minimal flag parsing.
+
+use std::collections::BTreeMap;
+use std::fs;
+
+use dynaminer::classifier::{build_dataset, Classifier};
+use dynaminer::detector::{ClueConfig, DetectorConfig};
+use dynaminer::wcg::Wcg;
+use dynaminer::{features, forensic};
+use nettrace::{HttpTransaction, TransactionExtractor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synthtraffic::benign::generate_benign;
+use synthtraffic::episode::generate_infection;
+use synthtraffic::pcapgen;
+use synthtraffic::{BenignScenario, EkFamily};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+dynaminer — payload-agnostic web-conversation-graph malware detection
+
+USAGE:
+  dynaminer train    [--scale S] [--seed N] --out model.json
+  dynaminer classify --model model.json <capture.pcap>...
+  dynaminer replay   [--model model.json] [--threshold L] [--format text|json] <capture.pcap>
+  dynaminer generate [--family <name> | --benign <scenario>] [--seed N] --out <file.pcap>
+  dynaminer dot      <capture.pcap>
+  dynaminer features <capture.pcap>
+  dynaminer inspect  --model model.json [--top N]
+
+Families:  angler rig nuclear magnitude sweetorange flashpack neutrino goon fiesta other
+Scenarios: search social webmail video alexa-browse software-update unofficial-download torrent-session";
+
+/// Parsed `--flag value` options plus positional arguments.
+struct Options {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut flags = BTreeMap::new();
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("flag --{name} requires a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok(Options { flags, positional })
+}
+
+impl Options {
+    fn f64_flag(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+
+    fn u64_flag(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+        }
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+}
+
+fn load_transactions(path: &str) -> Result<Vec<HttpTransaction>, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Accepts classic pcap or pcapng, detected by magic.
+    let packets =
+        nettrace::capture::read_packets(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    TransactionExtractor::extract(&packets).map_err(|e| format!("{path}: {e}"))
+}
+
+/// On-disk model format: the classifier plus provenance metadata.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SavedModel {
+    format_version: u32,
+    trained_on: String,
+    scale: f64,
+    seed: u64,
+    classifier: Classifier,
+}
+
+const MODEL_FORMAT_VERSION: u32 = 1;
+
+fn load_model(path: &str) -> Result<Classifier, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let saved: SavedModel = serde_json::from_str(&text)
+        .map_err(|e| format!("{path} is not a valid model: {e}"))?;
+    if saved.format_version != MODEL_FORMAT_VERSION {
+        return Err(format!(
+            "{path} uses model format {} but this build expects {MODEL_FORMAT_VERSION}",
+            saved.format_version
+        ));
+    }
+    Ok(saved.classifier)
+}
+
+fn train_classifier(scale: f64, seed: u64) -> Classifier {
+    let corpus = synthtraffic::ground_truth(seed, scale);
+    let data =
+        build_dataset(corpus.iter().map(|e| (e.transactions.as_slice(), e.is_infection())));
+    Classifier::fit_default(&data, seed)
+}
+
+/// `dynaminer train` — train on the calibrated synthetic ground truth and
+/// save the model as JSON.
+pub fn train(args: &[String]) -> Result<(), String> {
+    let opts = parse(args)?;
+    let scale = opts.f64_flag("scale", 0.25)?;
+    let seed = opts.u64_flag("seed", 42)?;
+    let out = opts.required("out")?;
+    eprintln!("training on ground-truth corpus (scale {scale}, seed {seed})…");
+    let classifier = train_classifier(scale, seed);
+    let saved = SavedModel {
+        format_version: MODEL_FORMAT_VERSION,
+        trained_on: "synthtraffic ground truth (Table I calibration)".to_string(),
+        scale,
+        seed,
+        classifier,
+    };
+    let json = serde_json::to_string(&saved).map_err(|e| e.to_string())?;
+    fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("model written to {out}");
+    Ok(())
+}
+
+/// `dynaminer classify` — score each capture's WCG with a trained model.
+pub fn classify(args: &[String]) -> Result<(), String> {
+    let opts = parse(args)?;
+    let classifier = load_model(opts.required("model")?)?;
+    if opts.positional.is_empty() {
+        return Err("no capture files given".into());
+    }
+    for path in &opts.positional {
+        let txs = load_transactions(path)?;
+        let wcg = Wcg::from_transactions(&txs);
+        let score = classifier.score_wcg(&wcg);
+        println!(
+            "{path}: {} transactions, {} hosts, P(infection) = {score:.3} → {}",
+            txs.len(),
+            wcg.remote_host_count(),
+            if score >= 0.5 { "INFECTION" } else { "benign" },
+        );
+    }
+    Ok(())
+}
+
+/// `dynaminer replay` — forensic replay of a capture through the full
+/// detector (session clustering, clue gate, WCG classification).
+pub fn replay(args: &[String]) -> Result<(), String> {
+    let opts = parse(args)?;
+    let classifier = match opts.flags.get("model") {
+        Some(path) => load_model(path)?,
+        None => {
+            eprintln!("no --model given; training a default model first…");
+            train_classifier(0.25, 42)
+        }
+    };
+    let threshold = opts.u64_flag("threshold", 2)? as usize;
+    let [path] = opts.positional.as_slice() else {
+        return Err("replay expects exactly one capture file".into());
+    };
+    let txs = load_transactions(path)?;
+    let config = DetectorConfig {
+        clue: ClueConfig { redirect_threshold: threshold, ..ClueConfig::default() },
+        ..DetectorConfig::default()
+    };
+    let report = forensic::analyze_transactions(&txs, classifier, config);
+    if opts.flags.get("format").map(String::as_str) == Some("json") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+    println!(
+        "{path}: {} transactions, {} conversations, {} alert(s)",
+        report.transactions,
+        report.conversations.len(),
+        report.alerts
+    );
+    for verdict in &report.conversations {
+        println!(
+            "  conversation {}: {} txs, {} hosts, score {:.3}{}",
+            verdict.id,
+            verdict.transactions,
+            verdict.hosts,
+            verdict.score,
+            if verdict.alerted { "  ← ALERT" } else { "" },
+        );
+    }
+    for d in &report.downloads {
+        println!("  download {} {} {}B digest={:016x}", d.host, d.class, d.size, d.digest);
+    }
+    Ok(())
+}
+
+/// `dynaminer generate` — write a synthetic episode as a pcap file.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let opts = parse(args)?;
+    let seed = opts.u64_flag("seed", 1)?;
+    let out = opts.required("out")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let episode = match (opts.flags.get("family"), opts.flags.get("benign")) {
+        (Some(f), None) => {
+            let family = parse_family(f)?;
+            generate_infection(&mut rng, family, 1.45e9)
+        }
+        (None, Some(s)) => {
+            let scenario = parse_scenario(s)?;
+            generate_benign(&mut rng, scenario, 1.45e9)
+        }
+        (None, None) => generate_infection(&mut rng, EkFamily::Angler, 1.45e9),
+        (Some(_), Some(_)) => {
+            return Err("--family and --benign are mutually exclusive".into())
+        }
+    };
+    let pcap = pcapgen::episode_pcap(&episode).map_err(|e| e.to_string())?;
+    fs::write(out, pcap).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "{out}: {} transactions, {} hosts, label {:?}",
+        episode.transactions.len(),
+        episode.unique_hosts(),
+        episode.label
+    );
+    Ok(())
+}
+
+/// `dynaminer dot` — print the capture's WCG in Graphviz DOT format.
+pub fn dot(args: &[String]) -> Result<(), String> {
+    let opts = parse(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("dot expects exactly one capture file".into());
+    };
+    let txs = load_transactions(path)?;
+    println!("{}", Wcg::from_transactions(&txs).to_dot("wcg"));
+    Ok(())
+}
+
+/// `dynaminer features` — print the capture's 37 feature values.
+pub fn features(args: &[String]) -> Result<(), String> {
+    let opts = parse(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("features expects exactly one capture file".into());
+    };
+    let txs = load_transactions(path)?;
+    let fv = features::extract(&Wcg::from_transactions(&txs));
+    for (name, value) in features::NAMES.iter().zip(fv.values()) {
+        println!("{name:<30} {value:.6}");
+    }
+    Ok(())
+}
+
+/// `dynaminer inspect` — print a trained model's feature importances.
+pub fn inspect(args: &[String]) -> Result<(), String> {
+    let opts = parse(args)?;
+    let classifier = load_model(opts.required("model")?)?;
+    let top = opts.u64_flag("top", 20)? as usize;
+    println!("feature importances (mean decrease in impurity):");
+    for (name, importance) in classifier.feature_importances().into_iter().take(top) {
+        let bar_len = (importance * 200.0).round() as usize;
+        println!("  {name:<30} {importance:>7.4} {}", "#".repeat(bar_len.min(60)));
+    }
+    Ok(())
+}
+
+fn parse_family(name: &str) -> Result<EkFamily, String> {
+    let lowered = name.to_ascii_lowercase();
+    EkFamily::ALL
+        .into_iter()
+        .find(|f| f.name().to_ascii_lowercase().replace(' ', "") == lowered.replace('-', ""))
+        .or(match lowered.as_str() {
+            "other" => Some(EkFamily::OtherKits),
+            _ => None,
+        })
+        .ok_or_else(|| format!("unknown family {name:?}; see `dynaminer help`"))
+}
+
+fn parse_scenario(name: &str) -> Result<BenignScenario, String> {
+    BenignScenario::WEIGHTED
+        .iter()
+        .map(|&(s, _)| s)
+        .find(|s| s.label() == name.to_ascii_lowercase())
+        .ok_or_else(|| format!("unknown scenario {name:?}; see `dynaminer help`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_splits_flags_and_positionals() {
+        let args: Vec<String> =
+            ["--seed", "7", "a.pcap", "--out", "x", "b.pcap"].iter().map(|s| s.to_string()).collect();
+        let opts = parse(&args).unwrap();
+        assert_eq!(opts.flags["seed"], "7");
+        assert_eq!(opts.flags["out"], "x");
+        assert_eq!(opts.positional, ["a.pcap", "b.pcap"]);
+    }
+
+    #[test]
+    fn parse_rejects_dangling_flag() {
+        let args = vec!["--out".to_string()];
+        assert!(parse(&args).is_err());
+    }
+
+    #[test]
+    fn family_and_scenario_names_resolve() {
+        assert_eq!(parse_family("angler").unwrap(), EkFamily::Angler);
+        assert_eq!(parse_family("sweetorange").unwrap(), EkFamily::SweetOrange);
+        assert_eq!(parse_family("other").unwrap(), EkFamily::OtherKits);
+        assert!(parse_family("nope").is_err());
+        assert_eq!(parse_scenario("search").unwrap(), BenignScenario::Search);
+        assert_eq!(
+            parse_scenario("torrent-session").unwrap(),
+            BenignScenario::TorrentSession
+        );
+        assert!(parse_scenario("bogus").is_err());
+    }
+}

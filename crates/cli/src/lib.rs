@@ -1,0 +1,5 @@
+//! Library surface of the `dynaminer` CLI (the binary in `main.rs` is a
+//! thin dispatcher). Exposed so integration tests can drive subcommands
+//! in-process.
+
+pub mod commands;

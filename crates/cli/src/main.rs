@@ -1,0 +1,46 @@
+//! `dynaminer` — command-line front end for the DynaMiner reproduction.
+//!
+//! ```text
+//! dynaminer train    [--scale S] [--seed N] --out model.json
+//! dynaminer classify --model model.json <capture.pcap>...
+//! dynaminer replay   [--model model.json] [--threshold L] <capture.pcap>
+//! dynaminer generate [--family <name> | --benign <scenario>] [--seed N] --out <file.pcap>
+//! dynaminer dot      <capture.pcap>
+//! dynaminer features <capture.pcap>
+//! ```
+//!
+//! Capture files are classic libpcap; `generate` produces them, and any
+//! HTTP-over-IPv4 capture with the same framing is accepted.
+
+use std::process::ExitCode;
+
+use dynaminer_cli::commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "train" => commands::train(rest),
+        "classify" => commands::classify(rest),
+        "replay" => commands::replay(rest),
+        "generate" => commands::generate(rest),
+        "dot" => commands::dot(rest),
+        "inspect" => commands::inspect(rest),
+        "features" => commands::features(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! End-to-end CLI flows driven in-process: generate → train → classify →
+//! replay → inspect, in both capture formats.
+
+use dynaminer_cli::commands;
+
+fn tmp(name: &str) -> String {
+    // Per-process directory so stale artifacts from older builds (e.g. a
+    // previous model format) never leak into a run.
+    let dir = std::env::temp_dir().join(format!("dynaminer-cli-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn trained_model_path() -> String {
+    let model = tmp("model.json");
+    if !std::path::Path::new(&model).exists() {
+        commands::train(&args(&["--scale", "0.05", "--seed", "7", "--out", &model])).unwrap();
+    }
+    model
+}
+
+#[test]
+fn generate_train_classify_replay_roundtrip() {
+    let infection = tmp("angler.pcap");
+    let benign = tmp("search.pcap");
+    commands::generate(&args(&["--family", "angler", "--seed", "3", "--out", &infection]))
+        .unwrap();
+    commands::generate(&args(&["--benign", "search", "--seed", "4", "--out", &benign]))
+        .unwrap();
+    let model = trained_model_path();
+    commands::classify(&args(&["--model", &model, &infection, &benign])).unwrap();
+    commands::replay(&args(&["--model", &model, "--threshold", "3", &infection])).unwrap();
+    commands::dot(&args(&[&infection])).unwrap();
+    commands::features(&args(&[&benign])).unwrap();
+    commands::inspect(&args(&["--model", &model, "--top", "5"])).unwrap();
+}
+
+#[test]
+fn classify_accepts_pcapng_captures() {
+    // Convert a generated classic capture to pcapng and classify it.
+    let classic = tmp("rig.pcap");
+    commands::generate(&args(&["--family", "rig", "--seed", "9", "--out", &classic])).unwrap();
+    let bytes = std::fs::read(&classic).unwrap();
+    let packets = nettrace::capture::read_packets(&bytes).unwrap();
+    let ng = tmp("rig.pcapng");
+    std::fs::write(&ng, nettrace::pcapng::write_packets(&packets)).unwrap();
+    let model = trained_model_path();
+    commands::classify(&args(&["--model", &model, &ng])).unwrap();
+}
+
+#[test]
+fn helpful_errors_for_bad_input() {
+    assert!(commands::classify(&args(&["--model", "/nonexistent.json", "x.pcap"]))
+        .unwrap_err()
+        .contains("cannot read"));
+    assert!(commands::generate(&args(&["--family", "bogus", "--out", &tmp("x.pcap")]))
+        .unwrap_err()
+        .contains("unknown family"));
+    assert!(commands::generate(&args(&[
+        "--family", "rig", "--benign", "search", "--out", &tmp("x.pcap")
+    ]))
+    .unwrap_err()
+    .contains("mutually exclusive"));
+    let model = trained_model_path();
+    assert!(commands::replay(&args(&["--model", &model])).unwrap_err().contains("exactly one"));
+    // A non-capture file errors cleanly.
+    let junk = tmp("junk.bin");
+    std::fs::write(&junk, b"not a capture at all").unwrap();
+    assert!(commands::classify(&args(&["--model", &model, &junk])).is_err());
+}

@@ -1,0 +1,292 @@
+//! Training and querying the ensemble random forest (Sec. V-A).
+//!
+//! The classifier is an [`mlearn`] random forest with the paper's best
+//! hyper-parameters — 20 trees, `log2(F)+1` features per split, and
+//! **probability averaging** across trees — wrapped with the WCG feature
+//! extraction and the Table III feature-group selection.
+
+use mlearn::dataset::Dataset;
+use mlearn::forest::{ForestConfig, RandomForest};
+use nettrace::HttpTransaction;
+use serde::{Deserialize, Serialize};
+
+use crate::features::{self, FeatureGroup, FeatureVector, FEATURE_COUNT, NAMES};
+use crate::wcg::Wcg;
+
+/// Class label for benign conversations.
+pub const LABEL_BENIGN: usize = 0;
+/// Class label for infection conversations.
+pub const LABEL_INFECTION: usize = 1;
+
+/// Which feature columns the classifier uses (the Table III ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureSelection {
+    /// All 37 features.
+    All,
+    /// Graph features only (f7–f25).
+    GraphOnly,
+    /// Everything except graph features (HLFs + HFs + TFs).
+    NonGraph,
+}
+
+impl FeatureSelection {
+    /// The selected column indices, in order.
+    pub fn columns(self) -> Vec<usize> {
+        match self {
+            FeatureSelection::All => (0..FEATURE_COUNT).collect(),
+            FeatureSelection::GraphOnly => FeatureGroup::Graph.columns().collect(),
+            FeatureSelection::NonGraph => (0..FEATURE_COUNT)
+                .filter(|&c| FeatureGroup::of_column(c) != FeatureGroup::Graph)
+                .collect(),
+        }
+    }
+
+    /// Table III row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureSelection::All => "All",
+            FeatureSelection::GraphOnly => "GFs",
+            FeatureSelection::NonGraph => "HLFs+HFs+TFs",
+        }
+    }
+}
+
+/// Builds a 37-column binary dataset from labelled conversations
+/// (`true` = infection). Each conversation is abstracted into a WCG and
+/// featurized.
+pub fn build_dataset<'a, I>(conversations: I) -> Dataset
+where
+    I: IntoIterator<Item = (&'a [HttpTransaction], bool)>,
+{
+    let mut data = Dataset::new(NAMES.iter().map(|s| s.to_string()).collect(), 2);
+    for (txs, infected) in conversations {
+        let wcg = Wcg::from_transactions(txs);
+        let fv = features::extract(&wcg);
+        data.push(fv.values().to_vec(), usize::from(infected));
+    }
+    data
+}
+
+/// Builds the same dataset as [`build_dataset`] but extracts features in
+/// parallel with scoped worker threads — WCG featurization is the
+/// dominant cost when featurizing thousands of conversations (graph
+/// analytics per conversation), and conversations are independent.
+///
+/// The resulting dataset is bit-identical to the sequential one (row
+/// order is preserved).
+pub fn build_dataset_parallel(
+    conversations: &[(&[HttpTransaction], bool)],
+    threads: usize,
+) -> Dataset {
+    let threads = threads.max(1).min(conversations.len().max(1));
+    let mut rows: Vec<Option<(Vec<f64>, usize)>> = vec![None; conversations.len()];
+    let chunk = conversations.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, conv_chunk) in
+            rows.chunks_mut(chunk).zip(conversations.chunks(chunk))
+        {
+            scope.spawn(move |_| {
+                for (slot, (txs, infected)) in slot_chunk.iter_mut().zip(conv_chunk) {
+                    let wcg = Wcg::from_transactions(txs);
+                    let fv = features::extract(&wcg);
+                    *slot = Some((fv.values().to_vec(), usize::from(*infected)));
+                }
+            });
+        }
+    })
+    .expect("feature extraction worker panicked");
+    let mut data = Dataset::new(NAMES.iter().map(|s| s.to_string()).collect(), 2);
+    for row in rows {
+        let (values, label) = row.expect("every slot filled");
+        data.push(values, label);
+    }
+    data
+}
+
+/// A trained DynaMiner classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Classifier {
+    forest: RandomForest,
+    selection: FeatureSelection,
+}
+
+impl Classifier {
+    /// Trains on a 37-column dataset (as produced by [`build_dataset`]),
+    /// projecting to `selection`'s columns first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset is empty or not 37 columns wide.
+    pub fn fit(
+        data: &Dataset,
+        selection: FeatureSelection,
+        config: &ForestConfig,
+        seed: u64,
+    ) -> Classifier {
+        assert_eq!(data.n_features(), FEATURE_COUNT, "expected a 37-feature dataset");
+        let projected = data.select_features(&selection.columns());
+        Classifier { forest: RandomForest::fit(&projected, config, seed), selection }
+    }
+
+    /// Trains with the paper's default configuration on all features.
+    pub fn fit_default(data: &Dataset, seed: u64) -> Classifier {
+        Classifier::fit(data, FeatureSelection::All, &ForestConfig::default(), seed)
+    }
+
+    /// The feature selection this classifier was trained with.
+    pub fn selection(&self) -> FeatureSelection {
+        self.selection
+    }
+
+    /// Infection probability for an extracted feature vector.
+    pub fn score_features(&self, fv: &FeatureVector) -> f64 {
+        let row: Vec<f64> =
+            self.selection.columns().iter().map(|&c| fv.values()[c]).collect();
+        self.forest.predict_proba(&row)[LABEL_INFECTION]
+    }
+
+    /// Infection probability for a WCG.
+    pub fn score_wcg(&self, wcg: &Wcg) -> f64 {
+        self.score_features(&features::extract(wcg))
+    }
+
+    /// Binary verdict for a WCG at the 0.5 threshold.
+    pub fn predict_wcg(&self, wcg: &Wcg) -> bool {
+        self.score_wcg(wcg) >= 0.5
+    }
+
+    /// Infection probability for a raw conversation.
+    pub fn score_transactions(&self, txs: &[HttpTransaction]) -> f64 {
+        self.score_wcg(&Wcg::from_transactions(txs))
+    }
+
+    /// Mean-decrease-in-impurity importances of the trained forest,
+    /// mapped back to feature names and sorted descending — the model
+    /// introspection behind the paper's "manual verification of the trees
+    /// generated by the ERF".
+    pub fn feature_importances(&self) -> Vec<(String, f64)> {
+        let importances = self.forest.feature_importances();
+        let mut named: Vec<(String, f64)> = self
+            .selection
+            .columns()
+            .iter()
+            .zip(importances)
+            .map(|(&c, imp)| (NAMES[c].to_string(), imp))
+            .collect();
+        named.sort_by(|a, b| b.1.total_cmp(&a.1));
+        named
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use synthtraffic::benign::generate_benign;
+    use synthtraffic::episode::generate_infection;
+    use synthtraffic::{BenignScenario, EkFamily};
+
+    fn small_corpus(seed: u64, n: usize) -> Vec<(Vec<nettrace::HttpTransaction>, bool)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for i in 0..n {
+            let family = EkFamily::ALL[i % EkFamily::ALL.len()];
+            out.push((generate_infection(&mut rng, family, 1_400_000_000.0).transactions, true));
+            let scenario = BenignScenario::WEIGHTED[i % 8].0;
+            out.push((generate_benign(&mut rng, scenario, 1_430_000_000.0).transactions, false));
+        }
+        out
+    }
+
+    #[test]
+    fn selections_have_expected_widths() {
+        assert_eq!(FeatureSelection::All.columns().len(), 37);
+        assert_eq!(FeatureSelection::GraphOnly.columns().len(), 19);
+        assert_eq!(FeatureSelection::NonGraph.columns().len(), 18);
+    }
+
+    #[test]
+    fn classifier_separates_synthetic_corpora() {
+        let train = small_corpus(1, 30);
+        let data = build_dataset(train.iter().map(|(t, l)| (t.as_slice(), *l)));
+        let clf = Classifier::fit_default(&data, 7);
+
+        let test = small_corpus(2, 15);
+        let mut correct = 0usize;
+        for (txs, infected) in &test {
+            let wcg = Wcg::from_transactions(txs);
+            if clf.predict_wcg(&wcg) == *infected {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let train = small_corpus(3, 10);
+        let data = build_dataset(train.iter().map(|(t, l)| (t.as_slice(), *l)));
+        let clf = Classifier::fit_default(&data, 1);
+        for (txs, _) in &train {
+            let s = clf.score_transactions(txs);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn graph_only_classifier_works() {
+        let train = small_corpus(4, 40);
+        let data = build_dataset(train.iter().map(|(t, l)| (t.as_slice(), *l)));
+        let clf = Classifier::fit(
+            &data,
+            FeatureSelection::GraphOnly,
+            &ForestConfig::default(),
+            3,
+        );
+        assert_eq!(clf.selection(), FeatureSelection::GraphOnly);
+        let test = small_corpus(5, 15);
+        let correct = test
+            .iter()
+            .filter(|(txs, infected)| clf.predict_wcg(&Wcg::from_transactions(txs)) == *infected)
+            .count();
+        assert!(correct as f64 / test.len() as f64 > 0.75, "{correct}/{}", test.len());
+    }
+
+    #[test]
+    fn parallel_dataset_matches_sequential() {
+        let corpus = small_corpus(9, 12);
+        let items: Vec<(&[nettrace::HttpTransaction], bool)> =
+            corpus.iter().map(|(t, l)| (t.as_slice(), *l)).collect();
+        let sequential = build_dataset(items.iter().copied());
+        for threads in [1, 3, 8, 64] {
+            let parallel = build_dataset_parallel(&items, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for i in 0..sequential.len() {
+                assert_eq!(parallel.row(i), sequential.row(i), "row {i}, {threads} threads");
+                assert_eq!(parallel.label(i), sequential.label(i));
+            }
+        }
+    }
+
+    #[test]
+    fn importances_are_named_and_normalized() {
+        let train = small_corpus(6, 20);
+        let data = build_dataset(train.iter().map(|(t, l)| (t.as_slice(), *l)));
+        let clf = Classifier::fit_default(&data, 2);
+        let imp = clf.feature_importances();
+        assert_eq!(imp.len(), 37);
+        let total: f64 = imp.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(imp[0].1 >= imp.last().unwrap().1, "sorted descending");
+        assert!(crate::features::NAMES.contains(&imp[0].0.as_str()));
+    }
+
+    #[test]
+    #[should_panic(expected = "37-feature")]
+    fn fit_validates_width() {
+        let d = Dataset::new(vec!["x".into()], 2);
+        Classifier::fit(&d, FeatureSelection::All, &ForestConfig::default(), 1);
+    }
+}

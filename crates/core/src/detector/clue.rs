@@ -1,0 +1,132 @@
+//! Infection-clue inference (Sec. V-B).
+//!
+//! A clue fires when a redirection chain of length ≥ *l* is followed by a
+//! download of a payload type whose infectiousness likelihood exceeds a
+//! threshold. Both constants come from "statistical analysis of the
+//! ground truth data" in the paper; the likelihood table below is the
+//! per-type infection share of the Table I payload columns.
+
+use nettrace::payload::PayloadClass;
+use nettrace::HttpTransaction;
+use serde::{Deserialize, Serialize};
+
+/// Clue thresholds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClueConfig {
+    /// Minimum redirect hops before a moderately risky download becomes
+    /// suspicious (`l`; the paper's forensic case study uses 3).
+    pub redirect_threshold: usize,
+    /// Minimum payload infectiousness likelihood for the
+    /// redirects-plus-download conjunction.
+    pub min_payload_likelihood: f64,
+    /// Likelihood at which a download is suspicious on its own, without a
+    /// redirect chain (several Table I families average ≤ 1 redirect, and
+    /// the ground truth contains 11 infections with no redirects at all —
+    /// a chain requirement alone would never inspect them).
+    pub high_payload_likelihood: f64,
+}
+
+impl Default for ClueConfig {
+    fn default() -> Self {
+        ClueConfig {
+            redirect_threshold: 2,
+            min_payload_likelihood: 0.5,
+            high_payload_likelihood: 0.8,
+        }
+    }
+}
+
+/// Infectiousness likelihood of a payload type, derived from the
+/// ground-truth payload mix: the known exploit-payload types (`*.exe`,
+/// `*.jar`, `*.swf`, `*.pdf`, `*.xap`, ransomware extensions, `.dmg`)
+/// dominate infection traces, archives occasionally carry compressed
+/// payloads, and the common web types are overwhelmingly benign.
+pub fn payload_likelihood(class: PayloadClass) -> f64 {
+    match class {
+        PayloadClass::Exe => 0.95,
+        PayloadClass::Crypt => 0.98,
+        PayloadClass::Jar => 0.90,
+        PayloadClass::Swf => 0.85,
+        PayloadClass::Xap => 0.85,
+        PayloadClass::Dmg => 0.80,
+        PayloadClass::Pdf => 0.60,
+        PayloadClass::Archive => 0.40,
+        PayloadClass::Js => 0.15,
+        PayloadClass::Html
+        | PayloadClass::Css
+        | PayloadClass::Image
+        | PayloadClass::Json
+        | PayloadClass::Text
+        | PayloadClass::Other
+        | PayloadClass::Empty => 0.05,
+    }
+}
+
+/// Whether one transaction is a successful download worth counting for
+/// clue purposes, returning its likelihood.
+pub fn download_likelihood(tx: &HttpTransaction) -> Option<f64> {
+    if tx.status / 100 == 2 && tx.payload_size > 0 {
+        Some(payload_likelihood(tx.payload_class))
+    } else {
+        None
+    }
+}
+
+/// Whether the incremental counters of a conversation constitute a clue.
+pub fn is_clue(redirects_seen: usize, max_payload_likelihood: f64, cfg: &ClueConfig) -> bool {
+    (redirects_seen >= cfg.redirect_threshold
+        && max_payload_likelihood >= cfg.min_payload_likelihood)
+        || max_payload_likelihood >= cfg.high_payload_likelihood
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wcg::tests::tx;
+    use nettrace::http::Method;
+
+    #[test]
+    fn exploit_types_are_high_likelihood() {
+        for class in [
+            PayloadClass::Exe,
+            PayloadClass::Jar,
+            PayloadClass::Swf,
+            PayloadClass::Crypt,
+            PayloadClass::Xap,
+        ] {
+            assert!(payload_likelihood(class) >= 0.8, "{class}");
+        }
+        assert!(payload_likelihood(PayloadClass::Image) < 0.1);
+    }
+
+    #[test]
+    fn download_requires_success_and_body() {
+        let ok = tx(1.0, "h", "/a.exe", Method::Get, 200, PayloadClass::Exe, 100, None, None);
+        assert_eq!(download_likelihood(&ok), Some(0.95));
+        let redirect = tx(1.0, "h", "/a", Method::Get, 302, PayloadClass::Exe, 100, None, None);
+        assert_eq!(download_likelihood(&redirect), None);
+        let empty = tx(1.0, "h", "/a.exe", Method::Get, 200, PayloadClass::Exe, 0, None, None);
+        assert_eq!(download_likelihood(&empty), None);
+    }
+
+    #[test]
+    fn clue_conjunction_and_high_likelihood_override() {
+        let cfg = ClueConfig::default();
+        assert!(is_clue(2, 0.95, &cfg));
+        assert!(is_clue(0, 0.95, &cfg), "exe download alone is a clue");
+        assert!(is_clue(2, 0.6, &cfg), "chain + moderately risky download");
+        assert!(!is_clue(1, 0.6, &cfg), "short chain + moderate payload");
+        assert!(!is_clue(5, 0.1, &cfg), "payload not risky");
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let cfg = ClueConfig {
+            redirect_threshold: 3,
+            min_payload_likelihood: 0.5,
+            high_payload_likelihood: 2.0, // disable the override
+        };
+        assert!(!is_clue(2, 0.95, &cfg));
+        assert!(is_clue(3, 0.95, &cfg));
+    }
+}

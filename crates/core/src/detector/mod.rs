@@ -1,0 +1,422 @@
+//! On-the-wire detection (Sec. V-B).
+//!
+//! The detector sits on a live HTTP transaction stream (network edge or
+//! web proxy). For every transaction it:
+//!
+//! 1. weeds out trusted-vendor traffic,
+//! 2. clusters the transaction into a per-client conversation
+//!    ([`session`]),
+//! 3. updates the conversation's incremental clue counters ([`clue`]),
+//! 4. when a clue has fired (or the conversation is already being
+//!    watched), rebuilds the potential-infection WCG around it, extracts
+//!    features, and queries the ensemble random forest,
+//! 5. raises an [`Alert`] when the classifier deems the WCG infectious;
+//!    otherwise it keeps watching the conversation as it grows.
+
+pub mod clue;
+pub mod session;
+
+use std::net::Ipv4Addr;
+
+use nettrace::payload::PayloadClass;
+use nettrace::HttpTransaction;
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::Classifier;
+use crate::trusted::TrustedHosts;
+use crate::wcg::Wcg;
+pub use clue::ClueConfig;
+pub use session::{Conversation, SessionTracker};
+
+/// When a *watched* conversation is re-classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReclassifyPolicy {
+    /// After every transaction — the paper's description ("each update of
+    /// a WCG then triggers feature extraction and invoking of the ERF").
+    EveryTransaction,
+    /// Only when the update is likely to move the verdict: a new host
+    /// joins the conversation, a redirect is observed, or a risky payload
+    /// is downloaded. Subresource chatter (images, scripts, beacons)
+    /// skips the WCG rebuild, cutting classifier invocations at equal
+    /// detection.
+    OnSignificantUpdate,
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Clue thresholds.
+    pub clue: ClueConfig,
+    /// Conversation idle timeout in seconds.
+    pub idle_timeout: f64,
+    /// Classifier probability at or above which an alert is raised.
+    pub alert_threshold: f64,
+    /// Trusted-vendor allowlist (empty list disables weed-out).
+    pub trusted: TrustedHosts,
+    /// Evict conversations idle longer than this many seconds (bounds
+    /// memory on long-running proxies). `None` keeps every conversation —
+    /// the right mode for forensic replay, where the final report walks
+    /// all of them.
+    pub retention: Option<f64>,
+    /// Re-classification cadence for watched conversations.
+    pub reclassify: ReclassifyPolicy,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            clue: ClueConfig::default(),
+            idle_timeout: 300.0,
+            alert_threshold: 0.5,
+            trusted: TrustedHosts::default(),
+            retention: None,
+            reclassify: ReclassifyPolicy::EveryTransaction,
+        }
+    }
+}
+
+/// An infection alert.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Alert {
+    /// The client the infection WCG belongs to.
+    pub client: Ipv4Addr,
+    /// Conversation id within the detector.
+    pub conversation_id: u64,
+    /// Timestamp of the transaction that triggered the alert.
+    pub ts: f64,
+    /// Classifier infection probability at alert time.
+    pub score: f64,
+    /// Host of the triggering transaction.
+    pub trigger_host: String,
+    /// Payload type of the triggering transaction.
+    pub trigger_payload: PayloadClass,
+    /// Conversation size (transactions) at alert time.
+    pub conversation_size: usize,
+}
+
+/// Streaming malware detector.
+///
+/// # Example
+///
+/// ```
+/// use dynaminer::classifier::{build_dataset, Classifier};
+/// use dynaminer::detector::{DetectorConfig, OnTheWireDetector};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use synthtraffic::{benign::generate_benign, episode::generate_infection};
+/// use synthtraffic::{BenignScenario, EkFamily};
+///
+/// // Train on a tiny corpus, then stream one infection through.
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let mut items = Vec::new();
+/// for i in 0..8 {
+///     items.push((generate_infection(&mut rng, EkFamily::ALL[i], 1.4e9).transactions, true));
+///     items.push((generate_benign(&mut rng, BenignScenario::Search, 1.43e9).transactions, false));
+/// }
+/// let data = build_dataset(items.iter().map(|(t, l)| (t.as_slice(), *l)));
+/// let classifier = Classifier::fit_default(&data, 1);
+///
+/// let mut detector = OnTheWireDetector::new(classifier, DetectorConfig::default());
+/// let episode = generate_infection(&mut rng, EkFamily::Magnitude, 1.45e9);
+/// for tx in &episode.transactions {
+///     detector.observe(tx);
+/// }
+/// assert!(detector.transactions_seen() > 0);
+/// ```
+#[derive(Debug)]
+pub struct OnTheWireDetector {
+    classifier: Classifier,
+    config: DetectorConfig,
+    tracker: SessionTracker,
+    alerts: Vec<Alert>,
+    transactions_seen: usize,
+    classifications: usize,
+}
+
+impl OnTheWireDetector {
+    /// Creates a detector around a trained classifier.
+    pub fn new(classifier: Classifier, config: DetectorConfig) -> Self {
+        let tracker = match config.retention {
+            Some(retention) => SessionTracker::with_retention(config.idle_timeout, retention),
+            None => SessionTracker::new(config.idle_timeout),
+        };
+        OnTheWireDetector {
+            classifier,
+            config,
+            tracker,
+            alerts: Vec::new(),
+            transactions_seen: 0,
+            classifications: 0,
+        }
+    }
+
+    /// Processes one transaction; returns an alert if this update tipped
+    /// its conversation into the infectious verdict.
+    pub fn observe(&mut self, tx: &HttpTransaction) -> Option<Alert> {
+        if self.config.trusted.is_trusted(&tx.host) {
+            return None; // weed out trusted-vendor noise
+        }
+        self.transactions_seen += 1;
+        let conv = self.tracker.assign(tx);
+        // Incremental clue counters.
+        let is_redirect = tx.is_redirect() || !crate::wcg::redirect::targets(tx).is_empty();
+        if is_redirect {
+            conv.redirects_seen += 1;
+        }
+        let download = clue::download_likelihood(tx);
+        if let Some(likelihood) = download {
+            conv.max_payload_likelihood = conv.max_payload_likelihood.max(likelihood);
+        }
+        if conv.alerted {
+            return None; // session already terminated by an alert
+        }
+        let fired =
+            clue::is_clue(conv.redirects_seen, conv.max_payload_likelihood, &self.config.clue);
+        if !fired && !conv.watched {
+            return None;
+        }
+        let first_look = !conv.watched;
+        conv.watched = true;
+        let significant_download =
+            download.is_some_and(|l| l >= self.config.clue.min_payload_likelihood);
+        if self.config.reclassify == ReclassifyPolicy::OnSignificantUpdate
+            && !first_look
+            && !conv.last_tx_added_host
+            && !is_redirect
+            && !significant_download
+        {
+            return None; // subresource chatter: verdict is unlikely to move
+        }
+        self.classifications += 1;
+        // Go back in time: rebuild the potential-infection WCG around the
+        // clue and query the classifier.
+        let wcg = Wcg::from_transactions(&conv.transactions);
+        let score = self.classifier.score_wcg(&wcg);
+        if score >= self.config.alert_threshold {
+            conv.alerted = true;
+            let alert = Alert {
+                client: tx.client.addr,
+                conversation_id: conv.id,
+                ts: tx.ts,
+                score,
+                trigger_host: tx.host.clone(),
+                trigger_payload: tx.payload_class,
+                conversation_size: conv.transactions.len(),
+            };
+            self.alerts.push(alert.clone());
+            return Some(alert);
+        }
+        None
+    }
+
+    /// All alerts raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Transactions processed (after weed-out).
+    pub fn transactions_seen(&self) -> usize {
+        self.transactions_seen
+    }
+
+    /// WCG rebuild + classification invocations so far.
+    pub fn classification_count(&self) -> usize {
+        self.classifications
+    }
+
+    /// The conversation tracker (for forensic summaries).
+    pub fn tracker(&self) -> &SessionTracker {
+        &self.tracker
+    }
+
+    /// The detector's classifier.
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{build_dataset, Classifier};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use synthtraffic::benign::generate_benign;
+    use synthtraffic::episode::generate_infection;
+    use synthtraffic::{BenignScenario, EkFamily};
+
+    fn trained_classifier(seed: u64) -> Classifier {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut items: Vec<(Vec<nettrace::HttpTransaction>, bool)> = Vec::new();
+        for i in 0..40 {
+            let fam = EkFamily::ALL[i % 10];
+            items.push((generate_infection(&mut rng, fam, 1_400_000_000.0).transactions, true));
+            let sc = BenignScenario::WEIGHTED[i % 8].0;
+            items.push((generate_benign(&mut rng, sc, 1_430_000_000.0).transactions, false));
+        }
+        let data = build_dataset(items.iter().map(|(t, l)| (t.as_slice(), *l)));
+        Classifier::fit_default(&data, 99)
+    }
+
+    #[test]
+    fn detects_infections_in_replayed_stream() {
+        let clf = trained_classifier(1);
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut detected = 0usize;
+        let n = 12;
+        for i in 0..n {
+            let ep = generate_infection(&mut rng, EkFamily::ALL[i % 10], 1_400_000_000.0);
+            let mut det = OnTheWireDetector::new(clf.clone(), DetectorConfig::default());
+            for tx in &ep.transactions {
+                det.observe(tx);
+            }
+            detected += usize::from(!det.alerts().is_empty());
+        }
+        assert!(detected * 10 >= n * 6, "detected {detected}/{n}");
+    }
+
+    #[test]
+    fn mostly_quiet_on_benign_streams() {
+        let clf = trained_classifier(2);
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut alerts = 0usize;
+        let n = 16;
+        for i in 0..n {
+            let ep = generate_benign(
+                &mut rng,
+                BenignScenario::WEIGHTED[i % 8].0,
+                1_430_000_000.0,
+            );
+            let mut det = OnTheWireDetector::new(clf.clone(), DetectorConfig::default());
+            for tx in &ep.transactions {
+                det.observe(tx);
+            }
+            alerts += det.alerts().len();
+        }
+        assert!(alerts <= n / 4, "{alerts} alerts on {n} benign episodes");
+    }
+
+    #[test]
+    fn at_most_one_alert_per_conversation() {
+        let clf = trained_classifier(3);
+        let mut rng = StdRng::seed_from_u64(52);
+        let ep = generate_infection(&mut rng, EkFamily::Magnitude, 1_400_000_000.0);
+        let mut det = OnTheWireDetector::new(clf, DetectorConfig::default());
+        for tx in &ep.transactions {
+            det.observe(tx);
+        }
+        let conv_count = det.tracker().conversation_count();
+        assert!(det.alerts().len() <= conv_count);
+        // Alerts are unique per conversation id.
+        let mut ids: Vec<u64> = det.alerts().iter().map(|a| a.conversation_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), det.alerts().len());
+    }
+
+    #[test]
+    fn trusted_vendor_traffic_is_weeded_out() {
+        let clf = trained_classifier(4);
+        let mut rng = StdRng::seed_from_u64(53);
+        let ep = generate_benign(&mut rng, BenignScenario::SoftwareUpdate, 1_430_000_000.0);
+        let mut det = OnTheWireDetector::new(clf, DetectorConfig::default());
+        for tx in &ep.transactions {
+            det.observe(tx);
+        }
+        assert_eq!(det.transactions_seen(), 0, "all vendor traffic excluded");
+        assert!(det.alerts().is_empty());
+    }
+
+    #[test]
+    fn significant_update_policy_cuts_classifier_work() {
+        let clf = trained_classifier(7);
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut stream: Vec<nettrace::HttpTransaction> = Vec::new();
+        for i in 0..8 {
+            stream.extend(
+                generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.4e9 + i as f64 * 400.0)
+                    .transactions,
+            );
+        }
+        stream.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        let run = |policy, alert_threshold| {
+            let config = DetectorConfig {
+                reclassify: policy,
+                alert_threshold,
+                ..DetectorConfig::default()
+            };
+            let mut det = OnTheWireDetector::new(clf.clone(), config);
+            for tx in &stream {
+                det.observe(tx);
+            }
+            (det.alerts().len(), det.classification_count())
+        };
+        // With alerting disabled, watched conversations keep growing and
+        // the cadence difference shows directly.
+        let (_, calls_every) = run(ReclassifyPolicy::EveryTransaction, 1.1);
+        let (_, calls_sig) = run(ReclassifyPolicy::OnSignificantUpdate, 1.1);
+        assert!(calls_sig < calls_every, "{calls_sig} vs {calls_every}");
+        // At the normal threshold, detection must not regress meaningfully.
+        let (alerts_every, _) = run(ReclassifyPolicy::EveryTransaction, 0.5);
+        let (alerts_sig, _) = run(ReclassifyPolicy::OnSignificantUpdate, 0.5);
+        assert!(
+            alerts_sig + 1 >= alerts_every,
+            "alerts {alerts_sig} vs {alerts_every}"
+        );
+    }
+
+    #[test]
+    fn retention_bounds_detector_memory() {
+        let clf = trained_classifier(6);
+        let config =
+            DetectorConfig { retention: Some(600.0), ..DetectorConfig::default() };
+        let mut det = OnTheWireDetector::new(clf, config);
+        let mut rng = StdRng::seed_from_u64(60);
+        for day_slot in 0..12 {
+            let ep = generate_benign(
+                &mut rng,
+                BenignScenario::AlexaBrowse,
+                1.43e9 + day_slot as f64 * 7200.0,
+            );
+            for tx in &ep.transactions {
+                det.observe(tx);
+            }
+        }
+        assert!(
+            det.tracker().conversation_count() < 12,
+            "{} conversations retained",
+            det.tracker().conversation_count()
+        );
+        assert!(det.tracker().evicted_count() > 0);
+    }
+
+    #[test]
+    fn alert_carries_context() {
+        let clf = trained_classifier(5);
+        let mut rng = StdRng::seed_from_u64(54);
+        // Find an infection that alerts and check the alert contents.
+        for seed in 0..20 {
+            let _ = seed;
+            let ep = generate_infection(&mut rng, EkFamily::Angler, 1_400_000_000.0);
+            let mut det = OnTheWireDetector::new(clf.clone(), DetectorConfig::default());
+            let mut got = None;
+            for tx in &ep.transactions {
+                if let Some(a) = det.observe(tx) {
+                    got = Some(a);
+                    break;
+                }
+            }
+            if let Some(alert) = got {
+                assert!(alert.score >= 0.5);
+                assert!(alert.conversation_size >= 1);
+                assert_eq!(alert.client, ep.victim.addr);
+                return;
+            }
+        }
+        panic!("no alert raised across 20 Angler episodes");
+    }
+}

@@ -1,0 +1,349 @@
+//! Grouping a live HTTP stream into per-client conversations (Sec. V-B).
+//!
+//! The paper groups transactions using the session ID of the download and
+//! redirection chains, falling back to a heuristic over referrer values
+//! and timestamps when a client holds multiple session IDs. This module
+//! implements that clustering:
+//!
+//! 1. an explicit session-ID match binds a transaction to a conversation,
+//! 2. otherwise a referrer pointing at a URL or host already in a
+//!    conversation binds it there,
+//! 3. otherwise a repeated host binds it,
+//! 4. otherwise a referrer-less transaction joins the client's most
+//!    recently active conversation,
+//! 5. otherwise a fresh conversation starts.
+//!
+//! Conversations idle longer than the timeout no longer accept new
+//! transactions (the paper watches a WCG "until it stops growing").
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use nettrace::HttpTransaction;
+
+/// One conversation under observation.
+#[derive(Debug, Clone)]
+pub struct Conversation {
+    /// Stable conversation id (unique per tracker).
+    pub id: u64,
+    /// Transactions assigned so far, in arrival order.
+    pub transactions: Vec<HttpTransaction>,
+    /// Whether an alert has been raised for this conversation.
+    pub alerted: bool,
+    /// Whether the conversation is being watched (a clue fired).
+    pub watched: bool,
+    /// Redirect hops seen so far (incremental clue counter).
+    pub redirects_seen: usize,
+    /// Highest payload infectiousness likelihood downloaded so far.
+    pub max_payload_likelihood: f64,
+    /// Whether the most recent transaction introduced a host this
+    /// conversation had not contacted before.
+    pub last_tx_added_host: bool,
+    hosts: BTreeSet<String>,
+    session_ids: BTreeSet<String>,
+    urls: BTreeSet<String>,
+    last_ts: f64,
+}
+
+impl Conversation {
+    fn new(id: u64, ts: f64) -> Self {
+        Conversation {
+            id,
+            transactions: Vec::new(),
+            alerted: false,
+            watched: false,
+            redirects_seen: 0,
+            max_payload_likelihood: 0.0,
+            last_tx_added_host: false,
+            hosts: BTreeSet::new(),
+            session_ids: BTreeSet::new(),
+            urls: BTreeSet::new(),
+            last_ts: ts,
+        }
+    }
+
+    /// Time of the most recent transaction.
+    pub fn last_ts(&self) -> f64 {
+        self.last_ts
+    }
+
+    /// Hosts contacted in this conversation.
+    pub fn hosts(&self) -> impl Iterator<Item = &str> {
+        self.hosts.iter().map(String::as_str)
+    }
+
+    fn absorb(&mut self, tx: &HttpTransaction) {
+        self.last_tx_added_host = self.hosts.insert(tx.host.to_ascii_lowercase());
+        if let Some(sid) = tx.session_id() {
+            self.session_ids.insert(sid);
+        }
+        self.urls.insert(format!("http://{}{}", tx.host, tx.uri));
+        // Redirect targets become expected hosts, so follow-up requests
+        // with stripped referrers still cluster correctly.
+        for target in crate::wcg::redirect::targets(tx) {
+            if let Some(host) = target.split_once("://").map(|(_, r)| r) {
+                if let Some(h) = host.split(['/', '?', '#']).next() {
+                    self.hosts
+                        .insert(h.split(':').next().unwrap_or(h).to_ascii_lowercase());
+                }
+            }
+        }
+        self.last_ts = self.last_ts.max(tx.ts);
+        self.transactions.push(tx.clone());
+    }
+
+    fn matches(&self, tx: &HttpTransaction, referer_host: Option<&str>) -> bool {
+        if let Some(sid) = tx.session_id() {
+            if self.session_ids.contains(&sid) {
+                return true;
+            }
+        }
+        if let Some(r) = tx.referer() {
+            if self.urls.contains(r) {
+                return true;
+            }
+        }
+        if let Some(h) = referer_host {
+            if self.hosts.contains(h) {
+                return true;
+            }
+        }
+        self.hosts.contains(&tx.host.to_ascii_lowercase())
+    }
+}
+
+/// Per-client conversation tracker.
+#[derive(Debug)]
+pub struct SessionTracker {
+    clients: BTreeMap<Ipv4Addr, Vec<Conversation>>,
+    idle_timeout: f64,
+    retention: Option<f64>,
+    evicted: usize,
+    next_id: u64,
+}
+
+impl SessionTracker {
+    /// Creates a tracker; conversations idle longer than `idle_timeout`
+    /// seconds stop accepting transactions. All conversations are kept in
+    /// memory (forensic mode) — use [`SessionTracker::with_retention`] for
+    /// long-running deployments.
+    pub fn new(idle_timeout: f64) -> Self {
+        SessionTracker {
+            clients: BTreeMap::new(),
+            idle_timeout,
+            retention: None,
+            evicted: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Creates a tracker that evicts conversations idle longer than
+    /// `retention` seconds, bounding memory on long-running proxies. An
+    /// evicted conversation can no longer be matched or re-alerted; its
+    /// alert (if any) was already emitted when it fired.
+    pub fn with_retention(idle_timeout: f64, retention: f64) -> Self {
+        SessionTracker {
+            clients: BTreeMap::new(),
+            idle_timeout,
+            retention: Some(retention.max(idle_timeout)),
+            evicted: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Number of conversations evicted so far.
+    pub fn evicted_count(&self) -> usize {
+        self.evicted
+    }
+
+    /// Drops every conversation of every client whose last activity
+    /// precedes `now - retention`. No-op without a retention window.
+    fn evict_stale(&mut self, now: f64) {
+        let Some(retention) = self.retention else { return };
+        for convs in self.clients.values_mut() {
+            let before = convs.len();
+            convs.retain(|c| now - c.last_ts() <= retention);
+            self.evicted += before - convs.len();
+        }
+        self.clients.retain(|_, convs| !convs.is_empty());
+    }
+
+    /// Assigns a transaction to a conversation (existing or new) and
+    /// returns a mutable reference to it.
+    pub fn assign(&mut self, tx: &HttpTransaction) -> &mut Conversation {
+        self.evict_stale(tx.ts);
+        let client = tx.client.addr;
+        let idle_timeout = self.idle_timeout;
+        let convs = self.clients.entry(client).or_default();
+        let referer_host = tx.referer().and_then(|r| {
+            let rest = r.split_once("://").map_or(r, |(_, x)| x);
+            rest.split(['/', '?', '#']).next().map(|h| h.to_ascii_lowercase())
+        });
+
+        let active = |c: &Conversation| tx.ts - c.last_ts() <= idle_timeout;
+        // Pass 1: structural match among active conversations.
+        let mut chosen: Option<usize> = None;
+        for (i, c) in convs.iter().enumerate() {
+            if active(c) && c.matches(tx, referer_host.as_deref()) {
+                chosen = Some(i);
+                break;
+            }
+        }
+        // Pass 2: referrer-less transactions join the most recently
+        // active conversation (timestamp heuristic).
+        if chosen.is_none() && tx.referer().is_none() && tx.session_id().is_none() {
+            chosen = convs
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| active(c))
+                .max_by(|a, b| a.1.last_ts().total_cmp(&b.1.last_ts()))
+                .map(|(i, _)| i);
+        }
+        let idx = match chosen {
+            Some(i) => i,
+            None => {
+                let id = self.next_id;
+                self.next_id += 1;
+                convs.push(Conversation::new(id, tx.ts));
+                convs.len() - 1
+            }
+        };
+        let conv = &mut convs[idx];
+        conv.absorb(tx);
+        conv
+    }
+
+    /// All conversations of all clients (for offline/forensic summaries).
+    pub fn conversations(&self) -> impl Iterator<Item = &Conversation> {
+        self.clients.values().flatten()
+    }
+
+    /// Number of conversations tracked so far.
+    pub fn conversation_count(&self) -> usize {
+        self.clients.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wcg::tests::tx;
+    use nettrace::http::Method;
+    use nettrace::payload::PayloadClass;
+
+    fn get(ts: f64, host: &str, uri: &str, referer: Option<&str>) -> HttpTransaction {
+        tx(ts, host, uri, Method::Get, 200, PayloadClass::Html, 100, referer, None)
+    }
+
+    #[test]
+    fn referrer_chain_clusters_into_one_conversation() {
+        let mut tracker = SessionTracker::new(300.0);
+        tracker.assign(&get(1.0, "a.com", "/x", None));
+        tracker.assign(&get(2.0, "b.com", "/y", Some("http://a.com/x")));
+        tracker.assign(&get(3.0, "c.com", "/z", Some("http://b.com/y")));
+        assert_eq!(tracker.conversation_count(), 1);
+        let conv = tracker.conversations().next().unwrap();
+        assert_eq!(conv.transactions.len(), 3);
+    }
+
+    #[test]
+    fn unrelated_hosts_with_referrers_split() {
+        let mut tracker = SessionTracker::new(300.0);
+        tracker.assign(&get(1.0, "a.com", "/x", None));
+        tracker.assign(&get(2.0, "other.net", "/q", Some("http://elsewhere.org/")));
+        assert_eq!(tracker.conversation_count(), 2);
+    }
+
+    #[test]
+    fn session_id_binds_across_hosts() {
+        let mut tracker = SessionTracker::new(300.0);
+        let mut t1 = get(1.0, "a.com", "/x", None);
+        t1.req_headers.append("Cookie", "sid=abc");
+        let mut t2 = get(100.0, "z.net", "/q?r=1", Some("http://unrelated.example/"));
+        t2.req_headers.append("Cookie", "sid=abc");
+        tracker.assign(&t1);
+        tracker.assign(&t2);
+        assert_eq!(tracker.conversation_count(), 1);
+    }
+
+    #[test]
+    fn referrerless_posts_join_most_recent_conversation() {
+        // C&C callbacks carry no referrer and hit fresh hosts; the
+        // timestamp heuristic binds them to the active conversation.
+        let mut tracker = SessionTracker::new(300.0);
+        tracker.assign(&get(1.0, "a.com", "/x", None));
+        let post = tx(
+            30.0, "198.51.100.77", "/gate", Method::Post, 200,
+            PayloadClass::Text, 10, None, None,
+        );
+        tracker.assign(&post);
+        assert_eq!(tracker.conversation_count(), 1);
+    }
+
+    #[test]
+    fn idle_timeout_starts_new_conversation() {
+        let mut tracker = SessionTracker::new(60.0);
+        tracker.assign(&get(1.0, "a.com", "/x", None));
+        tracker.assign(&get(500.0, "a.com", "/x", None));
+        assert_eq!(tracker.conversation_count(), 2);
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let mut tracker = SessionTracker::new(300.0);
+        let t1 = get(1.0, "a.com", "/x", None);
+        let mut t2 = get(2.0, "a.com", "/x", None);
+        t2.client = nettrace::reassembly::Endpoint::new(Ipv4Addr::new(10, 0, 0, 99), 1234);
+        tracker.assign(&t1);
+        tracker.assign(&t2);
+        assert_eq!(tracker.conversation_count(), 2);
+    }
+
+    #[test]
+    fn retention_bounds_memory_on_long_streams() {
+        let mut tracker = SessionTracker::with_retention(60.0, 600.0);
+        // A day of hourly one-shot conversations from one client.
+        for hour in 0..24 {
+            let t = hour as f64 * 3600.0;
+            tracker.assign(&get(t, "a.com", "/x", None));
+        }
+        assert!(tracker.conversation_count() <= 2, "{}", tracker.conversation_count());
+        assert!(tracker.evicted_count() >= 22, "{}", tracker.evicted_count());
+    }
+
+    #[test]
+    fn forensic_mode_keeps_everything() {
+        let mut tracker = SessionTracker::new(60.0);
+        for hour in 0..24 {
+            tracker.assign(&get(hour as f64 * 3600.0, "a.com", "/x", None));
+        }
+        assert_eq!(tracker.conversation_count(), 24);
+        assert_eq!(tracker.evicted_count(), 0);
+    }
+
+    #[test]
+    fn retention_never_undercuts_idle_timeout() {
+        let mut tracker = SessionTracker::with_retention(300.0, 1.0);
+        tracker.assign(&get(0.0, "a.com", "/x", None));
+        // 200 s later: inside idle timeout, must still match despite the
+        // (clamped) 1-second retention request.
+        tracker.assign(&get(200.0, "a.com", "/x", None));
+        assert_eq!(tracker.conversation_count(), 1);
+    }
+
+    #[test]
+    fn redirect_targets_pre_register_hosts() {
+        let mut tracker = SessionTracker::new(300.0);
+        let hop = tx(
+            1.0, "a.com", "/r", Method::Get, 302, PayloadClass::Empty, 0,
+            None, Some("http://next.example/l"),
+        );
+        tracker.assign(&hop);
+        // The follow-up request has its referrer stripped but targets the
+        // redirect destination.
+        let follow = get(2.0, "next.example", "/l", Some("http://stripped.example/"));
+        tracker.assign(&follow);
+        assert_eq!(tracker.conversation_count(), 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! The 37 payload-agnostic features of Table II.
+//!
+//! Features are grouped as in the paper: high-level (f1–f6), graph
+//! (f7–f25), header (f26–f35), and temporal (f36–f37). Where the paper's
+//! one-line description is ambiguous, the rustdoc on the corresponding
+//! constant in [`NAMES`]'s order documents the definition chosen:
+//!
+//! * **f3 WCG-Size** — total payload bytes delivered in the WCG (the
+//!   downloader-graph "size" of the cited prior work), which keeps it
+//!   distinct from f8 (edge count).
+//! * **f9 Degree** — the maximum total degree over nodes, Δ(G).
+//! * **f24 Avg-K-Nearest-Neighbors** — average number of nodes within
+//!   distance k = 2 of each node.
+
+use serde::{Deserialize, Serialize};
+use wcgraph::algo;
+
+use crate::wcg::Wcg;
+
+/// Number of features (f1–f37).
+pub const FEATURE_COUNT: usize = 37;
+
+/// Feature names, index 0 = f1 … index 36 = f37, matching Table II.
+pub const NAMES: [&str; FEATURE_COUNT] = [
+    "origin",                      // f1
+    "x-flash-version",             // f2
+    "wcg-size",                    // f3
+    "conversation-length",         // f4
+    "avg-uris-per-host",           // f5
+    "average-uri-length",          // f6
+    "order",                       // f7
+    "size",                        // f8
+    "degree",                      // f9
+    "density",                     // f10
+    "volume",                      // f11
+    "diameter",                    // f12
+    "avg-in-degree",               // f13
+    "avg-out-degree",              // f14
+    "reciprocity",                 // f15
+    "avg-degree-centrality",       // f16
+    "avg-closeness-centrality",    // f17
+    "avg-betweenness-centrality",  // f18
+    "avg-load-centrality",         // f19
+    "avg-node-centrality",         // f20
+    "avg-clustering-coefficient",  // f21
+    "avg-neighbor-degree",         // f22
+    "avg-degree-connectivity",     // f23
+    "avg-k-nearest-neighbors",     // f24
+    "avg-pagerank",                // f25
+    "gets",                        // f26
+    "posts",                       // f27
+    "other-methods",               // f28
+    "http-10xs",                   // f29
+    "http-20xs",                   // f30
+    "http-30xs",                   // f31
+    "http-40xs",                   // f32
+    "http-50xs",                   // f33
+    "referrer-ctrs",               // f34
+    "no-referrer-ctrs",            // f35
+    "duration",                    // f36
+    "avg-inter-transact-time",     // f37
+];
+
+/// A feature group from Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureGroup {
+    /// High-level features f1–f6 (HLFs).
+    HighLevel,
+    /// Graph features f7–f25 (GFs).
+    Graph,
+    /// Header features f26–f35 (HFs).
+    Header,
+    /// Temporal features f36–f37 (TFs).
+    Temporal,
+}
+
+impl FeatureGroup {
+    /// Column range of this group within a feature vector.
+    pub fn columns(self) -> std::ops::Range<usize> {
+        match self {
+            FeatureGroup::HighLevel => 0..6,
+            FeatureGroup::Graph => 6..25,
+            FeatureGroup::Header => 25..35,
+            FeatureGroup::Temporal => 35..37,
+        }
+    }
+
+    /// The group a feature column belongs to.
+    pub fn of_column(column: usize) -> FeatureGroup {
+        match column {
+            0..=5 => FeatureGroup::HighLevel,
+            6..=24 => FeatureGroup::Graph,
+            25..=34 => FeatureGroup::Header,
+            _ => FeatureGroup::Temporal,
+        }
+    }
+}
+
+/// A 37-dimensional feature vector extracted from one WCG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector(pub [f64; FEATURE_COUNT]);
+
+impl Serialize for FeatureVector {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.0.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for FeatureVector {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let values = Vec::<f64>::deserialize(deserializer)?;
+        let arr: [f64; FEATURE_COUNT] = values
+            .try_into()
+            .map_err(|v: Vec<f64>| {
+                serde::de::Error::invalid_length(v.len(), &"37 feature values")
+            })?;
+        Ok(FeatureVector(arr))
+    }
+}
+
+impl FeatureVector {
+    /// The underlying values in f1…f37 order.
+    pub fn values(&self) -> &[f64; FEATURE_COUNT] {
+        &self.0
+    }
+
+    /// Value of the named feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is not one of [`NAMES`].
+    pub fn get(&self, name: &str) -> f64 {
+        let idx = NAMES
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("unknown feature {name:?}"));
+        self.0[idx]
+    }
+}
+
+/// Extracts all 37 features from a WCG.
+///
+/// # Example
+///
+/// ```
+/// use dynaminer::{features, wcg::Wcg};
+///
+/// let wcg = Wcg::from_transactions(&[]);
+/// let fv = features::extract(&wcg);
+/// assert_eq!(fv.values().len(), features::FEATURE_COUNT);
+/// assert_eq!(fv.get("order"), 0.0);
+/// ```
+pub fn extract(wcg: &Wcg) -> FeatureVector {
+    let g = &wcg.graph;
+    let n = g.node_count();
+    let e = g.edge_count();
+    let mut f = [0.0f64; FEATURE_COUNT];
+
+    // --- High-level features f1–f6 --------------------------------------
+    f[0] = f64::from(wcg.origin.is_some() || wcg.referrer_set > 0); // f1 origin known
+    f[1] = f64::from(wcg.x_flash); // f2
+    f[2] = wcg.payload_bytes as f64; // f3 WCG-Size (bytes)
+    f[3] = wcg.remote_host_count() as f64; // f4 conversation length
+    let total_uris: usize = g.node_ids().map(|v| g.node(v).uris.len()).sum();
+    let host_count = wcg.remote_host_count().max(1);
+    f[4] = total_uris as f64 / host_count as f64; // f5
+    f[5] = if wcg.uri_count > 0 {
+        wcg.uri_length_total as f64 / wcg.uri_count as f64
+    } else {
+        0.0
+    }; // f6
+
+    // --- Graph features f7–f25 ------------------------------------------
+    f[6] = n as f64; // f7 order
+    f[7] = e as f64; // f8 size
+    f[8] = g.node_ids().map(|v| g.degree(v)).max().unwrap_or(0) as f64; // f9 degree Δ(G)
+    f[9] = if n > 1 { e as f64 / (n * (n - 1)) as f64 } else { 0.0 }; // f10 density
+    f[10] = (2 * e) as f64; // f11 volume
+    f[11] = algo::paths::diameter(g) as f64; // f12
+    f[12] = if n > 0 { e as f64 / n as f64 } else { 0.0 }; // f13 avg in-degree
+    f[13] = f[12]; // f14 avg out-degree (equal on any digraph; the paper
+                   // ranks these adjacently with identical gain)
+    f[14] = algo::reciprocity::reciprocity(g); // f15
+    f[15] = algo::centrality::avg_degree_centrality(g); // f16
+    f[16] = algo::centrality::avg_closeness_centrality(g); // f17
+    f[17] = algo::centrality::avg_betweenness_centrality(g); // f18
+    f[18] = algo::centrality::avg_load_centrality(g); // f19
+    f[19] = algo::connectivity::average_node_connectivity(g); // f20
+    f[20] = algo::clustering::avg_clustering_coefficient(g); // f21
+    f[21] = algo::clustering::avg_neighbor_degree(g); // f22
+    f[22] = algo::connectivity::avg_degree_connectivity(g); // f23
+    f[23] = algo::paths::avg_nodes_within_distance(g, 2); // f24
+    f[24] = algo::pagerank::avg_pagerank(g); // f25
+
+    // --- Header features f26–f35 -----------------------------------------
+    f[25] = wcg.method_counts.get as f64;
+    f[26] = wcg.method_counts.post as f64;
+    f[27] = wcg.method_counts.other as f64;
+    f[28] = wcg.status_class_counts[1] as f64;
+    f[29] = wcg.status_class_counts[2] as f64;
+    f[30] = wcg.status_class_counts[3] as f64;
+    f[31] = wcg.status_class_counts[4] as f64;
+    f[32] = wcg.status_class_counts[5] as f64;
+    f[33] = wcg.referrer_set as f64;
+    f[34] = wcg.referrer_unset as f64;
+
+    // --- Temporal features f36–f37 ---------------------------------------
+    f[35] = if wcg.uri_count > 0 { wcg.duration() / wcg.uri_count as f64 } else { 0.0 };
+    f[36] = if wcg.inter_tx_gaps.is_empty() {
+        0.0
+    } else {
+        wcg.inter_tx_gaps.iter().sum::<f64>() / wcg.inter_tx_gaps.len() as f64
+    };
+
+    FeatureVector(f)
+}
+
+/// Number of extension features (f38–f45).
+pub const EXTENDED_EXTRA: usize = 8;
+/// Total feature count with extensions.
+pub const EXTENDED_COUNT: usize = FEATURE_COUNT + EXTENDED_EXTRA;
+
+/// Names of the extension features f38–f45 — graph-level WCG annotations
+/// the paper computes (Sec. III-C, graph level) but does not include in
+/// its 37-feature classifier. We expose them as an extension and measure
+/// their contribution in `bench --bin extension_features`.
+pub const EXTENDED_NAMES: [&str; EXTENDED_EXTRA] = [
+    "pre-stage-fraction",      // f38: share of transactions in pre-download
+    "post-stage-fraction",     // f39: share of transactions in post-download
+    "redirect-total",          // f40: total redirect hops
+    "max-redirect-chain",      // f41: longest redirect chain
+    "cross-domain-redirects",  // f42: redirections crossing registrable domains
+    "tld-diversity",           // f43: distinct TLDs among redirect participants
+    "avg-redirect-delay",      // f44: mean delay between consecutive redirects
+    "dnt-enabled",             // f45: DNT header observed
+];
+
+/// All 45 feature names (base 37 + extensions) in column order.
+pub fn extended_names() -> Vec<String> {
+    NAMES.iter().chain(EXTENDED_NAMES.iter()).map(|s| s.to_string()).collect()
+}
+
+/// Extracts the 37 base features plus the 8 extension features.
+pub fn extract_extended(wcg: &Wcg) -> Vec<f64> {
+    let base = extract(wcg);
+    let mut out = base.values().to_vec();
+    let txs = wcg.tx_count.max(1) as f64;
+    out.push(wcg.stage_counts[0] as f64 / txs);
+    out.push(wcg.stage_counts[2] as f64 / txs);
+    out.push(wcg.redirects.total as f64);
+    out.push(wcg.redirects.max_chain as f64);
+    out.push(wcg.redirects.cross_domain as f64);
+    out.push(wcg.redirects.tlds.len() as f64);
+    out.push(if wcg.redirects.redirect_gaps.is_empty() {
+        0.0
+    } else {
+        wcg.redirects.redirect_gaps.iter().sum::<f64>()
+            / wcg.redirects.redirect_gaps.len() as f64
+    });
+    out.push(f64::from(wcg.dnt));
+    debug_assert_eq!(out.len(), EXTENDED_COUNT);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::http::Method;
+    use nettrace::payload::PayloadClass;
+
+    use crate::wcg::tests::tx;
+
+    fn infection_wcg() -> Wcg {
+        let txs = vec![
+            tx(1.0, "a.com", "/r", Method::Get, 302, PayloadClass::Empty, 0,
+               Some("http://www.google.com/search?q=z"), Some("http://b.com/l")),
+            tx(1.2, "b.com", "/l", Method::Get, 302, PayloadClass::Empty, 0, None,
+               Some("http://c.com/gate.php?verylongquerystring=abcdef")),
+            tx(1.4, "c.com", "/gate.php?verylongquerystring=abcdef", Method::Get, 200,
+               PayloadClass::Html, 40_000, None, None),
+            tx(1.8, "c.com", "/p.exe", Method::Get, 200, PayloadClass::Exe, 200_000, None, None),
+            tx(9.0, "8.8.4.4", "/g", Method::Post, 200, PayloadClass::Text, 20, None, None),
+        ];
+        Wcg::from_transactions(&txs)
+    }
+
+    #[test]
+    fn names_are_unique_and_count_37() {
+        let mut names = NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 37);
+    }
+
+    #[test]
+    fn groups_partition_all_columns() {
+        let mut covered = vec![false; FEATURE_COUNT];
+        for group in [
+            FeatureGroup::HighLevel,
+            FeatureGroup::Graph,
+            FeatureGroup::Header,
+            FeatureGroup::Temporal,
+        ] {
+            for c in group.columns() {
+                assert!(!covered[c], "column {c} covered twice");
+                covered[c] = true;
+                assert_eq!(FeatureGroup::of_column(c), group);
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn extraction_produces_finite_values() {
+        let fv = extract(&infection_wcg());
+        for (i, v) in fv.values().iter().enumerate() {
+            assert!(v.is_finite(), "feature {} = {v}", NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn high_level_features() {
+        let fv = extract(&infection_wcg());
+        assert_eq!(fv.get("origin"), 1.0);
+        assert_eq!(fv.get("x-flash-version"), 0.0);
+        assert_eq!(fv.get("wcg-size"), 240_020.0);
+        assert_eq!(fv.get("conversation-length"), 4.0); // a, b, c, 8.8.4.4
+        assert!(fv.get("average-uri-length") > 5.0);
+    }
+
+    #[test]
+    fn header_features_count_methods_and_statuses() {
+        let fv = extract(&infection_wcg());
+        assert_eq!(fv.get("gets"), 4.0);
+        assert_eq!(fv.get("posts"), 1.0);
+        assert_eq!(fv.get("http-20xs"), 3.0);
+        assert_eq!(fv.get("http-30xs"), 2.0);
+        assert_eq!(fv.get("referrer-ctrs"), 1.0);
+        assert_eq!(fv.get("no-referrer-ctrs"), 4.0);
+    }
+
+    #[test]
+    fn graph_features_consistency() {
+        let wcg = infection_wcg();
+        let fv = extract(&wcg);
+        assert_eq!(fv.get("order"), wcg.graph.node_count() as f64);
+        assert_eq!(fv.get("size"), wcg.graph.edge_count() as f64);
+        assert_eq!(fv.get("volume"), 2.0 * fv.get("size"));
+        assert!(fv.get("degree") >= fv.get("avg-in-degree"));
+        assert!(fv.get("avg-pagerank") > 0.0);
+        assert!(fv.get("diameter") >= 1.0);
+    }
+
+    #[test]
+    fn temporal_features() {
+        let fv = extract(&infection_wcg());
+        assert!(fv.get("duration") > 0.0);
+        assert!(fv.get("avg-inter-transact-time") > 0.0);
+        // Inter-transaction mean: gaps (0.2, 0.2, 0.4, 7.2)/4 = 2.0.
+        assert!((fv.get("avg-inter-transact-time") - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_wcg_extracts_zeros() {
+        let fv = extract(&Wcg::from_transactions(&[]));
+        for (i, v) in fv.values().iter().enumerate() {
+            assert!(v.is_finite(), "{}", NAMES[i]);
+        }
+        assert_eq!(fv.get("order"), 0.0);
+        assert_eq!(fv.get("origin"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature")]
+    fn unknown_feature_name_panics() {
+        extract(&infection_wcg()).get("not-a-feature");
+    }
+
+    #[test]
+    fn extended_extraction_appends_eight_features() {
+        let wcg = infection_wcg();
+        let base = extract(&wcg);
+        let ext = extract_extended(&wcg);
+        assert_eq!(ext.len(), EXTENDED_COUNT);
+        assert_eq!(&ext[..FEATURE_COUNT], base.values());
+        assert_eq!(extended_names().len(), EXTENDED_COUNT);
+        // Stage fractions are fractions and sum with the download share
+        // to 1 over the transaction count.
+        let pre = ext[FEATURE_COUNT];
+        let post = ext[FEATURE_COUNT + 1];
+        assert!((0.0..=1.0).contains(&pre));
+        assert!((0.0..=1.0).contains(&post));
+        assert!(pre + post <= 1.0 + 1e-12);
+        // The fixture has a two-hop redirect chain across domains.
+        assert_eq!(ext[FEATURE_COUNT + 2], 2.0, "redirect-total");
+        assert_eq!(ext[FEATURE_COUNT + 3], 2.0, "max-redirect-chain");
+        assert_eq!(ext[FEATURE_COUNT + 4], 2.0, "cross-domain-redirects");
+        assert_eq!(ext[FEATURE_COUNT + 5], 1.0, "tld-diversity (all hops are .com)");
+        assert_eq!(ext[FEATURE_COUNT + 7], 0.0, "dnt");
+    }
+
+    #[test]
+    fn extended_names_are_unique() {
+        let mut names = extended_names();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), EXTENDED_COUNT);
+    }
+
+    #[test]
+    fn extended_extraction_finite_on_empty_wcg() {
+        let ext = extract_extended(&Wcg::from_transactions(&[]));
+        assert!(ext.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,48 @@
+//! DynaMiner: payload-agnostic web-conversation-graph analytics for
+//! on-the-wire malware detection.
+//!
+//! This crate reproduces the system of *DynaMiner: Leveraging Offline
+//! Infection Analytics for On-the-Wire Malware Detection* (Eshete &
+//! Venkatakrishnan, DSN 2017). The pipeline:
+//!
+//! 1. [`wcg`] abstracts a stream of HTTP transactions into a **Web
+//!    Conversation Graph**: hosts as nodes; request, response, and
+//!    redirect relations as annotated edges; plus an origin node for the
+//!    enticement source. Redirect relations are mined from `Location`
+//!    headers, meta-refresh tags, and base64-obfuscated JavaScript, and
+//!    every edge is assigned a pre-download / download / post-download
+//!    **stage** using the paper's Sec. III-C heuristics.
+//! 2. [`features`] computes the **37 payload-agnostic features** of
+//!    Table II (6 high-level, 19 graph, 10 header, 2 temporal).
+//! 3. [`classifier`] trains the ensemble random forest (probability
+//!    averaging, `N_t = 20`, `N_f = log2(37)+1`) and supports the paper's
+//!    feature-group ablation (Table III).
+//! 4. [`detector`] performs on-the-wire detection: session clustering,
+//!    infection-clue inference (redirect chain ≥ *l* followed by a risky
+//!    download), retrospective WCG construction, trusted-vendor weed-out,
+//!    and continuous re-classification as conversations grow.
+//! 5. [`forensic`] replays recorded captures through the same machinery.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dynaminer::wcg::Wcg;
+//! use nettrace::http::Method;
+//!
+//! // Build a WCG from (already parsed) HTTP transactions.
+//! let transactions: Vec<nettrace::HttpTransaction> = vec![];
+//! let wcg = Wcg::from_transactions(&transactions);
+//! assert_eq!(wcg.graph.node_count(), 0);
+//! ```
+
+pub mod classifier;
+pub mod detector;
+pub mod features;
+pub mod forensic;
+pub mod trusted;
+pub mod wcg;
+
+pub use classifier::{Classifier, FeatureSelection};
+pub use detector::{Alert, DetectorConfig, OnTheWireDetector};
+pub use features::FeatureVector;
+pub use wcg::Wcg;

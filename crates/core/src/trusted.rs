@@ -1,0 +1,93 @@
+//! Trusted-vendor weed-out (Sec. V-B).
+//!
+//! To reduce noise from benign traffic, DynaMiner excludes HTTP
+//! transactions that involve downloads from trusted software vendors and
+//! application stores before constructing potential-infection WCGs.
+
+/// Default trusted vendor / application-store hosts. Suffix matching is
+/// used, so `dl.google.com` trusts `*.dl.google.com` too.
+pub const DEFAULT_TRUSTED_HOSTS: [&str; 10] = [
+    "download.windowsupdate.com",
+    "windowsupdate.microsoft.com",
+    "swcdn.apple.com",
+    "itunes.apple.com",
+    "archive.ubuntu.com",
+    "security.ubuntu.com",
+    "dl.google.com",
+    "play.google.com",
+    "download.mozilla.org",
+    "addons.mozilla.org",
+];
+
+/// A suffix-matching allowlist of trusted download sources.
+#[derive(Debug, Clone)]
+pub struct TrustedHosts {
+    suffixes: Vec<String>,
+}
+
+impl Default for TrustedHosts {
+    fn default() -> Self {
+        TrustedHosts {
+            suffixes: DEFAULT_TRUSTED_HOSTS.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+impl TrustedHosts {
+    /// An empty allowlist (weed-out disabled).
+    pub fn none() -> Self {
+        TrustedHosts { suffixes: Vec::new() }
+    }
+
+    /// Builds an allowlist from explicit host suffixes.
+    pub fn from_hosts<I: IntoIterator<Item = String>>(hosts: I) -> Self {
+        TrustedHosts { suffixes: hosts.into_iter().map(|h| h.to_ascii_lowercase()).collect() }
+    }
+
+    /// Adds a trusted host suffix.
+    pub fn add(&mut self, host: &str) {
+        self.suffixes.push(host.to_ascii_lowercase());
+    }
+
+    /// Whether `host` matches the allowlist (exact or dot-boundary
+    /// suffix).
+    pub fn is_trusted(&self, host: &str) -> bool {
+        let host = host.to_ascii_lowercase();
+        self.suffixes.iter().any(|s| {
+            host == *s || host.ends_with(&format!(".{s}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_list_trusts_vendors() {
+        let t = TrustedHosts::default();
+        assert!(t.is_trusted("download.windowsupdate.com"));
+        assert!(t.is_trusted("DL.GOOGLE.COM"));
+        assert!(t.is_trusted("eu.dl.google.com")); // subdomain
+    }
+
+    #[test]
+    fn unrelated_hosts_are_untrusted() {
+        let t = TrustedHosts::default();
+        assert!(!t.is_trusted("evil-dl.google.com.attacker.ru"));
+        assert!(!t.is_trusted("notdl.google.com.evil.net"));
+        assert!(!t.is_trusted("example.com"));
+        // Suffix matching must respect label boundaries.
+        assert!(!t.is_trusted("fakedl.google.comx"));
+    }
+
+    #[test]
+    fn custom_and_empty_lists() {
+        let mut t = TrustedHosts::none();
+        assert!(!t.is_trusted("download.windowsupdate.com"));
+        t.add("internal.corp");
+        assert!(t.is_trusted("mirror.internal.corp"));
+        let t2 = TrustedHosts::from_hosts(vec!["a.example".to_string()]);
+        assert!(t2.is_trusted("a.example"));
+    }
+}

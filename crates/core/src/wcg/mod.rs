@@ -1,0 +1,640 @@
+//! The Web Conversation Graph (WCG) abstraction of Sec. III.
+//!
+//! A WCG is a directed multigraph whose nodes are hosts (victim, remote
+//! hosts, and an *origin node* naming the enticement source) and whose
+//! edges are request / response / redirect relations annotated with
+//! method, URI length, status code, payload type and size, timestamp, and
+//! infection **stage** (pre-download / download / post-download).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use nettrace::http::Method;
+use nettrace::payload::PayloadClass;
+use nettrace::HttpTransaction;
+use serde::{Deserialize, Serialize};
+use wcgraph::{DiGraph, NodeId};
+
+pub mod redirect;
+pub mod stages;
+
+pub use stages::Stage;
+
+/// What a node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// The client to which payloads are downloaded.
+    Victim,
+    /// Any remote host participating in the conversation.
+    Remote,
+    /// The enticement source (referrer of the first transaction).
+    Origin,
+}
+
+/// Node annotations (Sec. III-C, node level).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeAttr {
+    /// Hostname (or IP string) of the host.
+    pub name: String,
+    /// Node role.
+    pub kind: NodeKind,
+    /// IP address when known.
+    pub ip: Option<Ipv4Addr>,
+    /// Distinct URIs requested from this host.
+    pub uris: BTreeSet<String>,
+    /// Count of payloads per type served by this host.
+    pub payload_summary: BTreeMap<PayloadClass, usize>,
+}
+
+impl NodeAttr {
+    fn new(name: &str, kind: NodeKind) -> Self {
+        NodeAttr {
+            name: name.to_string(),
+            kind,
+            ip: None,
+            uris: BTreeSet::new(),
+            payload_summary: BTreeMap::new(),
+        }
+    }
+}
+
+/// The relation an edge expresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Victim → host request.
+    Request,
+    /// Host → victim response.
+    Response,
+    /// Host → host redirection.
+    Redirect,
+}
+
+/// Edge annotations (Sec. III-C, edge level).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeAttr {
+    /// Relation kind.
+    pub kind: EdgeKind,
+    /// Conversation stage this edge belongs to.
+    pub stage: Stage,
+    /// Event timestamp (request time for requests, completion for
+    /// responses, response time for redirects).
+    pub ts: f64,
+    /// HTTP method (request edges).
+    pub method: Option<Method>,
+    /// URI length (request edges).
+    pub uri_len: usize,
+    /// HTTP status code (response edges; 0 elsewhere).
+    pub status: u16,
+    /// Payload type (response edges).
+    pub payload_class: Option<PayloadClass>,
+    /// Payload size in bytes (response edges).
+    pub payload_size: usize,
+}
+
+/// Redirection aggregates (graph level).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RedirectStats {
+    /// Total redirect hops observed (sum over all chains; Sec. III-D's
+    /// modified inference takes the sum of all redirections in a WCG).
+    pub total: usize,
+    /// Longest chain of consecutive redirections (unique hops).
+    pub max_chain: usize,
+    /// Redirections whose source and target registrable domains differ.
+    pub cross_domain: usize,
+    /// Distinct top-level domains among redirect participants.
+    pub tlds: BTreeSet<String>,
+    /// Gaps between consecutive redirect events, for the
+    /// average-delay-between-redirects property.
+    pub redirect_gaps: Vec<f64>,
+}
+
+/// A fully built and stage-annotated web conversation graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Wcg {
+    /// The underlying annotated multigraph.
+    pub graph: DiGraph<NodeAttr, EdgeAttr>,
+    /// The victim node, when any transaction was observed.
+    pub victim: Option<NodeId>,
+    /// The origin node (known enticement source), if identifiable.
+    pub origin: Option<NodeId>,
+    /// Whether the DNT header was enabled on any request.
+    pub dnt: bool,
+    /// Whether any request carried an `X-Flash-Version` header.
+    pub x_flash: bool,
+    /// Total GET / POST / other request methods.
+    pub method_counts: MethodCounts,
+    /// Response counts per status class (index 1–5; index 0 counts
+    /// requests with no observed response).
+    pub status_class_counts: [usize; 6],
+    /// Transactions with a referrer set / unset.
+    pub referrer_set: usize,
+    /// Transactions without a referrer.
+    pub referrer_unset: usize,
+    /// Sum of request-URI lengths.
+    pub uri_length_total: usize,
+    /// Number of request URIs (with multiplicity).
+    pub uri_count: usize,
+    /// First request timestamp.
+    pub first_ts: f64,
+    /// Last response-completion timestamp.
+    pub last_ts: f64,
+    /// Gaps between consecutive transactions.
+    pub inter_tx_gaps: Vec<f64>,
+    /// Redirection aggregates.
+    pub redirects: RedirectStats,
+    /// Total transaction count.
+    pub tx_count: usize,
+    /// Total payload bytes delivered to the victim.
+    pub payload_bytes: usize,
+    /// Per-stage transaction counts `[pre, download, post]`.
+    pub stage_counts: [usize; 3],
+}
+
+/// GET / POST / other request-method totals.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct MethodCounts {
+    /// GET requests.
+    pub get: usize,
+    /// POST requests.
+    pub post: usize,
+    /// Any other method.
+    pub other: usize,
+}
+
+impl Wcg {
+    /// Builds a WCG from a conversation's transactions (any order; they
+    /// are sorted by request timestamp internally), including redirect
+    /// mining, origin-node inference, and stage annotation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dynaminer::wcg::Wcg;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use synthtraffic::{episode::generate_infection, EkFamily};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let ep = generate_infection(&mut rng, EkFamily::Rig, 1.45e9);
+    /// let wcg = Wcg::from_transactions(&ep.transactions);
+    /// assert!(wcg.graph.node_count() >= 2);
+    /// assert_eq!(wcg.tx_count, ep.transactions.len());
+    /// ```
+    pub fn from_transactions(transactions: &[HttpTransaction]) -> Wcg {
+        let mut order: Vec<&HttpTransaction> = transactions.iter().collect();
+        order.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        build(&order)
+    }
+
+    /// Conversation duration in seconds.
+    pub fn duration(&self) -> f64 {
+        (self.last_ts - self.first_ts).max(0.0)
+    }
+
+    /// Number of remote hosts (nodes excluding victim and origin).
+    pub fn remote_host_count(&self) -> usize {
+        self.graph
+            .node_ids()
+            .filter(|&n| self.graph.node(n).kind == NodeKind::Remote)
+            .count()
+    }
+
+    /// Whether the conversation contains at least one post-download edge.
+    pub fn has_post_download(&self) -> bool {
+        self.stage_counts[2] > 0
+    }
+
+    /// Renders the WCG in Graphviz DOT format (Fig. 6-style output).
+    pub fn to_dot(&self, name: &str) -> String {
+        wcgraph::dot::to_dot(
+            &self.graph,
+            name,
+            |n| format!("{} ({:?})", n.name, n.kind),
+            |e| match e.kind {
+                EdgeKind::Request => format!(
+                    "req {} len={} s{}",
+                    e.method.as_ref().map_or("?", |m| m.as_str()),
+                    e.uri_len,
+                    e.stage.index()
+                ),
+                EdgeKind::Response => format!(
+                    "res {} {} {}B s{}",
+                    e.status,
+                    e.payload_class.map_or("-", |c| c.label()),
+                    e.payload_size,
+                    e.stage.index()
+                ),
+                EdgeKind::Redirect => format!("redirect s{}", e.stage.index()),
+            },
+        )
+    }
+}
+
+fn registrable_domain(host: &str) -> String {
+    let labels: Vec<&str> = host.rsplit('.').take(2).collect();
+    labels.into_iter().rev().collect::<Vec<_>>().join(".")
+}
+
+fn tld(host: &str) -> Option<String> {
+    if host.parse::<Ipv4Addr>().is_ok() {
+        return None;
+    }
+    host.rsplit('.').next().map(str::to_ascii_lowercase)
+}
+
+fn host_of_url(url: &str) -> Option<String> {
+    let rest = url.split_once("://").map_or(url, |(_, r)| r);
+    let host = rest.split(['/', '?', '#']).next()?;
+    let host = host.split(':').next()?;
+    if host.is_empty() {
+        None
+    } else {
+        Some(host.to_ascii_lowercase())
+    }
+}
+
+fn build(order: &[&HttpTransaction]) -> Wcg {
+    let mut graph: DiGraph<NodeAttr, EdgeAttr> = DiGraph::new();
+    let mut nodes: BTreeMap<String, NodeId> = BTreeMap::new();
+    let stages = stages::annotate(order);
+
+    let mut wcg = Wcg {
+        graph: DiGraph::new(),
+        victim: None,
+        origin: None,
+        dnt: false,
+        x_flash: false,
+        method_counts: MethodCounts::default(),
+        status_class_counts: [0; 6],
+        referrer_set: 0,
+        referrer_unset: 0,
+        uri_length_total: 0,
+        uri_count: 0,
+        first_ts: order.first().map_or(0.0, |t| t.ts),
+        last_ts: order.first().map_or(0.0, |t| t.ts),
+        inter_tx_gaps: Vec::new(),
+        redirects: RedirectStats::default(),
+        tx_count: order.len(),
+        payload_bytes: 0,
+        stage_counts: [0; 3],
+    };
+
+    if order.is_empty() {
+        return wcg;
+    }
+
+    // Victim node.
+    let victim_name = format!("victim:{}", order[0].client.addr);
+    let victim = graph.add_node(NodeAttr {
+        ip: Some(order[0].client.addr),
+        ..NodeAttr::new(&victim_name, NodeKind::Victim)
+    });
+    nodes.insert(victim_name, victim);
+
+    // Origin node: the first transaction's referrer host, when it is not
+    // itself a server contacted in this conversation. Hostnames are
+    // case-insensitive; everything below works on lowercase names.
+    let contacted: BTreeSet<String> =
+        order.iter().map(|t| t.host.to_ascii_lowercase()).collect();
+    let origin = order[0]
+        .referer()
+        .and_then(host_of_url)
+        .filter(|h| !contacted.contains(h))
+        .map(|h| {
+            let id = graph.add_node(NodeAttr::new(&h, NodeKind::Origin));
+            nodes.insert(h, id);
+            id
+        });
+
+    let node_for = |graph: &mut DiGraph<NodeAttr, EdgeAttr>,
+                        nodes: &mut BTreeMap<String, NodeId>,
+                        host: &str|
+     -> NodeId {
+        if let Some(&id) = nodes.get(host) {
+            return id;
+        }
+        let id = graph.add_node(NodeAttr::new(host, NodeKind::Remote));
+        nodes.insert(host.to_string(), id);
+        id
+    };
+
+    // Chain lengths: host → length of the redirect chain that led to it.
+    let mut chain_len: BTreeMap<String, usize> = BTreeMap::new();
+    let mut last_redirect_ts: Option<f64> = None;
+    let mut prev_ts: Option<f64> = None;
+
+    for (i, tx) in order.iter().enumerate() {
+        let stage = stages[i];
+        wcg.stage_counts[stage.index()] += 1;
+        let tx_host = tx.host.to_ascii_lowercase();
+        let host_node = node_for(&mut graph, &mut nodes, &tx_host);
+        {
+            let attr = graph.node_mut(host_node);
+            attr.ip = Some(tx.server.addr);
+            attr.uris.insert(tx.uri.clone());
+            if tx.status != 0 {
+                *attr.payload_summary.entry(tx.payload_class).or_insert(0) += 1;
+            }
+        }
+        // Request edge.
+        graph.add_edge(victim, host_node, EdgeAttr {
+            kind: EdgeKind::Request,
+            stage,
+            ts: tx.ts,
+            method: Some(tx.method.clone()),
+            uri_len: tx.uri.len(),
+            status: 0,
+            payload_class: None,
+            payload_size: 0,
+        });
+        // Response edge.
+        if tx.status != 0 {
+            graph.add_edge(host_node, victim, EdgeAttr {
+                kind: EdgeKind::Response,
+                stage,
+                ts: tx.resp_ts,
+                method: None,
+                uri_len: 0,
+                status: tx.status,
+                payload_class: Some(tx.payload_class),
+                payload_size: tx.payload_size,
+            });
+            wcg.payload_bytes += tx.payload_size;
+        }
+        // Redirect edges.
+        let incoming_chain = chain_len.get(tx_host.as_str()).copied().unwrap_or(0);
+        for target_url in redirect::targets(tx) {
+            let Some(target_host) = host_of_url(&target_url) else { continue };
+            if target_host == tx_host {
+                continue; // same-host refresh, not a hop
+            }
+            let target_node = node_for(&mut graph, &mut nodes, &target_host);
+            graph.add_edge(host_node, target_node, EdgeAttr {
+                kind: EdgeKind::Redirect,
+                stage,
+                ts: tx.resp_ts,
+                method: None,
+                uri_len: 0,
+                status: tx.status,
+                payload_class: None,
+                payload_size: 0,
+            });
+            wcg.redirects.total += 1;
+            let new_chain = incoming_chain + 1;
+            let entry = chain_len.entry(target_host.clone()).or_insert(0);
+            *entry = (*entry).max(new_chain);
+            wcg.redirects.max_chain = wcg.redirects.max_chain.max(new_chain);
+            if registrable_domain(&tx_host) != registrable_domain(&target_host) {
+                wcg.redirects.cross_domain += 1;
+            }
+            for h in [tx_host.as_str(), target_host.as_str()] {
+                if let Some(t) = tld(h) {
+                    wcg.redirects.tlds.insert(t);
+                }
+            }
+            if let Some(prev) = last_redirect_ts {
+                wcg.redirects.redirect_gaps.push((tx.resp_ts - prev).max(0.0));
+            }
+            last_redirect_ts = Some(tx.resp_ts);
+        }
+
+        // Aggregates.
+        match tx.method {
+            Method::Get => wcg.method_counts.get += 1,
+            Method::Post => wcg.method_counts.post += 1,
+            _ => wcg.method_counts.other += 1,
+        }
+        let class = (tx.status / 100).min(5) as usize;
+        wcg.status_class_counts[class] += 1;
+        if tx.referer().is_some() {
+            wcg.referrer_set += 1;
+        } else {
+            wcg.referrer_unset += 1;
+        }
+        wcg.uri_length_total += tx.uri.len();
+        wcg.uri_count += 1;
+        wcg.dnt |= tx.dnt_enabled();
+        wcg.x_flash |= tx.x_flash_version().is_some();
+        wcg.last_ts = wcg.last_ts.max(tx.resp_ts).max(tx.ts);
+        if let Some(p) = prev_ts {
+            wcg.inter_tx_gaps.push((tx.ts - p).max(0.0));
+        }
+        prev_ts = Some(tx.ts);
+    }
+
+    // Origin edge: origin → first contacted host.
+    if let Some(origin_id) = origin {
+        let first_host = nodes[order[0].host.to_ascii_lowercase().as_str()];
+        graph.add_edge(origin_id, first_host, EdgeAttr {
+            kind: EdgeKind::Redirect,
+            stage: stages[0],
+            ts: order[0].ts,
+            method: None,
+            uri_len: 0,
+            status: 0,
+            payload_class: None,
+            payload_size: 0,
+        });
+    }
+
+    wcg.graph = graph;
+    wcg.victim = Some(victim);
+    wcg.origin = origin;
+    wcg
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use nettrace::http::HeaderMap;
+    use nettrace::reassembly::Endpoint;
+
+    pub(crate) fn tx(
+        ts: f64,
+        host: &str,
+        uri: &str,
+        method: Method,
+        status: u16,
+        class: PayloadClass,
+        size: usize,
+        referer: Option<&str>,
+        location: Option<&str>,
+    ) -> HttpTransaction {
+        let mut req_headers = HeaderMap::new();
+        req_headers.append("Host", host);
+        if let Some(r) = referer {
+            req_headers.append("Referer", r);
+        }
+        let mut resp_headers = HeaderMap::new();
+        if let Some(l) = location {
+            resp_headers.append("Location", l);
+        }
+        HttpTransaction {
+            ts,
+            resp_ts: ts + 0.1,
+            client: Endpoint::new(Ipv4Addr::new(10, 0, 0, 5), 50000),
+            server: Endpoint::new(Ipv4Addr::new(203, 0, 113, 10), 80),
+            host: host.to_string(),
+            method,
+            uri: uri.to_string(),
+            req_headers,
+            status,
+            resp_headers,
+            payload_class: class,
+            payload_size: size,
+            body_preview: Vec::new(),
+            payload_digest: 0,
+        }
+    }
+
+    fn angler_like() -> Vec<HttpTransaction> {
+        vec![
+            tx(1.0, "www.bing.com", "/search?q=x", Method::Get, 200, PayloadClass::Html, 2000, None, None),
+            tx(2.0, "siteA.com", "/page", Method::Get, 302, PayloadClass::Empty, 0,
+               Some("http://www.bing.com/search?q=x"), Some("http://siteB.net/landing")),
+            tx(2.3, "siteB.net", "/landing", Method::Get, 302, PayloadClass::Empty, 0,
+               Some("http://siteA.com/page"), Some("http://exploit.ru/gate.php?k=v")),
+            tx(2.6, "exploit.ru", "/gate.php?k=v", Method::Get, 200, PayloadClass::Html, 40_000,
+               Some("http://siteB.net/landing"), None),
+            tx(3.0, "exploit.ru", "/flash.swf", Method::Get, 200, PayloadClass::Swf, 80_000,
+               Some("http://exploit.ru/gate.php?k=v"), None),
+            tx(10.0, "198.51.100.9", "/gate.php", Method::Post, 200, PayloadClass::Text, 30, None, None),
+            tx(20.0, "198.51.100.10", "/gate.php", Method::Post, 404, PayloadClass::Empty, 0, None, None),
+        ]
+    }
+
+    #[test]
+    fn builds_nodes_for_victim_origin_and_hosts() {
+        let wcg = Wcg::from_transactions(&angler_like());
+        // bing is contacted directly, so no separate origin node; victim +
+        // 5 remote hosts (bing, siteA, siteB, exploit.ru, 2 C&C IPs) = 7.
+        assert_eq!(wcg.graph.node_count(), 7);
+        assert!(wcg.victim.is_some());
+        assert!(wcg.origin.is_none(), "bing is contacted, not a pure origin");
+        assert_eq!(wcg.remote_host_count(), 6);
+    }
+
+    #[test]
+    fn origin_node_created_when_referrer_not_contacted() {
+        let txs = vec![tx(
+            1.0, "landing.com", "/x", Method::Get, 200, PayloadClass::Html, 10,
+            Some("http://www.google.com/search?q=a"), None,
+        )];
+        let wcg = Wcg::from_transactions(&txs);
+        let origin = wcg.origin.expect("origin node");
+        assert_eq!(wcg.graph.node(origin).name, "www.google.com");
+        assert_eq!(wcg.graph.node(origin).kind, NodeKind::Origin);
+        // Origin contributes a redirect edge to the first host.
+        let redirects = wcg
+            .graph
+            .edges()
+            .filter(|(_, _, _, e)| e.kind == EdgeKind::Redirect)
+            .count();
+        assert_eq!(redirects, 1);
+    }
+
+    #[test]
+    fn redirect_chain_is_tracked() {
+        let wcg = Wcg::from_transactions(&angler_like());
+        assert_eq!(wcg.redirects.total, 2);
+        assert_eq!(wcg.redirects.max_chain, 2);
+        assert_eq!(wcg.redirects.cross_domain, 2);
+        assert!(wcg.redirects.tlds.contains("com"));
+        assert!(wcg.redirects.tlds.contains("net"));
+        assert!(wcg.redirects.tlds.contains("ru"));
+    }
+
+    #[test]
+    fn aggregates_count_methods_statuses_referrers() {
+        let wcg = Wcg::from_transactions(&angler_like());
+        assert_eq!(wcg.method_counts.get, 5);
+        assert_eq!(wcg.method_counts.post, 2);
+        assert_eq!(wcg.status_class_counts[2], 4); // 200s
+        assert_eq!(wcg.status_class_counts[3], 2); // 302s
+        assert_eq!(wcg.status_class_counts[4], 1); // 404
+        assert_eq!(wcg.referrer_set, 4);
+        assert_eq!(wcg.referrer_unset, 3);
+        assert_eq!(wcg.tx_count, 7);
+        assert!(wcg.duration() > 18.0);
+    }
+
+    #[test]
+    fn stages_split_pre_download_post() {
+        let wcg = Wcg::from_transactions(&angler_like());
+        assert!(wcg.stage_counts[0] >= 2, "pre: {:?}", wcg.stage_counts);
+        assert!(wcg.stage_counts[1] >= 1, "download: {:?}", wcg.stage_counts);
+        assert_eq!(wcg.stage_counts[2], 2, "post: {:?}", wcg.stage_counts);
+        assert!(wcg.has_post_download());
+    }
+
+    #[test]
+    fn payload_summary_per_node() {
+        let wcg = Wcg::from_transactions(&angler_like());
+        let exploit = wcg
+            .graph
+            .node_ids()
+            .find(|&n| wcg.graph.node(n).name == "exploit.ru")
+            .unwrap();
+        let summary = &wcg.graph.node(exploit).payload_summary;
+        assert_eq!(summary.get(&PayloadClass::Swf), Some(&1));
+        assert_eq!(summary.get(&PayloadClass::Html), Some(&1));
+    }
+
+    #[test]
+    fn empty_conversation_yields_empty_graph() {
+        let wcg = Wcg::from_transactions(&[]);
+        assert_eq!(wcg.graph.node_count(), 0);
+        assert_eq!(wcg.tx_count, 0);
+        assert!(wcg.victim.is_none());
+    }
+
+    #[test]
+    fn dot_export_mentions_hosts_and_stages() {
+        let wcg = Wcg::from_transactions(&angler_like());
+        let dot = wcg.to_dot("angler");
+        assert!(dot.contains("exploit.ru"));
+        assert!(dot.contains("req GET"));
+        assert!(dot.contains("res 200"));
+    }
+
+    #[test]
+    fn helper_functions() {
+        assert_eq!(registrable_domain("a.b.example.com"), "example.com");
+        assert_eq!(tld("x.example.ru").as_deref(), Some("ru"));
+        assert_eq!(tld("198.51.100.9"), None);
+        assert_eq!(host_of_url("http://h.com/p?q=1").as_deref(), Some("h.com"));
+        assert_eq!(host_of_url("https://h.com:8080/p").as_deref(), Some("h.com"));
+        assert_eq!(host_of_url("h.com/p").as_deref(), Some("h.com"));
+        assert_eq!(host_of_url("http:///"), None);
+    }
+
+    #[test]
+    fn victim_is_the_first_transactions_client() {
+        // Conversations are clustered per client upstream; when a mixed
+        // stream slips through, the WCG anchors on the first client and
+        // keeps all transactions (documented behavior).
+        let mut txs = angler_like();
+        txs[3].client = nettrace::reassembly::Endpoint::new(Ipv4Addr::new(10, 9, 9, 9), 1234);
+        let wcg = Wcg::from_transactions(&txs);
+        let victim = wcg.victim.unwrap();
+        assert_eq!(wcg.graph.node(victim).ip, Some(Ipv4Addr::new(10, 0, 0, 5)));
+        assert_eq!(wcg.tx_count, txs.len());
+    }
+
+    #[test]
+    fn wcg_serde_roundtrip_preserves_structure() {
+        let wcg = Wcg::from_transactions(&angler_like());
+        let json = serde_json::to_string(&wcg).unwrap();
+        let restored: Wcg = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.graph.node_count(), wcg.graph.node_count());
+        assert_eq!(restored.graph.edge_count(), wcg.graph.edge_count());
+        assert_eq!(restored.stage_counts, wcg.stage_counts);
+        assert_eq!(restored.redirects.max_chain, wcg.redirects.max_chain);
+    }
+
+    #[test]
+    fn inter_tx_gaps_are_recorded() {
+        let wcg = Wcg::from_transactions(&angler_like());
+        assert_eq!(wcg.inter_tx_gaps.len(), 6);
+        assert!(wcg.inter_tx_gaps.iter().all(|&g| g >= 0.0));
+    }
+}

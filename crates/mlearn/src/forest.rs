@@ -1,0 +1,439 @@
+//! Ensemble random forest combining CART trees by probability averaging.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::tree::{argmax, DecisionTree, TreeConfig};
+
+/// How many candidate features each split examines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaxFeatures {
+    /// `log2(n_features) + 1` — the paper's best setting (`N_f`).
+    Log2PlusOne,
+    /// `sqrt(n_features)` rounded down (at least 1).
+    Sqrt,
+    /// All features at every split.
+    All,
+    /// A fixed count (clamped to the feature count).
+    Fixed(usize),
+}
+
+impl MaxFeatures {
+    /// Resolves to a concrete count for `n_features` columns.
+    pub fn resolve(self, n_features: usize) -> usize {
+        let k = match self {
+            MaxFeatures::Log2PlusOne => (n_features as f64).log2().floor() as usize + 1,
+            MaxFeatures::Sqrt => (n_features as f64).sqrt().floor() as usize,
+            MaxFeatures::All => n_features,
+            MaxFeatures::Fixed(k) => k,
+        };
+        k.clamp(1, n_features)
+    }
+}
+
+/// How the ensemble combines its trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Combination {
+    /// Average per-tree class probabilities (the paper's choice: reduces
+    /// variance relative to voting).
+    ProbabilityAveraging,
+    /// Classic majority vote over per-tree argmax predictions.
+    MajorityVote,
+}
+
+/// Forest hyper-parameters. The defaults are the paper's best setting:
+/// 20 trees, `log2(F)+1` features per split, probability averaging.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees (`N_t` in the paper; best value 20).
+    pub n_trees: usize,
+    /// Per-split feature-subset size (`N_f`).
+    pub max_features: MaxFeatures,
+    /// Whether each tree trains on a bootstrap resample.
+    pub bootstrap: bool,
+    /// Tree-growing limits.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Combination rule.
+    pub combination: Combination,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 20,
+            max_features: MaxFeatures::Log2PlusOne,
+            bootstrap: true,
+            max_depth: 32,
+            min_samples_split: 2,
+            combination: Combination::ProbabilityAveraging,
+        }
+    }
+}
+
+/// A trained ensemble random forest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    combination: Combination,
+}
+
+impl RandomForest {
+    /// Trains a forest on `data` with deterministic randomness from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty or `config.n_trees` is zero.
+    pub fn fit(data: &Dataset, config: &ForestConfig, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(config.n_trees > 0, "need at least one tree");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree_config = TreeConfig {
+            max_depth: config.max_depth,
+            min_samples_split: config.min_samples_split,
+            max_features: Some(config.max_features.resolve(data.n_features())),
+        };
+        let n = data.len();
+        let trees = (0..config.n_trees)
+            .map(|_| {
+                let indices: Vec<usize> = if config.bootstrap {
+                    (0..n).map(|_| rng.gen_range(0..n)).collect()
+                } else {
+                    (0..n).collect()
+                };
+                DecisionTree::fit(data, &indices, &tree_config, &mut rng)
+            })
+            .collect();
+        RandomForest { trees, n_classes: data.n_classes(), combination: config.combination }
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Ensemble class-probability estimate: the mean of per-tree
+    /// probabilities (averaging mode) or the vote distribution (voting
+    /// mode).
+    pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.n_classes];
+        match self.combination {
+            Combination::ProbabilityAveraging => {
+                for tree in &self.trees {
+                    for (a, p) in acc.iter_mut().zip(tree.predict_proba(row)) {
+                        *a += p;
+                    }
+                }
+            }
+            Combination::MajorityVote => {
+                for tree in &self.trees {
+                    acc[tree.predict(row)] += 1.0;
+                }
+            }
+        }
+        let total = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= total;
+        }
+        acc
+    }
+
+    /// Predicted class: argmax of [`RandomForest::predict_proba`].
+    pub fn predict(&self, row: &[f64]) -> usize {
+        argmax(&self.predict_proba(row))
+    }
+
+    /// Probability assigned to `class` — the score used for ROC curves.
+    pub fn score(&self, row: &[f64], class: usize) -> f64 {
+        self.predict_proba(row)[class]
+    }
+
+    /// Mean-decrease-in-impurity feature importances, averaged over trees
+    /// and normalized to sum to 1 (all zeros when no split ever occurred).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut acc: Vec<f64> = Vec::new();
+        for tree in &self.trees {
+            let imp = tree.feature_importances();
+            if acc.is_empty() {
+                acc = imp;
+            } else {
+                for (a, v) in acc.iter_mut().zip(imp) {
+                    *a += v;
+                }
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        acc
+    }
+}
+
+/// A forest plus its out-of-bag (OOB) error estimate.
+#[derive(Debug, Clone)]
+pub struct OobFit {
+    /// The trained forest.
+    pub forest: RandomForest,
+    /// Out-of-bag misclassification rate: each training sample is scored
+    /// only by trees whose bootstrap did not contain it. `None` when no
+    /// sample was out of bag (tiny data or bootstrap disabled).
+    pub oob_error: Option<f64>,
+}
+
+impl RandomForest {
+    /// Trains like [`RandomForest::fit`] but also computes the
+    /// out-of-bag error — a free validation estimate that needs no
+    /// held-out split (Breiman's OOB methodology).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty or `config.n_trees` is zero.
+    pub fn fit_with_oob(data: &Dataset, config: &ForestConfig, seed: u64) -> OobFit {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(config.n_trees > 0, "need at least one tree");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree_config = crate::tree::TreeConfig {
+            max_depth: config.max_depth,
+            min_samples_split: config.min_samples_split,
+            max_features: Some(config.max_features.resolve(data.n_features())),
+        };
+        let n = data.len();
+        let mut trees = Vec::with_capacity(config.n_trees);
+        let mut oob_probs = vec![vec![0.0f64; data.n_classes()]; n];
+        let mut oob_counts = vec![0usize; n];
+        for _ in 0..config.n_trees {
+            let indices: Vec<usize> = if config.bootstrap {
+                (0..n).map(|_| rng.gen_range(0..n)).collect()
+            } else {
+                (0..n).collect()
+            };
+            let tree = DecisionTree::fit(data, &indices, &tree_config, &mut rng);
+            let mut in_bag = vec![false; n];
+            for &i in &indices {
+                in_bag[i] = true;
+            }
+            for i in (0..n).filter(|&i| !in_bag[i]) {
+                for (acc, p) in oob_probs[i].iter_mut().zip(tree.predict_proba(data.row(i))) {
+                    *acc += p;
+                }
+                oob_counts[i] += 1;
+            }
+            trees.push(tree);
+        }
+        let mut errors = 0usize;
+        let mut counted = 0usize;
+        for i in 0..n {
+            if oob_counts[i] == 0 {
+                continue;
+            }
+            counted += 1;
+            if argmax(&oob_probs[i]) != data.label(i) {
+                errors += 1;
+            }
+        }
+        let oob_error =
+            (counted > 0).then(|| errors as f64 / counted as f64);
+        OobFit {
+            forest: RandomForest {
+                trees,
+                n_classes: data.n_classes(),
+                combination: config.combination,
+            },
+            oob_error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_data(seed: u64) -> Dataset {
+        // Two Gaussian-ish blobs with overlap, plus a useless feature.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["x".into(), "y".into(), "junk".into()], 2);
+        for _ in 0..100 {
+            let cls = rng.gen_range(0..2usize);
+            let center = if cls == 0 { 0.0 } else { 3.0 };
+            let x: f64 = center + rng.gen_range(-1.5..1.5);
+            let y: f64 = center + rng.gen_range(-1.5..1.5);
+            d.push(vec![x, y, rng.gen_range(0.0..1.0)], cls);
+        }
+        d
+    }
+
+    #[test]
+    fn forest_beats_chance_on_noisy_blobs() {
+        let train = noisy_data(1);
+        let test = noisy_data(2);
+        let forest = RandomForest::fit(&train, &ForestConfig::default(), 42);
+        let correct =
+            (0..test.len()).filter(|&i| forest.predict(test.row(i)) == test.label(i)).count();
+        assert!(correct as f64 / test.len() as f64 > 0.85, "accuracy {correct}/100");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = noisy_data(1);
+        let f1 = RandomForest::fit(&data, &ForestConfig::default(), 7);
+        let f2 = RandomForest::fit(&data, &ForestConfig::default(), 7);
+        for i in 0..data.len() {
+            assert_eq!(f1.predict_proba(data.row(i)), f2.predict_proba(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = noisy_data(1);
+        let f1 = RandomForest::fit(&data, &ForestConfig::default(), 7);
+        let f2 = RandomForest::fit(&data, &ForestConfig::default(), 8);
+        let any_diff = (0..data.len())
+            .any(|i| f1.predict_proba(data.row(i)) != f2.predict_proba(data.row(i)));
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let data = noisy_data(3);
+        for combination in [Combination::ProbabilityAveraging, Combination::MajorityVote] {
+            let config = ForestConfig { combination, ..ForestConfig::default() };
+            let forest = RandomForest::fit(&data, &config, 5);
+            let p = forest.predict_proba(&[1.0, 1.0, 0.5]);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn averaging_gives_smoother_scores_than_voting() {
+        // Inseparable duplicates force impure leaves, so averaging yields a
+        // much finer score lattice than the n_trees+1 levels voting can
+        // produce — the variance-reduction argument the paper makes.
+        let mut data = Dataset::new(vec!["x".into()], 2);
+        for (x, pos_tenths) in [(0.0, 2), (1.0, 4), (2.0, 6), (3.0, 8)] {
+            for i in 0..10 {
+                data.push(vec![x], usize::from(i < pos_tenths));
+            }
+        }
+        let base = ForestConfig::default();
+        let avg = RandomForest::fit(
+            &data,
+            &ForestConfig { combination: Combination::ProbabilityAveraging, ..base.clone() },
+            9,
+        );
+        let vote = RandomForest::fit(
+            &data,
+            &ForestConfig { combination: Combination::MajorityVote, ..base },
+            9,
+        );
+        // Averaged probabilities should track the true conditional
+        // probability of each x; majority voting polarizes toward 0/1.
+        let truth = [(0.0, 0.2), (1.0, 0.4), (2.0, 0.6), (3.0, 0.8)];
+        let calibration_error = |f: &RandomForest| {
+            truth
+                .iter()
+                .map(|&(x, p)| (f.score(&[x], 1) - p).abs())
+                .sum::<f64>()
+        };
+        let (ae, ve) = (calibration_error(&avg), calibration_error(&vote));
+        assert!(ae < ve, "averaging error {ae} should beat voting error {ve}");
+        assert!(ae < 0.4, "averaging calibration error {ae}");
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::Log2PlusOne.resolve(37), 6); // log2(37)≈5.2 → 5+1
+        assert_eq!(MaxFeatures::Sqrt.resolve(37), 6);
+        assert_eq!(MaxFeatures::All.resolve(37), 37);
+        assert_eq!(MaxFeatures::Fixed(100).resolve(37), 37);
+        assert_eq!(MaxFeatures::Fixed(0).resolve(37), 1);
+        assert_eq!(MaxFeatures::Log2PlusOne.resolve(1), 1);
+    }
+
+    #[test]
+    fn n_trees_respected() {
+        let data = noisy_data(1);
+        let config = ForestConfig { n_trees: 5, ..ForestConfig::default() };
+        assert_eq!(RandomForest::fit(&data, &config, 1).n_trees(), 5);
+    }
+
+    #[test]
+    fn feature_importances_find_the_signal() {
+        let data = noisy_data(6);
+        let forest = RandomForest::fit(&data, &ForestConfig::default(), 3);
+        let imp = forest.feature_importances();
+        assert_eq!(imp.len(), 3);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // x and y carry the signal; junk should get the least credit.
+        assert!(imp[2] < imp[0] && imp[2] < imp[1], "{imp:?}");
+    }
+
+    #[test]
+    fn oob_error_estimates_generalization() {
+        let train = noisy_data(7);
+        let fit = RandomForest::fit_with_oob(&train, &ForestConfig::default(), 5);
+        let oob = fit.oob_error.expect("bootstrap leaves samples out");
+        // Compare against true held-out error: they should be in the same
+        // region (both well under chance, within 15 points of each other).
+        let test = noisy_data(8);
+        let held_out_err = (0..test.len())
+            .filter(|&i| fit.forest.predict(test.row(i)) != test.label(i))
+            .count() as f64
+            / test.len() as f64;
+        assert!(oob < 0.35, "oob {oob}");
+        assert!((oob - held_out_err).abs() < 0.15, "oob {oob} vs held-out {held_out_err}");
+    }
+
+    #[test]
+    fn oob_without_bootstrap_is_none() {
+        let data = noisy_data(9);
+        let config = ForestConfig { bootstrap: false, ..ForestConfig::default() };
+        assert!(RandomForest::fit_with_oob(&data, &config, 1).oob_error.is_none());
+    }
+
+    #[test]
+    fn serialized_forest_predicts_identically() {
+        let data = noisy_data(10);
+        let forest = RandomForest::fit(&data, &ForestConfig::default(), 4);
+        let json = serde_json::to_string(&forest).unwrap();
+        let restored: RandomForest = serde_json::from_str(&json).unwrap();
+        for i in 0..data.len() {
+            assert_eq!(forest.predict_proba(data.row(i)), restored.predict_proba(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn multiclass_forest_separates_three_blobs() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut d = Dataset::new(vec!["x".into(), "y".into()], 3);
+        for _ in 0..150 {
+            let cls = rng.gen_range(0..3usize);
+            let cx = [0.0, 5.0, 0.0][cls];
+            let cy = [0.0, 0.0, 5.0][cls];
+            d.push(
+                vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)],
+                cls,
+            );
+        }
+        let forest = RandomForest::fit(&d, &ForestConfig::default(), 8);
+        let correct = (0..d.len()).filter(|&i| forest.predict(d.row(i)) == d.label(i)).count();
+        assert!(correct as f64 / d.len() as f64 > 0.95, "{correct}/150");
+        let p = forest.predict_proba(&[5.0, 0.0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let d = Dataset::new(vec!["x".into()], 2);
+        RandomForest::fit(&d, &ForestConfig::default(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Minimal standard-alphabet base64 (RFC 4648, with padding).
+//!
+//! Exploit kits routinely hide redirect targets in `atob(...)`-style
+//! obfuscated JavaScript; the traffic generator encodes such payloads and
+//! DynaMiner's redirect miner decodes them, so the codec lives here in the
+//! shared substrate.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as standard base64 with `=` padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = u32::from_be_bytes([0, b[0], b[1], b[2]]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Decodes standard base64, ignoring ASCII whitespace. Returns `None` on
+/// any invalid character or bad padding.
+pub fn decode(text: &str) -> Option<Vec<u8>> {
+    let mut vals = Vec::with_capacity(text.len());
+    let mut padding = 0usize;
+    for c in text.bytes() {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        if c == b'=' {
+            padding += 1;
+            continue;
+        }
+        if padding > 0 {
+            return None; // data after padding
+        }
+        let v = match c {
+            b'A'..=b'Z' => c - b'A',
+            b'a'..=b'z' => c - b'a' + 26,
+            b'0'..=b'9' => c - b'0' + 52,
+            b'+' => 62,
+            b'/' => 63,
+            _ => return None,
+        };
+        vals.push(v);
+    }
+    if (vals.len() + padding) % 4 != 0 || padding > 2 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(vals.len() * 3 / 4);
+    for chunk in vals.chunks(4) {
+        let n = chunk.iter().fold(0u32, |acc, &v| (acc << 6) | v as u32)
+            << (6 * (4 - chunk.len()));
+        let bytes = n.to_be_bytes();
+        match chunk.len() {
+            4 => out.extend_from_slice(&bytes[1..4]),
+            3 => out.extend_from_slice(&bytes[1..3]),
+            2 => out.push(bytes[1]),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, enc) in cases {
+            assert_eq!(encode(raw), enc);
+            assert_eq!(decode(enc).unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(decode("Zm9v!").is_none());
+        assert!(decode("Zg=x").is_none());
+        assert!(decode("Zg===").is_none());
+        assert!(decode("Z").is_none());
+    }
+}

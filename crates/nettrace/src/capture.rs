@@ -1,0 +1,86 @@
+//! Format-agnostic capture reading: classic pcap or pcapng, detected by
+//! magic.
+
+use crate::pcap::{Packet, PcapReader, MAGIC_USEC, MAGIC_USEC_SWAPPED};
+use crate::{pcapng, Error, Result};
+
+/// The capture format of a byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureFormat {
+    /// Classic libpcap.
+    Pcap,
+    /// pcapng (Wireshark default).
+    PcapNg,
+}
+
+/// Detects the capture format from leading magic bytes.
+pub fn detect(bytes: &[u8]) -> Option<CaptureFormat> {
+    if pcapng::is_pcapng(bytes) {
+        return Some(CaptureFormat::PcapNg);
+    }
+    if bytes.len() >= 4 {
+        let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        if magic == MAGIC_USEC || magic == MAGIC_USEC_SWAPPED {
+            return Some(CaptureFormat::Pcap);
+        }
+    }
+    None
+}
+
+/// Reads every packet from a capture in either format.
+///
+/// # Errors
+///
+/// Returns [`Error::BadPcapMagic`] when the bytes are neither format, or
+/// the underlying parser's error on corruption.
+pub fn read_packets(bytes: &[u8]) -> Result<Vec<Packet>> {
+    match detect(bytes) {
+        Some(CaptureFormat::Pcap) => PcapReader::new(bytes)?.collect_packets(),
+        Some(CaptureFormat::PcapNg) => pcapng::read_packets(bytes),
+        None => {
+            let magic = bytes
+                .get(0..4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .unwrap_or(0);
+            Err(Error::BadPcapMagic(magic))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcap::PcapWriter;
+
+    fn sample_packets() -> Vec<Packet> {
+        vec![Packet::new(1.0, vec![1, 2]), Packet::new(2.5, vec![3])]
+    }
+
+    #[test]
+    fn detects_and_reads_classic_pcap() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        for p in sample_packets() {
+            w.write_packet(&p).unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(detect(&buf), Some(CaptureFormat::Pcap));
+        assert_eq!(read_packets(&buf).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn detects_and_reads_pcapng() {
+        let buf = pcapng::write_packets(&sample_packets());
+        assert_eq!(detect(&buf), Some(CaptureFormat::PcapNg));
+        let got = read_packets(&buf).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].data, vec![3]);
+    }
+
+    #[test]
+    fn rejects_unknown_formats() {
+        assert_eq!(detect(b"not a capture"), None);
+        assert!(matches!(read_packets(b"not a capture"), Err(Error::BadPcapMagic(_))));
+        assert!(matches!(read_packets(b""), Err(Error::BadPcapMagic(0))));
+    }
+}

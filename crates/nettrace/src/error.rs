@@ -1,0 +1,92 @@
+use std::fmt;
+use std::io;
+
+/// Error type for every fallible operation in this crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The pcap global header carried an unknown magic number.
+    BadPcapMagic(u32),
+    /// A pcap record header declared an implausible capture length.
+    BadCaptureLength(u32),
+    /// A packet layer was shorter than its mandatory header.
+    Truncated {
+        /// Which layer was being parsed (e.g. `"ethernet"`).
+        layer: &'static str,
+        /// Bytes required by the fixed header.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A header field held a value the parser cannot accept.
+    InvalidField {
+        /// Which layer was being parsed.
+        layer: &'static str,
+        /// Description of the offending field.
+        field: &'static str,
+    },
+    /// An HTTP message violated the grammar (bad request line, header, or
+    /// chunk framing).
+    HttpSyntax(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::BadPcapMagic(m) => write!(f, "unrecognized pcap magic number {m:#010x}"),
+            Error::BadCaptureLength(l) => write!(f, "implausible pcap capture length {l}"),
+            Error::Truncated { layer, needed, got } => {
+                write!(f, "{layer} header truncated: needed {needed} bytes, got {got}")
+            }
+            Error::InvalidField { layer, field } => {
+                write!(f, "invalid {field} in {layer} header")
+            }
+            Error::HttpSyntax(msg) => write!(f, "http syntax error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            Error::BadPcapMagic(0xdead_beef),
+            Error::BadCaptureLength(1 << 30),
+            Error::Truncated { layer: "tcp", needed: 20, got: 3 },
+            Error::InvalidField { layer: "ipv4", field: "ihl" },
+            Error::HttpSyntax("missing request line".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let e = Error::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

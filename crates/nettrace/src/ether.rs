@@ -1,0 +1,104 @@
+//! Ethernet II frame parsing and construction.
+
+use crate::{Error, Result};
+
+/// Fixed Ethernet II header length in bytes.
+pub const HEADER_LEN: usize = 14;
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// A parsed Ethernet II frame borrowing its payload from the input buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EtherFrame<'a> {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// EtherType field (e.g. [`ETHERTYPE_IPV4`]).
+    pub ethertype: u16,
+    /// Frame payload (everything after the 14-byte header).
+    pub payload: &'a [u8],
+}
+
+impl<'a> EtherFrame<'a> {
+    /// Parses an Ethernet II frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Truncated`] when fewer than 14 bytes are available.
+    pub fn parse(data: &'a [u8]) -> Result<Self> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated { layer: "ethernet", needed: HEADER_LEN, got: data.len() });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        let ethertype = u16::from_be_bytes([data[12], data[13]]);
+        Ok(EtherFrame { dst: MacAddr(dst), src: MacAddr(src), ethertype, payload: &data[HEADER_LEN..] })
+    }
+}
+
+/// Builds an Ethernet II frame around `payload`.
+pub fn build(dst: MacAddr, src: MacAddr, ethertype: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&dst.0);
+    out.extend_from_slice(&src.0);
+    out.extend_from_slice(&ethertype.to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let dst = MacAddr([1, 2, 3, 4, 5, 6]);
+        let src = MacAddr([0xaa; 6]);
+        let frame = build(dst, src, ETHERTYPE_IPV4, b"hello");
+        let parsed = EtherFrame::parse(&frame).unwrap();
+        assert_eq!(parsed.dst, dst);
+        assert_eq!(parsed.src, src);
+        assert_eq!(parsed.ethertype, ETHERTYPE_IPV4);
+        assert_eq!(parsed.payload, b"hello");
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        assert!(matches!(
+            EtherFrame::parse(&[0u8; 13]),
+            Err(Error::Truncated { layer: "ethernet", .. })
+        ));
+    }
+
+    #[test]
+    fn empty_payload_is_allowed() {
+        let frame = build(MacAddr::default(), MacAddr::default(), 0x86dd, &[]);
+        let parsed = EtherFrame::parse(&frame).unwrap();
+        assert!(parsed.payload.is_empty());
+        assert_eq!(parsed.ethertype, 0x86dd);
+    }
+
+    #[test]
+    fn mac_display_format() {
+        let mac = MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(mac.to_string(), "de:ad:be:ef:00:01");
+    }
+}

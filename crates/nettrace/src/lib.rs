@@ -1,0 +1,54 @@
+//! Packet-capture substrate for the DynaMiner reproduction.
+//!
+//! This crate implements, from scratch, everything needed to go from raw
+//! packet-capture bytes to paired HTTP transactions:
+//!
+//! * [`pcap`] — reading and writing the classic libpcap file format,
+//! * [`ether`], [`ipv4`], [`tcp`] — parsing and building the packet layers,
+//! * [`reassembly`] — ordering TCP segments into per-direction byte streams,
+//! * [`http`] — incremental HTTP/1.1 request/response parsing, including
+//!   `Content-Length` and chunked bodies,
+//! * [`transaction`] — pairing requests with responses into
+//!   [`HttpTransaction`]s, the unit every downstream DynaMiner component
+//!   consumes,
+//! * [`payload`] — payload-type classification from URI extension,
+//!   `Content-Type`, and magic bytes, including the 45 ransomware file
+//!   extensions the paper matches against.
+//!
+//! # Example
+//!
+//! ```
+//! use nettrace::pcap::{Packet, PcapReader, PcapWriter};
+//!
+//! # fn main() -> Result<(), nettrace::Error> {
+//! let mut buf = Vec::new();
+//! let mut writer = PcapWriter::new(&mut buf)?;
+//! writer.write_packet(&Packet::new(1.5, vec![0xde, 0xad]))?;
+//!
+//! let mut reader = PcapReader::new(buf.as_slice())?;
+//! let pkt = reader.next_packet()?.expect("one packet");
+//! assert_eq!(pkt.data, [0xde, 0xad]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod base64;
+pub mod capture;
+pub mod ether;
+pub mod flate;
+pub mod http;
+pub mod ipv4;
+pub mod payload;
+pub mod pcap;
+pub mod pcapng;
+pub mod reassembly;
+pub mod tcp;
+pub mod transaction;
+
+mod error;
+
+pub use error::Error;
+pub use transaction::{HttpTransaction, TransactionExtractor};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,324 @@
+//! Payload-type classification.
+//!
+//! DynaMiner annotates WCG edges with the type of the payload a response
+//! delivered. The class is inferred from three signals, in priority order:
+//! leading magic bytes, the `Content-Type` header, and the URI file
+//! extension. Ransomware payloads arrive under many different extensions;
+//! following the paper, we match against a compiled list of 45 crypto-locker
+//! extensions ([`RANSOMWARE_EXTENSIONS`]).
+
+use serde::{Deserialize, Serialize};
+
+/// The payload classes DynaMiner distinguishes.
+///
+/// `Pdf`, `Exe`, `Jar`, `Swf`, `Xap`, and `Dmg` are the "known exploit
+/// payload" types from the paper; `Crypt` covers the 45 ransomware
+/// extensions; the remainder are commonly exchanged benign types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PayloadClass {
+    /// Portable Document Format.
+    Pdf,
+    /// Windows executable (PE) or generic `.exe`.
+    Exe,
+    /// Java archive.
+    Jar,
+    /// Adobe Flash (`.swf`).
+    Swf,
+    /// Microsoft Silverlight application (`.xap`).
+    Xap,
+    /// macOS disk image.
+    Dmg,
+    /// Crypto-locker / ransomware payload (any of the 45 known extensions).
+    Crypt,
+    /// JavaScript source.
+    Js,
+    /// HTML document.
+    Html,
+    /// CSS stylesheet.
+    Css,
+    /// Image (png/jpeg/gif/ico/webp/svg).
+    Image,
+    /// Compressed archive (zip/gz/rar/7z — when not ransomware-flagged).
+    Archive,
+    /// JSON document.
+    Json,
+    /// Plain text.
+    Text,
+    /// Anything else with a body.
+    Other,
+    /// No body at all.
+    Empty,
+}
+
+impl PayloadClass {
+    /// Whether this class is one of the paper's "known exploit payload"
+    /// types (Sec. III-C: `*.jar`, `*.exe`, `*.pdf`, `*.xap`, `*.swf`,
+    /// plus ransomware payloads and the `.dmg` executable from the live
+    /// case study).
+    pub fn is_exploit_type(self) -> bool {
+        matches!(
+            self,
+            PayloadClass::Pdf
+                | PayloadClass::Exe
+                | PayloadClass::Jar
+                | PayloadClass::Swf
+                | PayloadClass::Xap
+                | PayloadClass::Dmg
+                | PayloadClass::Crypt
+        )
+    }
+
+    /// Whether this class is an executable-like binary (used by the
+    /// trusted-vendor weed-out heuristics).
+    pub fn is_binary(self) -> bool {
+        matches!(
+            self,
+            PayloadClass::Exe | PayloadClass::Dmg | PayloadClass::Jar | PayloadClass::Archive
+        )
+    }
+
+    /// Short lowercase label, e.g. for table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PayloadClass::Pdf => "pdf",
+            PayloadClass::Exe => "exe",
+            PayloadClass::Jar => "jar",
+            PayloadClass::Swf => "swf",
+            PayloadClass::Xap => "xap",
+            PayloadClass::Dmg => "dmg",
+            PayloadClass::Crypt => "crypt",
+            PayloadClass::Js => "js",
+            PayloadClass::Html => "html",
+            PayloadClass::Css => "css",
+            PayloadClass::Image => "image",
+            PayloadClass::Archive => "archive",
+            PayloadClass::Json => "json",
+            PayloadClass::Text => "text",
+            PayloadClass::Other => "other",
+            PayloadClass::Empty => "empty",
+        }
+    }
+}
+
+impl std::fmt::Display for PayloadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The 45 crypto-locker file extensions compiled from industry ransomware
+/// reports (paper reference 10).
+pub const RANSOMWARE_EXTENSIONS: [&str; 45] = [
+    "crypt", "crypted", "cryptolocker", "crypto", "encrypted", "enc", "locked", "locky", "zepto",
+    "odin", "thor", "aesir", "zzzzz", "cerber", "cerber2", "cerber3", "crysis", "wallet", "dharma",
+    "sage", "globe", "purge", "breaking_bad", "legion", "fantom", "xtbl", "vault", "ecc", "ezz",
+    "exx", "abc", "aaa", "zzz", "xyz", "micro", "ttt", "mp3x", "magic", "r5a", "rdm", "rrk",
+    "vvv", "ccc", "kraken", "darkness",
+];
+
+/// Returns `true` when `ext` (without the dot, any case) is one of the 45
+/// known ransomware extensions.
+pub fn is_ransomware_extension(ext: &str) -> bool {
+    let lower = ext.to_ascii_lowercase();
+    RANSOMWARE_EXTENSIONS.contains(&lower.as_str())
+}
+
+/// Extracts the lowercase file extension from a URI path (query string and
+/// fragment stripped).
+pub fn uri_extension(uri: &str) -> Option<String> {
+    let path = uri.split(['?', '#']).next().unwrap_or(uri);
+    let file = path.rsplit('/').next().unwrap_or(path);
+    let (stem, ext) = file.rsplit_once('.')?;
+    if stem.is_empty() || ext.is_empty() || ext.len() > 16 {
+        return None;
+    }
+    Some(ext.to_ascii_lowercase())
+}
+
+fn classify_magic(body: &[u8]) -> Option<PayloadClass> {
+    if body.len() < 4 {
+        return None;
+    }
+    match &body[..4] {
+        b"%PDF" => Some(PayloadClass::Pdf),
+        [0x4d, 0x5a, _, _] => Some(PayloadClass::Exe), // "MZ"
+        [0xca, 0xfe, 0xba, 0xbe] => Some(PayloadClass::Jar),
+        [b'F', b'W', b'S', _] | [b'C', b'W', b'S', _] | [b'Z', b'W', b'S', _] => {
+            Some(PayloadClass::Swf)
+        }
+        [0x89, b'P', b'N', b'G'] => Some(PayloadClass::Image),
+        [0xff, 0xd8, 0xff, _] => Some(PayloadClass::Image),
+        [b'G', b'I', b'F', b'8'] => Some(PayloadClass::Image),
+        _ => None,
+    }
+}
+
+fn classify_content_type(ct: &str) -> Option<PayloadClass> {
+    let ct = ct.split(';').next().unwrap_or(ct).trim().to_ascii_lowercase();
+    match ct.as_str() {
+        "application/pdf" => Some(PayloadClass::Pdf),
+        "application/x-msdownload"
+        | "application/x-msdos-program"
+        | "application/vnd.microsoft.portable-executable" => Some(PayloadClass::Exe),
+        "application/java-archive" | "application/x-java-archive" => Some(PayloadClass::Jar),
+        "application/x-shockwave-flash" => Some(PayloadClass::Swf),
+        "application/x-silverlight-app" => Some(PayloadClass::Xap),
+        "application/x-apple-diskimage" => Some(PayloadClass::Dmg),
+        "application/javascript" | "text/javascript" | "application/x-javascript" => {
+            Some(PayloadClass::Js)
+        }
+        "text/html" | "application/xhtml+xml" => Some(PayloadClass::Html),
+        "text/css" => Some(PayloadClass::Css),
+        "application/json" => Some(PayloadClass::Json),
+        "text/plain" => Some(PayloadClass::Text),
+        "application/zip"
+        | "application/gzip"
+        | "application/x-gzip"
+        | "application/x-rar-compressed"
+        | "application/x-7z-compressed" => Some(PayloadClass::Archive),
+        _ if ct.starts_with("image/") => Some(PayloadClass::Image),
+        _ => None,
+    }
+}
+
+fn classify_extension(ext: &str) -> Option<PayloadClass> {
+    match ext {
+        "pdf" => Some(PayloadClass::Pdf),
+        "exe" | "scr" | "msi" | "com" => Some(PayloadClass::Exe),
+        "jar" => Some(PayloadClass::Jar),
+        "swf" => Some(PayloadClass::Swf),
+        "xap" => Some(PayloadClass::Xap),
+        "dmg" => Some(PayloadClass::Dmg),
+        "js" => Some(PayloadClass::Js),
+        "html" | "htm" | "php" | "asp" | "aspx" | "jsp" => Some(PayloadClass::Html),
+        "css" => Some(PayloadClass::Css),
+        "png" | "jpg" | "jpeg" | "gif" | "ico" | "webp" | "svg" | "bmp" => {
+            Some(PayloadClass::Image)
+        }
+        "zip" | "gz" | "tgz" | "rar" | "7z" => Some(PayloadClass::Archive),
+        "json" => Some(PayloadClass::Json),
+        "txt" | "log" => Some(PayloadClass::Text),
+        e if is_ransomware_extension(e) => Some(PayloadClass::Crypt),
+        _ => None,
+    }
+}
+
+/// Classifies a response payload from its URI, `Content-Type` header, size,
+/// and (optionally) the first bytes of its body.
+///
+/// Priority: ransomware extension → magic bytes → `Content-Type` → other
+/// URI extension → `Other`/`Empty`.
+pub fn classify(uri: &str, content_type: Option<&str>, size: usize, body: &[u8]) -> PayloadClass {
+    let ext = uri_extension(uri);
+    // The ransomware-extension match dominates: crypto-locker payloads ship
+    // with generic content types and arbitrary magic.
+    if let Some(e) = &ext {
+        if is_ransomware_extension(e) {
+            return PayloadClass::Crypt;
+        }
+    }
+    if size == 0 {
+        return PayloadClass::Empty;
+    }
+    if let Some(c) = classify_magic(body) {
+        return c;
+    }
+    if let Some(c) = content_type.and_then(classify_content_type) {
+        return c;
+    }
+    if let Some(c) = ext.as_deref().and_then(classify_extension) {
+        return c;
+    }
+    PayloadClass::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ransomware_list_has_45_unique_entries() {
+        let mut set: Vec<&str> = RANSOMWARE_EXTENSIONS.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), 45);
+    }
+
+    #[test]
+    fn extension_extraction() {
+        assert_eq!(uri_extension("/a/b/payload.exe"), Some("exe".into()));
+        assert_eq!(uri_extension("/a/b/payload.EXE?x=1"), Some("exe".into()));
+        assert_eq!(uri_extension("/gate.php#frag"), Some("php".into()));
+        assert_eq!(uri_extension("/noext"), None);
+        assert_eq!(uri_extension("/.hidden"), None);
+        assert_eq!(uri_extension("/"), None);
+    }
+
+    #[test]
+    fn ransomware_extension_dominates() {
+        assert_eq!(
+            classify("/files/invoice.locky", Some("application/octet-stream"), 1000, b"MZxx"),
+            PayloadClass::Crypt
+        );
+    }
+
+    #[test]
+    fn magic_bytes_beat_content_type() {
+        assert_eq!(
+            classify("/download", Some("text/plain"), 100, b"%PDF-1.5"),
+            PayloadClass::Pdf
+        );
+        assert_eq!(classify("/d", None, 100, b"MZ\x90\x00"), PayloadClass::Exe);
+        assert_eq!(classify("/d", None, 100, b"CWS\x09"), PayloadClass::Swf);
+        assert_eq!(classify("/d", None, 100, &[0xca, 0xfe, 0xba, 0xbe]), PayloadClass::Jar);
+    }
+
+    #[test]
+    fn content_type_beats_extension() {
+        assert_eq!(
+            classify("/script.txt", Some("application/javascript"), 10, b""),
+            PayloadClass::Js
+        );
+        assert_eq!(
+            classify("/x", Some("text/html; charset=utf-8"), 10, b""),
+            PayloadClass::Html
+        );
+    }
+
+    #[test]
+    fn extension_fallback() {
+        assert_eq!(classify("/a.jar", None, 10, b""), PayloadClass::Jar);
+        assert_eq!(classify("/a.xap", None, 10, b""), PayloadClass::Xap);
+        assert_eq!(classify("/a.dmg", None, 10, b""), PayloadClass::Dmg);
+        assert_eq!(classify("/landing.php", None, 10, b""), PayloadClass::Html);
+    }
+
+    #[test]
+    fn unknown_types() {
+        assert_eq!(classify("/mystery", None, 10, b"??"), PayloadClass::Other);
+        assert_eq!(classify("/mystery", None, 0, b""), PayloadClass::Empty);
+    }
+
+    #[test]
+    fn exploit_type_predicate() {
+        for c in [
+            PayloadClass::Pdf,
+            PayloadClass::Exe,
+            PayloadClass::Jar,
+            PayloadClass::Swf,
+            PayloadClass::Xap,
+            PayloadClass::Dmg,
+            PayloadClass::Crypt,
+        ] {
+            assert!(c.is_exploit_type(), "{c} should be an exploit type");
+        }
+        for c in [PayloadClass::Js, PayloadClass::Html, PayloadClass::Image, PayloadClass::Empty] {
+            assert!(!c.is_exploit_type(), "{c} should not be an exploit type");
+        }
+    }
+
+    #[test]
+    fn image_content_types() {
+        assert_eq!(classify("/x", Some("image/webp"), 5, b""), PayloadClass::Image);
+    }
+}

@@ -1,0 +1,280 @@
+//! Reading and writing the classic libpcap capture format.
+//!
+//! Only the classic (non-ng) format is implemented: a 24-byte global header
+//! followed by `(16-byte record header, packet bytes)` pairs. Both the
+//! little-endian and big-endian magic variants are accepted on read; files
+//! are always written little-endian with microsecond timestamps.
+
+use std::io::{Read, Write};
+
+use crate::{Error, Result};
+
+/// Little-endian magic number for microsecond-resolution captures.
+pub const MAGIC_USEC: u32 = 0xa1b2_c3d4;
+/// Byte-swapped magic (capture written on an opposite-endian machine).
+pub const MAGIC_USEC_SWAPPED: u32 = 0xd4c3_b2a1;
+/// Link type for Ethernet frames (DLT_EN10MB).
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Upper bound on `caplen` that we accept; larger values indicate corruption.
+pub const MAX_CAPTURE_LEN: u32 = 1 << 24;
+
+/// A single captured packet: a timestamp plus the captured bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Capture time in seconds since the Unix epoch (microsecond precision).
+    pub ts: f64,
+    /// Captured bytes, starting at the link layer.
+    pub data: Vec<u8>,
+}
+
+impl Packet {
+    /// Creates a packet from a timestamp and raw bytes.
+    pub fn new(ts: f64, data: Vec<u8>) -> Self {
+        Packet { ts, data }
+    }
+}
+
+/// Streaming reader for classic pcap files.
+#[derive(Debug)]
+pub struct PcapReader<R> {
+    inner: R,
+    swapped: bool,
+    linktype: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Reads and validates the global header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadPcapMagic`] when the magic number is not a classic
+    /// pcap magic, or [`Error::Io`] when the header cannot be read.
+    pub fn new(mut inner: R) -> Result<Self> {
+        let mut hdr = [0u8; 24];
+        inner.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let swapped = match magic {
+            MAGIC_USEC => false,
+            MAGIC_USEC_SWAPPED => true,
+            other => return Err(Error::BadPcapMagic(other)),
+        };
+        let linktype = read_u32(&hdr[20..24], swapped);
+        Ok(PcapReader { inner, swapped, linktype })
+    }
+
+    /// The link type declared in the global header (1 = Ethernet).
+    pub fn linktype(&self) -> u32 {
+        self.linktype
+    }
+
+    /// Reads the next packet, or `None` at clean end-of-file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadCaptureLength`] when a record declares a capture
+    /// length above [`MAX_CAPTURE_LEN`], or [`Error::Io`] when the file ends
+    /// in the middle of a record.
+    pub fn next_packet(&mut self) -> Result<Option<Packet>> {
+        let mut rec = [0u8; 16];
+        match self.inner.read(&mut rec[..1])? {
+            0 => return Ok(None),
+            _ => self.inner.read_exact(&mut rec[1..])?,
+        }
+        let ts_sec = read_u32(&rec[0..4], self.swapped);
+        let ts_usec = read_u32(&rec[4..8], self.swapped);
+        let caplen = read_u32(&rec[8..12], self.swapped);
+        if caplen > MAX_CAPTURE_LEN {
+            return Err(Error::BadCaptureLength(caplen));
+        }
+        let mut data = vec![0u8; caplen as usize];
+        self.inner.read_exact(&mut data)?;
+        let ts = ts_sec as f64 + ts_usec as f64 * 1e-6;
+        Ok(Some(Packet { ts, data }))
+    }
+
+    /// Drains the remaining packets into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`PcapReader::next_packet`].
+    pub fn collect_packets(mut self) -> Result<Vec<Packet>> {
+        let mut out = Vec::new();
+        while let Some(p) = self.next_packet()? {
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+/// Streaming writer for classic pcap files (little-endian, microseconds).
+#[derive(Debug)]
+pub struct PcapWriter<W> {
+    inner: W,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Writes the global header with an Ethernet link type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the header cannot be written.
+    pub fn new(inner: W) -> Result<Self> {
+        Self::with_linktype(inner, LINKTYPE_ETHERNET)
+    }
+
+    /// Writes the global header with an explicit link type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the header cannot be written.
+    pub fn with_linktype(mut inner: W, linktype: u32) -> Result<Self> {
+        let mut hdr = [0u8; 24];
+        hdr[0..4].copy_from_slice(&MAGIC_USEC.to_le_bytes());
+        hdr[4..6].copy_from_slice(&2u16.to_le_bytes()); // version major
+        hdr[6..8].copy_from_slice(&4u16.to_le_bytes()); // version minor
+        // thiszone and sigfigs stay zero.
+        hdr[16..20].copy_from_slice(&(MAX_CAPTURE_LEN).to_le_bytes()); // snaplen
+        hdr[20..24].copy_from_slice(&linktype.to_le_bytes());
+        inner.write_all(&hdr)?;
+        Ok(PcapWriter { inner })
+    }
+
+    /// Appends one packet record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadCaptureLength`] when the packet exceeds
+    /// [`MAX_CAPTURE_LEN`] bytes, or [`Error::Io`] on write failure.
+    pub fn write_packet(&mut self, packet: &Packet) -> Result<()> {
+        if packet.data.len() as u64 > MAX_CAPTURE_LEN as u64 {
+            return Err(Error::BadCaptureLength(packet.data.len() as u32));
+        }
+        let ts_sec = packet.ts.floor() as u32;
+        let ts_usec = ((packet.ts - ts_sec as f64) * 1e6).round() as u32;
+        let len = packet.data.len() as u32;
+        let mut rec = [0u8; 16];
+        rec[0..4].copy_from_slice(&ts_sec.to_le_bytes());
+        rec[4..8].copy_from_slice(&ts_usec.to_le_bytes());
+        rec[8..12].copy_from_slice(&len.to_le_bytes());
+        rec[12..16].copy_from_slice(&len.to_le_bytes());
+        self.inner.write_all(&rec)?;
+        self.inner.write_all(&packet.data)?;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when flushing fails.
+    pub fn finish(mut self) -> Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+fn read_u32(b: &[u8], swapped: bool) -> u32 {
+    let v = [b[0], b[1], b[2], b[3]];
+    if swapped {
+        u32::from_be_bytes(v)
+    } else {
+        u32::from_le_bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(packets: &[Packet]) -> Vec<Packet> {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        for p in packets {
+            w.write_packet(p).unwrap();
+        }
+        w.finish().unwrap();
+        PcapReader::new(buf.as_slice()).unwrap().collect_packets().unwrap()
+    }
+
+    #[test]
+    fn empty_file_roundtrips() {
+        assert!(roundtrip(&[]).is_empty());
+    }
+
+    #[test]
+    fn packets_roundtrip_with_timestamps() {
+        let pkts = vec![
+            Packet::new(0.0, vec![]),
+            Packet::new(1.000001, vec![1, 2, 3]),
+            Packet::new(1234567.5, vec![0xff; 1500]),
+        ];
+        let got = roundtrip(&pkts);
+        assert_eq!(got.len(), 3);
+        for (a, b) in pkts.iter().zip(&got) {
+            assert_eq!(a.data, b.data);
+            assert!((a.ts - b.ts).abs() < 1e-5, "ts {} vs {}", a.ts, b.ts);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = vec![0u8; 24];
+        buf[0..4].copy_from_slice(&0x1111_2222u32.to_le_bytes());
+        match PcapReader::new(buf.as_slice()) {
+            Err(Error::BadPcapMagic(m)) => assert_eq!(m, 0x1111_2222),
+            other => panic!("expected BadPcapMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        w.write_packet(&Packet::new(1.0, vec![9; 10])).unwrap();
+        w.finish().unwrap();
+        buf.truncate(buf.len() - 4); // chop the packet body
+        let mut r = PcapReader::new(buf.as_slice()).unwrap();
+        assert!(r.next_packet().is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_caplen() {
+        let mut buf = Vec::new();
+        PcapWriter::new(&mut buf).unwrap();
+        let mut rec = [0u8; 16];
+        rec[8..12].copy_from_slice(&(MAX_CAPTURE_LEN + 1).to_le_bytes());
+        buf.extend_from_slice(&rec);
+        let mut r = PcapReader::new(buf.as_slice()).unwrap();
+        assert!(matches!(r.next_packet(), Err(Error::BadCaptureLength(_))));
+    }
+
+    #[test]
+    fn reads_swapped_endianness() {
+        // Hand-build a big-endian header + one record.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_USEC.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&[0u8; 8]); // thiszone, sigfigs
+        buf.extend_from_slice(&65535u32.to_be_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+        buf.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        buf.extend_from_slice(&500_000u32.to_be_bytes()); // ts_usec
+        buf.extend_from_slice(&2u32.to_be_bytes()); // caplen
+        buf.extend_from_slice(&2u32.to_be_bytes()); // origlen
+        buf.extend_from_slice(&[0xab, 0xcd]);
+        let mut r = PcapReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.linktype(), LINKTYPE_ETHERNET);
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.data, [0xab, 0xcd]);
+        assert!((p.ts - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linktype_is_preserved() {
+        let mut buf = Vec::new();
+        PcapWriter::with_linktype(&mut buf, 101).unwrap();
+        let r = PcapReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.linktype(), 101);
+    }
+}

@@ -1,0 +1,323 @@
+//! TCP stream reassembly.
+//!
+//! Segments are grouped per unidirectional flow (source → destination
+//! endpoint pair), ordered by sequence number relative to the flow's initial
+//! sequence number, de-duplicated on retransmission, and flattened into a
+//! contiguous byte stream. Each stream remembers the arrival timestamp of
+//! every byte range so downstream consumers (the HTTP transaction extractor)
+//! can attach timestamps to parsed messages.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tcp::TcpSegment;
+
+/// One endpoint of a TCP flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub addr: Ipv4Addr,
+    /// TCP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Creates an endpoint from an address and port.
+    pub fn new(addr: Ipv4Addr, port: u16) -> Self {
+        Endpoint { addr, port }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.addr, self.port)
+    }
+}
+
+/// A unidirectional flow key (sender → receiver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Sending endpoint.
+    pub src: Endpoint,
+    /// Receiving endpoint.
+    pub dst: Endpoint,
+}
+
+impl FlowKey {
+    /// Creates a flow key.
+    pub fn new(src: Endpoint, dst: Endpoint) -> Self {
+        FlowKey { src, dst }
+    }
+
+    /// The same connection viewed from the opposite direction.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey { src: self.dst, dst: self.src }
+    }
+
+    /// A direction-independent identifier for the connection: the smaller
+    /// endpoint (by address, then port) first.
+    pub fn connection_id(&self) -> (Endpoint, Endpoint) {
+        if self.src <= self.dst {
+            (self.src, self.dst)
+        } else {
+            (self.dst, self.src)
+        }
+    }
+}
+
+/// A fully reassembled unidirectional byte stream.
+#[derive(Debug, Clone)]
+pub struct Stream {
+    /// The flow this stream belongs to.
+    pub key: FlowKey,
+    /// Reassembled application bytes in sequence order.
+    pub data: Vec<u8>,
+    /// `(byte_offset, timestamp)` markers: bytes at `offset..next_offset`
+    /// arrived at `timestamp`. Sorted by offset.
+    pub timeline: Vec<(usize, f64)>,
+    /// Whether a FIN or RST was observed on this direction.
+    pub closed: bool,
+}
+
+impl Stream {
+    /// Arrival timestamp of the byte at `offset` (timestamp of the segment
+    /// that carried it). Falls back to the last known timestamp for offsets
+    /// past the end.
+    pub fn timestamp_at(&self, offset: usize) -> f64 {
+        match self.timeline.binary_search_by(|(o, _)| o.cmp(&offset)) {
+            Ok(i) => self.timeline[i].1,
+            Err(0) => self.timeline.first().map(|&(_, t)| t).unwrap_or(0.0),
+            Err(i) => self.timeline[i - 1].1,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FlowState {
+    /// Relative sequence offset → (timestamp, bytes). Keyed by offset from
+    /// the initial sequence number.
+    chunks: BTreeMap<u64, (f64, Vec<u8>)>,
+    /// Initial sequence number (sequence of SYN, or first data byte when no
+    /// SYN was captured).
+    isn: Option<u32>,
+    /// Whether the ISN came from a SYN (data then starts at `isn + 1`).
+    isn_from_syn: bool,
+    closed: bool,
+}
+
+impl FlowState {
+    fn relative(&self, seq: u32) -> u64 {
+        let isn = self.isn.expect("isn set before relative()");
+        let base = if self.isn_from_syn { isn.wrapping_add(1) } else { isn };
+        seq.wrapping_sub(base) as u64
+    }
+}
+
+/// Reassembles TCP segments into per-flow byte streams.
+///
+/// Feed every segment of a capture with [`StreamReassembler::push`], then
+/// call [`StreamReassembler::into_streams`].
+#[derive(Debug, Default)]
+pub struct StreamReassembler {
+    flows: HashMap<FlowKey, FlowState>,
+    order: Vec<FlowKey>,
+}
+
+impl StreamReassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        StreamReassembler::default()
+    }
+
+    /// Adds one segment observed at time `ts` on flow `key`.
+    ///
+    /// Retransmitted bytes (same relative offset) keep their first copy.
+    /// Segments arriving before any SYN establish the base offset from their
+    /// own sequence number.
+    pub fn push(&mut self, ts: f64, key: FlowKey, seg: &TcpSegment<'_>) {
+        let state = match self.flows.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                self.order.push(key);
+                self.flows.entry(key).or_default()
+            }
+        };
+        if seg.flags.syn {
+            state.isn = Some(seg.seq);
+            state.isn_from_syn = true;
+        }
+        if seg.flags.fin || seg.flags.rst {
+            state.closed = true;
+        }
+        if seg.payload.is_empty() {
+            return;
+        }
+        if state.isn.is_none() {
+            state.isn = Some(seg.seq);
+            state.isn_from_syn = false;
+        }
+        let rel_signed = {
+            let isn = state.isn.expect("isn just ensured");
+            let base = if state.isn_from_syn { isn.wrapping_add(1) } else { isn };
+            seg.seq.wrapping_sub(base) as i32
+        };
+        if rel_signed < 0 {
+            if state.isn_from_syn {
+                // Data claiming to precede the SYN: stale retransmission.
+                return;
+            }
+            // An out-of-order segment arrived below the provisional base
+            // (the base was set from a later segment). Rebase the flow.
+            let shift = (-(rel_signed as i64)) as u64;
+            let old = std::mem::take(&mut state.chunks);
+            state.chunks = old.into_iter().map(|(k, v)| (k + shift, v)).collect();
+            state.isn = Some(seg.seq);
+        }
+        let rel = state.relative(seg.seq);
+        state.chunks.entry(rel).or_insert_with(|| (ts, seg.payload.to_vec()));
+    }
+
+    /// Finishes reassembly, returning one [`Stream`] per flow in first-seen
+    /// order. Gaps (lost segments) are skipped: later bytes are appended
+    /// directly after earlier ones, which matches libpcap-based HTTP tooling
+    /// behaviour on lossy captures. Overlapping retransmissions keep the
+    /// earliest copy of each byte.
+    pub fn into_streams(self) -> Vec<Stream> {
+        let mut flows = self.flows;
+        self.order
+            .into_iter()
+            .map(|key| {
+                let state = flows.remove(&key).expect("flow recorded in order");
+                let mut data = Vec::new();
+                let mut timeline = Vec::new();
+                let mut next_rel = 0u64;
+                for (rel, (ts, bytes)) in state.chunks {
+                    let bytes: &[u8] = if rel < next_rel {
+                        let overlap = (next_rel - rel) as usize;
+                        if overlap >= bytes.len() {
+                            continue; // fully retransmitted
+                        }
+                        &bytes[overlap..]
+                    } else {
+                        &bytes[..]
+                    };
+                    timeline.push((data.len(), ts));
+                    data.extend_from_slice(bytes);
+                    next_rel = rel.max(next_rel) + bytes.len() as u64;
+                }
+                Stream { key, data, timeline, closed: state.closed }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{self, TcpFlags};
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 40000),
+            Endpoint::new(Ipv4Addr::new(93, 184, 216, 34), 80),
+        )
+    }
+
+    fn push_data(r: &mut StreamReassembler, ts: f64, k: FlowKey, seq: u32, data: &[u8]) {
+        let raw = tcp::build(k.src.port, k.dst.port, seq, 0, TcpFlags::data(), data);
+        let seg = TcpSegment::parse(&raw).unwrap();
+        r.push(ts, k, &seg);
+    }
+
+    #[test]
+    fn in_order_segments_concatenate() {
+        let mut r = StreamReassembler::new();
+        push_data(&mut r, 1.0, key(), 100, b"hello ");
+        push_data(&mut r, 2.0, key(), 106, b"world");
+        let streams = r.into_streams();
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].data, b"hello world");
+    }
+
+    #[test]
+    fn out_of_order_segments_are_sorted() {
+        let mut r = StreamReassembler::new();
+        push_data(&mut r, 2.0, key(), 106, b"world");
+        push_data(&mut r, 1.0, key(), 100, b"hello ");
+        assert_eq!(r.into_streams()[0].data, b"hello world");
+    }
+
+    #[test]
+    fn retransmissions_are_deduplicated() {
+        let mut r = StreamReassembler::new();
+        push_data(&mut r, 1.0, key(), 100, b"abc");
+        push_data(&mut r, 2.0, key(), 100, b"abc");
+        push_data(&mut r, 3.0, key(), 103, b"def");
+        assert_eq!(r.into_streams()[0].data, b"abcdef");
+    }
+
+    #[test]
+    fn partial_overlap_keeps_first_copy() {
+        let mut r = StreamReassembler::new();
+        push_data(&mut r, 1.0, key(), 100, b"abcd");
+        push_data(&mut r, 2.0, key(), 102, b"CDEF");
+        assert_eq!(r.into_streams()[0].data, b"abcdEF");
+    }
+
+    #[test]
+    fn syn_consumes_one_sequence_number() {
+        let mut r = StreamReassembler::new();
+        let k = key();
+        let syn = tcp::build(k.src.port, k.dst.port, 999, 0, TcpFlags::syn(), b"");
+        r.push(0.5, k, &TcpSegment::parse(&syn).unwrap());
+        push_data(&mut r, 1.0, k, 1000, b"data");
+        let s = r.into_streams();
+        assert_eq!(s[0].data, b"data");
+        assert!(!s[0].closed);
+    }
+
+    #[test]
+    fn fin_marks_stream_closed() {
+        let mut r = StreamReassembler::new();
+        let k = key();
+        push_data(&mut r, 1.0, k, 1, b"x");
+        let fin = tcp::build(k.src.port, k.dst.port, 2, 0, TcpFlags::fin(), b"");
+        r.push(2.0, k, &TcpSegment::parse(&fin).unwrap());
+        assert!(r.into_streams()[0].closed);
+    }
+
+    #[test]
+    fn directions_are_separate_flows() {
+        let mut r = StreamReassembler::new();
+        push_data(&mut r, 1.0, key(), 1, b"request");
+        push_data(&mut r, 2.0, key().reversed(), 1, b"response");
+        let streams = r.into_streams();
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].data, b"request");
+        assert_eq!(streams[1].data, b"response");
+        assert_eq!(streams[0].key.connection_id(), streams[1].key.connection_id());
+    }
+
+    #[test]
+    fn timeline_maps_offsets_to_timestamps() {
+        let mut r = StreamReassembler::new();
+        push_data(&mut r, 1.0, key(), 100, b"aaaa");
+        push_data(&mut r, 5.0, key(), 104, b"bbbb");
+        let s = &r.into_streams()[0];
+        assert_eq!(s.timestamp_at(0), 1.0);
+        assert_eq!(s.timestamp_at(3), 1.0);
+        assert_eq!(s.timestamp_at(4), 5.0);
+        assert_eq!(s.timestamp_at(100), 5.0); // past-the-end falls back
+    }
+
+    #[test]
+    fn gap_is_skipped_rather_than_stalling() {
+        let mut r = StreamReassembler::new();
+        push_data(&mut r, 1.0, key(), 100, b"abc");
+        push_data(&mut r, 2.0, key(), 200, b"xyz");
+        assert_eq!(r.into_streams()[0].data, b"abcxyz");
+    }
+}

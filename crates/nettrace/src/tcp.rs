@@ -1,0 +1,176 @@
+//! TCP segment parsing and construction.
+
+use crate::{Error, Result};
+
+/// Minimum TCP header length (no options) in bytes.
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// TCP control flags (subset relevant to stream reconstruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// FIN — sender has finished sending.
+    pub fin: bool,
+    /// SYN — synchronize sequence numbers.
+    pub syn: bool,
+    /// RST — reset the connection.
+    pub rst: bool,
+    /// PSH — push buffered data to the application.
+    pub psh: bool,
+    /// ACK — acknowledgement field is significant.
+    pub ack: bool,
+}
+
+impl TcpFlags {
+    /// Flags for a plain data segment (`PSH|ACK`).
+    pub fn data() -> Self {
+        TcpFlags { psh: true, ack: true, ..TcpFlags::default() }
+    }
+
+    /// Flags for an initial SYN.
+    pub fn syn() -> Self {
+        TcpFlags { syn: true, ..TcpFlags::default() }
+    }
+
+    /// Flags for a FIN|ACK teardown segment.
+    pub fn fin() -> Self {
+        TcpFlags { fin: true, ack: true, ..TcpFlags::default() }
+    }
+
+    fn to_byte(self) -> u8 {
+        (self.fin as u8)
+            | (self.syn as u8) << 1
+            | (self.rst as u8) << 2
+            | (self.psh as u8) << 3
+            | (self.ack as u8) << 4
+    }
+
+    fn from_byte(b: u8) -> Self {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// A parsed TCP segment borrowing its payload from the input buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment<'a> {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Segment payload.
+    pub payload: &'a [u8],
+}
+
+impl<'a> TcpSegment<'a> {
+    /// Parses a TCP segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Truncated`] when the buffer is shorter than the
+    /// declared data offset, and [`Error::InvalidField`] when the data
+    /// offset is below 5 words.
+    pub fn parse(data: &'a [u8]) -> Result<Self> {
+        if data.len() < MIN_HEADER_LEN {
+            return Err(Error::Truncated { layer: "tcp", needed: MIN_HEADER_LEN, got: data.len() });
+        }
+        let data_offset = (data[12] >> 4) as usize * 4;
+        if data_offset < MIN_HEADER_LEN {
+            return Err(Error::InvalidField { layer: "tcp", field: "data offset" });
+        }
+        if data.len() < data_offset {
+            return Err(Error::Truncated { layer: "tcp", needed: data_offset, got: data.len() });
+        }
+        Ok(TcpSegment {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            flags: TcpFlags::from_byte(data[13]),
+            payload: &data[data_offset..],
+        })
+    }
+}
+
+/// Builds a TCP segment (20-byte header) around `payload`.
+pub fn build(
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    ack: u32,
+    flags: TcpFlags,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut out = vec![0u8; MIN_HEADER_LEN + payload.len()];
+    out[0..2].copy_from_slice(&src_port.to_be_bytes());
+    out[2..4].copy_from_slice(&dst_port.to_be_bytes());
+    out[4..8].copy_from_slice(&seq.to_be_bytes());
+    out[8..12].copy_from_slice(&ack.to_be_bytes());
+    out[12] = 5 << 4; // data offset: 5 words
+    out[13] = flags.to_byte();
+    out[14..16].copy_from_slice(&0xffffu16.to_be_bytes()); // window
+    out[MIN_HEADER_LEN..].copy_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let seg = build(49152, 80, 1000, 2000, TcpFlags::data(), b"GET /");
+        let parsed = TcpSegment::parse(&seg).unwrap();
+        assert_eq!(parsed.src_port, 49152);
+        assert_eq!(parsed.dst_port, 80);
+        assert_eq!(parsed.seq, 1000);
+        assert_eq!(parsed.ack, 2000);
+        assert!(parsed.flags.psh && parsed.flags.ack);
+        assert!(!parsed.flags.syn && !parsed.flags.fin && !parsed.flags.rst);
+        assert_eq!(parsed.payload, b"GET /");
+    }
+
+    #[test]
+    fn flag_byte_roundtrip() {
+        for b in 0..32u8 {
+            assert_eq!(TcpFlags::from_byte(b).to_byte(), b);
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        assert!(matches!(
+            TcpSegment::parse(&[0u8; 19]),
+            Err(Error::Truncated { layer: "tcp", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let mut seg = build(1, 2, 0, 0, TcpFlags::syn(), b"");
+        seg[12] = 4 << 4;
+        assert!(matches!(
+            TcpSegment::parse(&seg),
+            Err(Error::InvalidField { field: "data offset", .. })
+        ));
+    }
+
+    #[test]
+    fn respects_options_in_data_offset() {
+        // Build a header claiming 6 words (4 bytes of options).
+        let mut seg = build(1, 2, 7, 0, TcpFlags::data(), b"xxxxBODY");
+        seg[12] = 6 << 4;
+        let parsed = TcpSegment::parse(&seg).unwrap();
+        assert_eq!(parsed.payload, b"BODY");
+    }
+}

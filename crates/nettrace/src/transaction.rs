@@ -1,0 +1,513 @@
+//! Pairing of HTTP requests and responses into transactions.
+//!
+//! An [`HttpTransaction`] is the unit every downstream DynaMiner component
+//! consumes: one request/response exchange between a client and a server,
+//! carrying timestamps, headers, and a classified payload summary.
+//!
+//! [`TransactionExtractor`] reconstructs transactions from raw captured
+//! packets: Ethernet → IPv4 → TCP → stream reassembly → HTTP parsing →
+//! FIFO request/response pairing per connection.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ether::{EtherFrame, ETHERTYPE_IPV4};
+use crate::http::{
+    parse_request_head, parse_response_head, request_body_framing, response_body_framing,
+    BodyFraming, HeaderMap, Method,
+};
+use crate::ipv4::{Ipv4Packet, PROTO_TCP};
+use crate::payload::{classify, PayloadClass};
+use crate::pcap::Packet;
+use crate::reassembly::{Endpoint, FlowKey, Stream, StreamReassembler};
+use crate::tcp::TcpSegment;
+use crate::Result;
+
+/// Number of leading body bytes retained for inspection (redirect
+/// de-obfuscation, signature hashing previews).
+pub const BODY_PREVIEW_LEN: usize = 4096;
+
+/// One paired HTTP request/response exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HttpTransaction {
+    /// Time the request head was observed (seconds since epoch).
+    pub ts: f64,
+    /// Time the response body completed.
+    pub resp_ts: f64,
+    /// Client endpoint (the request sender).
+    pub client: Endpoint,
+    /// Server endpoint.
+    pub server: Endpoint,
+    /// Server hostname: the `Host` header when present, otherwise the
+    /// server IP rendered as a string.
+    pub host: String,
+    /// Request method.
+    pub method: Method,
+    /// Request URI as sent.
+    pub uri: String,
+    /// All request headers.
+    pub req_headers: HeaderMap,
+    /// Response status code (0 when the response was never observed).
+    pub status: u16,
+    /// All response headers.
+    pub resp_headers: HeaderMap,
+    /// Classified payload type of the response body.
+    pub payload_class: PayloadClass,
+    /// Response body size in bytes.
+    pub payload_size: usize,
+    /// First [`BODY_PREVIEW_LEN`] bytes of the response body.
+    pub body_preview: Vec<u8>,
+    /// FNV-1a digest of the full response body (payload identity for the
+    /// comparator engines).
+    pub payload_digest: u64,
+}
+
+impl HttpTransaction {
+    /// The `Referer` request header, if set and non-empty.
+    pub fn referer(&self) -> Option<&str> {
+        self.req_headers.get("Referer").filter(|v| !v.is_empty())
+    }
+
+    /// The `Location` response header, if set.
+    pub fn location(&self) -> Option<&str> {
+        self.resp_headers.get("Location")
+    }
+
+    /// The `User-Agent` request header, if set.
+    pub fn user_agent(&self) -> Option<&str> {
+        self.req_headers.get("User-Agent")
+    }
+
+    /// The response `Content-Type`, if set.
+    pub fn content_type(&self) -> Option<&str> {
+        self.resp_headers.get("Content-Type")
+    }
+
+    /// Whether the `DNT` (do-not-track) request header is enabled.
+    pub fn dnt_enabled(&self) -> bool {
+        self.req_headers.get("DNT").is_some_and(|v| v.trim() == "1")
+    }
+
+    /// The `X-Flash-Version` request header, if set.
+    pub fn x_flash_version(&self) -> Option<&str> {
+        self.req_headers.get("X-Flash-Version")
+    }
+
+    /// A session identifier: the `Cookie` header when present, otherwise a
+    /// session-id-like URI query parameter (`PHPSESSID`, `sessionid`,
+    /// `sid`, `jsessionid`).
+    pub fn session_id(&self) -> Option<String> {
+        if let Some(c) = self.req_headers.get("Cookie") {
+            return Some(c.to_string());
+        }
+        let query = self.uri.split_once('?')?.1;
+        for kv in query.split('&') {
+            let (k, v) = kv.split_once('=')?;
+            if ["phpsessid", "sessionid", "sid", "jsessionid"]
+                .contains(&k.to_ascii_lowercase().as_str())
+            {
+                return Some(v.to_string());
+            }
+        }
+        None
+    }
+
+    /// Whether the response is a redirect (3xx status).
+    pub fn is_redirect(&self) -> bool {
+        self.status / 100 == 3
+    }
+
+    /// Status class (1–5), or 0 when no response was observed.
+    pub fn status_class(&self) -> u16 {
+        self.status / 100
+    }
+}
+
+/// Computes the 64-bit FNV-1a digest of `data`.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Reconstructs [`HttpTransaction`]s from captured packets.
+#[derive(Debug, Default)]
+pub struct TransactionExtractor {
+    reassembler: StreamReassembler,
+}
+
+impl TransactionExtractor {
+    /// Creates an empty extractor.
+    pub fn new() -> Self {
+        TransactionExtractor::default()
+    }
+
+    /// Feeds one captured packet (Ethernet frame). Non-IPv4 and non-TCP
+    /// packets and undecodable packets are ignored, matching capture-tool
+    /// behaviour on mixed traffic.
+    pub fn push_packet(&mut self, packet: &Packet) {
+        let Ok(eth) = EtherFrame::parse(&packet.data) else { return };
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return;
+        }
+        let Ok(ip) = Ipv4Packet::parse(eth.payload) else { return };
+        if ip.protocol != PROTO_TCP {
+            return;
+        }
+        let Ok(tcp) = TcpSegment::parse(ip.payload) else { return };
+        let key = FlowKey::new(
+            Endpoint::new(ip.src, tcp.src_port),
+            Endpoint::new(ip.dst, tcp.dst_port),
+        );
+        self.reassembler.push(packet.ts, key, &tcp);
+    }
+
+    /// Finishes extraction: reassembles all flows, pairs requests with
+    /// responses per connection, and returns transactions sorted by request
+    /// timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::HttpSyntax`] when a stream that begins like
+    /// an HTTP message is malformed. Streams that do not look like HTTP at
+    /// all are skipped silently.
+    pub fn finish(self) -> Result<Vec<HttpTransaction>> {
+        let streams = self.reassembler.into_streams();
+        let mut connections: BTreeMap<(Endpoint, Endpoint), (Option<Stream>, Option<Stream>)> =
+            BTreeMap::new();
+        for stream in streams {
+            let id = stream.key.connection_id();
+            let entry = connections.entry(id).or_default();
+            if looks_like_request(&stream.data) {
+                entry.0 = Some(stream);
+            } else {
+                entry.1 = Some(stream);
+            }
+        }
+        let mut out = Vec::new();
+        for (_, (req, resp)) in connections {
+            let Some(req_stream) = req else { continue };
+            out.extend(pair_connection(&req_stream, resp.as_ref())?);
+        }
+        out.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        Ok(out)
+    }
+
+    /// Convenience: extracts transactions from a full packet list.
+    ///
+    /// # Errors
+    ///
+    /// See [`TransactionExtractor::finish`].
+    pub fn extract(packets: &[Packet]) -> Result<Vec<HttpTransaction>> {
+        let mut ex = TransactionExtractor::new();
+        for p in packets {
+            ex.push_packet(p);
+        }
+        ex.finish()
+    }
+}
+
+/// Whether a byte stream begins with a plausible HTTP request line.
+fn looks_like_request(data: &[u8]) -> bool {
+    const METHODS: [&[u8]; 8] =
+        [b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELET", b"OPTIO", b"PATCH", b"CONNE"];
+    METHODS.iter().any(|m| data.starts_with(m))
+}
+
+struct ParsedRequest {
+    head: crate::http::RequestHead,
+    ts: f64,
+}
+
+struct ParsedResponse {
+    head: crate::http::ResponseHead,
+    body: Vec<u8>,
+    end_ts: f64,
+}
+
+fn parse_requests(stream: &Stream) -> Result<Vec<ParsedRequest>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < stream.data.len() {
+        let Some((head, consumed)) = parse_request_head(&stream.data[pos..])? else { break };
+        let ts = stream.timestamp_at(pos);
+        let body_len = match request_body_framing(&head) {
+            BodyFraming::None => 0,
+            BodyFraming::Length(n) => n.min(stream.data.len() - pos - consumed),
+            BodyFraming::Chunked => {
+                match crate::http::decode_chunked(&stream.data[pos + consumed..])? {
+                    Some((_, c)) => c,
+                    None => stream.data.len() - pos - consumed,
+                }
+            }
+            BodyFraming::UntilClose => stream.data.len() - pos - consumed,
+        };
+        pos += consumed + body_len;
+        out.push(ParsedRequest { head, ts });
+    }
+    Ok(out)
+}
+
+fn parse_responses(stream: &Stream, methods: &[Method]) -> Result<Vec<ParsedResponse>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut idx = 0usize;
+    while pos < stream.data.len() {
+        let Some((head, consumed)) = parse_response_head(&stream.data[pos..])? else { break };
+        let method = methods.get(idx).cloned().unwrap_or(Method::Get);
+        let avail = &stream.data[pos + consumed..];
+        let (body, body_consumed) = match response_body_framing(&head, &method) {
+            BodyFraming::None => (Vec::new(), 0),
+            BodyFraming::Length(n) => {
+                let take = n.min(avail.len());
+                (avail[..take].to_vec(), take)
+            }
+            BodyFraming::Chunked => match crate::http::decode_chunked(avail)? {
+                Some((body, c)) => (body, c),
+                None => (avail.to_vec(), avail.len()),
+            },
+            BodyFraming::UntilClose => (avail.to_vec(), avail.len()),
+        };
+        let end = pos + consumed + body_consumed;
+        let end_ts = stream.timestamp_at(end.saturating_sub(1));
+        pos = end;
+        idx += 1;
+        out.push(ParsedResponse { head, body, end_ts });
+    }
+    Ok(out)
+}
+
+fn pair_connection(req_stream: &Stream, resp_stream: Option<&Stream>) -> Result<Vec<HttpTransaction>> {
+    let requests = parse_requests(req_stream)?;
+    let methods: Vec<Method> = requests.iter().map(|r| r.head.method.clone()).collect();
+    let responses = match resp_stream {
+        Some(s) => parse_responses(s, &methods)?,
+        None => Vec::new(),
+    };
+    let client = req_stream.key.src;
+    let server = req_stream.key.dst;
+    let mut out = Vec::new();
+    let mut responses = responses.into_iter();
+    for req in requests {
+        let resp = responses.next();
+        let host = req
+            .head
+            .headers
+            .get("Host")
+            .map(str::to_string)
+            .unwrap_or_else(|| server.addr.to_string());
+        let (status, resp_headers, body, end_ts) = match resp {
+            Some(r) => (r.head.status, r.head.headers, r.body, r.end_ts),
+            None => (0, HeaderMap::new(), Vec::new(), req.ts),
+        };
+        // Entity bodies are exposed *decoded*: gzip transfer encoding is
+        // removed so payload classification, digests, and redirect mining
+        // see the real content (where meta-refresh tags and obfuscated
+        // JavaScript actually live). Undecodable bodies fall back to the
+        // raw bytes.
+        let body = if resp_headers
+            .get("Content-Encoding")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("gzip"))
+        {
+            crate::flate::gzip_decompress(&body).unwrap_or(body)
+        } else {
+            body
+        };
+        let content_type = resp_headers.get("Content-Type").map(str::to_string);
+        let payload_class = classify(&req.head.uri, content_type.as_deref(), body.len(), &body);
+        let preview_len = body.len().min(BODY_PREVIEW_LEN);
+        out.push(HttpTransaction {
+            ts: req.ts,
+            resp_ts: end_ts,
+            client,
+            server,
+            host,
+            method: req.head.method,
+            uri: req.head.uri,
+            req_headers: req.head.headers,
+            status,
+            resp_headers,
+            payload_class,
+            payload_size: body.len(),
+            payload_digest: fnv1a(&body),
+            body_preview: body[..preview_len].to_vec(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reassembly::{Endpoint, FlowKey};
+    use std::net::Ipv4Addr;
+
+    fn mk_stream(key: FlowKey, data: &[u8], ts: f64) -> Stream {
+        Stream { key, data: data.to_vec(), timeline: vec![(0, ts)], closed: true }
+    }
+
+    fn conn() -> FlowKey {
+        FlowKey::new(
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 50000),
+            Endpoint::new(Ipv4Addr::new(203, 0, 113, 9), 80),
+        )
+    }
+
+    #[test]
+    fn pairs_single_transaction() {
+        let req = b"GET /page.html HTTP/1.1\r\nHost: example.com\r\nReferer: http://google.com/\r\n\r\n";
+        let resp = b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: 5\r\n\r\nhello";
+        let txs = pair_connection(
+            &mk_stream(conn(), req, 1.0),
+            Some(&mk_stream(conn().reversed(), resp, 1.2)),
+        )
+        .unwrap();
+        assert_eq!(txs.len(), 1);
+        let t = &txs[0];
+        assert_eq!(t.host, "example.com");
+        assert_eq!(t.method, Method::Get);
+        assert_eq!(t.status, 200);
+        assert_eq!(t.payload_size, 5);
+        assert_eq!(t.payload_class, PayloadClass::Html);
+        assert_eq!(t.referer(), Some("http://google.com/"));
+        assert_eq!(t.ts, 1.0);
+    }
+
+    #[test]
+    fn pairs_pipelined_transactions_in_order() {
+        let req = b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b.js HTTP/1.1\r\nHost: h\r\n\r\n";
+        let resp = b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\nAHTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nBB";
+        let txs = pair_connection(
+            &mk_stream(conn(), req, 1.0),
+            Some(&mk_stream(conn().reversed(), resp, 1.1)),
+        )
+        .unwrap();
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[0].uri, "/a");
+        assert_eq!(txs[0].status, 200);
+        assert_eq!(txs[1].uri, "/b.js");
+        assert_eq!(txs[1].status, 404);
+        assert_eq!(txs[1].payload_size, 2);
+    }
+
+    #[test]
+    fn missing_response_yields_status_zero() {
+        let req = b"POST /exfil HTTP/1.1\r\nHost: cc.evil\r\nContent-Length: 4\r\n\r\ndata";
+        let txs = pair_connection(&mk_stream(conn(), req, 2.0), None).unwrap();
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].status, 0);
+        assert_eq!(txs[0].method, Method::Post);
+        assert_eq!(txs[0].payload_class, PayloadClass::Empty);
+    }
+
+    #[test]
+    fn chunked_response_body_is_decoded() {
+        let req = b"GET /d.bin HTTP/1.1\r\nHost: h\r\n\r\n";
+        let resp =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nMZxx\r\n3\r\nyyy\r\n0\r\n\r\n";
+        let txs = pair_connection(
+            &mk_stream(conn(), req, 0.0),
+            Some(&mk_stream(conn().reversed(), resp, 0.0)),
+        )
+        .unwrap();
+        assert_eq!(txs[0].payload_size, 7);
+        assert_eq!(txs[0].payload_class, PayloadClass::Exe); // MZ magic
+    }
+
+    #[test]
+    fn until_close_body_consumes_rest() {
+        let req = b"GET /v HTTP/1.1\r\nHost: h\r\n\r\n";
+        let resp = b"HTTP/1.1 200 OK\r\n\r\nstream-until-close";
+        let txs = pair_connection(
+            &mk_stream(conn(), req, 0.0),
+            Some(&mk_stream(conn().reversed(), resp, 0.0)),
+        )
+        .unwrap();
+        assert_eq!(txs[0].payload_size, 18);
+    }
+
+    #[test]
+    fn session_id_from_cookie_and_query() {
+        let mut t = HttpTransaction {
+            ts: 0.0,
+            resp_ts: 0.0,
+            client: Endpoint::new(Ipv4Addr::LOCALHOST, 1),
+            server: Endpoint::new(Ipv4Addr::LOCALHOST, 80),
+            host: "h".into(),
+            method: Method::Get,
+            uri: "/x?PHPSESSID=abc123&o=1".into(),
+            req_headers: HeaderMap::new(),
+            status: 200,
+            resp_headers: HeaderMap::new(),
+            payload_class: PayloadClass::Html,
+            payload_size: 0,
+            body_preview: Vec::new(),
+            payload_digest: 0,
+        };
+        assert_eq!(t.session_id(), Some("abc123".into()));
+        t.req_headers.append("Cookie", "sid=zzz");
+        assert_eq!(t.session_id(), Some("sid=zzz".into()));
+    }
+
+    #[test]
+    fn gzip_bodies_are_decoded_for_classification() {
+        let html = b"<html><meta http-equiv=\"refresh\" content=\"0;url=http://next.example/\"></html>";
+        let gz = crate::flate::gzip_compress(html);
+        let req = b"GET /page HTTP/1.1\r\nHost: h\r\n\r\n";
+        let resp = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Encoding: gzip\r\nContent-Length: {}\r\n\r\n",
+            gz.len()
+        );
+        let mut resp_bytes = resp.into_bytes();
+        resp_bytes.extend_from_slice(&gz);
+        let txs = pair_connection(
+            &mk_stream(conn(), req, 0.0),
+            Some(&mk_stream(conn().reversed(), &resp_bytes, 0.1)),
+        )
+        .unwrap();
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].payload_class, PayloadClass::Html);
+        assert_eq!(txs[0].payload_size, html.len(), "decoded size");
+        assert_eq!(txs[0].payload_digest, fnv1a(html), "decoded digest");
+        assert!(String::from_utf8_lossy(&txs[0].body_preview).contains("next.example"));
+    }
+
+    #[test]
+    fn corrupt_gzip_falls_back_to_raw_bytes() {
+        let mut gz = crate::flate::gzip_compress(b"body");
+        let mid = gz.len() / 2;
+        gz[mid] ^= 1;
+        let req = b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n";
+        let resp = format!(
+            "HTTP/1.1 200 OK\r\nContent-Encoding: gzip\r\nContent-Length: {}\r\n\r\n",
+            gz.len()
+        );
+        let mut resp_bytes = resp.into_bytes();
+        resp_bytes.extend_from_slice(&gz);
+        let txs = pair_connection(
+            &mk_stream(conn(), req, 0.0),
+            Some(&mk_stream(conn().reversed(), &resp_bytes, 0.1)),
+        )
+        .unwrap();
+        assert_eq!(txs[0].payload_size, gz.len(), "raw bytes kept");
+    }
+
+    #[test]
+    fn fnv_digest_is_stable_and_discriminating() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"payload"), fnv1a(b"payload"));
+    }
+
+    #[test]
+    fn looks_like_request_discriminates() {
+        assert!(looks_like_request(b"GET / HTTP/1.1\r\n"));
+        assert!(looks_like_request(b"POST /x HTTP/1.1\r\n"));
+        assert!(!looks_like_request(b"HTTP/1.1 200 OK\r\n"));
+        assert!(!looks_like_request(b"\x16\x03\x01")); // TLS
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic HTTP traffic calibrated to the DynaMiner ground truth.
+//!
+//! The paper trains on 770 real exploit-kit infection PCAPs (9 families,
+//! 06/2013–07/2016, from malware-traffic-analysis.net) and 980 benign
+//! browsing PCAPs. Those captures are not redistributable, so this crate
+//! generates statistically equivalent episodes:
+//!
+//! * [`families`] — per-family profiles calibrated to **Table I** (host
+//!   counts, redirect-chain lengths, payload-type mixes) and to the global
+//!   properties of Sec. III-D (10 nodes avg / 2–404, 46 edges avg /
+//!   2–1778, 123 s mean lifetime / 0.5–4061 s),
+//! * [`entice`] — the enticement-origin distribution of **Figures 1–2**
+//!   (search engines 62 %, compromised sites 12.84 %, empty referrers
+//!   17.76 %, …),
+//! * [`episode`] — infection episodes with the paper's three-stage
+//!   structure: pre-download redirection (Location headers, meta-refresh,
+//!   and base64-obfuscated JavaScript redirects), exploit payload
+//!   downloads, and post-download C&C call-backs to never-before-seen
+//!   hosts (92 % of traces),
+//! * [`benign`] — benign scenarios matching Sec. II-A's collection
+//!   methodology (search, social, webmail with attachments, video,
+//!   Alexa-random browsing) plus the false-positive-inducing cases of
+//!   Sec. VI-B (unofficial download sites, torrent sessions with
+//!   246 MB–1.1 GB payloads),
+//! * [`corpus`] — ground-truth and held-out validation corpus builders,
+//! * [`pcapgen`] — serializing an episode to real pcap bytes so the
+//!   `nettrace` parsing pipeline is exercised end-to-end.
+//!
+//! All generation is deterministic given a seed.
+
+pub mod benign;
+pub mod corpus;
+pub mod entice;
+pub mod episode;
+pub mod evasion;
+pub mod families;
+pub mod hostgen;
+pub mod pcapgen;
+
+pub use corpus::{ground_truth, validation_set, CorpusStats};
+pub use entice::Enticement;
+pub use episode::{Episode, EpisodeLabel};
+pub use families::EkFamily;
+
+pub use benign::BenignScenario;

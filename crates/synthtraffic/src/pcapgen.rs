@@ -1,0 +1,206 @@
+//! Serializing episodes to real pcap bytes.
+//!
+//! Each transaction becomes its own TCP connection (SYN handshake, request
+//! segment, response segments, FIN) so the `nettrace` reassembly and
+//! HTTP-pairing pipeline is exercised exactly as it would be on a real
+//! capture.
+//!
+//! Payload bodies larger than [`crate::episode::MATERIALIZE_LIMIT`] are
+//! only *declared* in the transaction's `payload_size`; on the wire the
+//! materialized bytes are written with a matching `Content-Length`, so a
+//! reparsed transaction reports the materialized size. Offline analytics
+//! consume the transaction stream directly and keep the declared sizes.
+
+use nettrace::ether::{self, MacAddr, ETHERTYPE_IPV4};
+use nettrace::ipv4::{self, PROTO_TCP};
+use nettrace::pcap::{Packet, PcapWriter};
+use nettrace::tcp::{self, TcpFlags};
+use nettrace::transaction::HttpTransaction;
+use nettrace::Result;
+
+use crate::episode::Episode;
+
+/// Maximum TCP payload bytes per synthesized segment.
+const MSS: usize = 1400;
+
+/// Renders the request bytes of a transaction.
+pub fn request_bytes(tx: &HttpTransaction) -> Vec<u8> {
+    let mut out = format!("{} {} HTTP/1.1\r\n", tx.method, tx.uri).into_bytes();
+    for (name, value) in tx.req_headers.iter() {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Renders the response bytes of a transaction, with `Content-Length`
+/// rewritten to the on-wire body length. Transactions marked
+/// `Content-Encoding: gzip` carry their body *decoded* (that is the
+/// [`HttpTransaction`] contract), so the wire form re-compresses it —
+/// the extractor then decodes it back to identical bytes.
+pub fn response_bytes(tx: &HttpTransaction) -> Vec<u8> {
+    let gzipped = tx
+        .resp_headers
+        .get("Content-Encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("gzip"));
+    let wire_body: Vec<u8> = if gzipped {
+        nettrace::flate::gzip_compress(&tx.body_preview)
+    } else {
+        tx.body_preview.clone()
+    };
+    let mut out = format!("HTTP/1.1 {} X\r\n", tx.status).into_bytes();
+    for (name, value) in tx.resp_headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n", wire_body.len()).as_bytes());
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&wire_body);
+    out
+}
+
+struct PacketSink {
+    packets: Vec<Packet>,
+    ident: u16,
+}
+
+impl PacketSink {
+    fn push(
+        &mut self,
+        ts: f64,
+        src: nettrace::reassembly::Endpoint,
+        dst: nettrace::reassembly::Endpoint,
+        seq: u32,
+        flags: TcpFlags,
+        payload: &[u8],
+    ) {
+        let seg = tcp::build(src.port, dst.port, seq, 0, flags, payload);
+        let ip = ipv4::build(src.addr, dst.addr, PROTO_TCP, self.ident, &seg);
+        self.ident = self.ident.wrapping_add(1);
+        let eth = ether::build(MacAddr([2; 6]), MacAddr([1; 6]), ETHERTYPE_IPV4, &ip);
+        self.packets.push(Packet::new(ts, eth));
+    }
+}
+
+/// Converts an episode into raw captured packets.
+pub fn episode_packets(episode: &Episode) -> Vec<Packet> {
+    let mut sink = PacketSink { packets: Vec::new(), ident: 1 };
+    for tx in &episode.transactions {
+        let client = tx.client;
+        let server = tx.server;
+        let req = request_bytes(tx);
+        let resp = if tx.status != 0 { response_bytes(tx) } else { Vec::new() };
+        let mut t = tx.ts;
+        // Handshake.
+        sink.push(t - 0.002, client, server, 999, TcpFlags::syn(), &[]);
+        sink.push(t - 0.001, server, client, 4999, TcpFlags::syn(), &[]);
+        // Request segments.
+        let mut seq = 1000u32;
+        for chunk in req.chunks(MSS) {
+            sink.push(t, client, server, seq, TcpFlags::data(), chunk);
+            seq += chunk.len() as u32;
+            t += 0.0005;
+        }
+        // Response segments, spread between request time and resp_ts.
+        let mut rseq = 5000u32;
+        let n_chunks = resp.len().div_ceil(MSS).max(1);
+        let dt = ((tx.resp_ts - tx.ts).max(0.001)) / n_chunks as f64;
+        let mut rt = tx.ts + dt.min(0.05);
+        for chunk in resp.chunks(MSS) {
+            sink.push(rt, server, client, rseq, TcpFlags::data(), chunk);
+            rseq += chunk.len() as u32;
+            rt += dt;
+        }
+        // Teardown.
+        sink.push(rt, client, server, seq, TcpFlags::fin(), &[]);
+        sink.push(rt + 0.001, server, client, rseq, TcpFlags::fin(), &[]);
+    }
+    sink.packets.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    sink.packets
+}
+
+/// Serializes an episode to classic pcap bytes.
+///
+/// # Errors
+///
+/// Returns an error only when the in-memory writer fails, which indicates
+/// an internal bug (e.g. an oversized packet).
+pub fn episode_pcap(episode: &Episode) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    let mut writer = PcapWriter::new(&mut buf)?;
+    for p in episode_packets(episode) {
+        writer.write_packet(&p)?;
+    }
+    writer.finish()?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benign::{generate_benign, BenignScenario};
+    use crate::episode::generate_infection;
+    use crate::families::EkFamily;
+    use nettrace::pcap::PcapReader;
+    use nettrace::TransactionExtractor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn roundtrip(ep: &Episode) -> Vec<HttpTransaction> {
+        let bytes = episode_pcap(ep).unwrap();
+        let packets = PcapReader::new(bytes.as_slice()).unwrap().collect_packets().unwrap();
+        TransactionExtractor::extract(&packets).unwrap()
+    }
+
+    #[test]
+    fn infection_episode_roundtrips_through_pcap() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let ep = generate_infection(&mut rng, EkFamily::Rig, 1_400_000_000.0);
+        let parsed = roundtrip(&ep);
+        assert_eq!(parsed.len(), ep.transactions.len());
+        for (orig, got) in ep.transactions.iter().zip(&parsed) {
+            assert_eq!(orig.host, got.host);
+            assert_eq!(orig.uri, got.uri);
+            assert_eq!(orig.method, got.method);
+            assert_eq!(orig.status, got.status);
+            assert_eq!(orig.referer(), got.referer());
+            assert_eq!(orig.location(), got.location());
+            assert!((orig.ts - got.ts).abs() < 0.01, "{} vs {}", orig.ts, got.ts);
+            // Fully materialized payloads keep their size and digest.
+            if orig.payload_size == orig.body_preview.len() {
+                assert_eq!(orig.payload_size, got.payload_size);
+                assert_eq!(orig.payload_digest, got.payload_digest);
+                assert_eq!(orig.payload_class, got.payload_class, "uri {}", orig.uri);
+            }
+        }
+    }
+
+    #[test]
+    fn benign_episode_roundtrips_through_pcap() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let ep = generate_benign(&mut rng, BenignScenario::Search, 1_430_000_000.0);
+        let parsed = roundtrip(&ep);
+        assert_eq!(parsed.len(), ep.transactions.len());
+    }
+
+    #[test]
+    fn pcap_bytes_start_with_magic() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let ep = generate_benign(&mut rng, BenignScenario::AlexaBrowse, 1_430_000_000.0);
+        let bytes = episode_pcap(&ep).unwrap();
+        assert_eq!(&bytes[..4], &nettrace::pcap::MAGIC_USEC.to_le_bytes());
+    }
+
+    #[test]
+    fn request_bytes_are_parseable() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let ep = generate_infection(&mut rng, EkFamily::Angler, 1_400_000_000.0);
+        for tx in &ep.transactions {
+            let bytes = request_bytes(tx);
+            let (head, _) = nettrace::http::parse_request_head(&bytes).unwrap().unwrap();
+            assert_eq!(head.uri, tx.uri);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Degree, closeness, betweenness, and load centrality.
+//!
+//! Closeness, betweenness, and load operate on the undirected simple view
+//! of the graph (see [`DiGraph::undirected_adjacency`]); degree centrality
+//! counts parallel edges, matching NetworkX's behaviour on multigraphs.
+
+use crate::algo::mean;
+use crate::algo::paths::bfs_distances;
+use crate::DiGraph;
+
+/// Per-node degree centrality: `degree / (n - 1)`, parallel edges counted.
+pub fn degree_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
+    let n = g.node_count();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    let denom = (n - 1) as f64;
+    g.node_ids().map(|v| g.degree(v) as f64 / denom).collect()
+}
+
+/// Average degree centrality over all nodes (feature f16).
+pub fn avg_degree_centrality<N, E>(g: &DiGraph<N, E>) -> f64 {
+    mean(&degree_centrality(g))
+}
+
+/// Per-node closeness centrality with the Wasserman–Faust improvement for
+/// disconnected graphs: `((r-1)/Σd) · ((r-1)/(n-1))` where `r` is the size
+/// of the node's reachable set.
+pub fn closeness_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
+    let n = g.node_count();
+    let adj = g.undirected_adjacency();
+    (0..n)
+        .map(|u| {
+            let dist = bfs_distances(&adj, u);
+            let mut reachable = 0usize;
+            let mut total = 0usize;
+            for (v, &d) in dist.iter().enumerate() {
+                if v != u && d != usize::MAX {
+                    reachable += 1;
+                    total += d;
+                }
+            }
+            if total == 0 || n <= 1 {
+                0.0
+            } else {
+                (reachable as f64 / total as f64) * (reachable as f64 / (n - 1) as f64)
+            }
+        })
+        .collect()
+}
+
+/// Average closeness centrality (feature f17).
+pub fn avg_closeness_centrality<N, E>(g: &DiGraph<N, E>) -> f64 {
+    mean(&closeness_centrality(g))
+}
+
+/// Per-node betweenness centrality via Brandes' algorithm on the undirected
+/// simple view, normalized by `(n-1)(n-2)` (both traversal directions are
+/// accumulated, which folds in the standard factor 2).
+pub fn betweenness_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
+    let n = g.node_count();
+    let adj = g.undirected_adjacency();
+    let mut bc = vec![0.0f64; n];
+    for s in 0..n {
+        // Brandes: single-source shortest paths with path counts.
+        let mut stack = Vec::with_capacity(n);
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![usize::MAX; n];
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            stack.push(u);
+            for &v in &adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v] == dist[u] + 1 {
+                    sigma[v] += sigma[u];
+                    preds[v].push(u);
+                }
+            }
+        }
+        let mut delta = vec![0.0f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                bc[w] += delta[w];
+            }
+        }
+    }
+    if n > 2 {
+        let scale = 1.0 / ((n - 1) as f64 * (n - 2) as f64);
+        for b in &mut bc {
+            *b *= scale;
+        }
+    }
+    bc
+}
+
+/// Average betweenness centrality (feature f18).
+pub fn avg_betweenness_centrality<N, E>(g: &DiGraph<N, E>) -> f64 {
+    mean(&betweenness_centrality(g))
+}
+
+/// Per-node load centrality: like betweenness, but when flow is pushed back
+/// from a node toward the source it is split *equally* among the node's
+/// shortest-path predecessors instead of proportionally to path counts
+/// (NetworkX `load_centrality` / Newman's measure). Normalized by
+/// `(n-1)(n-2)`.
+pub fn load_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
+    let n = g.node_count();
+    let adj = g.undirected_adjacency();
+    let mut lc = vec![0.0f64; n];
+    for s in 0..n {
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut dist = vec![usize::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        dist[s] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v] == dist[u] + 1 {
+                    preds[v].push(u);
+                }
+            }
+        }
+        // Each reachable node (except s) injects one unit; push everything
+        // back toward the source, splitting equally among predecessors.
+        let mut between = vec![1.0f64; n];
+        for &v in order.iter().rev() {
+            if preds[v].is_empty() {
+                continue;
+            }
+            let share = between[v] / preds[v].len() as f64;
+            for &p in preds[v].clone().iter() {
+                between[p] += share;
+            }
+        }
+        for (v, &b) in between.iter().enumerate() {
+            if v != s && dist[v] != usize::MAX {
+                lc[v] += b - 1.0;
+            }
+        }
+    }
+    if n > 2 {
+        let scale = 1.0 / ((n - 1) as f64 * (n - 2) as f64);
+        for l in &mut lc {
+            *l *= scale;
+        }
+    }
+    lc
+}
+
+/// Average load centrality (feature f19).
+pub fn avg_load_centrality<N, E>(g: &DiGraph<N, E>) -> f64 {
+    mean(&load_centrality(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Star graph: center 0 connected to 1..=4.
+    fn star() -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let c = g.add_node(());
+        for _ in 0..4 {
+            let leaf = g.add_node(());
+            g.add_edge(c, leaf, ());
+        }
+        g
+    }
+
+    /// Path graph 0-1-2.
+    fn path3() -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..3).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[2], ());
+        g
+    }
+
+    #[test]
+    fn degree_centrality_star() {
+        let dc = degree_centrality(&star());
+        assert!((dc[0] - 1.0).abs() < 1e-12); // 4/(5-1)
+        for &v in &dc[1..] {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degree_centrality_counts_parallel_edges() {
+        let mut g = path3();
+        g.add_edge(crate::NodeId(0), crate::NodeId(1), ());
+        let dc = degree_centrality(&g);
+        assert!((dc[0] - 1.0).abs() < 1e-12); // degree 2 / (3-1)
+    }
+
+    #[test]
+    fn closeness_path3() {
+        // NetworkX: [2/3, 1, 2/3].
+        let cc = closeness_centrality(&path3());
+        assert!((cc[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cc[1] - 1.0).abs() < 1e-12);
+        assert!((cc[2] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_disconnected_wf() {
+        // Path 0-1-2 plus isolated node 3. NetworkX wf_improved values:
+        // node1: (2/2)*(2/3) = 2/3; node0: (2/3)*(2/3) = 4/9; node3: 0.
+        let mut g = path3();
+        g.add_node(());
+        let cc = closeness_centrality(&g);
+        assert!((cc[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cc[0] - 4.0 / 9.0).abs() < 1e-12);
+        assert_eq!(cc[3], 0.0);
+    }
+
+    #[test]
+    fn betweenness_path3() {
+        // NetworkX normalized undirected: middle node = 1.0, ends 0.
+        let bc = betweenness_centrality(&path3());
+        assert!((bc[1] - 1.0).abs() < 1e-12);
+        assert!(bc[0].abs() < 1e-12 && bc[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn betweenness_star_center() {
+        // Star n=5: center normalized betweenness = 1.0, leaves 0.
+        let bc = betweenness_centrality(&star());
+        assert!((bc[0] - 1.0).abs() < 1e-12);
+        for &v in &bc[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn betweenness_cycle4_splits_paths() {
+        // Cycle 0-1-2-3-0: each node lies on exactly one of the two
+        // shortest paths between its two non-adjacent neighbors' pair.
+        // NetworkX normalized: 1/6 each... actually each node: 0.1667.
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        for i in 0..4 {
+            g.add_edge(n[i], n[(i + 1) % 4], ());
+        }
+        let bc = betweenness_centrality(&g);
+        for &v in &bc {
+            assert!((v - 1.0 / 6.0).abs() < 1e-9, "got {v}");
+        }
+    }
+
+    #[test]
+    fn load_equals_betweenness_on_trees() {
+        // On trees there is a unique shortest path, so equal and
+        // proportional splitting coincide.
+        let g = star();
+        let bc = betweenness_centrality(&g);
+        let lc = load_centrality(&g);
+        for (b, l) in bc.iter().zip(&lc) {
+            assert!((b - l).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn load_path3_middle() {
+        let lc = load_centrality(&path3());
+        assert!((lc[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_graphs_do_not_blow_up() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(betweenness_centrality(&g).is_empty());
+        assert_eq!(avg_closeness_centrality(&g), 0.0);
+        let mut g1: DiGraph<(), ()> = DiGraph::new();
+        g1.add_node(());
+        assert_eq!(avg_degree_centrality(&g1), 0.0);
+        assert_eq!(avg_load_centrality(&g1), 0.0);
+        let mut g2 = DiGraph::new();
+        let a = g2.add_node(());
+        let b = g2.add_node(());
+        g2.add_edge(a, b, ());
+        // n=2: betweenness/load undefined scale; must be finite zeros.
+        assert!(betweenness_centrality(&g2).iter().all(|v| v.is_finite()));
+        assert!(load_centrality(&g2).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn averages_are_means() {
+        let g = star();
+        let bc = betweenness_centrality(&g);
+        let avg: f64 = bc.iter().sum::<f64>() / bc.len() as f64;
+        assert!((avg_betweenness_centrality(&g) - avg).abs() < 1e-12);
+    }
+}

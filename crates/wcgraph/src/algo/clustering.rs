@@ -1,0 +1,126 @@
+//! Clustering coefficient and neighbor-degree measures.
+
+use crate::algo::mean;
+use crate::DiGraph;
+
+/// Per-node clustering coefficient on the undirected simple view:
+/// `2·T(v) / (k(v)·(k(v)−1))` where `T(v)` is the number of triangles
+/// through `v` and `k(v)` its simple degree. Nodes with degree < 2 get 0.
+pub fn clustering_coefficients<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
+    let adj = g.undirected_adjacency();
+    adj.iter()
+        .map(|nbrs| {
+            let k = nbrs.len();
+            if k < 2 {
+                return 0.0;
+            }
+            let mut triangles = 0usize;
+            for (i, &u) in nbrs.iter().enumerate() {
+                for &v in &nbrs[i + 1..] {
+                    if adj[u].binary_search(&v).is_ok() {
+                        triangles += 1;
+                    }
+                }
+            }
+            2.0 * triangles as f64 / (k * (k - 1)) as f64
+        })
+        .collect()
+}
+
+/// Average clustering coefficient (feature f21).
+pub fn avg_clustering_coefficient<N, E>(g: &DiGraph<N, E>) -> f64 {
+    mean(&clustering_coefficients(g))
+}
+
+/// Per-node average neighbor degree on the undirected simple view: the
+/// mean simple degree of each node's neighbors. Isolated nodes get 0.
+pub fn neighbor_degrees<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
+    let adj = g.undirected_adjacency();
+    adj.iter()
+        .map(|nbrs| {
+            if nbrs.is_empty() {
+                0.0
+            } else {
+                nbrs.iter().map(|&u| adj[u].len() as f64).sum::<f64>() / nbrs.len() as f64
+            }
+        })
+        .collect()
+}
+
+/// Average neighbor degree over all nodes (feature f22).
+pub fn avg_neighbor_degree<N, E>(g: &DiGraph<N, E>) -> f64 {
+    mean(&neighbor_degrees(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn triangle_plus_tail() -> DiGraph<(), ()> {
+        // Triangle 0-1-2 with a tail 2-3.
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[2], ());
+        g.add_edge(n[2], n[0], ());
+        g.add_edge(n[2], n[3], ());
+        g
+    }
+
+    #[test]
+    fn triangle_nodes_fully_clustered() {
+        let cc = clustering_coefficients(&triangle_plus_tail());
+        assert!((cc[0] - 1.0).abs() < 1e-12);
+        assert!((cc[1] - 1.0).abs() < 1e-12);
+        // Node 2 has degree 3, one triangle: 2*1/(3*2) = 1/3.
+        assert!((cc[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cc[3], 0.0); // degree 1
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let mut g = DiGraph::new();
+        let c = g.add_node(());
+        for _ in 0..3 {
+            let l = g.add_node(());
+            g.add_edge(c, l, ());
+        }
+        assert_eq!(avg_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn parallel_edges_do_not_inflate_triangles() {
+        let mut g = triangle_plus_tail();
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(0), ());
+        let cc = clustering_coefficients(&g);
+        assert!((cc[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_degree_path() {
+        // Path 0-1-2: degrees 1,2,1. Neighbor degrees: [2, 1, 2].
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..3).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[2], ());
+        let nd = neighbor_degrees(&g);
+        assert_eq!(nd, vec![2.0, 1.0, 2.0]);
+        assert!((avg_neighbor_degree(&g) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_node_neighbor_degree_zero() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        g.add_node(());
+        assert_eq!(neighbor_degrees(&g), vec![0.0]);
+    }
+
+    #[test]
+    fn empty_graph_means_are_zero() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert_eq!(avg_clustering_coefficient(&g), 0.0);
+        assert_eq!(avg_neighbor_degree(&g), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Strongly connected components (Tarjan) and degree assortativity.
+
+use crate::DiGraph;
+
+/// Strongly connected components via Tarjan's algorithm (iterative, so
+/// deep graphs cannot overflow the stack). Returns a component id per
+/// node; ids are assigned in reverse topological order of the condensation
+/// (a component's id is ≥ the ids of components it can reach).
+pub fn strongly_connected_components<N, E>(g: &DiGraph<N, E>) -> Vec<usize> {
+    let n = g.node_count();
+    let (succ, _) = g.directed_adjacency();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    // Explicit DFS frames: (node, next-successor position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+            if let Some(&w) = succ[v].get(*next) {
+                *next += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Number of strongly connected components.
+pub fn scc_count<N, E>(g: &DiGraph<N, E>) -> usize {
+    strongly_connected_components(g).into_iter().max().map_or(0, |m| m + 1)
+}
+
+/// Degree assortativity coefficient on the undirected simple view: the
+/// Pearson correlation of the degrees at either end of each edge
+/// (Newman 2002). Ranges in [-1, 1]; star graphs are strongly
+/// disassortative, regular graphs undefined (returns 0).
+pub fn degree_assortativity<N, E>(g: &DiGraph<N, E>) -> f64 {
+    let adj = g.undirected_adjacency();
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for (u, nbrs) in adj.iter().enumerate() {
+        for &v in nbrs {
+            // Each undirected edge contributes both orientations, which
+            // symmetrizes the correlation.
+            xs.push(adj[u].len() as f64);
+            ys.push(adj[v].len() as f64);
+        }
+    }
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Graph radius: the minimum eccentricity over non-isolated nodes
+/// (0 for empty or edgeless graphs).
+pub fn radius<N, E>(g: &DiGraph<N, E>) -> usize {
+    crate::algo::paths::eccentricities(g)
+        .into_iter()
+        .zip(g.node_ids())
+        .filter(|&(_, v)| g.degree(v) > 0)
+        .map(|(e, _)| e)
+        .min()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn cycle(n: usize) -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+        for i in 0..n {
+            g.add_edge(ids[i], ids[(i + 1) % n], ());
+        }
+        g
+    }
+
+    #[test]
+    fn cycle_is_one_scc() {
+        assert_eq!(scc_count(&cycle(5)), 1);
+        let comp = strongly_connected_components(&cycle(5));
+        assert!(comp.iter().all(|&c| c == comp[0]));
+    }
+
+    #[test]
+    fn dag_has_one_scc_per_node() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        assert_eq!(scc_count(&g), 3);
+        let comp = strongly_connected_components(&g);
+        // Reverse-topological ids: sinks get the smallest ids.
+        assert!(comp[2] < comp[1] && comp[1] < comp[0]);
+    }
+
+    #[test]
+    fn two_cycles_bridged_one_way() {
+        // cycle {0,1} -> cycle {2,3}: two SCCs.
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], ());
+        g.add_edge(ids[1], ids[0], ());
+        g.add_edge(ids[2], ids[3], ());
+        g.add_edge(ids[3], ids[2], ());
+        g.add_edge(ids[1], ids[2], ());
+        let comp = strongly_connected_components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_eq!(scc_count(&g), 2);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..50_000).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        assert_eq!(scc_count(&g), 50_000);
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        let mut g = DiGraph::new();
+        let c = g.add_node(());
+        for _ in 0..6 {
+            let l = g.add_node(());
+            g.add_edge(c, l, ());
+        }
+        assert!(degree_assortativity(&g) < -0.9, "{}", degree_assortativity(&g));
+    }
+
+    #[test]
+    fn regular_graph_assortativity_is_zero() {
+        assert_eq!(degree_assortativity(&cycle(6)), 0.0);
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+
+    #[test]
+    fn radius_of_path() {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g.add_node(()); // isolated node must not zero the radius
+        assert_eq!(radius(&g), 2); // center of a 5-path
+        assert_eq!(crate::algo::paths::diameter(&g), 4);
+    }
+
+    #[test]
+    fn self_loops_do_not_break_scc() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId(0), ());
+        assert_eq!(scc_count(&g), 1);
+    }
+}

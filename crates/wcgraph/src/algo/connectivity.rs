@@ -1,0 +1,215 @@
+//! Node connectivity (vertex-disjoint paths) and degree connectivity.
+
+use crate::DiGraph;
+
+/// Local node connectivity between `s` and `t` on an undirected simple
+/// adjacency: the maximum number of internally vertex-disjoint `s`–`t`
+/// paths (equivalently, by Menger's theorem, the minimum vertex cut).
+///
+/// Computed as unit-capacity max-flow on the vertex-split digraph: every
+/// node `v` becomes `v_in → v_out` with capacity 1 (except `s` and `t`),
+/// every undirected edge `{u,v}` becomes `u_out → v_in` and `v_out → u_in`.
+///
+/// Adjacent `s`, `t` still yield finite values (the direct edge counts as
+/// one disjoint path).
+pub fn local_node_connectivity(adj: &[Vec<usize>], s: usize, t: usize) -> usize {
+    assert_ne!(s, t, "local connectivity requires distinct endpoints");
+    let n = adj.len();
+    // Node v_in = 2v, v_out = 2v+1. Residual capacities in a hash-free
+    // edge-list representation: (to, cap, reverse-index).
+    let mut graph: Vec<Vec<(usize, i32, usize)>> = vec![Vec::new(); 2 * n];
+    let add = |g: &mut Vec<Vec<(usize, i32, usize)>>, u: usize, v: usize, cap: i32| {
+        let ru = g[u].len();
+        let rv = g[v].len();
+        g[u].push((v, cap, rv));
+        g[v].push((u, 0, ru));
+    };
+    for v in 0..n {
+        let cap = if v == s || v == t { i32::MAX / 2 } else { 1 };
+        add(&mut graph, 2 * v, 2 * v + 1, cap);
+    }
+    for (u, nbrs) in adj.iter().enumerate() {
+        for &v in nbrs {
+            if u < v {
+                add(&mut graph, 2 * u + 1, 2 * v, 1);
+                add(&mut graph, 2 * v + 1, 2 * u, 1);
+            }
+        }
+    }
+    // Edmonds–Karp from s_out to t_in.
+    let source = 2 * s + 1;
+    let sink = 2 * t;
+    let mut flow = 0usize;
+    loop {
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; 2 * n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(source);
+        parent[source] = Some((source, usize::MAX));
+        while let Some(u) = queue.pop_front() {
+            if u == sink {
+                break;
+            }
+            for (i, &(v, cap, _)) in graph[u].iter().enumerate() {
+                if cap > 0 && parent[v].is_none() {
+                    parent[v] = Some((u, i));
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[sink].is_none() {
+            break;
+        }
+        // Augment by 1 (unit capacities on all internal edges).
+        let mut v = sink;
+        while v != source {
+            let (u, i) = parent[v].expect("path reconstructed");
+            graph[u][i].1 -= 1;
+            let rev = graph[u][i].2;
+            graph[v][rev].1 += 1;
+            v = u;
+        }
+        flow += 1;
+        if flow > n {
+            break; // safety: cannot exceed node count
+        }
+    }
+    flow
+}
+
+/// Average node connectivity: the mean of local node connectivity over
+/// node pairs (feature f20, Fig. 7's "average node connectivity").
+///
+/// For graphs with more than `sample_limit` nodes an exact all-pairs
+/// computation is quadratic in pairs times a max-flow each; we then fall
+/// back to a deterministic stride-sample of pairs, which preserves the
+/// estimator's mean on these small-world conversation graphs.
+pub fn average_node_connectivity<N, E>(g: &DiGraph<N, E>) -> f64 {
+    average_node_connectivity_with_limit(g, 64)
+}
+
+/// See [`average_node_connectivity`]; `sample_limit` bounds the node count
+/// above which pair sampling kicks in.
+pub fn average_node_connectivity_with_limit<N, E>(g: &DiGraph<N, E>, sample_limit: usize) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    let adj = g.undirected_adjacency();
+    let mut pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|s| ((s + 1)..n).map(move |t| (s, t))).collect();
+    if n > sample_limit {
+        let target = sample_limit * (sample_limit - 1) / 2;
+        let stride = (pairs.len() / target).max(1);
+        pairs = pairs.into_iter().step_by(stride).collect();
+    }
+    let total: usize = pairs.iter().map(|&(s, t)| local_node_connectivity(&adj, s, t)).sum();
+    total as f64 / pairs.len() as f64
+}
+
+/// Average degree over non-isolated nodes (feature f23, "average degree
+/// for connected nodes"). Parallel edges are counted, matching the degree
+/// definition used elsewhere.
+pub fn avg_degree_connectivity<N, E>(g: &DiGraph<N, E>) -> f64 {
+    let degrees: Vec<usize> =
+        g.node_ids().map(|v| g.degree(v)).filter(|&d| d > 0).collect();
+    if degrees.is_empty() {
+        0.0
+    } else {
+        degrees.iter().sum::<usize>() as f64 / degrees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let nodes: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(nodes[i], nodes[j], ());
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn path_connectivity_is_one() {
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..3).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[2], ());
+        let adj = g.undirected_adjacency();
+        assert_eq!(local_node_connectivity(&adj, 0, 2), 1);
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        let g = complete(5);
+        let adj = g.undirected_adjacency();
+        // K5: connectivity between any pair = 4 (direct edge + 3 via others).
+        assert_eq!(local_node_connectivity(&adj, 0, 4), 4);
+        assert!((average_node_connectivity(&g) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_connectivity_is_two() {
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        for i in 0..5 {
+            g.add_edge(n[i], n[(i + 1) % 5], ());
+        }
+        let adj = g.undirected_adjacency();
+        assert_eq!(local_node_connectivity(&adj, 0, 2), 2);
+        assert!((average_node_connectivity(&g) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_pair_connectivity_is_zero() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        g.add_node(());
+        g.add_node(());
+        let adj = g.undirected_adjacency();
+        assert_eq!(local_node_connectivity(&adj, 0, 1), 0);
+        assert_eq!(average_node_connectivity(&g), 0.0);
+    }
+
+    #[test]
+    fn cut_vertex_limits_connectivity() {
+        // Two triangles sharing node 2 (bowtie): connectivity(0, 4) = 1.
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)] {
+            g.add_edge(n[a], n[b], ());
+        }
+        let adj = g.undirected_adjacency();
+        assert_eq!(local_node_connectivity(&adj, 0, 4), 1);
+        assert_eq!(local_node_connectivity(&adj, 0, 1), 2);
+    }
+
+    #[test]
+    fn sampling_matches_exact_on_regular_graph() {
+        let g = complete(10);
+        let exact = average_node_connectivity_with_limit(&g, 1000);
+        let sampled = average_node_connectivity_with_limit(&g, 4);
+        assert!((exact - sampled).abs() < 1e-12); // all pairs identical in K10
+    }
+
+    #[test]
+    fn degree_connectivity_ignores_isolated() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_node(()); // isolated
+        g.add_edge(a, b, ());
+        // Degrees: 1, 1, 0 → mean over connected = 1.
+        assert!((avg_degree_connectivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_connectivity_empty() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert_eq!(avg_degree_connectivity(&g), 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Graph algorithms over [`DiGraph`](crate::DiGraph).
+//!
+//! Each submodule documents the precise definition implemented; where the
+//! paper's feature description is ambiguous we follow the NetworkX function
+//! of the same name, since the paper's feature set was computed with it
+//! (the paper cites scikit-learn/NetworkX-style tooling).
+
+pub mod centrality;
+pub mod clustering;
+pub mod components;
+pub mod connectivity;
+pub mod pagerank;
+pub mod paths;
+pub mod reciprocity;
+
+/// Mean of a slice, or 0.0 when empty.
+pub(crate) fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}

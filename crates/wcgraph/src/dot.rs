@@ -1,0 +1,87 @@
+//! Graphviz DOT export.
+
+use std::fmt::Write as _;
+
+use crate::DiGraph;
+
+/// Renders `g` in DOT format, labelling nodes and edges with the provided
+/// closures. The output is deterministic (insertion order).
+///
+/// # Example
+///
+/// ```
+/// use wcgraph::{dot, DiGraph};
+///
+/// let mut g = DiGraph::new();
+/// let a = g.add_node("bing.com");
+/// let b = g.add_node("evil.example");
+/// g.add_edge(a, b, "redirect");
+/// let out = dot::to_dot(&g, "wcg", |n| n.to_string(), |e| e.to_string());
+/// assert!(out.contains("digraph wcg"));
+/// assert!(out.contains("redirect"));
+/// ```
+pub fn to_dot<N, E>(
+    g: &DiGraph<N, E>,
+    name: &str,
+    node_label: impl Fn(&N) -> String,
+    edge_label: impl Fn(&E) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_id(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for id in g.node_ids() {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", id.0, escape(&node_label(g.node(id))));
+    }
+    for (_, src, dst, payload) in g.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            src.0,
+            dst.0,
+            escape(&edge_label(payload))
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize_id(name: &str) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) || cleaned.is_empty() {
+        format!("g{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 7u32);
+        let out = to_dot(&g, "test", |n| n.to_string(), |e| format!("w={e}"));
+        assert!(out.starts_with("digraph test {"));
+        assert!(out.contains("n0 [label=\"a\"]"));
+        assert!(out.contains("n0 -> n1 [label=\"w=7\"]"));
+        assert!(out.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_quotes_and_sanitizes_name() {
+        let mut g = DiGraph::new();
+        g.add_node("say \"hi\"");
+        let out = to_dot(&g, "123 bad name", |n| n.to_string(), |_: &()| String::new());
+        assert!(out.contains("digraph g123_bad_name"));
+        assert!(out.contains("\\\"hi\\\""));
+    }
+}

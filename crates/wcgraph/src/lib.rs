@@ -1,0 +1,34 @@
+//! Directed-graph analytics substrate for the DynaMiner reproduction.
+//!
+//! DynaMiner's 19 graph features (f7–f25 in the paper) require a fairly
+//! wide set of graph measures — centralities, connectivity, clustering,
+//! PageRank — that the paper's authors obtained from NetworkX. This crate
+//! implements them from scratch on a small, allocation-friendly directed
+//! multigraph, [`DiGraph`].
+//!
+//! The algorithm collection lives in [`algo`]; each function documents the
+//! exact definition used (several of the paper's one-line feature
+//! descriptions are ambiguous — where NetworkX has a function of the same
+//! name we follow its semantics).
+//!
+//! # Example
+//!
+//! ```
+//! use wcgraph::DiGraph;
+//!
+//! let mut g: DiGraph<&str, ()> = DiGraph::new();
+//! let a = g.add_node("victim");
+//! let b = g.add_node("landing");
+//! let c = g.add_node("exploit");
+//! g.add_edge(a, b, ());
+//! g.add_edge(b, c, ());
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(wcgraph::algo::paths::diameter(&g), 2);
+//! ```
+
+pub mod algo;
+pub mod dot;
+
+mod digraph;
+
+pub use digraph::{DiGraph, EdgeId, NodeId};

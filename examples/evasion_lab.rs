@@ -1,0 +1,58 @@
+//! Evasion lab: apply the paper's Sec. VII cloaking strategies to one
+//! infection and watch the classifier's score respond.
+//!
+//! Run with: `cargo run --example evasion_lab`
+
+use dynaminer::classifier::{build_dataset, Classifier};
+use dynaminer::wcg::Wcg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synthtraffic::benign::generate_benign;
+use synthtraffic::episode::generate_infection;
+use synthtraffic::evasion::{self, Evasion};
+use synthtraffic::{BenignScenario, EkFamily};
+
+fn main() {
+    // Train a quick model.
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut corpus: Vec<(Vec<nettrace::HttpTransaction>, bool)> = Vec::new();
+    for i in 0..60 {
+        corpus.push((
+            generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.4e9).transactions,
+            true,
+        ));
+        corpus.push((
+            generate_benign(&mut rng, BenignScenario::WEIGHTED[i % 8].0, 1.43e9).transactions,
+            false,
+        ));
+    }
+    let data = build_dataset(corpus.iter().map(|(t, l)| (t.as_slice(), *l)));
+    let classifier = Classifier::fit_default(&data, 1);
+
+    // One Angler infection, progressively cloaked.
+    let mut eval_rng = StdRng::seed_from_u64(2025);
+    let baseline = generate_infection(&mut eval_rng, EkFamily::Angler, 1.45e9);
+    println!(
+        "baseline Angler episode: {} transactions, {} redirects, {} malicious payloads\n",
+        baseline.transactions.len(),
+        baseline.redirect_count(),
+        baseline.malicious_digests.len(),
+    );
+    println!("{:<22} {:>6} {:>10} {:>12}", "evasion", "txs", "redirects", "P(infection)");
+    for evasion in Evasion::ALL {
+        let cloaked = evasion::apply(evasion, baseline.clone());
+        let wcg = Wcg::from_transactions(&cloaked.transactions);
+        let score = classifier.score_wcg(&wcg);
+        println!(
+            "{:<22} {:>6} {:>10} {:>12.3}",
+            evasion.label(),
+            cloaked.transactions.len(),
+            cloaked.redirect_count(),
+            score,
+        );
+    }
+    println!(
+        "\nthe score degrades stage by stage; only stripping every dynamic at once\n\
+         (which also neuters the attack) pushes the conversation under the radar."
+    );
+}

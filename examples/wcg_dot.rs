@@ -1,0 +1,26 @@
+//! Export an infection WCG as Graphviz DOT (the paper's Figure 6).
+//!
+//! Generates an Angler exploit-kit episode, abstracts it into a WCG, and
+//! prints the DOT graph. Pipe through `dot -Tpng` to render.
+//!
+//! Run with: `cargo run --example wcg_dot`
+
+use dynaminer::wcg::Wcg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synthtraffic::episode::generate_infection;
+use synthtraffic::EkFamily;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1221); // captured 12/21, like Fig. 6
+    let episode = generate_infection(&mut rng, EkFamily::Angler, 1.4508e9);
+    let wcg = Wcg::from_transactions(&episode.transactions);
+    eprintln!(
+        "// Angler WCG: {} nodes, {} edges, stages pre/dl/post = {:?}, max redirect chain {}",
+        wcg.graph.node_count(),
+        wcg.graph.edge_count(),
+        wcg.stage_counts,
+        wcg.redirects.max_chain,
+    );
+    println!("{}", wcg.to_dot("angler_wcg"));
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates every paper table and figure at full corpus scale.
+# Usage: ./run_experiments.sh [scale]   (default 1.0)
+set -u
+export DYNAMINER_SCALE="${1:-1.0}"
+cd "$(dirname "$0")"
+mkdir -p results
+BINS="table1 fig1_enticement fig2_origins fig3_graph_props fig4_header_props \
+fig6_example_wcg fig7_9_distributions table3_ablation table4_ranking fig10_roc \
+table5_validation case1_forensic table6_live global_props \
+ablation_vote ablation_threshold ablation_stages evasion_resilience extension_features extension_family_attribution extension_learning_curve hyperparams ablation_tree_vs_forest"
+for b in $BINS; do
+  echo "== running $b (scale $DYNAMINER_SCALE) =="
+  cargo run --release -p bench --bin "$b" > "results/$b.txt" 2>&1 || echo "FAILED: $b"
+done
+echo "ALL_EXPERIMENTS_DONE"

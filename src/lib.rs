@@ -1,0 +1,15 @@
+//! Facade crate for the DynaMiner reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can depend
+//! on a single package. The real functionality lives in the member crates:
+//! [`dynaminer`] (the paper's contribution), [`nettrace`] (pcap/HTTP
+//! substrate), [`wcgraph`] (graph analytics), [`mlearn`] (ensemble random
+//! forest), [`synthtraffic`] (calibrated traffic generation), and [`vtsim`]
+//! (the VirusTotal-style comparator).
+
+pub use dynaminer;
+pub use mlearn;
+pub use nettrace;
+pub use synthtraffic;
+pub use vtsim;
+pub use wcgraph;

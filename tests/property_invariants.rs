@@ -1,0 +1,312 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use dynaminer::features;
+use dynaminer::wcg::Wcg;
+use nettrace::http::{HeaderMap, Method};
+use nettrace::payload::PayloadClass;
+use nettrace::reassembly::Endpoint;
+use nettrace::HttpTransaction;
+use std::net::Ipv4Addr;
+use wcgraph::algo;
+use wcgraph::DiGraph;
+
+// ---------------------------------------------------------------------
+// Graph algorithm invariants on random digraphs.
+// ---------------------------------------------------------------------
+
+fn arb_graph() -> impl Strategy<Value = DiGraph<(), ()>> {
+    (2usize..12).prop_flat_map(|n| {
+        vec((0..n, 0..n), 0..30).prop_map(move |edges| {
+            let mut g = DiGraph::new();
+            let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+            for (a, b) in edges {
+                g.add_edge(ids[a], ids[b], ());
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn pagerank_sums_to_one_and_is_positive(g in arb_graph()) {
+        let pr = algo::pagerank::pagerank_default(&g);
+        let sum: f64 = pr.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        prop_assert!(pr.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn centralities_are_finite_and_nonnegative(g in arb_graph()) {
+        for values in [
+            algo::centrality::betweenness_centrality(&g),
+            algo::centrality::closeness_centrality(&g),
+            algo::centrality::load_centrality(&g),
+            algo::centrality::degree_centrality(&g),
+        ] {
+            prop_assert!(values.iter().all(|v| v.is_finite() && *v >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn closeness_bounded_by_one(g in arb_graph()) {
+        for v in algo::centrality::closeness_centrality(&g) {
+            prop_assert!(v <= 1.0 + 1e-12, "closeness {v}");
+        }
+    }
+
+    #[test]
+    fn diameter_bounded_by_order(g in arb_graph()) {
+        prop_assert!(algo::paths::diameter(&g) < g.node_count().max(1));
+    }
+
+    #[test]
+    fn reciprocity_is_a_fraction(g in arb_graph()) {
+        let r = algo::reciprocity::reciprocity(&g);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn clustering_coefficients_are_fractions(g in arb_graph()) {
+        for c in algo::clustering::clustering_coefficients(&g) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+        }
+    }
+
+    #[test]
+    fn scc_ids_are_valid_and_cycles_collapse(g in arb_graph()) {
+        let comp = algo::components::strongly_connected_components(&g);
+        prop_assert_eq!(comp.len(), g.node_count());
+        let count = algo::components::scc_count(&g);
+        prop_assert!(comp.iter().all(|&c| c < count));
+        // Mutually reachable simple-digraph neighbors share a component.
+        let (succ, _) = g.directed_adjacency();
+        for (u, out) in succ.iter().enumerate() {
+            for &v in out {
+                if succ[v].binary_search(&u).is_ok() {
+                    prop_assert_eq!(comp[u], comp[v]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assortativity_is_a_correlation(g in arb_graph()) {
+        let a = algo::components::degree_assortativity(&g);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&a), "{}", a);
+    }
+
+    #[test]
+    fn radius_at_most_diameter(g in arb_graph()) {
+        let r = algo::components::radius(&g);
+        let d = algo::paths::diameter(&g);
+        prop_assert!(r <= d, "radius {} > diameter {}", r, d);
+    }
+
+    #[test]
+    fn local_connectivity_bounded_by_min_degree(g in arb_graph()) {
+        let adj = g.undirected_adjacency();
+        let n = g.node_count();
+        for s in 0..n {
+            for t in (s + 1)..n {
+                let c = algo::connectivity::local_node_connectivity(&adj, s, t);
+                let bound = adj[s].len().min(adj[t].len());
+                // Adjacent nodes can exceed the internal-path bound by the
+                // direct edge; Menger applies to non-adjacent pairs.
+                let adjacent = adj[s].binary_search(&t).is_ok();
+                prop_assert!(
+                    c <= bound + usize::from(adjacent),
+                    "connectivity {c} > min degree {bound} for ({s},{t})"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec roundtrips.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn base64_roundtrips(data in vec(any::<u8>(), 0..200)) {
+        let enc = nettrace::base64::encode(&data);
+        prop_assert_eq!(nettrace::base64::decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn chunked_encoding_roundtrips(body in vec(any::<u8>(), 0..500)) {
+        let enc = nettrace::http::encode_chunked(&body);
+        let (dec, consumed) = nettrace::http::decode_chunked(&enc).unwrap().unwrap();
+        prop_assert_eq!(dec, body);
+        prop_assert_eq!(consumed, enc.len());
+    }
+
+    #[test]
+    fn pcap_roundtrips(packets in vec((0.0f64..2e9, vec(any::<u8>(), 0..100)), 0..20)) {
+        let mut buf = Vec::new();
+        let mut w = nettrace::pcap::PcapWriter::new(&mut buf).unwrap();
+        for (ts, data) in &packets {
+            w.write_packet(&nettrace::pcap::Packet::new(*ts, data.clone())).unwrap();
+        }
+        w.finish().unwrap();
+        let got = nettrace::pcap::PcapReader::new(buf.as_slice())
+            .unwrap()
+            .collect_packets()
+            .unwrap();
+        prop_assert_eq!(got.len(), packets.len());
+        for ((ts, data), p) in packets.iter().zip(&got) {
+            prop_assert_eq!(&p.data, data);
+            prop_assert!((p.ts - ts).abs() < 1e-5);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser robustness: arbitrary bytes must error, never panic.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn capture_readers_never_panic_on_garbage(bytes in vec(any::<u8>(), 0..400)) {
+        let _ = nettrace::capture::read_packets(&bytes);
+        let _ = nettrace::pcapng::read_packets(&bytes);
+        if let Ok(reader) = nettrace::pcap::PcapReader::new(bytes.as_slice()) {
+            let _ = reader.collect_packets();
+        }
+    }
+
+    #[test]
+    fn pcapng_survives_bit_flips(
+        packets in vec((0.0f64..1e6, vec(any::<u8>(), 0..40)), 1..5),
+        flip in 0usize..10_000,
+    ) {
+        let mut bytes = nettrace::pcapng::write_packets(
+            &packets.iter().map(|(t, d)| nettrace::pcap::Packet::new(*t, d.clone())).collect::<Vec<_>>(),
+        );
+        let idx = flip % bytes.len();
+        bytes[idx] ^= 0x55;
+        let _ = nettrace::pcapng::read_packets(&bytes); // Ok or Err, no panic
+    }
+
+    #[test]
+    fn gzip_roundtrips_arbitrary_bodies(body in vec(any::<u8>(), 0..4000)) {
+        let gz = nettrace::flate::gzip_compress(&body);
+        prop_assert_eq!(nettrace::flate::gzip_decompress(&gz).unwrap(), body);
+    }
+
+    #[test]
+    fn inflate_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..300)) {
+        let _ = nettrace::flate::inflate(&bytes);
+        let _ = nettrace::flate::gzip_decompress(&bytes);
+    }
+
+    #[test]
+    fn fixed_literal_deflate_roundtrips(body in vec(any::<u8>(), 0..1500)) {
+        let deflated = nettrace::flate::deflate_fixed_literals(&body);
+        prop_assert_eq!(nettrace::flate::inflate(&deflated).unwrap(), body);
+    }
+
+    #[test]
+    fn extractor_never_panics_on_random_packets(
+        raw in vec(vec(any::<u8>(), 0..120), 0..10)
+    ) {
+        let packets: Vec<nettrace::pcap::Packet> =
+            raw.into_iter().enumerate().map(|(i, d)| nettrace::pcap::Packet::new(i as f64, d)).collect();
+        let _ = nettrace::TransactionExtractor::extract(&packets);
+    }
+}
+
+// ---------------------------------------------------------------------
+// WCG and feature invariants on random transaction streams.
+// ---------------------------------------------------------------------
+
+fn arb_transaction() -> impl Strategy<Value = HttpTransaction> {
+    let hosts = prop_oneof![
+        Just("a.example.com".to_string()),
+        Just("b.example.net".to_string()),
+        Just("c.example.org".to_string()),
+        Just("198.51.100.7".to_string()),
+    ];
+    let methods = prop_oneof![Just(Method::Get), Just(Method::Post), Just(Method::Head)];
+    let statuses = prop_oneof![
+        Just(0u16), Just(200u16), Just(204u16), Just(302u16), Just(404u16), Just(500u16)
+    ];
+    let classes = prop_oneof![
+        Just(PayloadClass::Html),
+        Just(PayloadClass::Js),
+        Just(PayloadClass::Exe),
+        Just(PayloadClass::Image),
+        Just(PayloadClass::Empty),
+    ];
+    (hosts, methods, statuses, classes, 0.0f64..1000.0, 0usize..100_000, any::<bool>()).prop_map(
+        |(host, method, status, class, ts, size, with_referer)| {
+            let mut req_headers = HeaderMap::new();
+            req_headers.append("Host", host.clone());
+            if with_referer {
+                req_headers.append("Referer", "http://origin.example/start");
+            }
+            HttpTransaction {
+                ts,
+                resp_ts: ts + 0.05,
+                client: Endpoint::new(Ipv4Addr::new(10, 0, 0, 9), 50000),
+                server: Endpoint::new(Ipv4Addr::new(203, 0, 113, 1), 80),
+                host,
+                method,
+                uri: "/p/q.html".to_string(),
+                req_headers,
+                status,
+                resp_headers: HeaderMap::new(),
+                payload_class: class,
+                payload_size: size,
+                body_preview: Vec::new(),
+                payload_digest: size as u64,
+            }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn wcg_construction_never_panics_and_counts_add_up(
+        txs in vec(arb_transaction(), 0..30)
+    ) {
+        let wcg = Wcg::from_transactions(&txs);
+        prop_assert_eq!(wcg.tx_count, txs.len());
+        // Every transaction contributes exactly one request edge.
+        let requests = wcg
+            .graph
+            .edges()
+            .filter(|(_, _, _, e)| e.kind == dynaminer::wcg::EdgeKind::Request)
+            .count();
+        prop_assert_eq!(requests, txs.len());
+        // Stage counts partition the transactions.
+        prop_assert_eq!(wcg.stage_counts.iter().sum::<usize>(), txs.len());
+        // Method counts partition the transactions.
+        let m = wcg.method_counts;
+        prop_assert_eq!(m.get + m.post + m.other, txs.len());
+        // Referrer counts partition the transactions.
+        prop_assert_eq!(wcg.referrer_set + wcg.referrer_unset, txs.len());
+    }
+
+    #[test]
+    fn features_always_finite(txs in vec(arb_transaction(), 0..30)) {
+        let wcg = Wcg::from_transactions(&txs);
+        let fv = features::extract(&wcg);
+        for (i, v) in fv.values().iter().enumerate() {
+            prop_assert!(v.is_finite(), "feature {} = {v}", features::NAMES[i]);
+            prop_assert!(*v >= 0.0, "feature {} negative: {v}", features::NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn wcg_duration_nonnegative_and_consistent(txs in vec(arb_transaction(), 1..30)) {
+        let wcg = Wcg::from_transactions(&txs);
+        prop_assert!(wcg.duration() >= 0.0);
+        let min_ts = txs.iter().map(|t| t.ts).fold(f64::INFINITY, f64::min);
+        prop_assert!((wcg.first_ts - min_ts).abs() < 1e-9);
+    }
+}
