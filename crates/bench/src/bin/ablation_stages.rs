@@ -69,7 +69,8 @@ fn evaluate(corpus: &[Episode], keep: &dyn Fn(&HttpTransaction) -> bool) -> Outc
 fn main() {
     bench::banner("Ablation: comprehensive WCG vs prior-work abstractions");
     let corpus = bench::ground_truth_corpus();
-    let configs: [(&str, &dyn Fn(&HttpTransaction) -> bool); 4] = [
+    type KeepFn<'a> = &'a dyn Fn(&HttpTransaction) -> bool;
+    let configs: [(&str, KeepFn); 4] = [
         ("full conversation (DynaMiner)", &|_| true),
         ("download graph [12]-style", &is_download),
         ("redirection graph [25]-style", &is_redirecting),

@@ -5,6 +5,7 @@
 use synthtraffic::corpus::CorpusStats;
 
 /// Paper values: (label, pcaps, hosts(min,max,avg), redirects(min,max,avg)).
+#[allow(clippy::type_complexity)]
 const PAPER: [(&str, usize, (usize, usize, usize), (usize, usize, usize)); 11] = [
     ("Benign", 980, (2, 34, 3), (0, 2, 0)),
     ("Angler", 253, (2, 74, 6), (0, 18, 1)),

@@ -21,12 +21,16 @@ dynaminer — payload-agnostic web-conversation-graph malware detection
 
 USAGE:
   dynaminer train    [--scale S] [--seed N] --out model.json
-  dynaminer classify --model model.json <capture.pcap>...
-  dynaminer replay   [--model model.json] [--threshold L] [--format text|json] <capture.pcap>
+  dynaminer classify --model model.json [--strict] <capture.pcap>...
+  dynaminer replay   [--model model.json] [--threshold L] [--format text|json] [--strict] <capture.pcap>
   dynaminer generate [--family <name> | --benign <scenario>] [--seed N] --out <file.pcap>
   dynaminer dot      <capture.pcap>
   dynaminer features <capture.pcap>
   dynaminer inspect  --model model.json [--top N]
+
+Captures are read leniently by default: damaged records and malformed
+streams are skipped and accounted in ingest-health counters. --strict
+fails on the first unparseable byte instead.
 
 Families:  angler rig nuclear magnitude sweetorange flashpack neutrino goon fiesta other
 Scenarios: search social webmail video alexa-browse software-update unofficial-download torrent-session";
@@ -37,12 +41,19 @@ struct Options {
     positional: Vec<String>,
 }
 
+/// Flags that take no value.
+const BOOL_FLAGS: [&str; 1] = ["strict"];
+
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut flags = BTreeMap::new();
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| format!("flag --{name} requires a value"))?;
@@ -75,6 +86,10 @@ impl Options {
             .map(String::as_str)
             .ok_or_else(|| format!("missing required flag --{name}"))
     }
+
+    fn bool_flag(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
 }
 
 fn load_transactions(path: &str) -> Result<Vec<HttpTransaction>, String> {
@@ -83,6 +98,19 @@ fn load_transactions(path: &str) -> Result<Vec<HttpTransaction>, String> {
     let packets =
         nettrace::capture::read_packets(&bytes).map_err(|e| format!("{path}: {e}"))?;
     TransactionExtractor::extract(&packets).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Lenient counterpart of [`load_transactions`]: salvages whatever the
+/// capture still holds, accounting losses in the returned report. Only
+/// an unreadable file is an error.
+fn load_transactions_lenient(
+    path: &str,
+) -> Result<(Vec<HttpTransaction>, nettrace::IngestReport), String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut report = nettrace::IngestReport::new();
+    let packets = nettrace::capture::read_packets_lenient(&bytes, &mut report);
+    let txs = TransactionExtractor::extract_lenient(&packets, &mut report);
+    Ok((txs, report))
 }
 
 /// On-disk model format: the classifier plus provenance metadata.
@@ -147,15 +175,29 @@ pub fn classify(args: &[String]) -> Result<(), String> {
         return Err("no capture files given".into());
     }
     for path in &opts.positional {
-        let txs = load_transactions(path)?;
-        let wcg = Wcg::from_transactions(&txs);
-        let score = classifier.score_wcg(&wcg);
-        println!(
-            "{path}: {} transactions, {} hosts, P(infection) = {score:.3} → {}",
-            txs.len(),
-            wcg.remote_host_count(),
-            if score >= 0.5 { "INFECTION" } else { "benign" },
-        );
+        let (txs, ingest) = if opts.bool_flag("strict") {
+            (load_transactions(path)?, None)
+        } else {
+            let (txs, report) = load_transactions_lenient(path)?;
+            (txs, Some(report))
+        };
+        // A lenient read that salvaged nothing has no conversation to
+        // judge; a verdict over zero evidence would be noise.
+        if txs.is_empty() && ingest.is_some() {
+            println!("{path}: 0 transactions recovered, no verdict");
+        } else {
+            let wcg = Wcg::from_transactions(&txs);
+            let score = classifier.score_wcg(&wcg);
+            println!(
+                "{path}: {} transactions, {} hosts, P(infection) = {score:.3} → {}",
+                txs.len(),
+                wcg.remote_host_count(),
+                if score >= 0.5 { "INFECTION" } else { "benign" },
+            );
+        }
+        if let Some(report) = ingest {
+            println!("  ingest: {report}");
+        }
     }
     Ok(())
 }
@@ -175,12 +217,17 @@ pub fn replay(args: &[String]) -> Result<(), String> {
     let [path] = opts.positional.as_slice() else {
         return Err("replay expects exactly one capture file".into());
     };
-    let txs = load_transactions(path)?;
     let config = DetectorConfig {
         clue: ClueConfig { redirect_threshold: threshold, ..ClueConfig::default() },
         ..DetectorConfig::default()
     };
-    let report = forensic::analyze_transactions(&txs, classifier, config);
+    let report = if opts.bool_flag("strict") {
+        let txs = load_transactions(path)?;
+        forensic::analyze_transactions(&txs, classifier, config)
+    } else {
+        let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        forensic::analyze_pcap_lenient(&bytes, classifier, config)
+    };
     if opts.flags.get("format").map(String::as_str) == Some("json") {
         let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         println!("{json}");
@@ -192,6 +239,9 @@ pub fn replay(args: &[String]) -> Result<(), String> {
         report.conversations.len(),
         report.alerts
     );
+    if let Some(ingest) = &report.ingest {
+        println!("  ingest: {ingest}");
+    }
     for verdict in &report.conversations {
         println!(
             "  conversation {}: {} txs, {} hosts, score {:.3}{}",
@@ -315,6 +365,19 @@ mod tests {
     fn parse_rejects_dangling_flag() {
         let args = vec!["--out".to_string()];
         assert!(parse(&args).is_err());
+    }
+
+    #[test]
+    fn strict_flag_consumes_no_value() {
+        let args: Vec<String> =
+            ["--strict", "a.pcap"].iter().map(|s| s.to_string()).collect();
+        let opts = parse(&args).unwrap();
+        assert!(opts.bool_flag("strict"));
+        assert!(!opts.bool_flag("lenient"));
+        assert_eq!(opts.positional, ["a.pcap"]);
+        // Trailing --strict is fine too (no dangling-value error).
+        let args = vec!["a.pcap".to_string(), "--strict".to_string()];
+        assert!(parse(&args).unwrap().bool_flag("strict"));
     }
 
     #[test]

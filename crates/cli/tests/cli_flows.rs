@@ -67,8 +67,27 @@ fn helpful_errors_for_bad_input() {
     .contains("mutually exclusive"));
     let model = trained_model_path();
     assert!(commands::replay(&args(&["--model", &model])).unwrap_err().contains("exactly one"));
-    // A non-capture file errors cleanly.
+    // A non-capture file errors cleanly in strict mode; the lenient
+    // default degrades gracefully (zero transactions, counted loss).
     let junk = tmp("junk.bin");
     std::fs::write(&junk, b"not a capture at all").unwrap();
-    assert!(commands::classify(&args(&["--model", &model, &junk])).is_err());
+    assert!(commands::classify(&args(&["--model", &model, "--strict", &junk])).is_err());
+    assert!(commands::classify(&args(&["--model", &model, &junk])).is_ok());
+}
+
+#[test]
+fn strict_and_lenient_agree_on_clean_captures() {
+    let clean = tmp("fiesta.pcap");
+    commands::generate(&args(&["--family", "fiesta", "--seed", "11", "--out", &clean]))
+        .unwrap();
+    let model = trained_model_path();
+    commands::classify(&args(&["--model", &model, "--strict", &clean])).unwrap();
+    commands::classify(&args(&["--model", &model, &clean])).unwrap();
+    commands::replay(&args(&["--model", &model, "--strict", &clean])).unwrap();
+    commands::replay(&args(&["--model", &model, &clean])).unwrap();
+    // A corrupted capture fail-stops strictly but replays leniently.
+    let bytes = std::fs::read(&clean).unwrap();
+    let hurt = tmp("fiesta-truncated.pcap");
+    std::fs::write(&hurt, &bytes[..bytes.len() - 3]).unwrap();
+    commands::replay(&args(&["--model", &model, &hurt])).unwrap();
 }

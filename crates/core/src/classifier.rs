@@ -81,11 +81,11 @@ pub fn build_dataset_parallel(
     let threads = threads.max(1).min(conversations.len().max(1));
     let mut rows: Vec<Option<(Vec<f64>, usize)>> = vec![None; conversations.len()];
     let chunk = conversations.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot_chunk, conv_chunk) in
             rows.chunks_mut(chunk).zip(conversations.chunks(chunk))
         {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, (txs, infected)) in slot_chunk.iter_mut().zip(conv_chunk) {
                     let wcg = Wcg::from_transactions(txs);
                     let fv = features::extract(&wcg);
@@ -93,8 +93,7 @@ pub fn build_dataset_parallel(
                 }
             });
         }
-    })
-    .expect("feature extraction worker panicked");
+    });
     let mut data = Dataset::new(NAMES.iter().map(|s| s.to_string()).collect(), 2);
     for row in rows {
         let (values, label) = row.expect("every slot filled");

@@ -60,6 +60,15 @@ pub struct DetectorConfig {
     pub retention: Option<f64>,
     /// Re-classification cadence for watched conversations.
     pub reclassify: ReclassifyPolicy,
+    /// At most this many live conversations per client; the
+    /// least-recently-active one is evicted to make room. Guards tracker
+    /// memory against a hostile client spraying unclusterable
+    /// transactions.
+    pub max_conversations_per_client: usize,
+    /// At most this many stored transactions per conversation; further
+    /// transactions refresh activity but are not stored. Guards against
+    /// a single endless conversation.
+    pub max_transactions_per_conversation: usize,
 }
 
 impl Default for DetectorConfig {
@@ -71,6 +80,8 @@ impl Default for DetectorConfig {
             trusted: TrustedHosts::default(),
             retention: None,
             reclassify: ReclassifyPolicy::EveryTransaction,
+            max_conversations_per_client: 512,
+            max_transactions_per_conversation: 8192,
         }
     }
 }
@@ -138,7 +149,8 @@ impl OnTheWireDetector {
         let tracker = match config.retention {
             Some(retention) => SessionTracker::with_retention(config.idle_timeout, retention),
             None => SessionTracker::new(config.idle_timeout),
-        };
+        }
+        .with_caps(config.max_conversations_per_client, config.max_transactions_per_conversation);
         OnTheWireDetector {
             classifier,
             config,
@@ -392,6 +404,31 @@ mod tests {
             det.tracker().conversation_count()
         );
         assert!(det.tracker().evicted_count() > 0);
+    }
+
+    #[test]
+    fn caps_bound_detector_state_on_hostile_stream() {
+        use crate::wcg::tests::tx;
+        use nettrace::http::Method;
+        let clf = trained_classifier(8);
+        let config = DetectorConfig {
+            max_conversations_per_client: 32,
+            max_transactions_per_conversation: 16,
+            ..DetectorConfig::default()
+        };
+        let mut det = OnTheWireDetector::new(clf, config);
+        // A hostile client spraying unclusterable one-shot transactions.
+        for i in 0..2000 {
+            let host = format!("h{i}.example");
+            let referer = format!("http://unique-{i}.example/");
+            let t = tx(
+                i as f64 * 0.01, &host, "/x", Method::Get, 200,
+                PayloadClass::Html, 100, Some(&referer), None,
+            );
+            det.observe(&t);
+        }
+        assert!(det.tracker().conversation_count() <= 32);
+        assert!(det.tracker().cap_evicted_count() >= 2000 - 32);
     }
 
     #[test]

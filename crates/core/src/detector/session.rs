@@ -68,6 +68,15 @@ impl Conversation {
         self.last_ts
     }
 
+    /// Records a transaction that was dropped by the per-conversation
+    /// cap: activity is acknowledged (so idle/retention timers behave)
+    /// but nothing is stored, bounding memory against a hostile endpoint
+    /// streaming unbounded transactions into one conversation.
+    fn note_capped(&mut self, ts: f64) {
+        self.last_tx_added_host = false;
+        self.last_ts = self.last_ts.max(ts);
+    }
+
     /// Hosts contacted in this conversation.
     pub fn hosts(&self) -> impl Iterator<Item = &str> {
         self.hosts.iter().map(String::as_str)
@@ -120,6 +129,10 @@ pub struct SessionTracker {
     idle_timeout: f64,
     retention: Option<f64>,
     evicted: usize,
+    max_conversations: usize,
+    max_transactions: usize,
+    cap_evicted: usize,
+    dropped_transactions: u64,
     next_id: u64,
 }
 
@@ -134,6 +147,10 @@ impl SessionTracker {
             idle_timeout,
             retention: None,
             evicted: 0,
+            max_conversations: usize::MAX,
+            max_transactions: usize::MAX,
+            cap_evicted: 0,
+            dropped_transactions: 0,
             next_id: 0,
         }
     }
@@ -143,18 +160,39 @@ impl SessionTracker {
     /// evicted conversation can no longer be matched or re-alerted; its
     /// alert (if any) was already emitted when it fired.
     pub fn with_retention(idle_timeout: f64, retention: f64) -> Self {
-        SessionTracker {
-            clients: BTreeMap::new(),
-            idle_timeout,
-            retention: Some(retention.max(idle_timeout)),
-            evicted: 0,
-            next_id: 0,
-        }
+        SessionTracker { retention: Some(retention.max(idle_timeout)), ..Self::new(idle_timeout) }
+    }
+
+    /// Caps tracker state against hostile clients: at most
+    /// `max_conversations_per_client` live conversations per client (the
+    /// least-recently-active one is evicted to make room) and at most
+    /// `max_transactions_per_conversation` stored transactions per
+    /// conversation (further transactions refresh the activity timestamp
+    /// but are not stored). Both caps are clamped to at least 1.
+    pub fn with_caps(
+        mut self,
+        max_conversations_per_client: usize,
+        max_transactions_per_conversation: usize,
+    ) -> Self {
+        self.max_conversations = max_conversations_per_client.max(1);
+        self.max_transactions = max_transactions_per_conversation.max(1);
+        self
     }
 
     /// Number of conversations evicted so far.
     pub fn evicted_count(&self) -> usize {
         self.evicted
+    }
+
+    /// Conversations evicted by the per-client conversation cap (as
+    /// opposed to the retention window).
+    pub fn cap_evicted_count(&self) -> usize {
+        self.cap_evicted
+    }
+
+    /// Transactions dropped by the per-conversation transaction cap.
+    pub fn dropped_transaction_count(&self) -> u64 {
+        self.dropped_transactions
     }
 
     /// Drops every conversation of every client whose last activity
@@ -203,6 +241,19 @@ impl SessionTracker {
         let idx = match chosen {
             Some(i) => i,
             None => {
+                if convs.len() >= self.max_conversations {
+                    // At the cap: evict the least-recently-active
+                    // conversation to make room. Its alert (if any) was
+                    // already emitted when it fired.
+                    let lru = convs
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.last_ts().total_cmp(&b.1.last_ts()))
+                        .map(|(i, _)| i)
+                        .expect("cap is >= 1, so a full client has conversations");
+                    convs.remove(lru);
+                    self.cap_evicted += 1;
+                }
                 let id = self.next_id;
                 self.next_id += 1;
                 convs.push(Conversation::new(id, tx.ts));
@@ -210,7 +261,12 @@ impl SessionTracker {
             }
         };
         let conv = &mut convs[idx];
-        conv.absorb(tx);
+        if conv.transactions.len() >= self.max_transactions {
+            self.dropped_transactions += 1;
+            conv.note_capped(tx.ts);
+        } else {
+            conv.absorb(tx);
+        }
         conv
     }
 
@@ -330,6 +386,54 @@ mod tests {
         // (clamped) 1-second retention request.
         tracker.assign(&get(200.0, "a.com", "/x", None));
         assert_eq!(tracker.conversation_count(), 1);
+    }
+
+    #[test]
+    fn conversation_cap_bounds_hostile_client() {
+        // A hostile client spraying 10k one-shot transactions, each with
+        // a unique host and a unique referrer so none of them cluster:
+        // without a cap this is 10k live conversations for one client.
+        let mut tracker = SessionTracker::new(300.0).with_caps(64, 4096);
+        for i in 0..10_000 {
+            let host = format!("h{i}.example");
+            let referer = format!("http://unique-{i}.example/");
+            tracker.assign(&get(i as f64 * 0.01, &host, "/x", Some(&referer)));
+        }
+        assert!(tracker.conversation_count() <= 64, "{}", tracker.conversation_count());
+        assert_eq!(tracker.cap_evicted_count(), 10_000 - 64);
+        assert_eq!(tracker.dropped_transaction_count(), 0);
+    }
+
+    #[test]
+    fn transaction_cap_bounds_hostile_conversation() {
+        let mut tracker = SessionTracker::new(300.0).with_caps(64, 8);
+        for i in 0..20 {
+            tracker.assign(&get(i as f64, "a.com", "/x", None));
+        }
+        assert_eq!(tracker.conversation_count(), 1);
+        let conv = tracker.conversations().next().unwrap();
+        assert_eq!(conv.transactions.len(), 8);
+        // Activity is still acknowledged, so the conversation stays live.
+        assert_eq!(conv.last_ts(), 19.0);
+        assert!(!conv.last_tx_added_host);
+        assert_eq!(tracker.dropped_transaction_count(), 12);
+    }
+
+    #[test]
+    fn caps_do_not_perturb_normal_clustering() {
+        let mut capped = SessionTracker::new(300.0).with_caps(512, 8192);
+        let mut plain = SessionTracker::new(300.0);
+        for t in [
+            get(1.0, "a.com", "/x", None),
+            get(2.0, "b.com", "/y", Some("http://a.com/x")),
+            get(400.0, "a.com", "/x", None),
+        ] {
+            capped.assign(&t);
+            plain.assign(&t);
+        }
+        assert_eq!(capped.conversation_count(), plain.conversation_count());
+        assert_eq!(capped.cap_evicted_count(), 0);
+        assert_eq!(capped.dropped_transaction_count(), 0);
     }
 
     #[test]

@@ -294,7 +294,7 @@ mod tests {
 
     #[test]
     fn groups_partition_all_columns() {
-        let mut covered = vec![false; FEATURE_COUNT];
+        let mut covered = [false; FEATURE_COUNT];
         for group in [
             FeatureGroup::HighLevel,
             FeatureGroup::Graph,

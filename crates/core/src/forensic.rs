@@ -44,7 +44,7 @@ pub struct ConversationVerdict {
 }
 
 /// The outcome of a forensic replay.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ForensicReport {
     /// Total transactions replayed (after trusted-vendor weed-out).
     pub transactions: usize,
@@ -54,12 +54,61 @@ pub struct ForensicReport {
     pub downloads: Vec<DownloadRecord>,
     /// Number of alerts raised.
     pub alerts: usize,
+    /// Ingest-health counters from lenient capture decoding; `None` when
+    /// the report came from pre-extracted transactions or a strict parse.
+    pub ingest: Option<nettrace::IngestReport>,
 }
 
 impl ForensicReport {
     /// Conversations the detector alerted on.
     pub fn infected_conversations(&self) -> impl Iterator<Item = &ConversationVerdict> {
         self.conversations.iter().filter(|c| c.alerted)
+    }
+}
+
+// Serialization is hand-written (not derived) so a strict-mode report —
+// `ingest: None` — serializes without the field and stays byte-identical
+// to reports from before lenient ingestion existed.
+impl Serialize for ForensicReport {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::Error as _;
+        let field = |v: Result<serde::Value, serde::ValueError>| v.map_err(S::Error::custom);
+        let mut fields = vec![
+            ("transactions".to_string(), field(serde::to_value(&self.transactions))?),
+            ("conversations".to_string(), field(serde::to_value(&self.conversations))?),
+            ("downloads".to_string(), field(serde::to_value(&self.downloads))?),
+            ("alerts".to_string(), field(serde::to_value(&self.alerts))?),
+        ];
+        if let Some(ingest) = &self.ingest {
+            fields.push(("ingest".to_string(), field(serde::to_value(ingest))?));
+        }
+        serializer.serialize_value(serde::Value::Object(fields))
+    }
+}
+
+impl<'de> Deserialize<'de> for ForensicReport {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let serde::Value::Object(mut fields) = deserializer.deserialize_value()? else {
+            return Err(D::Error::custom("ForensicReport: expected object"));
+        };
+        fn req<T: serde::de::DeserializeOwned, E: serde::de::Error>(
+            fields: &mut Vec<(String, serde::Value)>,
+            name: &'static str,
+        ) -> Result<T, E> {
+            let v = serde::__private::take_field(fields, name)
+                .ok_or_else(|| E::missing_field(name))?;
+            serde::from_value(v).map_err(E::custom)
+        }
+        let transactions = req(&mut fields, "transactions")?;
+        let conversations = req(&mut fields, "conversations")?;
+        let downloads = req(&mut fields, "downloads")?;
+        let alerts = req(&mut fields, "alerts")?;
+        let ingest = match serde::__private::take_field(&mut fields, "ingest") {
+            None | Some(serde::Value::Null) => None,
+            Some(v) => Some(serde::from_value(v).map_err(D::Error::custom)?),
+        };
+        Ok(ForensicReport { transactions, conversations, downloads, alerts, ingest })
     }
 }
 
@@ -102,6 +151,7 @@ pub fn analyze_transactions(
         conversations,
         downloads,
         alerts: detector.alerts().len(),
+        ingest: None,
     }
 }
 
@@ -119,6 +169,23 @@ pub fn analyze_pcap(
     let packets = nettrace::capture::read_packets(pcap_bytes)?;
     let transactions = TransactionExtractor::extract(&packets)?;
     Ok(analyze_transactions(&transactions, classifier, config))
+}
+
+/// Replays a capture byte stream in graceful-degradation mode: damaged
+/// records, malformed streams, and broken encodings are skipped (and
+/// accounted in the report's [`ingest`](ForensicReport::ingest) counters)
+/// instead of failing the replay. Never errors, whatever the input.
+pub fn analyze_pcap_lenient(
+    pcap_bytes: &[u8],
+    classifier: Classifier,
+    config: DetectorConfig,
+) -> ForensicReport {
+    let mut ingest = nettrace::IngestReport::new();
+    let packets = nettrace::capture::read_packets_lenient(pcap_bytes, &mut ingest);
+    let transactions = TransactionExtractor::extract_lenient(&packets, &mut ingest);
+    let mut report = analyze_transactions(&transactions, classifier, config);
+    report.ingest = Some(ingest);
+    report
 }
 
 #[cfg(test)]
@@ -191,6 +258,60 @@ mod tests {
             alerts += report.alerts;
         }
         assert!(alerts <= 2, "{alerts} alerts over benign replays");
+    }
+
+    #[test]
+    fn lenient_replay_matches_strict_on_clean_capture() {
+        let clf = classifier(5);
+        let mut rng = StdRng::seed_from_u64(35);
+        let ep = generate_infection(&mut rng, EkFamily::Rig, 1.4e9);
+        let pcap = episode_pcap(&ep).unwrap();
+        let strict = analyze_pcap(&pcap, clf.clone(), DetectorConfig::default()).unwrap();
+        let lenient = analyze_pcap_lenient(&pcap, clf, DetectorConfig::default());
+        assert_eq!(lenient.transactions, strict.transactions);
+        assert_eq!(lenient.alerts, strict.alerts);
+        assert_eq!(lenient.conversations.len(), strict.conversations.len());
+        let ingest = lenient.ingest.expect("lenient replay records ingest health");
+        assert!(!ingest.has_loss(), "{ingest}");
+        assert_eq!(ingest.transactions_recovered as usize, strict.transactions);
+    }
+
+    #[test]
+    fn lenient_replay_survives_truncated_capture() {
+        let clf = classifier(6);
+        let mut rng = StdRng::seed_from_u64(36);
+        let ep = generate_infection(&mut rng, EkFamily::Angler, 1.4e9);
+        let pcap = episode_pcap(&ep).unwrap();
+        // Chop into the final record's body: a mid-record capture cut.
+        let cut = &pcap[..pcap.len() - 3];
+        let report = analyze_pcap_lenient(cut, clf, DetectorConfig::default());
+        let ingest = report.ingest.unwrap();
+        assert!(ingest.capture_truncated);
+        assert_eq!(ingest.records_dropped, 1);
+        assert!(ingest.packets_read > 0, "prefix packets salvaged");
+        assert!(report.transactions > 0, "surviving conversations still analyzed");
+    }
+
+    #[test]
+    fn strict_report_serializes_without_ingest_field() {
+        let clf = classifier(7);
+        let mut rng = StdRng::seed_from_u64(37);
+        let ep = generate_benign(&mut rng, BenignScenario::Search, 1.43e9);
+        let report = analyze_transactions(&ep.transactions, clf, DetectorConfig::default());
+        let serde::Value::Object(fields) = serde::to_value(&report).unwrap() else {
+            panic!("report must serialize to an object");
+        };
+        assert!(fields.iter().all(|(n, _)| n != "ingest"));
+        // And round-trips, with or without the field.
+        let back: ForensicReport = serde::from_value(serde::Value::Object(fields)).unwrap();
+        assert!(back.ingest.is_none());
+        assert_eq!(back.transactions, report.transactions);
+
+        let mut lenient = report.clone();
+        lenient.ingest = Some(nettrace::IngestReport::new());
+        let v = serde::to_value(&lenient).unwrap();
+        let back: ForensicReport = serde::from_value(v).unwrap();
+        assert!(back.ingest.is_some());
     }
 
     #[test]

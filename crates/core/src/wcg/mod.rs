@@ -448,6 +448,7 @@ pub(crate) mod tests {
     use nettrace::http::HeaderMap;
     use nettrace::reassembly::Endpoint;
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn tx(
         ts: f64,
         host: &str,

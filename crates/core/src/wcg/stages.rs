@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn canonical_infection_is_three_staged() {
-        let txs = vec![
+        let txs = [
             tx(1.0, "a.com", "/r", Method::Get, 302, PayloadClass::Empty, 0, None,
                Some("http://b.com/l")),
             tx(1.2, "b.com", "/l", Method::Get, 302, PayloadClass::Empty, 0, None,
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn post_requires_non_download_host() {
-        let txs = vec![
+        let txs = [
             tx(1.0, "c.com", "/x.exe", Method::Get, 200, PayloadClass::Exe, 9000, None, None),
             tx(2.0, "c.com", "/beacon", Method::Post, 200, PayloadClass::Text, 4, None, None),
             tx(3.0, "other.com", "/beacon", Method::Post, 200, PayloadClass::Text, 4, None, None),
@@ -142,7 +142,7 @@ mod tests {
 
     #[test]
     fn post_with_server_error_is_not_post_download() {
-        let txs = vec![
+        let txs = [
             tx(1.0, "c.com", "/x.exe", Method::Get, 200, PayloadClass::Exe, 9000, None, None),
             tx(2.0, "cc.com", "/g", Method::Post, 500, PayloadClass::Empty, 0, None, None),
         ];
@@ -152,7 +152,7 @@ mod tests {
 
     #[test]
     fn benign_browse_is_all_download_stage() {
-        let txs = vec![
+        let txs = [
             tx(1.0, "site.com", "/", Method::Get, 200, PayloadClass::Html, 100, None, None),
             tx(2.0, "site.com", "/a.js", Method::Get, 200, PayloadClass::Js, 50, None, None),
             tx(3.0, "cdn.com", "/i.png", Method::Get, 200, PayloadClass::Image, 500, None, None),
@@ -165,7 +165,7 @@ mod tests {
     fn redirects_after_download_do_not_extend_pre_stage() {
         // Benign ad-click: download first, then a redirect — the redirect
         // must not be classified pre-download.
-        let txs = vec![
+        let txs = [
             tx(1.0, "m.com", "/f.pdf", Method::Get, 200, PayloadClass::Pdf, 900, None, None),
             tx(2.0, "ad.com", "/click", Method::Get, 302, PayloadClass::Empty, 0, None,
                Some("http://lander.com/")),
@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn unanswered_posts_count_as_post_download() {
-        let txs = vec![
+        let txs = [
             tx(1.0, "c.com", "/x.jar", Method::Get, 200, PayloadClass::Jar, 900, None, None),
             tx(5.0, "9.9.9.9", "/g", Method::Post, 0, PayloadClass::Empty, 0, None, None),
         ];

@@ -157,8 +157,7 @@ pub fn threshold_for_fpr(scores: &[f64], labels: &[bool], target_fpr: f64) -> (f
     // last point still within budget (maximizes TPR).
     let point = curve
         .iter()
-        .filter(|p| p.fpr <= target_fpr)
-        .next_back()
+        .rfind(|p| p.fpr <= target_fpr)
         .copied()
         .unwrap_or(curve[0]);
     (point.threshold, point.fpr, point.tpr)

@@ -47,7 +47,7 @@ pub fn decode(text: &str) -> Option<Vec<u8>> {
         };
         vals.push(v);
     }
-    if (vals.len() + padding) % 4 != 0 || padding > 2 {
+    if !(vals.len() + padding).is_multiple_of(4) || padding > 2 {
         return None;
     }
     let mut out = Vec::with_capacity(vals.len() * 3 / 4);

@@ -1,6 +1,7 @@
 //! Format-agnostic capture reading: classic pcap or pcapng, detected by
 //! magic.
 
+use crate::ingest::IngestReport;
 use crate::pcap::{Packet, PcapReader, MAGIC_USEC, MAGIC_USEC_SWAPPED};
 use crate::{pcapng, Error, Result};
 
@@ -47,6 +48,24 @@ pub fn read_packets(bytes: &[u8]) -> Result<Vec<Packet>> {
     }
 }
 
+/// Reads every salvageable packet from a capture in either format,
+/// never failing.
+///
+/// Unreadable records are skipped (pcapng resynchronises on block
+/// framing; classic pcap yields the prefix before the first corrupt
+/// record) and accounted in `report`. Bytes that are not a recognisable
+/// capture at all are counted as skipped and produce no packets.
+pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Packet> {
+    match detect(bytes) {
+        Some(CaptureFormat::Pcap) => crate::pcap::read_packets_lenient(bytes, report),
+        Some(CaptureFormat::PcapNg) => pcapng::read_packets_lenient(bytes, report),
+        None => {
+            report.bytes_skipped += bytes.len() as u64;
+            Vec::new()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +101,31 @@ mod tests {
         assert_eq!(detect(b"not a capture"), None);
         assert!(matches!(read_packets(b"not a capture"), Err(Error::BadPcapMagic(_))));
         assert!(matches!(read_packets(b""), Err(Error::BadPcapMagic(0))));
+    }
+
+    #[test]
+    fn lenient_dispatches_both_formats() {
+        let mut classic = Vec::new();
+        let mut w = PcapWriter::new(&mut classic).unwrap();
+        for p in sample_packets() {
+            w.write_packet(&p).unwrap();
+        }
+        w.finish().unwrap();
+        let ng = pcapng::write_packets(&sample_packets());
+        for bytes in [classic, ng] {
+            let mut report = IngestReport::new();
+            let got = read_packets_lenient(&bytes, &mut report);
+            assert_eq!(got.len(), 2);
+            assert_eq!(report.packets_read, 2);
+            assert!(!report.has_loss());
+        }
+    }
+
+    #[test]
+    fn lenient_counts_unrecognisable_input() {
+        let mut report = IngestReport::new();
+        assert!(read_packets_lenient(b"not a capture", &mut report).is_empty());
+        assert_eq!(report.bytes_skipped, 13);
+        assert_eq!(report.packets_read, 0);
     }
 }

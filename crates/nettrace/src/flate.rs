@@ -96,9 +96,9 @@ impl Huffman {
         counts[0] = 0;
         // Over-subscription check.
         let mut left = 1i32;
-        for len in 1..16 {
+        for &count in &counts[1..16] {
             left <<= 1;
-            left -= counts[len] as i32;
+            left -= count as i32;
             if left < 0 {
                 return Err(corrupt("over-subscribed code"));
             }
@@ -334,7 +334,7 @@ pub fn deflate_fixed_literals(data: &[u8]) -> Vec<u8> {
     let mut bitpos = 0u32;
     let push_bits = |out: &mut Vec<u8>, bits: u32, count: u32, pos: &mut u32| {
         for i in 0..count {
-            if *pos % 8 == 0 {
+            if pos.is_multiple_of(8) {
                 out.push(0);
             }
             let bit = (bits >> i) & 1;
@@ -350,7 +350,7 @@ pub fn deflate_fixed_literals(data: &[u8]) -> Vec<u8> {
         // Huffman codes are written MSB-first.
         for i in (0..len).rev() {
             let bit = (code >> i) & 1;
-            if *pos % 8 == 0 {
+            if pos.is_multiple_of(8) {
                 out.push(0);
             }
             let byte = out.last_mut().expect("pushed above");
@@ -505,7 +505,7 @@ mod tests {
         let mut out = Vec::new();
         let mut pos = 0u32;
         let push = |out: &mut Vec<u8>, bit: u32, pos: &mut u32| {
-            if *pos % 8 == 0 {
+            if pos.is_multiple_of(8) {
                 out.push(0);
             }
             *out.last_mut().unwrap() |= (bit as u8) << (*pos % 8);
@@ -537,7 +537,7 @@ mod tests {
         let mut out = Vec::new();
         let mut pos = 0u32;
         let push = |out: &mut Vec<u8>, bit: u32, pos: &mut u32| {
-            if *pos % 8 == 0 {
+            if pos.is_multiple_of(8) {
                 out.push(0);
             }
             *out.last_mut().unwrap() |= (bit as u8) << (*pos % 8);
@@ -641,7 +641,7 @@ mod tests {
         let mut out = Vec::new();
         let mut pos = 0u32;
         let push = |out: &mut Vec<u8>, bit: u32, pos: &mut u32| {
-            if *pos % 8 == 0 {
+            if pos.is_multiple_of(8) {
                 out.push(0);
             }
             *out.last_mut().unwrap() |= (bit as u8) << (*pos % 8);

@@ -13,7 +13,10 @@
 //!   consumes,
 //! * [`payload`] — payload-type classification from URI extension,
 //!   `Content-Type`, and magic bytes, including the 45 ransomware file
-//!   extensions the paper matches against.
+//!   extensions the paper matches against,
+//! * [`ingest`] — per-layer health counters ([`IngestReport`]) for the
+//!   lenient decode mode, which salvages hostile or damaged captures
+//!   instead of failing on the first malformed byte.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@ pub mod capture;
 pub mod ether;
 pub mod flate;
 pub mod http;
+pub mod ingest;
 pub mod ipv4;
 pub mod payload;
 pub mod pcap;
@@ -48,6 +52,7 @@ pub mod transaction;
 mod error;
 
 pub use error::Error;
+pub use ingest::IngestReport;
 pub use transaction::{HttpTransaction, TransactionExtractor};
 
 /// Convenience result alias used throughout the crate.

@@ -7,6 +7,7 @@
 
 use std::io::{Read, Write};
 
+use crate::ingest::IngestReport;
 use crate::{Error, Result};
 
 /// Little-endian magic number for microsecond-resolution captures.
@@ -94,16 +95,84 @@ impl<R: Read> PcapReader<R> {
 
     /// Drains the remaining packets into a vector.
     ///
+    /// A file that ends in the middle of its final record — the normal
+    /// shape of a live-rotated or interrupted capture — yields every
+    /// packet read up to that point rather than failing the whole
+    /// capture. Use [`PcapReader::next_packet`] directly to observe the
+    /// truncation as an [`Error::Io`].
+    ///
     /// # Errors
     ///
-    /// Propagates the first error from [`PcapReader::next_packet`].
+    /// Propagates any non-truncation error from
+    /// [`PcapReader::next_packet`] (e.g. [`Error::BadCaptureLength`]).
     pub fn collect_packets(mut self) -> Result<Vec<Packet>> {
         let mut out = Vec::new();
-        while let Some(p) = self.next_packet()? {
-            out.push(p);
+        loop {
+            match self.next_packet() {
+                Ok(Some(p)) => out.push(p),
+                Ok(None) => return Ok(out),
+                Err(Error::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                    return Ok(out); // truncated final record
+                }
+                Err(e) => return Err(e),
+            }
         }
-        Ok(out)
     }
+}
+
+/// Reads every decodable packet from classic pcap bytes, never failing.
+///
+/// Classic pcap has no per-record magic, so decoding cannot resynchronise
+/// after a corrupt record: the first unreadable record ends the walk and
+/// the remaining bytes are counted as skipped in `report`. Truncated
+/// final records (live-rotated captures) are the common benign case and
+/// set [`IngestReport::capture_truncated`].
+pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Packet> {
+    let mut out = Vec::new();
+    if bytes.len() < 24 {
+        report.bytes_skipped += bytes.len() as u64;
+        report.capture_truncated = true;
+        return out;
+    }
+    let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let swapped = match magic {
+        MAGIC_USEC => false,
+        MAGIC_USEC_SWAPPED => true,
+        _ => {
+            report.bytes_skipped += bytes.len() as u64;
+            return out;
+        }
+    };
+    let mut pos = 24usize;
+    while pos < bytes.len() {
+        if pos + 16 > bytes.len() {
+            report.records_dropped += 1;
+            report.bytes_skipped += (bytes.len() - pos) as u64;
+            report.capture_truncated = true;
+            break;
+        }
+        let ts_sec = read_u32(&bytes[pos..pos + 4], swapped);
+        let ts_usec = read_u32(&bytes[pos + 4..pos + 8], swapped);
+        let caplen = read_u32(&bytes[pos + 8..pos + 12], swapped);
+        if caplen > MAX_CAPTURE_LEN {
+            // Corrupt length field: everything after it is unframed.
+            report.records_dropped += 1;
+            report.bytes_skipped += (bytes.len() - pos) as u64;
+            break;
+        }
+        let end = pos + 16 + caplen as usize;
+        if end > bytes.len() {
+            report.records_dropped += 1;
+            report.bytes_skipped += (bytes.len() - pos) as u64;
+            report.capture_truncated = true;
+            break;
+        }
+        let ts = ts_sec as f64 + ts_usec as f64 * 1e-6;
+        out.push(Packet { ts, data: bytes[pos + 16..end].to_vec() });
+        report.packets_read += 1;
+        pos = end;
+    }
+    out
 }
 
 /// Streaming writer for classic pcap files (little-endian, microseconds).
@@ -235,6 +304,70 @@ mod tests {
         buf.truncate(buf.len() - 4); // chop the packet body
         let mut r = PcapReader::new(buf.as_slice()).unwrap();
         assert!(r.next_packet().is_err());
+    }
+
+    #[test]
+    fn collect_yields_packets_before_truncated_final_record() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        w.write_packet(&Packet::new(1.0, vec![1; 10])).unwrap();
+        w.write_packet(&Packet::new(2.0, vec![2; 10])).unwrap();
+        w.finish().unwrap();
+        buf.truncate(buf.len() - 4); // chop the second packet's body
+        let got = PcapReader::new(buf.as_slice()).unwrap().collect_packets().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].data, vec![1; 10]);
+    }
+
+    #[test]
+    fn lenient_read_counts_truncation() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        w.write_packet(&Packet::new(1.0, vec![1; 10])).unwrap();
+        w.write_packet(&Packet::new(2.0, vec![2; 10])).unwrap();
+        w.finish().unwrap();
+        let chopped = buf.len() - 4;
+        buf.truncate(chopped);
+        let mut report = IngestReport::new();
+        let got = read_packets_lenient(&buf, &mut report);
+        assert_eq!(got.len(), 1);
+        assert_eq!(report.packets_read, 1);
+        assert_eq!(report.records_dropped, 1);
+        assert_eq!(report.bytes_skipped, 16 + 6); // record header + partial body
+        assert!(report.capture_truncated);
+    }
+
+    #[test]
+    fn lenient_read_matches_strict_on_clean_capture() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        for i in 0..5u8 {
+            w.write_packet(&Packet::new(i as f64, vec![i; i as usize + 1])).unwrap();
+        }
+        w.finish().unwrap();
+        let strict = PcapReader::new(buf.as_slice()).unwrap().collect_packets().unwrap();
+        let mut report = IngestReport::new();
+        let lenient = read_packets_lenient(&buf, &mut report);
+        assert_eq!(strict, lenient);
+        assert_eq!(report.packets_read, 5);
+        assert!(!report.has_loss());
+    }
+
+    #[test]
+    fn lenient_read_stops_at_oversized_caplen() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        w.write_packet(&Packet::new(1.0, vec![7; 3])).unwrap();
+        w.finish().unwrap();
+        let mut rec = [0u8; 16];
+        rec[8..12].copy_from_slice(&(MAX_CAPTURE_LEN + 1).to_le_bytes());
+        buf.extend_from_slice(&rec);
+        let mut report = IngestReport::new();
+        let got = read_packets_lenient(&buf, &mut report);
+        assert_eq!(got.len(), 1);
+        assert_eq!(report.records_dropped, 1);
+        assert_eq!(report.bytes_skipped, 16);
+        assert!(!report.capture_truncated, "corruption, not truncation");
     }
 
     #[test]

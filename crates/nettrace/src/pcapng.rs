@@ -10,6 +10,7 @@
 //! Use [`crate::capture::read_packets`] to accept either classic pcap or
 //! pcapng transparently.
 
+use crate::ingest::IngestReport;
 use crate::pcap::Packet;
 use crate::{Error, Result};
 
@@ -50,80 +51,184 @@ pub fn is_pcapng(bytes: &[u8]) -> bool {
     bytes.len() >= 4 && bytes[0..4] == SHB_TYPE.to_le_bytes()
 }
 
-/// Reads every packet from a pcapng byte stream.
-///
-/// Timestamps honour each interface's `if_tsresol` option (default
-/// microseconds). Unknown blocks are skipped; Simple Packet Blocks carry
-/// no timestamp and are emitted with `ts = 0.0`.
-///
-/// # Errors
-///
-/// Returns an error on a malformed section header, inconsistent block
-/// lengths, or truncation inside a block.
-pub fn read_packets(bytes: &[u8]) -> Result<Vec<Packet>> {
+/// Detects the byte order from the SHB magic, or errors on garbage.
+fn byte_order(bytes: &[u8]) -> Result<bool> {
     if bytes.len() < 12 || !is_pcapng(bytes) {
         return Err(syntax("missing section header block"));
     }
     // Byte order from the SHB magic (block type 0x0A0D0D0A reads the same
     // in both orders; the magic does not).
     let magic_le = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
-    let big_endian = match magic_le {
-        BYTE_ORDER_MAGIC => false,
-        m if m.swap_bytes() == BYTE_ORDER_MAGIC => true,
-        _ => return Err(syntax("bad byte-order magic")),
-    };
+    match magic_le {
+        BYTE_ORDER_MAGIC => Ok(false),
+        m if m.swap_bytes() == BYTE_ORDER_MAGIC => Ok(true),
+        _ => Err(syntax("bad byte-order magic")),
+    }
+}
+
+/// Parses one block at `pos`, appending any packet to `packets` and
+/// updating `tsresol` on interface blocks.
+///
+/// Returns `Ok(Some(next_pos))` on success, `Ok(None)` when the
+/// remaining bytes are a truncated final block (the declared block
+/// length runs past the end of the input), and a structural error for
+/// in-place corruption (bad length fields, trailer mismatch).
+fn parse_block(
+    cur: &Cursor<'_>,
+    bytes: &[u8],
+    pos: usize,
+    tsresol: &mut Vec<f64>,
+    packets: &mut Vec<Packet>,
+) -> Result<Option<usize>> {
+    let block_type = cur.u32_at(pos)?;
+    let total_len = cur.u32_at(pos + 4)? as usize;
+    if total_len < 12 || !total_len.is_multiple_of(4) {
+        return Err(syntax("bad block length"));
+    }
+    if pos + total_len > bytes.len() {
+        return Ok(None); // truncated final block
+    }
+    let trailer = cur.u32_at(pos + total_len - 4)? as usize;
+    if trailer != total_len {
+        return Err(syntax("block length trailer mismatch"));
+    }
+    let body = &bytes[pos + 8..pos + total_len - 4];
+    match block_type {
+        SHB_TYPE => {
+            // New section: interfaces reset.
+            tsresol.clear();
+        }
+        IDB_TYPE => {
+            tsresol.push(parse_idb_tsresol(cur, pos + 8, body.len())?);
+        }
+        EPB_TYPE => {
+            if body.len() < 20 {
+                return Err(syntax("truncated enhanced packet block"));
+            }
+            let iface = cur.u32_at(pos + 8)? as usize;
+            let ts_high = cur.u32_at(pos + 12)? as u64;
+            let ts_low = cur.u32_at(pos + 16)? as u64;
+            let caplen = cur.u32_at(pos + 20)? as usize;
+            let data = bytes
+                .get(pos + 28..pos + 28 + caplen)
+                .ok_or_else(|| syntax("truncated packet data"))?;
+            let resol = tsresol.get(iface).copied().unwrap_or(1e6);
+            let ticks = (ts_high << 32) | ts_low;
+            packets.push(Packet::new(ticks as f64 / resol, data.to_vec()));
+        }
+        SPB_TYPE => {
+            if body.len() < 4 {
+                return Err(syntax("truncated simple packet block"));
+            }
+            let orig_len = cur.u32_at(pos + 8)? as usize;
+            let caplen = orig_len.min(body.len() - 4);
+            packets.push(Packet::new(0.0, body[4..4 + caplen].to_vec()));
+        }
+        _ => {} // options, name resolution, statistics… skipped
+    }
+    Ok(Some(pos + total_len))
+}
+
+/// Reads every packet from a pcapng byte stream.
+///
+/// Timestamps honour each interface's `if_tsresol` option (default
+/// microseconds). Unknown blocks are skipped; Simple Packet Blocks carry
+/// no timestamp and are emitted with `ts = 0.0`. A capture whose final
+/// block is cut short (live rotation, interrupted copy) yields every
+/// packet read before the truncation point.
+///
+/// # Errors
+///
+/// Returns an error on a malformed section header, inconsistent block
+/// lengths, or a corrupt length trailer mid-file.
+pub fn read_packets(bytes: &[u8]) -> Result<Vec<Packet>> {
+    let big_endian = byte_order(bytes)?;
     let cur = Cursor { data: bytes, big_endian };
     let mut pos = 0usize;
     let mut packets = Vec::new();
     // Per-interface timestamp resolution (ticks per second).
     let mut tsresol: Vec<f64> = Vec::new();
     while pos + 12 <= bytes.len() {
-        let block_type = cur.u32_at(pos)?;
-        let total_len = cur.u32_at(pos + 4)? as usize;
-        if total_len < 12 || total_len % 4 != 0 || pos + total_len > bytes.len() {
-            return Err(syntax("bad block length"));
+        match parse_block(&cur, bytes, pos, &mut tsresol, &mut packets)? {
+            Some(next) => pos = next,
+            None => break, // truncated final block: keep what we have
         }
-        let trailer = cur.u32_at(pos + total_len - 4)? as usize;
-        if trailer != total_len {
-            return Err(syntax("block length trailer mismatch"));
-        }
-        let body = &bytes[pos + 8..pos + total_len - 4];
-        match block_type {
-            SHB_TYPE => {
-                // New section: interfaces reset.
-                tsresol.clear();
-            }
-            IDB_TYPE => {
-                tsresol.push(parse_idb_tsresol(&cur, pos + 8, body.len())?);
-            }
-            EPB_TYPE => {
-                if body.len() < 20 {
-                    return Err(syntax("truncated enhanced packet block"));
-                }
-                let iface = cur.u32_at(pos + 8)? as usize;
-                let ts_high = cur.u32_at(pos + 12)? as u64;
-                let ts_low = cur.u32_at(pos + 16)? as u64;
-                let caplen = cur.u32_at(pos + 20)? as usize;
-                let data = bytes
-                    .get(pos + 28..pos + 28 + caplen)
-                    .ok_or_else(|| syntax("truncated packet data"))?;
-                let resol = tsresol.get(iface).copied().unwrap_or(1e6);
-                let ticks = (ts_high << 32) | ts_low;
-                packets.push(Packet::new(ticks as f64 / resol, data.to_vec()));
-            }
-            SPB_TYPE => {
-                if body.len() < 4 {
-                    return Err(syntax("truncated simple packet block"));
-                }
-                let orig_len = cur.u32_at(pos + 8)? as usize;
-                let caplen = orig_len.min(body.len() - 4);
-                packets.push(Packet::new(0.0, body[4..4 + caplen].to_vec()));
-            }
-            _ => {} // options, name resolution, statistics… skipped
-        }
-        pos += total_len;
     }
     Ok(packets)
+}
+
+/// Reads every salvageable packet from pcapng bytes, never failing.
+///
+/// Unlike classic pcap, pcapng blocks carry their own type and length
+/// framing, so decoding can resynchronise after a corrupt block: the
+/// scanner searches forward for the next offset that looks like a valid
+/// block (known type, sane length, matching trailer) and continues
+/// there. Dropped blocks and skipped bytes are counted in `report`.
+pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Packet> {
+    let mut packets = Vec::new();
+    let Ok(big_endian) = byte_order(bytes) else {
+        report.bytes_skipped += bytes.len() as u64;
+        return packets;
+    };
+    let cur = Cursor { data: bytes, big_endian };
+    let mut pos = 0usize;
+    let mut tsresol: Vec<f64> = Vec::new();
+    while pos + 12 <= bytes.len() {
+        let before = packets.len();
+        match parse_block(&cur, bytes, pos, &mut tsresol, &mut packets) {
+            Ok(Some(next)) => {
+                report.packets_read += (packets.len() - before) as u64;
+                pos = next;
+            }
+            Ok(None) => {
+                report.records_dropped += 1;
+                report.bytes_skipped += (bytes.len() - pos) as u64;
+                report.capture_truncated = true;
+                return packets;
+            }
+            Err(_) => {
+                packets.truncate(before);
+                report.records_dropped += 1;
+                match resync(&cur, bytes, pos + 1) {
+                    Some(next) => {
+                        report.bytes_skipped += (next - pos) as u64;
+                        pos = next;
+                    }
+                    None => {
+                        report.bytes_skipped += (bytes.len() - pos) as u64;
+                        return packets;
+                    }
+                }
+            }
+        }
+    }
+    if pos < bytes.len() {
+        report.bytes_skipped += (bytes.len() - pos) as u64;
+        report.capture_truncated = true;
+    }
+    packets
+}
+
+/// Finds the next plausible block start at or after `from`: a known
+/// block type whose declared length is sane and whose length trailer
+/// matches. Returns `None` when no such offset exists.
+fn resync(cur: &Cursor<'_>, bytes: &[u8], from: usize) -> Option<usize> {
+    for q in from..bytes.len().saturating_sub(12) {
+        let Ok(block_type) = cur.u32_at(q) else { continue };
+        if !matches!(block_type, SHB_TYPE | IDB_TYPE | EPB_TYPE | SPB_TYPE) {
+            continue;
+        }
+        let Ok(total_len) = cur.u32_at(q + 4) else { continue };
+        let total_len = total_len as usize;
+        if total_len < 12 || !total_len.is_multiple_of(4) || q + total_len > bytes.len() {
+            continue;
+        }
+        if cur.u32_at(q + total_len - 4).ok()? as usize != total_len {
+            continue;
+        }
+        return Some(q);
+    }
+    None
 }
 
 /// Extracts `if_tsresol` (option 9) from an IDB, returning ticks/second.
@@ -254,8 +359,73 @@ mod tests {
     }
 
     #[test]
-    fn truncated_epb_detected() {
-        let bytes = write_packets(&[Packet::new(1.0, vec![1, 2, 3, 4, 5])]);
-        assert!(read_packets(&bytes[..bytes.len() - 6]).is_err());
+    fn truncated_final_block_yields_prefix() {
+        let bytes = write_packets(&[
+            Packet::new(1.0, vec![1, 2, 3, 4, 5]),
+            Packet::new(2.0, vec![6, 7, 8]),
+        ]);
+        // Chop into the final EPB: the first packet must survive.
+        let got = read_packets(&bytes[..bytes.len() - 6]).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].data, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_capture() {
+        let packets =
+            vec![Packet::new(1.5, vec![1, 2, 3]), Packet::new(2.0, vec![9; 100])];
+        let bytes = write_packets(&packets);
+        let strict = read_packets(&bytes).unwrap();
+        let mut report = IngestReport::new();
+        let lenient = read_packets_lenient(&bytes, &mut report);
+        assert_eq!(strict, lenient);
+        assert_eq!(report.packets_read, 2);
+        assert!(!report.has_loss());
+    }
+
+    #[test]
+    fn lenient_resyncs_past_corrupt_block() {
+        let packets = vec![
+            Packet::new(1.0, vec![0xaa; 16]),
+            Packet::new(2.0, vec![0xbb; 16]),
+            Packet::new(3.0, vec![0xcc; 16]),
+        ];
+        let mut bytes = write_packets(&packets);
+        // Corrupt the second EPB's trailer so strict parsing fails there.
+        let epb_len = 32 + 16;
+        let second_epb_start = 28 + 20 + epb_len;
+        let trailer_at = second_epb_start + epb_len - 4;
+        bytes[trailer_at] ^= 0xff;
+        assert!(read_packets(&bytes).is_err(), "strict must still fail");
+        let mut report = IngestReport::new();
+        let got = read_packets_lenient(&bytes, &mut report);
+        // First and third packets recovered; the corrupt middle dropped.
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].data, vec![0xaa; 16]);
+        assert_eq!(got[1].data, vec![0xcc; 16]);
+        assert_eq!(report.records_dropped, 1);
+        assert!(report.bytes_skipped > 0);
+    }
+
+    #[test]
+    fn lenient_counts_truncated_tail() {
+        let bytes = write_packets(&[
+            Packet::new(1.0, vec![1, 2, 3, 4]),
+            Packet::new(2.0, vec![5, 6, 7, 8]),
+        ]);
+        let cut = &bytes[..bytes.len() - 6];
+        let mut report = IngestReport::new();
+        let got = read_packets_lenient(cut, &mut report);
+        assert_eq!(got.len(), 1);
+        assert_eq!(report.packets_read, 1);
+        assert!(report.capture_truncated);
+        assert_eq!(report.records_dropped, 1);
+    }
+
+    #[test]
+    fn lenient_never_returns_more_than_available() {
+        let mut report = IngestReport::new();
+        assert!(read_packets_lenient(b"garbage", &mut report).is_empty());
+        assert_eq!(report.bytes_skipped, 7);
     }
 }

@@ -17,12 +17,13 @@ use crate::http::{
     parse_request_head, parse_response_head, request_body_framing, response_body_framing,
     BodyFraming, HeaderMap, Method,
 };
+use crate::ingest::IngestReport;
 use crate::ipv4::{Ipv4Packet, PROTO_TCP};
 use crate::payload::{classify, PayloadClass};
 use crate::pcap::Packet;
 use crate::reassembly::{Endpoint, FlowKey, Stream, StreamReassembler};
 use crate::tcp::TcpSegment;
-use crate::Result;
+use crate::{Error, Result};
 
 /// Number of leading body bytes retained for inspection (redirect
 /// de-obfuscation, signature hashing previews).
@@ -138,6 +139,10 @@ pub fn fnv1a(data: &[u8]) -> u64 {
 #[derive(Debug, Default)]
 pub struct TransactionExtractor {
     reassembler: StreamReassembler,
+    /// Packets that failed Ethernet/IPv4/TCP decoding.
+    dropped_decode: u64,
+    /// Well-formed packets that are not IPv4/TCP.
+    non_tcp: u64,
 }
 
 impl TransactionExtractor {
@@ -147,18 +152,30 @@ impl TransactionExtractor {
     }
 
     /// Feeds one captured packet (Ethernet frame). Non-IPv4 and non-TCP
-    /// packets and undecodable packets are ignored, matching capture-tool
+    /// packets and undecodable packets are ignored (but counted for
+    /// [`TransactionExtractor::finish_lenient`]), matching capture-tool
     /// behaviour on mixed traffic.
     pub fn push_packet(&mut self, packet: &Packet) {
-        let Ok(eth) = EtherFrame::parse(&packet.data) else { return };
+        let Ok(eth) = EtherFrame::parse(&packet.data) else {
+            self.dropped_decode += 1;
+            return;
+        };
         if eth.ethertype != ETHERTYPE_IPV4 {
+            self.non_tcp += 1;
             return;
         }
-        let Ok(ip) = Ipv4Packet::parse(eth.payload) else { return };
+        let Ok(ip) = Ipv4Packet::parse(eth.payload) else {
+            self.dropped_decode += 1;
+            return;
+        };
         if ip.protocol != PROTO_TCP {
+            self.non_tcp += 1;
             return;
         }
-        let Ok(tcp) = TcpSegment::parse(ip.payload) else { return };
+        let Ok(tcp) = TcpSegment::parse(ip.payload) else {
+            self.dropped_decode += 1;
+            return;
+        };
         let key = FlowKey::new(
             Endpoint::new(ip.src, tcp.src_port),
             Endpoint::new(ip.dst, tcp.dst_port),
@@ -209,6 +226,66 @@ impl TransactionExtractor {
         }
         ex.finish()
     }
+
+    /// Finishes extraction in graceful-degradation mode: every parseable
+    /// prefix of every stream is salvaged, malformed remainders are
+    /// quarantined, and nothing fails.
+    ///
+    /// Where [`TransactionExtractor::finish`] aborts on the first
+    /// malformed HTTP stream, this variant keeps the messages parsed
+    /// before the error (counting the stream as salvaged, or discarded
+    /// when nothing was recoverable), counts non-HTTP streams instead of
+    /// silently dropping them, and records gzip/chunked decode failures
+    /// — all in `report`.
+    pub fn finish_lenient(self, report: &mut IngestReport) -> Vec<HttpTransaction> {
+        report.packets_dropped_decode += self.dropped_decode;
+        report.packets_non_tcp += self.non_tcp;
+        let streams = self.reassembler.into_streams();
+        report.streams_total += streams.len() as u64;
+        let mut connections: BTreeMap<(Endpoint, Endpoint), (Option<Stream>, Option<Stream>)> =
+            BTreeMap::new();
+        for stream in streams {
+            let id = stream.key.connection_id();
+            let entry = connections.entry(id).or_default();
+            let slot = if looks_like_request(&stream.data) { &mut entry.0 } else { &mut entry.1 };
+            if let Some(displaced) = slot.replace(stream) {
+                count_unpaired(report, &displaced);
+            }
+        }
+        let mut out = Vec::new();
+        for (_, (req, resp)) in connections {
+            let Some(req_stream) = req else {
+                if let Some(r) = resp {
+                    count_unpaired(report, &r);
+                }
+                continue;
+            };
+            out.extend(pair_connection_lenient(&req_stream, resp.as_ref(), report));
+        }
+        out.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        report.transactions_recovered += out.len() as u64;
+        out
+    }
+
+    /// Convenience: lenient extraction from a full packet list. Never
+    /// fails; losses are accounted in `report`.
+    pub fn extract_lenient(packets: &[Packet], report: &mut IngestReport) -> Vec<HttpTransaction> {
+        let mut ex = TransactionExtractor::new();
+        for p in packets {
+            ex.push_packet(p);
+        }
+        ex.finish_lenient(report)
+    }
+}
+
+/// Accounts for a stream that will produce no transactions: orphan HTTP
+/// responses count as discarded, anything else as non-HTTP.
+fn count_unpaired(report: &mut IngestReport, stream: &Stream) {
+    if stream.data.starts_with(b"HTTP/") {
+        report.streams_discarded += 1;
+    } else {
+        report.streams_skipped_non_http += 1;
+    }
 }
 
 /// Whether a byte stream begins with a plausible HTTP request line.
@@ -229,35 +306,93 @@ struct ParsedResponse {
     end_ts: f64,
 }
 
-fn parse_requests(stream: &Stream) -> Result<Vec<ParsedRequest>> {
-    let mut out = Vec::new();
+/// The parseable prefix of one HTTP stream: the messages recovered
+/// before the first error (if any), and whether the stop was a
+/// chunked-framing failure.
+struct Salvage<T> {
+    items: Vec<T>,
+    error: Option<Error>,
+    chunked_failure: bool,
+}
+
+impl<T> Salvage<T> {
+    /// Converts to strict semantics: the first parse error fails the
+    /// whole stream, discarding the salvaged prefix.
+    fn strict(self) -> Result<Vec<T>> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.items),
+        }
+    }
+
+    /// Folds this stream's outcome into a lenient ingest report:
+    /// errored streams count as salvaged (some messages recovered) or
+    /// discarded (none), and chunked failures are tallied.
+    fn account(&self, report: &mut IngestReport) {
+        if self.error.is_none() {
+            return;
+        }
+        if self.chunked_failure {
+            report.chunked_failures += 1;
+        }
+        if self.items.is_empty() {
+            report.streams_discarded += 1;
+        } else {
+            report.streams_salvaged += 1;
+        }
+    }
+}
+
+fn parse_requests(stream: &Stream) -> Salvage<ParsedRequest> {
+    let mut out = Salvage { items: Vec::new(), error: None, chunked_failure: false };
     let mut pos = 0usize;
     while pos < stream.data.len() {
-        let Some((head, consumed)) = parse_request_head(&stream.data[pos..])? else { break };
+        let head = match parse_request_head(&stream.data[pos..]) {
+            Ok(Some(parsed)) => parsed,
+            Ok(None) => break,
+            Err(e) => {
+                out.error = Some(e);
+                break;
+            }
+        };
+        let (head, consumed) = head;
         let ts = stream.timestamp_at(pos);
         let body_len = match request_body_framing(&head) {
             BodyFraming::None => 0,
             BodyFraming::Length(n) => n.min(stream.data.len() - pos - consumed),
             BodyFraming::Chunked => {
-                match crate::http::decode_chunked(&stream.data[pos + consumed..])? {
-                    Some((_, c)) => c,
-                    None => stream.data.len() - pos - consumed,
+                match crate::http::decode_chunked(&stream.data[pos + consumed..]) {
+                    Ok(Some((_, c))) => c,
+                    Ok(None) => stream.data.len() - pos - consumed,
+                    Err(e) => {
+                        out.error = Some(e);
+                        out.chunked_failure = true;
+                        break;
+                    }
                 }
             }
             BodyFraming::UntilClose => stream.data.len() - pos - consumed,
         };
         pos += consumed + body_len;
-        out.push(ParsedRequest { head, ts });
+        out.items.push(ParsedRequest { head, ts });
     }
-    Ok(out)
+    out
 }
 
-fn parse_responses(stream: &Stream, methods: &[Method]) -> Result<Vec<ParsedResponse>> {
-    let mut out = Vec::new();
+fn parse_responses(stream: &Stream, methods: &[Method]) -> Salvage<ParsedResponse> {
+    let mut out = Salvage { items: Vec::new(), error: None, chunked_failure: false };
     let mut pos = 0usize;
     let mut idx = 0usize;
     while pos < stream.data.len() {
-        let Some((head, consumed)) = parse_response_head(&stream.data[pos..])? else { break };
+        let head = match parse_response_head(&stream.data[pos..]) {
+            Ok(Some(parsed)) => parsed,
+            Ok(None) => break,
+            Err(e) => {
+                out.error = Some(e);
+                break;
+            }
+        };
+        let (head, consumed) = head;
         let method = methods.get(idx).cloned().unwrap_or(Method::Get);
         let avail = &stream.data[pos + consumed..];
         let (body, body_consumed) = match response_body_framing(&head, &method) {
@@ -266,9 +401,14 @@ fn parse_responses(stream: &Stream, methods: &[Method]) -> Result<Vec<ParsedResp
                 let take = n.min(avail.len());
                 (avail[..take].to_vec(), take)
             }
-            BodyFraming::Chunked => match crate::http::decode_chunked(avail)? {
-                Some((body, c)) => (body, c),
-                None => (avail.to_vec(), avail.len()),
+            BodyFraming::Chunked => match crate::http::decode_chunked(avail) {
+                Ok(Some((body, c))) => (body, c),
+                Ok(None) => (avail.to_vec(), avail.len()),
+                Err(e) => {
+                    out.error = Some(e);
+                    out.chunked_failure = true;
+                    break;
+                }
             },
             BodyFraming::UntilClose => (avail.to_vec(), avail.len()),
         };
@@ -276,18 +416,52 @@ fn parse_responses(stream: &Stream, methods: &[Method]) -> Result<Vec<ParsedResp
         let end_ts = stream.timestamp_at(end.saturating_sub(1));
         pos = end;
         idx += 1;
-        out.push(ParsedResponse { head, body, end_ts });
+        out.items.push(ParsedResponse { head, body, end_ts });
     }
-    Ok(out)
+    out
 }
 
 fn pair_connection(req_stream: &Stream, resp_stream: Option<&Stream>) -> Result<Vec<HttpTransaction>> {
-    let requests = parse_requests(req_stream)?;
+    let requests = parse_requests(req_stream).strict()?;
     let methods: Vec<Method> = requests.iter().map(|r| r.head.method.clone()).collect();
     let responses = match resp_stream {
-        Some(s) => parse_responses(s, &methods)?,
+        Some(s) => parse_responses(s, &methods).strict()?,
         None => Vec::new(),
     };
+    Ok(build_transactions(req_stream, requests, responses, None))
+}
+
+/// Lenient counterpart of [`pair_connection`]: pairs whatever both
+/// directions could salvage and never fails. Stream-level outcomes and
+/// body-decode failures are recorded in `report`.
+fn pair_connection_lenient(
+    req_stream: &Stream,
+    resp_stream: Option<&Stream>,
+    report: &mut IngestReport,
+) -> Vec<HttpTransaction> {
+    let requests = parse_requests(req_stream);
+    requests.account(report);
+    let methods: Vec<Method> = requests.items.iter().map(|r| r.head.method.clone()).collect();
+    let responses = match resp_stream {
+        Some(s) => {
+            let r = parse_responses(s, &methods);
+            r.account(report);
+            r.items
+        }
+        None => Vec::new(),
+    };
+    build_transactions(req_stream, requests.items, responses, Some(report))
+}
+
+/// FIFO-pairs parsed requests with parsed responses on one connection.
+/// With a `report`, gzip decode failures are counted (the raw body is
+/// kept either way).
+fn build_transactions(
+    req_stream: &Stream,
+    requests: Vec<ParsedRequest>,
+    responses: Vec<ParsedResponse>,
+    mut report: Option<&mut IngestReport>,
+) -> Vec<HttpTransaction> {
     let client = req_stream.key.src;
     let server = req_stream.key.dst;
     let mut out = Vec::new();
@@ -313,7 +487,15 @@ fn pair_connection(req_stream: &Stream, resp_stream: Option<&Stream>) -> Result<
             .get("Content-Encoding")
             .is_some_and(|v| v.to_ascii_lowercase().contains("gzip"))
         {
-            crate::flate::gzip_decompress(&body).unwrap_or(body)
+            match crate::flate::gzip_decompress(&body) {
+                Ok(decoded) => decoded,
+                Err(_) => {
+                    if let Some(r) = report.as_deref_mut() {
+                        r.gzip_failures += 1;
+                    }
+                    body
+                }
+            }
         } else {
             body
         };
@@ -337,7 +519,7 @@ fn pair_connection(req_stream: &Stream, resp_stream: Option<&Stream>) -> Result<
             body_preview: body[..preview_len].to_vec(),
         });
     }
-    Ok(out)
+    out
 }
 
 #[cfg(test)]
@@ -494,6 +676,128 @@ mod tests {
         )
         .unwrap();
         assert_eq!(txs[0].payload_size, gz.len(), "raw bytes kept");
+    }
+
+    #[test]
+    fn lenient_salvages_prefix_of_malformed_request_stream() {
+        let req = b"GET /good HTTP/1.1\r\nHost: h\r\n\r\nGET /bad HTTP/1.1\r\nBROKENHEADER\r\n\r\n";
+        let resp = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+        let req_stream = mk_stream(conn(), req, 1.0);
+        let resp_stream = mk_stream(conn().reversed(), resp, 1.2);
+        assert!(pair_connection(&req_stream, Some(&resp_stream)).is_err(), "strict fails");
+        let mut report = IngestReport::new();
+        let txs = pair_connection_lenient(&req_stream, Some(&resp_stream), &mut report);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].uri, "/good");
+        assert_eq!(txs[0].status, 200);
+        assert_eq!(report.streams_salvaged, 1);
+        assert_eq!(report.streams_discarded, 0);
+    }
+
+    #[test]
+    fn lenient_discards_stream_with_nothing_recoverable() {
+        // Begins like a request (passes the triage) but the head is
+        // malformed from the first message.
+        let req = b"GET /x HTTP/1.1\r\nNOCOLON\r\n\r\n";
+        let req_stream = mk_stream(conn(), req, 1.0);
+        let mut report = IngestReport::new();
+        let txs = pair_connection_lenient(&req_stream, None, &mut report);
+        assert!(txs.is_empty());
+        assert_eq!(report.streams_discarded, 1);
+        assert_eq!(report.streams_salvaged, 0);
+    }
+
+    #[test]
+    fn lenient_counts_chunked_framing_failure() {
+        let req = b"GET /d HTTP/1.1\r\nHost: h\r\n\r\n";
+        let resp = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nZZ\r\njunk";
+        let req_stream = mk_stream(conn(), req, 0.0);
+        let resp_stream = mk_stream(conn().reversed(), resp, 0.1);
+        let mut report = IngestReport::new();
+        let txs = pair_connection_lenient(&req_stream, Some(&resp_stream), &mut report);
+        // The request survives with no paired response (status 0).
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].status, 0);
+        assert_eq!(report.chunked_failures, 1);
+        assert_eq!(report.streams_discarded, 1, "response stream yielded nothing");
+    }
+
+    #[test]
+    fn lenient_counts_gzip_failure_and_keeps_raw_bytes() {
+        let mut gz = crate::flate::gzip_compress(b"body");
+        let mid = gz.len() / 2;
+        gz[mid] ^= 1;
+        let req = b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n";
+        let resp = format!(
+            "HTTP/1.1 200 OK\r\nContent-Encoding: gzip\r\nContent-Length: {}\r\n\r\n",
+            gz.len()
+        );
+        let mut resp_bytes = resp.into_bytes();
+        resp_bytes.extend_from_slice(&gz);
+        let mut report = IngestReport::new();
+        let txs = pair_connection_lenient(
+            &mk_stream(conn(), req, 0.0),
+            Some(&mk_stream(conn().reversed(), &resp_bytes, 0.1)),
+            &mut report,
+        );
+        assert_eq!(txs[0].payload_size, gz.len());
+        assert_eq!(report.gzip_failures, 1);
+    }
+
+    #[test]
+    fn lenient_finish_counts_non_http_streams() {
+        let mut ex = TransactionExtractor::new();
+        // A TLS-looking stream on one connection, plus an orphan HTTP
+        // response on another.
+        let tls_key = conn();
+        let orphan_key = FlowKey::new(
+            Endpoint::new(Ipv4Addr::new(203, 0, 113, 9), 80),
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 3), 50001),
+        );
+        ex.reassembler.push(
+            0.1,
+            tls_key,
+            &crate::tcp::TcpSegment::parse(&crate::tcp::build(
+                tls_key.src.port,
+                tls_key.dst.port,
+                1,
+                0,
+                crate::tcp::TcpFlags::data(),
+                b"\x16\x03\x01\x02\x00",
+            ))
+            .unwrap(),
+        );
+        ex.reassembler.push(
+            0.2,
+            orphan_key,
+            &crate::tcp::TcpSegment::parse(&crate::tcp::build(
+                orphan_key.src.port,
+                orphan_key.dst.port,
+                1,
+                0,
+                crate::tcp::TcpFlags::data(),
+                b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n",
+            ))
+            .unwrap(),
+        );
+        let mut report = IngestReport::new();
+        let txs = ex.finish_lenient(&mut report);
+        assert!(txs.is_empty());
+        assert_eq!(report.streams_total, 2);
+        assert_eq!(report.streams_skipped_non_http, 1);
+        assert_eq!(report.streams_discarded, 1, "orphan response quarantined");
+    }
+
+    #[test]
+    fn lenient_extract_counts_decode_drops() {
+        let mut report = IngestReport::new();
+        let packets = vec![
+            Packet::new(0.0, vec![0u8; 4]),     // too short for Ethernet
+            Packet::new(0.1, vec![0xffu8; 60]), // not IPv4
+        ];
+        let txs = TransactionExtractor::extract_lenient(&packets, &mut report);
+        assert!(txs.is_empty());
+        assert_eq!(report.packets_dropped_decode + report.packets_non_tcp, 2);
     }
 
     #[test]

@@ -1,0 +1,628 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! compatible-enough subset of serde's API for this workspace: the
+//! [`Serialize`]/[`Deserialize`] traits, [`Serializer`]/[`Deserializer`]
+//! with associated `Ok`/`Error` types, `de::Error`/`ser::Error`, and the
+//! derive macros (re-exported from the sibling `serde_derive` shim).
+//!
+//! Unlike real serde's visitor-based zero-copy data model, everything here
+//! funnels through an owned [`Value`] tree (the JSON data model plus exact
+//! 64-bit integers). That is sufficient — and exact — for the workspace's
+//! use: JSON round-trips of models, graphs, and reports via the
+//! `serde_json` shim.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The self-describing data model every serialization funnels through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also unit and `None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (exact).
+    Int(i64),
+    /// Unsigned integer (exact; used when the value exceeds `i64::MAX`
+    /// or originated from an unsigned type).
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered map with string keys (field order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by name.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => {
+                fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Error type used by the built-in [`Value`] serializer and deserializer.
+#[derive(Debug, Clone)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+pub mod ser {
+    //! Serialization half of the data model.
+
+    use std::fmt;
+
+    use super::Value;
+
+    /// A sink that consumes one [`Value`] tree.
+    pub trait Serializer: Sized {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Consumes the fully built value.
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Error construction interface for serializers.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the data model.
+
+    use std::fmt;
+
+    use super::Value;
+
+    /// A source that yields one [`Value`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Produces the self-describing value to destructure.
+        fn deserialize_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// Error construction interface for deserializers.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+
+        /// A sequence had the wrong number of elements.
+        fn invalid_length(len: usize, expected: &dyn fmt::Display) -> Self {
+            Self::custom(format_args!("invalid length {len}, expected {expected}"))
+        }
+
+        /// A required field was absent.
+        fn missing_field(field: &'static str) -> Self {
+            Self::custom(format_args!("missing field `{field}`"))
+        }
+    }
+
+    /// Owned deserialization (every lifetime), mirroring serde's
+    /// `DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serializer's error when the value cannot be represented.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can rebuild itself from the [`Value`] data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance from the given deserializer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer's error on shape or type mismatches.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// ---------------------------------------------------------------------
+// Value-backed serializer/deserializer and entry points.
+// ---------------------------------------------------------------------
+
+/// Serializer producing an owned [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer reading from an owned [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Renders any serializable type to a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`ValueError`] when a component refuses serialization.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Rebuilds any owned-deserializable type from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`ValueError`] on shape or type mismatches.
+pub fn from_value<T: de::DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+// ---------------------------------------------------------------------
+// Serialize implementations for primitives and std containers.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Int(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                match d.deserialize_value()? {
+                    Value::Int(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format_args!("integer {v} out of range"))),
+                    Value::UInt(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format_args!("integer {v} out of range"))),
+                    other => Err(D::Error::custom(format_args!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::UInt(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                match d.deserialize_value()? {
+                    Value::UInt(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format_args!("integer {v} out of range"))),
+                    Value::Int(v) => u64::try_from(v)
+                        .ok()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| D::Error::custom(format_args!("integer {v} out of range"))),
+                    other => Err(D::Error::custom(format_args!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Float(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                match d.deserialize_value()? {
+                    Value::Float(v) => Ok(v as $t),
+                    Value::Int(v) => Ok(v as $t),
+                    Value::UInt(v) => Ok(v as $t),
+                    other => Err(D::Error::custom(format_args!(
+                        "expected number, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format_args!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(D::Error::custom(format_args!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Null)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value().map(|_| ())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::Error;
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(to_value(item).map_err(S::Error::custom)?);
+        }
+        s.serialize_value(Value::Array(out))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::custom(format_args!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                use ser::Error;
+                let items = vec![$(to_value(&self.$idx).map_err(S::Error::custom)?),+];
+                s.serialize_value(Value::Array(items))
+            }
+        }
+        impl<'de, $($name: de::DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                use de::Error as _;
+                match d.deserialize_value()? {
+                    Value::Array(items) => {
+                        const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                        if items.len() != LEN {
+                            return Err(__D::Error::invalid_length(items.len(), &LEN));
+                        }
+                        let mut iter = items.into_iter();
+                        Ok(($({
+                            let _ = $idx;
+                            from_value::<$name>(iter.next().expect("length checked"))
+                                .map_err(|e| __D::Error::custom(e))?
+                        },)+))
+                    }
+                    other => Err(__D::Error::custom(format_args!(
+                        "expected array, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Renders a map key as a JSON object-member name. Strings pass through;
+/// unit-enum keys use their variant name; integer keys are stringified
+/// (matching real serde_json's behaviour).
+fn key_to_string<K: Serialize>(key: &K) -> Result<String, ValueError> {
+    match to_value(key)? {
+        Value::String(s) => Ok(s),
+        Value::Int(v) => Ok(v.to_string()),
+        Value::UInt(v) => Ok(v.to_string()),
+        other => Err(ValueError(format!("map key must be string-like, got {other:?}"))),
+    }
+}
+
+/// Rebuilds a map key from an object-member name: first as a string-shaped
+/// value (strings, unit enums), then as an integer.
+fn key_from_string<K: de::DeserializeOwned>(name: String) -> Result<K, ValueError> {
+    let as_int = name.parse::<i64>().map(Value::Int).ok();
+    let as_uint = name.parse::<u64>().map(Value::UInt).ok();
+    match from_value(Value::String(name)) {
+        Ok(k) => Ok(k),
+        Err(e) => as_int
+            .and_then(|v| from_value(v).ok())
+            .or_else(|| as_uint.and_then(|v| from_value(v).ok()))
+            .ok_or(e),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::Error;
+        let mut fields = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            fields.push((
+                key_to_string(k).map_err(S::Error::custom)?,
+                to_value(v).map_err(S::Error::custom)?,
+            ));
+        }
+        s.serialize_value(Value::Object(fields))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: de::DeserializeOwned + Ord,
+    V: de::DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::Object(fields) => fields
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = key_from_string(k).map_err(D::Error::custom)?;
+                    let value = from_value(v).map_err(D::Error::custom)?;
+                    Ok((key, value))
+                })
+                .collect(),
+            other => Err(D::Error::custom(format_args!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::Error;
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(to_value(item).map_err(S::Error::custom)?);
+        }
+        s.serialize_value(Value::Array(out))
+    }
+}
+
+impl<'de, T: de::DeserializeOwned + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::custom(format_args!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        let items: Vec<T> = Vec::deserialize(d)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| D::Error::invalid_length(len, &N))
+    }
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        // The Value model is owned, so borrowed strings are materialized by
+        // leaking. Only calibration tables (&'static str display names)
+        // round-trip through this; the leak is tiny and bounded.
+        String::deserialize(d).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for std::net::Ipv4Addr {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::String(s) => s
+                .parse()
+                .map_err(|e| D::Error::custom(format_args!("bad ipv4 address {s:?}: {e}"))),
+            other => Err(D::Error::custom(format_args!(
+                "expected ipv4 string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value()
+    }
+}
+
+pub mod __private {
+    //! Support helpers for the code emitted by the derive macros.
+
+    use super::Value;
+
+    /// Removes and returns the named field of an object's field list.
+    pub fn take_field(fields: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+        let idx = fields.iter().position(|(n, _)| n == name)?;
+        Some(fields.remove(idx).1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        assert_eq!(from_value::<u64>(to_value(&u64::MAX).unwrap()).unwrap(), u64::MAX);
+        assert_eq!(from_value::<i32>(to_value(&-5i32).unwrap()).unwrap(), -5);
+        assert_eq!(from_value::<String>(to_value("hi").unwrap()).unwrap(), "hi");
+        assert_eq!(
+            from_value::<Vec<f64>>(to_value(&vec![1.5f64, -2.0]).unwrap()).unwrap(),
+            vec![1.5, -2.0]
+        );
+        assert_eq!(from_value::<Option<u8>>(Value::Null).unwrap(), None);
+        assert_eq!(from_value::<Option<u8>>(Value::UInt(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn ipv4_roundtrips() {
+        let addr: std::net::Ipv4Addr = "203.0.113.9".parse().unwrap();
+        assert_eq!(from_value::<std::net::Ipv4Addr>(to_value(&addr).unwrap()).unwrap(), addr);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(from_value::<u8>(Value::UInt(300)).is_err());
+        assert!(from_value::<u32>(Value::Int(-1)).is_err());
+    }
+}

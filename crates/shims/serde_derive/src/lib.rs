@@ -1,0 +1,558 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! `syn`/`quote`: the input `TokenStream` is hand-parsed just far enough to
+//! recover the type's name, generic parameters, and field/variant layout,
+//! and the impls are emitted as source strings targeting the serde shim's
+//! `Value` data model. Supported shapes — everything this workspace
+//! derives on: named/tuple/unit structs (including generics) and enums
+//! with unit, tuple, and named-field variants, encoded externally tagged
+//! like real serde (`"Variant"`, `{"Variant": ...}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed layout of the deriving type.
+struct Input {
+    name: String,
+    /// Type-parameter names, in declaration order (lifetimes and const
+    /// generics are not used by any derived type in this workspace).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` by rendering into the shim's `Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("serde_derive shim emitted invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` by destructuring the shim's `Value` tree.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive shim emitted invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+
+    let generics = parse_generics(&mut iter);
+
+    // Scan past an optional `where` clause to the body. The body is either
+    // a brace group (named struct / enum), a paren group immediately
+    // followed (possibly after a where clause) by `;` (tuple struct), or a
+    // bare `;` (unit struct).
+    let mut tuple_group: Option<TokenStream> = None;
+    let mut body: Option<TokenStream> = None;
+    let mut is_unit = false;
+    for tok in iter.by_ref() {
+        match tok {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Parenthesis && tuple_group.is_none() =>
+            {
+                tuple_group = Some(g.stream());
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                if tuple_group.is_none() {
+                    is_unit = true;
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => {
+            if is_unit {
+                Kind::UnitStruct
+            } else if let Some(fields) = tuple_group {
+                Kind::TupleStruct(count_tuple_fields(fields))
+            } else {
+                Kind::NamedStruct(parse_named_fields(
+                    body.expect("serde_derive shim: struct body not found"),
+                ))
+            }
+        }
+        "enum" => Kind::Enum(parse_variants(
+            body.expect("serde_derive shim: enum body not found"),
+        )),
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+
+    Input { name, generics, kind }
+}
+
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // `(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_generics(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Vec<String> {
+    let mut params = Vec::new();
+    match iter.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            iter.next();
+        }
+        _ => return params,
+    }
+    let mut depth = 1u32;
+    let mut expect_param = true;
+    let mut skip_next_ident = false;
+    while depth > 0 {
+        match iter
+            .next()
+            .expect("serde_derive shim: unbalanced generics angle brackets")
+        {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expect_param = true,
+                ':' | '=' if depth == 1 => expect_param = false,
+                '\'' if depth == 1 => skip_next_ident = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 1 && expect_param => {
+                if skip_next_ident {
+                    skip_next_ident = false; // lifetime name
+                } else if id.to_string() != "const" {
+                    params.push(id.to_string());
+                    expect_param = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+/// Splits a brace-group field list on top-level commas (tracking `<...>`
+/// depth, since generic argument commas appear at the same token level)
+/// and records each field's name.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => strip_raw(&id.to_string()),
+            Some(other) => panic!("serde_derive shim: expected field name, found {other:?}"),
+            None => break,
+        };
+        fields.push(name);
+        // Skip the `: Type` tail up to the next top-level comma.
+        let mut angle = 0u32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle = angle.saturating_sub(1),
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the comma-separated fields of a paren group (tuple struct or
+/// tuple variant), again tracking angle depth.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0u32;
+    let mut in_field = false;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    in_field = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_field {
+            in_field = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => strip_raw(&id.to_string()),
+            Some(other) => panic!("serde_derive shim: expected variant name, found {other:?}"),
+            None => break,
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional `= discriminant` tail and the separating comma.
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+fn strip_raw(ident: &str) -> String {
+    ident.strip_prefix("r#").unwrap_or(ident).to_string()
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// `Foo` or `Foo<N, E>`.
+fn self_ty(input: &Input) -> String {
+    if input.generics.is_empty() {
+        input.name.clone()
+    } else {
+        format!("{}<{}>", input.name, input.generics.join(", "))
+    }
+}
+
+fn impl_generics(input: &Input, bound: &str, extra_lifetime: Option<&str>) -> String {
+    let mut params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        params.push(lt.to_string());
+    }
+    for p in &input.generics {
+        params.push(format!("{p}: {bound}"));
+    }
+    if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let self_ty = self_ty(input);
+    let generics = impl_generics(input, "serde::Serialize", None);
+    let to_val = "serde::to_value";
+    let map_err = "map_err(<__S::Error as serde::ser::Error>::custom)?";
+
+    let body = match &input.kind {
+        Kind::UnitStruct => "__serializer.serialize_value(serde::Value::Null)".to_string(),
+        Kind::TupleStruct(1) => format!(
+            "__serializer.serialize_value({to_val}(&self.0).{map_err})"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("{to_val}(&self.{i}).{map_err}"))
+                .collect();
+            format!(
+                "__serializer.serialize_value(serde::Value::Array(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((\"{f}\".to_string(), {to_val}(&self.{f}).{map_err}));\n"
+                ));
+            }
+            s.push_str("__serializer.serialize_value(serde::Value::Object(__fields))");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_value(\
+                         serde::Value::String(\"{vname}\".to_string())),\n"
+                    )),
+                    VariantFields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => __serializer.serialize_value(\
+                         serde::Value::Object(vec![(\"{vname}\".to_string(), \
+                         {to_val}(__f0).{map_err})])),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("{to_val}({b}).{map_err}"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => __serializer.serialize_value(\
+                             serde::Value::Object(vec![(\"{vname}\".to_string(), \
+                             serde::Value::Array(vec![{}]))])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __b_{f}")).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), {to_val}(__b_{f}).{map_err})"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => __serializer.serialize_value(\
+                             serde::Value::Object(vec![(\"{vname}\".to_string(), \
+                             serde::Value::Object(vec![{}]))])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{generics} serde::Serialize for {self_ty} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+             -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let self_ty = self_ty(input);
+    let generics = impl_generics(input, "serde::de::DeserializeOwned", Some("'de"));
+    let from_val = "serde::from_value";
+    let map_err = "map_err(<__D::Error as serde::de::Error>::custom)?";
+    let err = "<__D::Error as serde::de::Error>";
+
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("let _ = __value; Ok({name})"),
+        Kind::TupleStruct(1) => format!("Ok({name}({from_val}(__value).{map_err}))"),
+        Kind::TupleStruct(n) => format!(
+            "match __value {{\n\
+                 serde::Value::Array(__items) => {{\n\
+                     if __items.len() != {n} {{\n\
+                         return Err({err}::invalid_length(__items.len(), &{n}usize));\n\
+                     }}\n\
+                     let mut __iter = __items.into_iter();\n\
+                     Ok({name}({fields}))\n\
+                 }}\n\
+                 __other => Err({err}::custom(format_args!(\n\
+                     \"expected array for tuple struct {name}, found {{__other:?}}\"))),\n\
+             }}",
+            fields = (0..*n)
+                .map(|_| format!(
+                    "{from_val}(__iter.next().expect(\"length checked\")).{map_err}"
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("match __value {\nserde::Value::Object(mut __fields) => {\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "let __v_{f} = match serde::__private::take_field(&mut __fields, \"{f}\") {{\n\
+                         Some(__v) => {from_val}(__v).{map_err},\n\
+                         None => return Err({err}::missing_field(\"{f}\")),\n\
+                     }};\n"
+                ));
+            }
+            let inits: Vec<String> = fields.iter().map(|f| format!("{f}: __v_{f}")).collect();
+            s.push_str(&format!("Ok({name} {{ {} }})\n}}\n", inits.join(", ")));
+            s.push_str(&format!(
+                "__other => Err({err}::custom(format_args!(\n\
+                     \"expected object for struct {name}, found {{__other:?}}\"))),\n}}"
+            ));
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}),\n"
+                    )),
+                    VariantFields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}({from_val}(__inner).{map_err})),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let fields: Vec<String> = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "{from_val}(__iter.next().expect(\"length checked\")).{map_err}"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\n\
+                                 serde::Value::Array(__items) => {{\n\
+                                     if __items.len() != {n} {{\n\
+                                         return Err({err}::invalid_length(\
+                                             __items.len(), &{n}usize));\n\
+                                     }}\n\
+                                     let mut __iter = __items.into_iter();\n\
+                                     Ok({name}::{vname}({}))\n\
+                                 }}\n\
+                                 __other => Err({err}::custom(format_args!(\n\
+                                     \"expected array for variant {name}::{vname}, \
+                                      found {{__other:?}}\"))),\n\
+                             }},\n",
+                            fields.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut takes = String::new();
+                        for f in fields {
+                            takes.push_str(&format!(
+                                "let __v_{f} = match serde::__private::take_field(\
+                                     &mut __vfields, \"{f}\") {{\n\
+                                     Some(__v) => {from_val}(__v).{map_err},\n\
+                                     None => return Err({err}::missing_field(\"{f}\")),\n\
+                                 }};\n"
+                            ));
+                        }
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __v_{f}")).collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\n\
+                                 serde::Value::Object(mut __vfields) => {{\n\
+                                     {takes}\
+                                     Ok({name}::{vname} {{ {} }})\n\
+                                 }}\n\
+                                 __other => Err({err}::custom(format_args!(\n\
+                                     \"expected object for variant {name}::{vname}, \
+                                      found {{__other:?}}\"))),\n\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err({err}::custom(format_args!(\n\
+                             \"unknown unit variant {{__other}} for enum {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Object(mut __tag_fields) if __tag_fields.len() == 1 => {{\n\
+                         let (__tag, __inner) = __tag_fields.remove(0);\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => Err({err}::custom(format_args!(\n\
+                                 \"unknown variant {{__other}} for enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err({err}::custom(format_args!(\n\
+                         \"expected enum {name}, found {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{generics} serde::Deserialize<'de> for {self_ty} {{\n\
+             #[allow(unused_variables, unused_mut)]\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+             -> ::core::result::Result<Self, __D::Error> {{\n\
+                 let __value = serde::Deserializer::deserialize_value(__deserializer)?;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -500,7 +500,7 @@ pub fn generate_infection<R: Rng>(rng: &mut R, family: EkFamily, start_ts: f64) 
             } else if rng.gen_bool(0.7) {
                 200
             } else {
-                40 * 10 + rng.gen_range(0..5)
+                40 * 10 + rng.gen_range(0u16..5)
             };
             let body = if status == 200 {
                 hostgen::payload_body(rng, PayloadClass::Text, 64)
@@ -622,7 +622,7 @@ mod tests {
             let ep = gen(EkFamily::Angler, seed);
             let hosts = ep.unique_hosts();
             // Callback hosts can add up to 3 beyond the base budget.
-            assert!(hosts >= 2 && hosts <= 74 + 3, "seed {seed}: {hosts} hosts");
+            assert!((2..=74 + 3).contains(&hosts), "seed {seed}: {hosts} hosts");
         }
     }
 

@@ -24,7 +24,10 @@
 //!   246 MB–1.1 GB payloads),
 //! * [`corpus`] — ground-truth and held-out validation corpus builders,
 //! * [`pcapgen`] — serializing an episode to real pcap bytes so the
-//!   `nettrace` parsing pipeline is exercised end-to-end.
+//!   `nettrace` parsing pipeline is exercised end-to-end,
+//! * [`faultgen`] — seeded capture mutation (truncation, bit rot, packet
+//!   loss, TCP and HTTP corruption) for fault-injection testing of the
+//!   lenient ingest pipeline.
 //!
 //! All generation is deterministic given a seed.
 
@@ -34,6 +37,7 @@ pub mod entice;
 pub mod episode;
 pub mod evasion;
 pub mod families;
+pub mod faultgen;
 pub mod hostgen;
 pub mod pcapgen;
 

@@ -1,0 +1,189 @@
+//! Fault-injection suite: every mutation class from
+//! `synthtraffic::faultgen` must go through the lenient ingest pipeline
+//! without a panic or an error, with the ingest counters accounting for
+//! what was lost, and with detection surviving on whatever conversations
+//! the damage left intact.
+
+use std::sync::OnceLock;
+
+use dynaminer::classifier::{build_dataset, Classifier};
+use dynaminer::detector::DetectorConfig;
+use dynaminer::forensic;
+use nettrace::{HttpTransaction, IngestReport, TransactionExtractor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synthtraffic::benign::generate_benign;
+use synthtraffic::episode::generate_infection;
+use synthtraffic::faultgen::{self, Fault};
+use synthtraffic::pcapgen::episode_pcap;
+use synthtraffic::{BenignScenario, EkFamily};
+
+fn classifier() -> &'static Classifier {
+    static CLF: OnceLock<Classifier> = OnceLock::new();
+    CLF.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut items: Vec<(Vec<HttpTransaction>, bool)> = Vec::new();
+        for i in 0..30 {
+            items.push((
+                generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.4e9).transactions,
+                true,
+            ));
+            items.push((
+                generate_benign(&mut rng, BenignScenario::WEIGHTED[i % 8].0, 1.43e9).transactions,
+                false,
+            ));
+        }
+        let data = build_dataset(items.iter().map(|(t, l)| (t.as_slice(), *l)));
+        Classifier::fit_default(&data, 7)
+    })
+}
+
+fn infection_pcap(seed: u64, family: EkFamily) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    episode_pcap(&generate_infection(&mut rng, family, 1.4e9)).unwrap()
+}
+
+/// Runs damaged bytes through capture → reassembly → transactions and
+/// checks the counters are internally consistent.
+fn lenient_extract_checked(bytes: &[u8]) -> (Vec<HttpTransaction>, IngestReport) {
+    let mut report = IngestReport::new();
+    let packets = nettrace::capture::read_packets_lenient(bytes, &mut report);
+    assert_eq!(packets.len() as u64, report.packets_read);
+    let txs = TransactionExtractor::extract_lenient(&packets, &mut report);
+    assert_eq!(txs.len() as u64, report.transactions_recovered);
+    assert!(report.packets_dropped_decode + report.packets_non_tcp <= report.packets_read);
+    assert!(
+        report.streams_salvaged + report.streams_discarded + report.streams_skipped_non_http
+            <= report.streams_total,
+        "{report}"
+    );
+    (txs, report)
+}
+
+#[test]
+fn every_fault_class_survives_the_pipeline() {
+    for (i, fault) in Fault::ALL.into_iter().enumerate() {
+        for seed in 0..4u64 {
+            let pcap = infection_pcap(seed + 1, EkFamily::ALL[(i + seed as usize) % 10]);
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let hurt = faultgen::apply(&pcap, fault, &mut rng);
+            let (txs, report) = lenient_extract_checked(&hurt);
+            // Structure-preserving faults must not cost transactions.
+            if matches!(fault, Fault::DuplicatePackets | Fault::ReorderPackets) {
+                let clean = TransactionExtractor::extract(
+                    &nettrace::capture::read_packets(&pcap).unwrap(),
+                )
+                .unwrap();
+                assert_eq!(txs.len(), clean.len(), "{fault} lost transactions");
+                assert!(!report.has_loss(), "{fault}: {report}");
+            }
+        }
+    }
+}
+
+#[test]
+fn compound_damage_survives_the_pipeline() {
+    for seed in 0..3u64 {
+        let pcap = infection_pcap(seed + 20, EkFamily::ALL[seed as usize % 10]);
+        let mut rng = StdRng::seed_from_u64(40 + seed);
+        let hurt = faultgen::apply_all(&pcap, &mut rng);
+        let _ = lenient_extract_checked(&hurt);
+    }
+}
+
+#[test]
+fn clean_capture_lenient_matches_strict() {
+    for (seed, family) in [(3, EkFamily::Angler), (4, EkFamily::Rig), (5, EkFamily::Goon)] {
+        let pcap = infection_pcap(seed, family);
+        let strict =
+            TransactionExtractor::extract(&nettrace::capture::read_packets(&pcap).unwrap())
+                .unwrap();
+        let (lenient, report) = lenient_extract_checked(&pcap);
+        assert_eq!(lenient, strict);
+        assert!(!report.has_loss(), "{report}");
+    }
+}
+
+#[test]
+fn fault_free_portions_are_fully_recovered() {
+    // Two episodes from different victims, B's packets corrupted, A's
+    // untouched: every one of A's transactions must still come through.
+    let mut rng = StdRng::seed_from_u64(8);
+    let ep_a = generate_infection(&mut rng, EkFamily::Nuclear, 1.4e9);
+    let ep_b = generate_infection(&mut rng, EkFamily::Fiesta, 1.4e9);
+    assert_ne!(ep_a.victim.addr, ep_b.victim.addr, "episodes must be distinguishable");
+    let pcap_a = episode_pcap(&ep_a).unwrap();
+    let clean_a =
+        TransactionExtractor::extract(&nettrace::capture::read_packets(&pcap_a).unwrap())
+            .unwrap();
+    for fault in [Fault::MangleRequestLines, Fault::BreakChunkFraming, Fault::CorruptTcpSeq] {
+        let mut fault_rng = StdRng::seed_from_u64(9);
+        let hurt_b = faultgen::apply(&episode_pcap(&ep_b).unwrap(), fault, &mut fault_rng);
+        // Merge A's packets with the damaged B packets into one capture.
+        let mut report = IngestReport::new();
+        let mut merged = nettrace::capture::read_packets_lenient(&pcap_a, &mut report);
+        merged.extend(nettrace::capture::read_packets_lenient(&hurt_b, &mut report));
+        merged.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        let mut buf = Vec::new();
+        let mut w = nettrace::pcap::PcapWriter::new(&mut buf).unwrap();
+        for p in &merged {
+            w.write_packet(p).unwrap();
+        }
+        w.finish().unwrap();
+        let (txs, _) = lenient_extract_checked(&buf);
+        let recovered_a =
+            txs.iter().filter(|t| t.client.addr == ep_a.victim.addr).count();
+        assert!(
+            recovered_a >= clean_a.len(),
+            "{fault}: recovered {recovered_a} of {} fault-free transactions",
+            clean_a.len()
+        );
+    }
+}
+
+#[test]
+fn corrupted_infection_replay_still_alerts() {
+    // Find an infection capture the detector alerts on when clean…
+    let clf = classifier();
+    let mut chosen = None;
+    for seed in 0..12u64 {
+        let pcap = infection_pcap(100 + seed, EkFamily::ALL[seed as usize % 10]);
+        let report =
+            forensic::analyze_pcap_lenient(&pcap, clf.clone(), DetectorConfig::default());
+        if report.alerts > 0 {
+            chosen = Some(pcap);
+            break;
+        }
+    }
+    let pcap = chosen.expect("no clean infection capture alerted");
+    // …then confirm structure-preserving damage does not silence it.
+    for fault in [Fault::DuplicatePackets, Fault::ReorderPackets] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hurt = faultgen::apply(&pcap, fault, &mut rng);
+        let report =
+            forensic::analyze_pcap_lenient(&hurt, clf.clone(), DetectorConfig::default());
+        assert!(report.alerts > 0, "{fault} silenced the detector");
+        assert!(report.ingest.is_some());
+    }
+    // A tail truncation loses data but the surviving conversations still
+    // carry the infection.
+    let cut = &pcap[..pcap.len() - 3];
+    let report = forensic::analyze_pcap_lenient(cut, clf.clone(), DetectorConfig::default());
+    assert!(report.alerts > 0, "tail truncation silenced the detector");
+    assert!(report.ingest.unwrap().has_loss());
+}
+
+#[test]
+fn every_fault_class_replays_through_the_detector() {
+    let clf = classifier();
+    for (i, fault) in Fault::ALL.into_iter().enumerate() {
+        let pcap = infection_pcap(50 + i as u64, EkFamily::ALL[i % 10]);
+        let mut rng = StdRng::seed_from_u64(60 + i as u64);
+        let hurt = faultgen::apply(&pcap, fault, &mut rng);
+        let report = forensic::analyze_pcap_lenient(&hurt, clf.clone(), DetectorConfig::default());
+        let ingest = report.ingest.expect("lenient replay always reports ingest health");
+        // Replay counts after trusted-vendor weed-out, so recovered is
+        // an upper bound.
+        assert!(ingest.transactions_recovered as usize >= report.transactions);
+    }
+}

@@ -218,6 +218,88 @@ proptest! {
             raw.into_iter().enumerate().map(|(i, d)| nettrace::pcap::Packet::new(i as f64, d)).collect();
         let _ = nettrace::TransactionExtractor::extract(&packets);
     }
+
+    #[test]
+    fn lenient_pipeline_absorbs_arbitrary_capture_mutations(
+        mutations in vec((0usize..1_000_000, 1u8..=255), 1..24)
+    ) {
+        // Full path on a real capture with arbitrary byte damage: pcap →
+        // reassembly → transactions → detector. The lenient pipeline has
+        // no error path — whatever the mutation, it must complete and
+        // keep its books straight.
+        let mut bytes = mutation_base_pcap().clone();
+        for (pos, x) in mutations {
+            let at = pos % bytes.len();
+            bytes[at] ^= x;
+        }
+        let mut report = nettrace::IngestReport::new();
+        let packets = nettrace::capture::read_packets_lenient(&bytes, &mut report);
+        prop_assert_eq!(packets.len() as u64, report.packets_read);
+        let txs = nettrace::TransactionExtractor::extract_lenient(&packets, &mut report);
+        prop_assert_eq!(txs.len() as u64, report.transactions_recovered);
+        prop_assert!(
+            report.packets_dropped_decode + report.packets_non_tcp <= report.packets_read
+        );
+        let mut detector = dynaminer::detector::OnTheWireDetector::new(
+            mutation_test_classifier().clone(),
+            dynaminer::detector::DetectorConfig::default(),
+        );
+        for tx in &txs {
+            detector.observe(tx);
+        }
+        prop_assert!(detector.transactions_seen() <= txs.len());
+    }
+}
+
+/// One well-formed infection capture, built once, mutated per case.
+fn mutation_base_pcap() -> &'static Vec<u8> {
+    use rand::SeedableRng;
+    static PCAP: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    PCAP.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let ep = synthtraffic::episode::generate_infection(
+            &mut rng,
+            synthtraffic::EkFamily::Angler,
+            1.4e9,
+        );
+        synthtraffic::pcapgen::episode_pcap(&ep).unwrap()
+    })
+}
+
+/// A deliberately tiny classifier — the property is about survival, not
+/// detection quality.
+fn mutation_test_classifier() -> &'static dynaminer::classifier::Classifier {
+    use rand::SeedableRng;
+    static CLF: std::sync::OnceLock<dynaminer::classifier::Classifier> =
+        std::sync::OnceLock::new();
+    CLF.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut items: Vec<(Vec<HttpTransaction>, bool)> = Vec::new();
+        for i in 0..6 {
+            items.push((
+                synthtraffic::episode::generate_infection(
+                    &mut rng,
+                    synthtraffic::EkFamily::ALL[i],
+                    1.4e9,
+                )
+                .transactions,
+                true,
+            ));
+            items.push((
+                synthtraffic::benign::generate_benign(
+                    &mut rng,
+                    synthtraffic::BenignScenario::Search,
+                    1.43e9,
+                )
+                .transactions,
+                false,
+            ));
+        }
+        let data = dynaminer::classifier::build_dataset(
+            items.iter().map(|(t, l)| (t.as_slice(), *l)),
+        );
+        dynaminer::classifier::Classifier::fit_default(&data, 3)
+    })
 }
 
 // ---------------------------------------------------------------------
