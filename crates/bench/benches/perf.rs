@@ -112,6 +112,9 @@ fn bench_forest(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("forest");
     group.bench_function("train_erf_20_trees", |b| {
+        b.iter(|| RandomForest::fit_threaded(&data, &ForestConfig::default(), 1, 1).n_trees())
+    });
+    group.bench_function("train_erf_20_trees_parallel", |b| {
         b.iter(|| RandomForest::fit(&data, &ForestConfig::default(), 1).n_trees())
     });
     let forest = RandomForest::fit(&data, &ForestConfig::default(), 1);
@@ -120,6 +123,10 @@ fn bench_forest(c: &mut Criterion) {
         b.iter(|| {
             (0..data.len()).map(|i| forest.predict_proba(data.row(i))[1]).sum::<f64>()
         })
+    });
+    let rows: Vec<Vec<f64>> = (0..data.len()).map(|i| data.row(i).to_vec()).collect();
+    group.bench_function("predict_batched", |b| {
+        b.iter(|| forest.score_batch(&rows, 1, 1).iter().sum::<f64>())
     });
     group.finish();
 }

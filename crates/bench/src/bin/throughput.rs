@@ -1,0 +1,241 @@
+//! `throughput` — the perf-trajectory benchmark suite.
+//!
+//! Measures the pipeline's production hot paths with the criterion shim
+//! and persists the numbers to `BENCH_throughput.json` (at the current
+//! working directory — run from the repo root):
+//!
+//! * pcap ingest (parse + transaction extraction), MB/s,
+//! * WCG construction from conversations, conversations/s,
+//! * 37-feature extraction, WCGs/s,
+//! * forest training, sequential and parallel, fits/s,
+//! * forest prediction, per-row and batched, rows/s — with the batched
+//!   speedup recorded explicitly.
+//!
+//! Environment:
+//!
+//! * `DYNAMINER_BENCH_QUICK=1` — reduced warm-up/measurement budget for
+//!   CI smoke runs (numbers are noisier but the harness still proves the
+//!   paths run and the artifact schema holds).
+//! * `DYNAMINER_BENCH_OUT` — output path (default `BENCH_throughput.json`).
+//! * `DYNAMINER_THREADS` — worker threads for the parallel measurements
+//!   (default: available parallelism).
+
+use std::time::Duration;
+
+use criterion::{Criterion, Throughput};
+use dynaminer::classifier::{build_dataset, build_dataset_parallel};
+use dynaminer::features;
+use dynaminer::wcg::Wcg;
+use mlearn::forest::{ForestConfig, RandomForest};
+use nettrace::TransactionExtractor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use synthtraffic::benign::generate_benign;
+use synthtraffic::episode::generate_infection;
+use synthtraffic::pcapgen;
+use synthtraffic::{BenignScenario, EkFamily};
+
+#[derive(Debug, Serialize)]
+struct BenchEntry {
+    /// Stable benchmark identifier.
+    name: String,
+    /// Median wall-clock time per iteration, nanoseconds.
+    per_iter_ns: f64,
+    /// Derived rate in `unit`.
+    rate: f64,
+    /// Unit of `rate`.
+    unit: String,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema: String,
+    quick: bool,
+    threads: usize,
+    entries: Vec<BenchEntry>,
+    /// Batched predict throughput over per-row predict throughput —
+    /// the headline win of allocation-free batched scoring.
+    batched_predict_speedup: f64,
+    /// Parallel fit throughput over sequential fit throughput.
+    parallel_fit_speedup: f64,
+}
+
+fn entry(name: &str, per_iter: Duration, work: f64, unit: &str) -> BenchEntry {
+    let secs = per_iter.as_secs_f64();
+    BenchEntry {
+        name: name.to_string(),
+        per_iter_ns: secs * 1e9,
+        rate: if secs > 0.0 { work / secs } else { 0.0 },
+        unit: unit.to_string(),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("DYNAMINER_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let threads = std::env::var("DYNAMINER_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map_or_else(mlearn::parallel::default_threads, mlearn::parallel::resolve_threads);
+    let out_path = std::env::var("DYNAMINER_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+
+    let mut c = if quick {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(300))
+            .warm_up_time(Duration::from_millis(100))
+    } else {
+        Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(500))
+    };
+    println!(
+        "throughput bench: quick={quick} threads={threads} → {out_path}"
+    );
+
+    // Shared fixtures: a mixed corpus and one infection pcap.
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut episodes = Vec::new();
+    let pairs = if quick { 6 } else { 24 };
+    for i in 0..pairs {
+        episodes.push(generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.4e9));
+        episodes.push(generate_benign(&mut rng, BenignScenario::WEIGHTED[i % 8].0, 1.43e9));
+    }
+    let pcap = {
+        let mut prng = StdRng::seed_from_u64(3);
+        let ep = generate_infection(&mut prng, EkFamily::Nuclear, 1.4e9);
+        pcapgen::episode_pcap(&ep).unwrap()
+    };
+    let conversations: Vec<&[nettrace::HttpTransaction]> =
+        episodes.iter().map(|e| e.transactions.as_slice()).collect();
+    let labelled: Vec<(&[nettrace::HttpTransaction], bool)> =
+        episodes.iter().map(|e| (e.transactions.as_slice(), e.is_infection())).collect();
+    let wcgs: Vec<Wcg> = conversations.iter().map(|txs| Wcg::from_transactions(txs)).collect();
+
+    let mut entries = Vec::new();
+
+    // 1. pcap ingest: parse + transaction extraction, MB/s.
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Bytes(pcap.len() as u64));
+    let t = group.bench_function("pcap_parse_and_extract", |b| {
+        b.iter(|| {
+            let packets = nettrace::capture::read_packets(&pcap).unwrap();
+            TransactionExtractor::extract(&packets).unwrap().len()
+        })
+    });
+    group.finish();
+    entries.push(entry("ingest/pcap_parse_and_extract", t, pcap.len() as f64 / 1e6, "MB/s"));
+
+    // 2. WCG construction.
+    let mut group = c.benchmark_group("wcg");
+    group.throughput(Throughput::Elements(conversations.len() as u64));
+    let t = group.bench_function("construct", |b| {
+        b.iter(|| {
+            conversations
+                .iter()
+                .map(|txs| Wcg::from_transactions(txs).graph.edge_count())
+                .sum::<usize>()
+        })
+    });
+    entries.push(entry("wcg/construct", t, conversations.len() as f64, "conversations/s"));
+
+    // 3. 37-feature extraction (graph analytics dominate).
+    let t = group.bench_function("extract_37_features", |b| {
+        b.iter(|| wcgs.iter().map(|w| features::extract(w).values()[0]).sum::<f64>())
+    });
+    group.finish();
+    entries.push(entry("wcg/extract_37_features", t, wcgs.len() as f64, "WCGs/s"));
+
+    // 4. Corpus featurization, sequential vs pooled (dataset build).
+    let mut group = c.benchmark_group("dataset");
+    let t = group.bench_function("build_sequential", |b| {
+        b.iter(|| build_dataset(labelled.iter().copied()).len())
+    });
+    entries.push(entry("dataset/build_sequential", t, labelled.len() as f64, "conversations/s"));
+    let t = group.bench_function("build_parallel", |b| {
+        b.iter(|| build_dataset_parallel(&labelled, threads).len())
+    });
+    group.finish();
+    entries.push(entry("dataset/build_parallel", t, labelled.len() as f64, "conversations/s"));
+
+    // 5. Forest fit, sequential vs parallel (bit-identical models).
+    // Trained on a production-sized corpus — tree depth (and therefore
+    // per-prediction traversal cost) scales with the training set, so a
+    // toy corpus would make the predict numbers meaningless.
+    let fit_pairs = if quick { 40 } else { 400 };
+    let mut fit_rng = StdRng::seed_from_u64(99);
+    let mut fit_episodes = Vec::new();
+    for i in 0..fit_pairs {
+        fit_episodes.push(generate_infection(&mut fit_rng, EkFamily::ALL[i % 10], 1.4e9));
+        fit_episodes
+            .push(generate_benign(&mut fit_rng, BenignScenario::WEIGHTED[i % 8].0, 1.43e9));
+    }
+    let fit_labelled: Vec<(&[nettrace::HttpTransaction], bool)> = fit_episodes
+        .iter()
+        .map(|e| (e.transactions.as_slice(), e.is_infection()))
+        .collect();
+    let data = build_dataset_parallel(&fit_labelled, threads);
+    let config = ForestConfig::default();
+    let mut group = c.benchmark_group("forest");
+    let t_fit_seq = group.bench_function("fit_1_thread", |b| {
+        b.iter(|| RandomForest::fit_threaded(&data, &config, 1, 1).n_trees())
+    });
+    entries.push(entry("forest/fit_1_thread", t_fit_seq, 1.0, "fits/s"));
+    let t_fit_par = group.bench_function("fit_parallel", |b| {
+        b.iter(|| RandomForest::fit_threaded(&data, &config, 1, threads).n_trees())
+    });
+    entries.push(entry("forest/fit_parallel", t_fit_par, 1.0, "fits/s"));
+
+    // 6. Prediction: per-row vs batched (flat-accumulator) scoring. Score
+    // many replicas of the corpus rows so the batch has production-like
+    // depth.
+    let reps = if quick { 20 } else { 12 };
+    let rows: Vec<Vec<f64>> = (0..reps)
+        .flat_map(|_| (0..data.len()).map(|i| data.row(i).to_vec()))
+        .collect();
+    let forest = RandomForest::fit(&data, &config, 1);
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    let t_single = group.bench_function("predict_per_row", |b| {
+        b.iter(|| rows.iter().map(|r| forest.score(r, 1)).sum::<f64>())
+    });
+    entries.push(entry("forest/predict_per_row", t_single, rows.len() as f64, "rows/s"));
+    let t_batched = group.bench_function("predict_batched", |b| {
+        b.iter(|| forest.score_batch(&rows, 1, 1).iter().sum::<f64>())
+    });
+    entries.push(entry("forest/predict_batched", t_batched, rows.len() as f64, "rows/s"));
+    let t_batched_mt = group.bench_function("predict_batched_threaded", |b| {
+        b.iter(|| forest.score_batch(&rows, 1, threads).iter().sum::<f64>())
+    });
+    group.finish();
+    entries.push(entry(
+        "forest/predict_batched_threaded",
+        t_batched_mt,
+        rows.len() as f64,
+        "rows/s",
+    ));
+
+    let speedup = |fast: Duration, slow: Duration| {
+        if fast > Duration::ZERO {
+            slow.as_secs_f64() / fast.as_secs_f64()
+        } else {
+            0.0
+        }
+    };
+    let report = BenchReport {
+        schema: "dynaminer-bench-throughput-v1".to_string(),
+        quick,
+        threads,
+        entries,
+        batched_predict_speedup: speedup(t_batched, t_single),
+        parallel_fit_speedup: speedup(t_fit_par, t_fit_seq),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write bench report");
+    println!(
+        "\nbatched predict speedup: {:.2}x over per-row; parallel fit speedup: {:.2}x over 1 thread",
+        report.batched_predict_speedup, report.parallel_fit_speedup
+    );
+    println!("wrote {out_path}");
+}

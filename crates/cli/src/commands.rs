@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fs;
 
-use dynaminer::classifier::{build_dataset, Classifier};
+use dynaminer::classifier::{build_dataset_parallel, Classifier, FeatureSelection};
 use dynaminer::detector::{ClueConfig, DetectorConfig};
 use dynaminer::wcg::Wcg;
 use dynaminer::{features, forensic};
@@ -20,9 +20,9 @@ pub const USAGE: &str = "\
 dynaminer — payload-agnostic web-conversation-graph malware detection
 
 USAGE:
-  dynaminer train    [--scale S] [--seed N] --out model.json
-  dynaminer classify --model model.json [--strict] <capture.pcap>...
-  dynaminer replay   [--model model.json] [--threshold L] [--format text|json] [--strict] <capture.pcap>
+  dynaminer train    [--scale S] [--seed N] [--threads N] --out model.json
+  dynaminer classify --model model.json [--threads N] [--strict] <capture.pcap>...
+  dynaminer replay   [--model model.json] [--threshold L] [--threads N] [--format text|json] [--strict] <capture.pcap>
   dynaminer generate [--family <name> | --benign <scenario>] [--seed N] --out <file.pcap>
   dynaminer dot      <capture.pcap>
   dynaminer features <capture.pcap>
@@ -31,6 +31,10 @@ USAGE:
 Captures are read leniently by default: damaged records and malformed
 streams are skipped and accounted in ingest-health counters. --strict
 fails on the first unparseable byte instead.
+
+--threads N sets the worker-thread count for feature extraction,
+training, and batch scoring (default: available parallelism; results
+are bit-identical at any value).
 
 Families:  angler rig nuclear magnitude sweetorange flashpack neutrino goon fiesta other
 Scenarios: search social webmail video alexa-browse software-update unofficial-download torrent-session";
@@ -90,6 +94,12 @@ impl Options {
     fn bool_flag(&self, name: &str) -> bool {
         self.flags.contains_key(name)
     }
+
+    /// Worker threads from `--threads` (default: available parallelism;
+    /// `0` also means "auto").
+    fn threads_flag(&self) -> Result<usize, String> {
+        Ok(mlearn::parallel::resolve_threads(self.u64_flag("threads", 0)? as usize))
+    }
 }
 
 fn load_transactions(path: &str) -> Result<Vec<HttpTransaction>, String> {
@@ -138,11 +148,18 @@ fn load_model(path: &str) -> Result<Classifier, String> {
     Ok(saved.classifier)
 }
 
-fn train_classifier(scale: f64, seed: u64) -> Classifier {
+fn train_classifier(scale: f64, seed: u64, threads: usize) -> Classifier {
     let corpus = synthtraffic::ground_truth(seed, scale);
-    let data =
-        build_dataset(corpus.iter().map(|e| (e.transactions.as_slice(), e.is_infection())));
-    Classifier::fit_default(&data, seed)
+    let items: Vec<(&[HttpTransaction], bool)> =
+        corpus.iter().map(|e| (e.transactions.as_slice(), e.is_infection())).collect();
+    let data = build_dataset_parallel(&items, threads);
+    Classifier::fit_threaded(
+        &data,
+        FeatureSelection::All,
+        &mlearn::forest::ForestConfig::default(),
+        seed,
+        threads,
+    )
 }
 
 /// `dynaminer train` — train on the calibrated synthetic ground truth and
@@ -151,9 +168,10 @@ pub fn train(args: &[String]) -> Result<(), String> {
     let opts = parse(args)?;
     let scale = opts.f64_flag("scale", 0.25)?;
     let seed = opts.u64_flag("seed", 42)?;
+    let threads = opts.threads_flag()?;
     let out = opts.required("out")?;
-    eprintln!("training on ground-truth corpus (scale {scale}, seed {seed})…");
-    let classifier = train_classifier(scale, seed);
+    eprintln!("training on ground-truth corpus (scale {scale}, seed {seed}, {threads} threads)…");
+    let classifier = train_classifier(scale, seed, threads);
     let saved = SavedModel {
         format_version: MODEL_FORMAT_VERSION,
         trained_on: "synthtraffic ground truth (Table I calibration)".to_string(),
@@ -168,12 +186,24 @@ pub fn train(args: &[String]) -> Result<(), String> {
 }
 
 /// `dynaminer classify` — score each capture's WCG with a trained model.
+/// Captures are featurized and scored as one batch across the worker
+/// pool, so classifying a directory of captures scales with `--threads`.
 pub fn classify(args: &[String]) -> Result<(), String> {
     let opts = parse(args)?;
     let classifier = load_model(opts.required("model")?)?;
+    let threads = opts.threads_flag()?;
     if opts.positional.is_empty() {
         return Err("no capture files given".into());
     }
+    // Load + featurize every capture first, then score all of them in one
+    // batched forest pass.
+    struct Loaded {
+        txs: usize,
+        hosts: usize,
+        fv: Option<features::FeatureVector>,
+        ingest: Option<nettrace::IngestReport>,
+    }
+    let mut loaded = Vec::new();
     for path in &opts.positional {
         let (txs, ingest) = if opts.bool_flag("strict") {
             (load_transactions(path)?, None)
@@ -184,18 +214,33 @@ pub fn classify(args: &[String]) -> Result<(), String> {
         // A lenient read that salvaged nothing has no conversation to
         // judge; a verdict over zero evidence would be noise.
         if txs.is_empty() && ingest.is_some() {
-            println!("{path}: 0 transactions recovered, no verdict");
+            loaded.push(Loaded { txs: 0, hosts: 0, fv: None, ingest });
         } else {
             let wcg = Wcg::from_transactions(&txs);
-            let score = classifier.score_wcg(&wcg);
+            loaded.push(Loaded {
+                txs: txs.len(),
+                hosts: wcg.remote_host_count(),
+                fv: Some(features::extract(&wcg)),
+                ingest,
+            });
+        }
+    }
+    let fvs: Vec<features::FeatureVector> =
+        loaded.iter().filter_map(|l| l.fv.clone()).collect();
+    let mut scores = classifier.score_features_batch(&fvs, threads).into_iter();
+    for (path, item) in opts.positional.iter().zip(&loaded) {
+        if item.fv.is_none() {
+            println!("{path}: 0 transactions recovered, no verdict");
+        } else {
+            let score = scores.next().expect("one score per featurized capture");
             println!(
                 "{path}: {} transactions, {} hosts, P(infection) = {score:.3} → {}",
-                txs.len(),
-                wcg.remote_host_count(),
+                item.txs,
+                item.hosts,
                 if score >= 0.5 { "INFECTION" } else { "benign" },
             );
         }
-        if let Some(report) = ingest {
+        if let Some(report) = &item.ingest {
             println!("  ingest: {report}");
         }
     }
@@ -206,11 +251,12 @@ pub fn classify(args: &[String]) -> Result<(), String> {
 /// detector (session clustering, clue gate, WCG classification).
 pub fn replay(args: &[String]) -> Result<(), String> {
     let opts = parse(args)?;
+    let threads = opts.threads_flag()?;
     let classifier = match opts.flags.get("model") {
         Some(path) => load_model(path)?,
         None => {
             eprintln!("no --model given; training a default model first…");
-            train_classifier(0.25, 42)
+            train_classifier(0.25, 42, threads)
         }
     };
     let threshold = opts.u64_flag("threshold", 2)? as usize;
@@ -219,6 +265,7 @@ pub fn replay(args: &[String]) -> Result<(), String> {
     };
     let config = DetectorConfig {
         clue: ClueConfig { redirect_threshold: threshold, ..ClueConfig::default() },
+        scoring_threads: threads,
         ..DetectorConfig::default()
     };
     let report = if opts.bool_flag("strict") {

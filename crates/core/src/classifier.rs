@@ -68,9 +68,11 @@ where
 }
 
 /// Builds the same dataset as [`build_dataset`] but extracts features in
-/// parallel with scoped worker threads — WCG featurization is the
-/// dominant cost when featurizing thousands of conversations (graph
-/// analytics per conversation), and conversations are independent.
+/// parallel through the [`mlearn::parallel`] worker pool — WCG
+/// featurization is the dominant cost when featurizing thousands of
+/// conversations (graph analytics per conversation), and conversations
+/// are independent. The dynamic work distribution also balances the very
+/// uneven per-conversation cost (graph analytics scale with WCG size).
 ///
 /// The resulting dataset is bit-identical to the sequential one (row
 /// order is preserved).
@@ -78,25 +80,14 @@ pub fn build_dataset_parallel(
     conversations: &[(&[HttpTransaction], bool)],
     threads: usize,
 ) -> Dataset {
-    let threads = threads.max(1).min(conversations.len().max(1));
-    let mut rows: Vec<Option<(Vec<f64>, usize)>> = vec![None; conversations.len()];
-    let chunk = conversations.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (slot_chunk, conv_chunk) in
-            rows.chunks_mut(chunk).zip(conversations.chunks(chunk))
-        {
-            scope.spawn(move || {
-                for (slot, (txs, infected)) in slot_chunk.iter_mut().zip(conv_chunk) {
-                    let wcg = Wcg::from_transactions(txs);
-                    let fv = features::extract(&wcg);
-                    *slot = Some((fv.values().to_vec(), usize::from(*infected)));
-                }
-            });
-        }
+    let rows = mlearn::parallel::run_indexed(conversations.len(), threads, |i| {
+        let (txs, infected) = conversations[i];
+        let wcg = Wcg::from_transactions(txs);
+        let fv = features::extract(&wcg);
+        (fv.values().to_vec(), usize::from(infected))
     });
     let mut data = Dataset::new(NAMES.iter().map(|s| s.to_string()).collect(), 2);
-    for row in rows {
-        let (values, label) = row.expect("every slot filled");
+    for (values, label) in rows {
         data.push(values, label);
     }
     data
@@ -125,6 +116,23 @@ impl Classifier {
         assert_eq!(data.n_features(), FEATURE_COUNT, "expected a 37-feature dataset");
         let projected = data.select_features(&selection.columns());
         Classifier { forest: RandomForest::fit(&projected, config, seed), selection }
+    }
+
+    /// [`Classifier::fit`] with an explicit thread budget for forest
+    /// training. The trained model is bit-identical at any thread count.
+    pub fn fit_threaded(
+        data: &Dataset,
+        selection: FeatureSelection,
+        config: &ForestConfig,
+        seed: u64,
+        threads: usize,
+    ) -> Classifier {
+        assert_eq!(data.n_features(), FEATURE_COUNT, "expected a 37-feature dataset");
+        let projected = data.select_features(&selection.columns());
+        Classifier {
+            forest: RandomForest::fit_threaded(&projected, config, seed, threads),
+            selection,
+        }
     }
 
     /// Trains with the paper's default configuration on all features.
@@ -157,6 +165,36 @@ impl Classifier {
     /// Infection probability for a raw conversation.
     pub fn score_transactions(&self, txs: &[HttpTransaction]) -> f64 {
         self.score_wcg(&Wcg::from_transactions(txs))
+    }
+
+    /// Infection probabilities for many feature vectors at once, scored
+    /// through [`RandomForest::score_batch`] — one flat preallocated
+    /// accumulator and zero per-row allocations, with rows split across
+    /// `threads` workers. Matches [`Classifier::score_features`] row for
+    /// row.
+    pub fn score_features_batch(&self, fvs: &[FeatureVector], threads: usize) -> Vec<f64> {
+        let columns = self.selection.columns();
+        let rows: Vec<Vec<f64>> = fvs
+            .iter()
+            .map(|fv| columns.iter().map(|&c| fv.values()[c]).collect())
+            .collect();
+        self.forest.score_batch(&rows, LABEL_INFECTION, threads)
+    }
+
+    /// Infection probabilities for many raw conversations: WCG
+    /// construction and feature extraction run through the worker pool,
+    /// then all rows are batch-scored. Matches
+    /// [`Classifier::score_transactions`] conversation for conversation.
+    pub fn score_conversations_batch(
+        &self,
+        conversations: &[&[HttpTransaction]],
+        threads: usize,
+    ) -> Vec<f64> {
+        let fvs: Vec<FeatureVector> =
+            mlearn::parallel::run_indexed(conversations.len(), threads, |i| {
+                features::extract(&Wcg::from_transactions(conversations[i]))
+            });
+        self.score_features_batch(&fvs, threads)
     }
 
     /// Mean-decrease-in-impurity importances of the trained forest,
@@ -265,6 +303,54 @@ mod tests {
             for i in 0..sequential.len() {
                 assert_eq!(parallel.row(i), sequential.row(i), "row {i}, {threads} threads");
                 assert_eq!(parallel.label(i), sequential.label(i));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scoring_matches_per_conversation() {
+        let train = small_corpus(7, 15);
+        let data = build_dataset(train.iter().map(|(t, l)| (t.as_slice(), *l)));
+        let clf = Classifier::fit_default(&data, 4);
+        let test = small_corpus(8, 10);
+        let convs: Vec<&[nettrace::HttpTransaction]> =
+            test.iter().map(|(t, _)| t.as_slice()).collect();
+        let expected: Vec<f64> =
+            convs.iter().map(|txs| clf.score_transactions(txs)).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                clf.score_conversations_batch(&convs, threads),
+                expected,
+                "{threads} threads"
+            );
+        }
+        // Feature-vector batch path agrees too.
+        let fvs: Vec<crate::features::FeatureVector> = convs
+            .iter()
+            .map(|txs| crate::features::extract(&Wcg::from_transactions(txs)))
+            .collect();
+        assert_eq!(clf.score_features_batch(&fvs, 2), expected);
+    }
+
+    #[test]
+    fn threaded_fit_matches_sequential_fit() {
+        let train = small_corpus(10, 12);
+        let data = build_dataset(train.iter().map(|(t, l)| (t.as_slice(), *l)));
+        let reference = Classifier::fit_default(&data, 6);
+        for threads in [1, 2, 8] {
+            let clf = Classifier::fit_threaded(
+                &data,
+                FeatureSelection::All,
+                &ForestConfig::default(),
+                6,
+                threads,
+            );
+            for (txs, _) in &train {
+                assert_eq!(
+                    clf.score_transactions(txs),
+                    reference.score_transactions(txs),
+                    "{threads} threads"
+                );
             }
         }
     }

@@ -69,6 +69,10 @@ pub struct DetectorConfig {
     /// transactions refresh activity but are not stored. Guards against
     /// a single endless conversation.
     pub max_transactions_per_conversation: usize,
+    /// Worker threads for batch scoring phases (forensic replay's final
+    /// verdict pass). `0` means "use the machine's available parallelism".
+    /// Scores are bit-identical at any setting.
+    pub scoring_threads: usize,
 }
 
 impl Default for DetectorConfig {
@@ -82,6 +86,7 @@ impl Default for DetectorConfig {
             reclassify: ReclassifyPolicy::EveryTransaction,
             max_conversations_per_client: 512,
             max_transactions_per_conversation: 8192,
+            scoring_threads: 0,
         }
     }
 }

@@ -161,7 +161,15 @@ pub fn extract(wcg: &Wcg) -> FeatureVector {
     f[1] = f64::from(wcg.x_flash); // f2
     f[2] = wcg.payload_bytes as f64; // f3 WCG-Size (bytes)
     f[3] = wcg.remote_host_count() as f64; // f4 conversation length
-    let total_uris: usize = g.node_ids().map(|v| g.node(v).uris.len()).sum();
+    // f5 numerator counts remote-host nodes only, matching the
+    // remote-host denominator. Victim and origin nodes never carry URIs
+    // (only contacted servers accumulate them), so the filter is a
+    // semantic guard rather than a value change.
+    let total_uris: usize = g
+        .node_ids()
+        .filter(|&v| g.node(v).kind == crate::wcg::NodeKind::Remote)
+        .map(|v| g.node(v).uris.len())
+        .sum();
     let host_count = wcg.remote_host_count().max(1);
     f[4] = total_uris as f64 / host_count as f64; // f5
     f[5] = if wcg.uri_count > 0 {
@@ -205,7 +213,10 @@ pub fn extract(wcg: &Wcg) -> FeatureVector {
     f[34] = wcg.referrer_unset as f64;
 
     // --- Temporal features f36–f37 ---------------------------------------
-    f[35] = if wcg.uri_count > 0 { wcg.duration() / wcg.uri_count as f64 } else { 0.0 };
+    // f36 is the conversation duration itself (Table II); the mean
+    // inter-transaction gap is already f37. (An earlier revision divided
+    // by uri_count, silently shrinking f36 on busy conversations.)
+    f[35] = wcg.duration();
     f[36] = if wcg.inter_tx_gaps.is_empty() {
         0.0
     } else {
@@ -353,11 +364,87 @@ mod tests {
 
     #[test]
     fn temporal_features() {
-        let fv = extract(&infection_wcg());
-        assert!(fv.get("duration") > 0.0);
-        assert!(fv.get("avg-inter-transact-time") > 0.0);
+        let wcg = infection_wcg();
+        let fv = extract(&wcg);
+        // f36 is the WCG lifetime itself: last response (9.0 + 0.1) minus
+        // first request (1.0). Pinned exactly — the bug this guards
+        // against divided it by uri_count.
+        assert_eq!(fv.get("duration"), (9.0 + 0.1) - 1.0);
+        assert_eq!(fv.get("duration"), wcg.duration());
         // Inter-transaction mean: gaps (0.2, 0.2, 0.4, 7.2)/4 = 2.0.
         assert!((fv.get("avg-inter-transact-time") - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_uris_per_host_counts_remote_nodes_only() {
+        let wcg = infection_wcg();
+        let fv = extract(&wcg);
+        // 5 distinct URIs over 4 remote hosts (c.com serves two). The
+        // victim node and any origin node carry no URIs, so the remote-only
+        // numerator equals the all-nodes sum — asserted here so a future
+        // change to node annotations can't silently drift f5.
+        assert_eq!(fv.get("avg-uris-per-host"), 5.0 / 4.0);
+        let all_nodes: usize =
+            wcg.graph.node_ids().map(|v| wcg.graph.node(v).uris.len()).sum();
+        let remote_only: usize = wcg
+            .graph
+            .node_ids()
+            .filter(|&v| wcg.graph.node(v).kind == crate::wcg::NodeKind::Remote)
+            .map(|v| wcg.graph.node(v).uris.len())
+            .sum();
+        assert_eq!(all_nodes, remote_only, "victim/origin nodes must not carry URIs");
+    }
+
+    /// Golden vector: every one of the 37 features pinned exactly on the
+    /// fixture WCG. Any extractor edit that shifts the model input space
+    /// now fails loudly instead of silently retraining a different model.
+    #[test]
+    fn golden_vector_all_37_features_exact() {
+        let fv = extract(&infection_wcg());
+        let golden = [
+            ("origin", 1.0),
+            ("x-flash-version", 0.0),
+            ("wcg-size", 240_020.0),
+            ("conversation-length", 4.0),
+            ("avg-uris-per-host", 1.25),
+            ("average-uri-length", 9.6),
+            ("order", 6.0),
+            ("size", 13.0),
+            ("degree", 10.0),
+            ("density", 13.0 / 30.0),
+            ("volume", 26.0),
+            ("diameter", 3.0),
+            ("avg-in-degree", 13.0 / 6.0),
+            ("avg-out-degree", 13.0 / 6.0),
+            ("reciprocity", 8.0 / 11.0),
+            ("avg-degree-centrality", 0.8666666666666667),
+            ("avg-closeness-centrality", 0.6286676286676287),
+            ("avg-betweenness-centrality", 1.0 / 6.0),
+            ("avg-load-centrality", 1.0 / 6.0),
+            ("avg-node-centrality", 1.4666666666666666),
+            ("avg-clustering-coefficient", 0.38888888888888884),
+            ("avg-neighbor-degree", 3.069444444444444),
+            ("avg-degree-connectivity", 13.0 / 3.0),
+            ("avg-k-nearest-neighbors", 13.0 / 3.0),
+            ("avg-pagerank", 1.0 / 6.0),
+            ("gets", 4.0),
+            ("posts", 1.0),
+            ("other-methods", 0.0),
+            ("http-10xs", 0.0),
+            ("http-20xs", 3.0),
+            ("http-30xs", 2.0),
+            ("http-40xs", 0.0),
+            ("http-50xs", 0.0),
+            ("referrer-ctrs", 1.0),
+            ("no-referrer-ctrs", 4.0),
+            ("duration", (9.0 + 0.1) - 1.0),
+            ("avg-inter-transact-time", (0.2 + 0.2 + 0.4 + 7.2) / 4.0),
+        ];
+        assert_eq!(golden.len(), FEATURE_COUNT);
+        for (i, (name, expected)) in golden.iter().enumerate() {
+            assert_eq!(NAMES[i], *name, "golden vector out of order at {i}");
+            assert_eq!(fv.get(name), *expected, "f{} {name}", i + 1);
+        }
     }
 
     #[test]

@@ -134,14 +134,23 @@ pub fn analyze_transactions(
         }
         detector.observe(tx);
     }
+    // Final verdict pass: conversations are independent, so WCG
+    // featurization and forest traversal run batched across the scoring
+    // thread pool instead of one full pipeline per conversation.
+    let threads = mlearn::parallel::resolve_threads(detector.config().scoring_threads);
     let classifier = detector.classifier().clone();
-    let conversations = detector
-        .tracker()
-        .conversations()
-        .map(|c| ConversationVerdict {
+    let convs: Vec<&crate::detector::Conversation> =
+        detector.tracker().conversations().collect();
+    let tx_slices: Vec<&[HttpTransaction]> =
+        convs.iter().map(|c| c.transactions.as_slice()).collect();
+    let scores = classifier.score_conversations_batch(&tx_slices, threads);
+    let conversations = convs
+        .iter()
+        .zip(scores)
+        .map(|(c, score)| ConversationVerdict {
             id: c.id,
             transactions: c.transactions.len(),
-            score: classifier.score_transactions(&c.transactions),
+            score,
             alerted: c.alerted,
             hosts: c.hosts().count(),
         })

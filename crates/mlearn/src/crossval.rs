@@ -7,6 +7,7 @@ use rand::SeedableRng;
 use crate::dataset::Dataset;
 use crate::forest::{ForestConfig, RandomForest};
 use crate::metrics::{roc_auc, Confusion};
+use crate::parallel;
 
 /// One train/test split of sample indices.
 #[derive(Debug, Clone)]
@@ -66,7 +67,8 @@ pub struct CvResult {
 
 /// Runs stratified k-fold cross-validation of a [`RandomForest`] on a
 /// binary dataset, pooling test predictions over folds (the paper's 10-fold
-/// evaluation methodology).
+/// evaluation methodology). Folds run on all available cores; see
+/// [`cross_validate_threaded`].
 ///
 /// `positive` designates the class whose detection is being measured
 /// (infection = 1 in the DynaMiner datasets).
@@ -81,18 +83,54 @@ pub fn cross_validate(
     positive: usize,
     seed: u64,
 ) -> CvResult {
+    cross_validate_threaded(data, k, config, positive, seed, parallel::default_threads())
+}
+
+/// [`cross_validate`] with an explicit thread budget.
+///
+/// Folds are independent (each trains on its own subset with its own
+/// derived seed), so they run through the worker pool; the thread budget
+/// is split between fold-level workers and the per-fold forest fit
+/// (`fit_threaded`). Because forest training is itself thread-count
+/// invariant, the pooled result is bit-identical for any `threads`.
+pub fn cross_validate_threaded(
+    data: &Dataset,
+    k: usize,
+    config: &ForestConfig,
+    positive: usize,
+    seed: u64,
+    threads: usize,
+) -> CvResult {
     assert_eq!(data.n_classes(), 2, "cross_validate expects a binary dataset");
+    let threads = threads.max(1);
     let folds = stratified_kfold(data.labels(), k, seed);
+    // Split the budget: up to k fold workers, remaining threads go to each
+    // fold's forest fit.
+    let fold_workers = threads.min(k);
+    let fit_threads = (threads / fold_workers).max(1);
+    let per_fold: Vec<Vec<(usize, f64, usize)>> =
+        parallel::run_indexed(folds.len(), fold_workers, |fold_no| {
+            let fold = &folds[fold_no];
+            let train = data.subset(&fold.train);
+            let forest = RandomForest::fit_threaded(
+                &train,
+                config,
+                seed.wrapping_add(fold_no as u64 + 1),
+                fit_threads,
+            );
+            fold.test
+                .iter()
+                .map(|&i| {
+                    let proba = forest.predict_proba(data.row(i));
+                    (i, proba[positive], crate::tree::argmax(&proba))
+                })
+                .collect()
+        });
     let mut scores = vec![0.0f64; data.len()];
     let mut predictions = vec![0usize; data.len()];
-    for (fold_no, fold) in folds.iter().enumerate() {
-        let train = data.subset(&fold.train);
-        let forest = RandomForest::fit(&train, config, seed.wrapping_add(fold_no as u64 + 1));
-        for &i in &fold.test {
-            let proba = forest.predict_proba(data.row(i));
-            scores[i] = proba[positive];
-            predictions[i] = crate::tree::argmax(&proba);
-        }
+    for (i, score, pred) in per_fold.into_iter().flatten() {
+        scores[i] = score;
+        predictions[i] = pred;
     }
     let confusion = Confusion::from_predictions(data.labels(), &predictions, positive);
     let bool_labels: Vec<bool> = data.labels().iter().map(|&l| l == positive).collect();
@@ -165,5 +203,24 @@ mod tests {
         assert!(result.roc_area > 0.98, "auc {}", result.roc_area);
         assert_eq!(result.scores.len(), data.len());
         assert_eq!(result.predictions.len(), data.len());
+    }
+
+    #[test]
+    fn cross_validation_is_thread_count_invariant() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut data = Dataset::new(vec!["x".into()], 2);
+        for _ in 0..60 {
+            let cls = rng.gen_range(0..2usize);
+            let center = if cls == 0 { 0.0 } else { 2.0 };
+            data.push(vec![center + rng.gen_range(-1.5..1.5)], cls);
+        }
+        let config = ForestConfig::default();
+        let reference = cross_validate_threaded(&data, 5, &config, 1, 11, 1);
+        for threads in [2, 3, 8] {
+            let result = cross_validate_threaded(&data, 5, &config, 1, 11, threads);
+            assert_eq!(result.scores, reference.scores, "{threads} threads");
+            assert_eq!(result.predictions, reference.predictions, "{threads} threads");
+            assert_eq!(result.roc_area, reference.roc_area, "{threads} threads");
+        }
     }
 }

@@ -12,7 +12,10 @@
 //! * [`metrics`] — confusion counts, TPR/FPR/F-score, ROC curves and AUC,
 //! * [`crossval`] — stratified k-fold cross-validation,
 //! * [`rank`] — gain-ratio feature ranking with per-fold rank averaging
-//!   (the paper's Table IV methodology).
+//!   (the paper's Table IV methodology),
+//! * [`parallel`] — deterministic scoped-thread worker pool; forest
+//!   training, cross-validation, and batched scoring parallelize through
+//!   it with bit-identical results at any thread count.
 //!
 //! # Example
 //!
@@ -34,5 +37,6 @@ pub mod crossval;
 pub mod dataset;
 pub mod forest;
 pub mod metrics;
+pub mod parallel;
 pub mod rank;
 pub mod tree;

@@ -148,19 +148,34 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
 /// benign conversations". Returns the threshold and the operating point's
 /// `(fpr, tpr)`.
 ///
+/// Returns `None` when no achievable operating point fits the budget —
+/// that is, when even the highest observed score belongs to a negative
+/// sample that would blow the FPR target. (Previously this case silently
+/// returned the curve's `(∞, 0, 0)` start point, a "never alert"
+/// calibration indistinguishable from a legitimate one.)
+///
 /// # Panics
 ///
 /// Panics when the inputs are empty or mismatched (see [`roc_curve`]).
-pub fn threshold_for_fpr(scores: &[f64], labels: &[bool], target_fpr: f64) -> (f64, f64, f64) {
+pub fn threshold_for_fpr(
+    scores: &[f64],
+    labels: &[bool],
+    target_fpr: f64,
+) -> Option<(f64, f64, f64)> {
     let curve = roc_curve(scores, labels);
     // Points are ordered by descending threshold / ascending FPR; take the
-    // last point still within budget (maximizes TPR).
+    // last point still within budget (maximizes TPR). The curve's first
+    // point is the synthetic (∞, 0, 0) start: selecting it means no real
+    // threshold fits the budget, which callers must handle explicitly.
     let point = curve
         .iter()
         .rfind(|p| p.fpr <= target_fpr)
         .copied()
         .unwrap_or(curve[0]);
-    (point.threshold, point.fpr, point.tpr)
+    if point.threshold.is_infinite() && point.tpr == 0.0 {
+        return None;
+    }
+    Some((point.threshold, point.fpr, point.tpr))
 }
 
 #[cfg(test)]
@@ -237,16 +252,32 @@ mod tests {
     fn threshold_calibration_respects_fpr_budget() {
         let scores = [0.95, 0.9, 0.8, 0.7, 0.6, 0.55, 0.4, 0.3, 0.2, 0.1];
         let labels = [true, true, true, false, true, true, false, false, false, false];
-        let (thr, fpr, tpr) = threshold_for_fpr(&scores, &labels, 0.25);
+        let (thr, fpr, tpr) = threshold_for_fpr(&scores, &labels, 0.25).expect("achievable");
         assert!(fpr <= 0.25, "fpr {fpr}");
         // Budget of 1 FP out of 4 negatives: threshold 0.55 catches all 5
         // positives at fpr 0.25.
         assert!((tpr - 1.0).abs() < 1e-12, "tpr {tpr}");
         assert!((thr - 0.55).abs() < 1e-12, "thr {thr}");
         // Zero budget: only thresholds above every negative.
-        let (_, fpr0, tpr0) = threshold_for_fpr(&scores, &labels, 0.0);
+        let (_, fpr0, tpr0) = threshold_for_fpr(&scores, &labels, 0.0).expect("achievable");
         assert_eq!(fpr0, 0.0);
         assert!((tpr0 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unachievable_fpr_budget_is_signaled_not_silent() {
+        // Every negative outscores every positive: any real threshold that
+        // admits a positive admits all negatives first. With a tight
+        // budget there is no valid operating point — the old code returned
+        // the curve's (∞, 0, 0) start as if it were a calibration.
+        let scores = [0.9, 0.8, 0.7, 0.3, 0.2];
+        let labels = [false, false, false, true, true];
+        assert_eq!(threshold_for_fpr(&scores, &labels, 0.0), None);
+        assert_eq!(threshold_for_fpr(&scores, &labels, 0.2), None);
+        // A generous budget does admit an operating point again.
+        let (thr, fpr, tpr) = threshold_for_fpr(&scores, &labels, 1.0).expect("achievable");
+        assert!(thr.is_finite());
+        assert!(fpr <= 1.0 && tpr > 0.0);
     }
 
     #[test]

@@ -77,11 +77,24 @@ impl DecisionTree {
     ///
     /// Panics when the row width differs from the training width.
     pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        self.leaf_probs(row).to_vec()
+    }
+
+    /// The training-sample class proportions of the leaf `row` lands in,
+    /// borrowed from the tree — the allocation-free core of
+    /// [`DecisionTree::predict_proba`], which batched ensemble scoring
+    /// accumulates from directly instead of cloning a `Vec` per tree per
+    /// row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the training width.
+    pub fn leaf_probs(&self, row: &[f64]) -> &[f64] {
         assert_eq!(row.len(), self.n_features, "row width mismatch");
         let mut node = &self.root;
         loop {
             match node {
-                Node::Leaf { probs } => return probs.clone(),
+                Node::Leaf { probs } => return probs,
                 Node::Split { feature, threshold, left, right, .. } => {
                     node = if row[*feature] <= *threshold { left } else { right };
                 }

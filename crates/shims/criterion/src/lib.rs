@@ -90,8 +90,12 @@ impl BenchmarkGroup<'_> {
         self.throughput = Some(throughput);
     }
 
-    /// Runs one benchmark and prints its timing line.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+    /// Runs one benchmark, prints its timing line, and returns the
+    /// measured median per-iteration time so harnesses (the `bench`
+    /// crate's throughput bin) can persist results programmatically.
+    /// (Real criterion returns `&mut Self`; no bench in this workspace
+    /// chains calls, and the measured value is strictly more useful.)
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> Duration {
         let mut bencher = Bencher {
             warm_up: self.criterion.warm_up_time,
             measurement: self.criterion.measurement_time,
@@ -100,7 +104,7 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut bencher);
         report(&self.name, id, bencher.per_iter, self.throughput);
-        self
+        bencher.per_iter
     }
 
     /// Ends the group (purely cosmetic here).
@@ -218,7 +222,7 @@ mod tests {
         let mut group = c.benchmark_group("shim");
         group.throughput(Throughput::Bytes(1024));
         let mut ran = 0u64;
-        group.bench_function("spin", |b| {
+        let per_iter = group.bench_function("spin", |b| {
             b.iter(|| {
                 ran += 1;
                 std::hint::black_box(ran)
@@ -226,5 +230,6 @@ mod tests {
         });
         group.finish();
         assert!(ran > 0);
+        assert!(per_iter > Duration::ZERO, "measured time is returned");
     }
 }

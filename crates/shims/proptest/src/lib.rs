@@ -286,7 +286,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count bounds for [`vec`] (`min..max` exclusive above).
+    /// Element-count bounds for [`vec()`] (`min..max` exclusive above).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
@@ -317,7 +317,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
