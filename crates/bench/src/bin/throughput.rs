@@ -59,6 +59,10 @@ struct BenchReport {
     batched_predict_speedup: f64,
     /// Parallel fit throughput over sequential fit throughput.
     parallel_fit_speedup: f64,
+    /// Fractional slowdown of lenient ingest when per-capture telemetry
+    /// recording is folded in (0.01 = 1% slower; negative = noise).
+    /// Target: under 0.03.
+    telemetry_overhead_ingest: f64,
 }
 
 fn entry(name: &str, per_iter: Duration, work: f64, unit: &str) -> BenchEntry {
@@ -125,8 +129,36 @@ fn main() {
             TransactionExtractor::extract(&packets).unwrap().len()
         })
     });
-    group.finish();
     entries.push(entry("ingest/pcap_parse_and_extract", t, pcap.len() as f64 / 1e6, "MB/s"));
+
+    // 1b. Lenient ingest with and without telemetry recording: the
+    // delta bounds what per-capture metrics cost on the hot path.
+    let t_lenient = group.bench_function("pcap_lenient", |b| {
+        b.iter(|| {
+            let mut report = nettrace::IngestReport::new();
+            let packets = nettrace::capture::read_packets_lenient(&pcap, &mut report);
+            TransactionExtractor::extract_lenient(&packets, &mut report).len()
+        })
+    });
+    entries.push(entry("ingest/pcap_lenient", t_lenient, pcap.len() as f64 / 1e6, "MB/s"));
+    let registry = telemetry::Registry::new();
+    let ingest_metrics = nettrace::metrics::IngestMetrics::new(&registry);
+    let t_lenient_telemetry = group.bench_function("pcap_lenient_telemetry", |b| {
+        b.iter(|| {
+            let mut report = nettrace::IngestReport::new();
+            let packets = nettrace::capture::read_packets_lenient(&pcap, &mut report);
+            let n = TransactionExtractor::extract_lenient(&packets, &mut report).len();
+            ingest_metrics.record(&report);
+            n
+        })
+    });
+    group.finish();
+    entries.push(entry(
+        "ingest/pcap_lenient_telemetry",
+        t_lenient_telemetry,
+        pcap.len() as f64 / 1e6,
+        "MB/s",
+    ));
 
     // 2. WCG construction.
     let mut group = c.benchmark_group("wcg");
@@ -230,12 +262,21 @@ fn main() {
         entries,
         batched_predict_speedup: speedup(t_batched, t_single),
         parallel_fit_speedup: speedup(t_fit_par, t_fit_seq),
+        telemetry_overhead_ingest: if t_lenient > Duration::ZERO {
+            t_lenient_telemetry.as_secs_f64() / t_lenient.as_secs_f64() - 1.0
+        } else {
+            0.0
+        },
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write bench report");
     println!(
         "\nbatched predict speedup: {:.2}x over per-row; parallel fit speedup: {:.2}x over 1 thread",
         report.batched_predict_speedup, report.parallel_fit_speedup
+    );
+    println!(
+        "telemetry overhead on lenient ingest: {:+.2}%",
+        report.telemetry_overhead_ingest * 100.0
     );
     println!("wrote {out_path}");
 }

@@ -20,9 +20,9 @@ pub const USAGE: &str = "\
 dynaminer — payload-agnostic web-conversation-graph malware detection
 
 USAGE:
-  dynaminer train    [--scale S] [--seed N] [--threads N] --out model.json
-  dynaminer classify --model model.json [--threads N] [--strict] <capture.pcap>...
-  dynaminer replay   [--model model.json] [--threshold L] [--threads N] [--format text|json] [--strict] <capture.pcap>
+  dynaminer train    [--scale S] [--seed N] [--threads N] [--metrics-out FILE] --out model.json
+  dynaminer classify --model model.json [--threads N] [--strict] [--metrics-out FILE] <capture.pcap>...
+  dynaminer replay   [--model model.json] [--threshold L] [--threads N] [--format text|json] [--strict] [--metrics-out FILE] <capture.pcap>
   dynaminer generate [--family <name> | --benign <scenario>] [--seed N] --out <file.pcap>
   dynaminer dot      <capture.pcap>
   dynaminer features <capture.pcap>
@@ -35,6 +35,10 @@ fails on the first unparseable byte instead.
 --threads N sets the worker-thread count for feature extraction,
 training, and batch scoring (default: available parallelism; results
 are bit-identical at any value).
+
+--metrics-out FILE writes pipeline telemetry after the run: a JSON
+snapshot at FILE and Prometheus text exposition at FILE with the
+extension swapped to .prom.
 
 Families:  angler rig nuclear magnitude sweetorange flashpack neutrino goon fiesta other
 Scenarios: search social webmail video alexa-browse software-update unofficial-download torrent-session";
@@ -102,6 +106,24 @@ impl Options {
     }
 }
 
+/// Writes the registry as a JSON snapshot at `path` plus Prometheus
+/// text exposition at `path` with the extension swapped to `.prom`
+/// (`metrics.json` → `metrics.prom`; extensionless paths just gain
+/// `.prom`).
+fn write_metrics(registry: &telemetry::Registry, path: &str) -> Result<(), String> {
+    let snapshot = registry.snapshot();
+    let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+    fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+    let prom_path = match path.rsplit_once('.') {
+        Some((stem, ext)) if !ext.contains('/') => format!("{stem}.prom"),
+        _ => format!("{path}.prom"),
+    };
+    fs::write(&prom_path, registry.render_prometheus())
+        .map_err(|e| format!("cannot write {prom_path}: {e}"))?;
+    eprintln!("metrics written to {path} and {prom_path}");
+    Ok(())
+}
+
 fn load_transactions(path: &str) -> Result<Vec<HttpTransaction>, String> {
     let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     // Accepts classic pcap or pcapng, detected by magic.
@@ -148,17 +170,36 @@ fn load_model(path: &str) -> Result<Classifier, String> {
     Ok(saved.classifier)
 }
 
-fn train_classifier(scale: f64, seed: u64, threads: usize) -> Classifier {
+fn train_classifier(
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    registry: Option<&telemetry::Registry>,
+) -> Classifier {
     let corpus = synthtraffic::ground_truth(seed, scale);
     let items: Vec<(&[HttpTransaction], bool)> =
         corpus.iter().map(|e| (e.transactions.as_slice(), e.is_infection())).collect();
+    if let Some(registry) = registry {
+        registry
+            .counter("train_episodes_total", "Ground-truth episodes featurized for training")
+            .add(items.len() as u64);
+    }
+    let build_started = std::time::Instant::now();
     let data = build_dataset_parallel(&items, threads);
-    Classifier::fit_threaded(
+    if let Some(registry) = registry {
+        registry
+            .latency_histogram("train_dataset_build_ns", "Corpus featurization wall-clock time")
+            .observe_since(build_started);
+    }
+    let tree_fit_ns = registry
+        .map(|r| r.latency_histogram("mlearn_tree_fit_ns", "Per-tree random-forest fit time"));
+    Classifier::fit_threaded_timed(
         &data,
         FeatureSelection::All,
         &mlearn::forest::ForestConfig::default(),
         seed,
         threads,
+        tree_fit_ns.as_ref(),
     )
 }
 
@@ -171,7 +212,9 @@ pub fn train(args: &[String]) -> Result<(), String> {
     let threads = opts.threads_flag()?;
     let out = opts.required("out")?;
     eprintln!("training on ground-truth corpus (scale {scale}, seed {seed}, {threads} threads)…");
-    let classifier = train_classifier(scale, seed, threads);
+    let registry = telemetry::Registry::new();
+    let metrics_out = opts.flags.get("metrics-out");
+    let classifier = train_classifier(scale, seed, threads, metrics_out.map(|_| &registry));
     let saved = SavedModel {
         format_version: MODEL_FORMAT_VERSION,
         trained_on: "synthtraffic ground truth (Table I calibration)".to_string(),
@@ -182,6 +225,9 @@ pub fn train(args: &[String]) -> Result<(), String> {
     let json = serde_json::to_string(&saved).map_err(|e| e.to_string())?;
     fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("model written to {out}");
+    if let Some(path) = metrics_out {
+        write_metrics(&registry, path)?;
+    }
     Ok(())
 }
 
@@ -195,6 +241,19 @@ pub fn classify(args: &[String]) -> Result<(), String> {
     if opts.positional.is_empty() {
         return Err("no capture files given".into());
     }
+    let registry = telemetry::Registry::new();
+    let metrics_out = opts.flags.get("metrics-out");
+    let ingest_metrics = nettrace::metrics::IngestMetrics::new(&registry);
+    let extraction_ns = registry.latency_histogram(
+        "classifier_feature_extraction_ns",
+        "WCG construction + 37-feature extraction latency per capture",
+    );
+    let scoring_ns = registry.latency_histogram(
+        "classifier_scoring_ns",
+        "Random-forest scoring latency per classification or batch",
+    );
+    let verdicts =
+        registry.counter("classify_infection_verdicts_total", "Captures judged infectious");
     // Load + featurize every capture first, then score all of them in one
     // batched forest pass.
     struct Loaded {
@@ -209,6 +268,7 @@ pub fn classify(args: &[String]) -> Result<(), String> {
             (load_transactions(path)?, None)
         } else {
             let (txs, report) = load_transactions_lenient(path)?;
+            ingest_metrics.record(&report);
             (txs, Some(report))
         };
         // A lenient read that salvaged nothing has no conversation to
@@ -216,23 +276,32 @@ pub fn classify(args: &[String]) -> Result<(), String> {
         if txs.is_empty() && ingest.is_some() {
             loaded.push(Loaded { txs: 0, hosts: 0, fv: None, ingest });
         } else {
+            let started = std::time::Instant::now();
             let wcg = Wcg::from_transactions(&txs);
+            let fv = features::extract(&wcg);
+            extraction_ns.observe_since(started);
             loaded.push(Loaded {
                 txs: txs.len(),
                 hosts: wcg.remote_host_count(),
-                fv: Some(features::extract(&wcg)),
+                fv: Some(fv),
                 ingest,
             });
         }
     }
     let fvs: Vec<features::FeatureVector> =
         loaded.iter().filter_map(|l| l.fv.clone()).collect();
-    let mut scores = classifier.score_features_batch(&fvs, threads).into_iter();
+    let started = std::time::Instant::now();
+    let scored = classifier.score_features_batch(&fvs, threads);
+    scoring_ns.observe_since(started);
+    let mut scores = scored.into_iter();
     for (path, item) in opts.positional.iter().zip(&loaded) {
         if item.fv.is_none() {
             println!("{path}: 0 transactions recovered, no verdict");
         } else {
             let score = scores.next().expect("one score per featurized capture");
+            if score >= 0.5 {
+                verdicts.inc();
+            }
             println!(
                 "{path}: {} transactions, {} hosts, P(infection) = {score:.3} → {}",
                 item.txs,
@@ -244,6 +313,9 @@ pub fn classify(args: &[String]) -> Result<(), String> {
             println!("  ingest: {report}");
         }
     }
+    if let Some(path) = metrics_out {
+        write_metrics(&registry, path)?;
+    }
     Ok(())
 }
 
@@ -252,11 +324,13 @@ pub fn classify(args: &[String]) -> Result<(), String> {
 pub fn replay(args: &[String]) -> Result<(), String> {
     let opts = parse(args)?;
     let threads = opts.threads_flag()?;
+    let registry = telemetry::Registry::new();
+    let metrics_out = opts.flags.get("metrics-out");
     let classifier = match opts.flags.get("model") {
         Some(path) => load_model(path)?,
         None => {
             eprintln!("no --model given; training a default model first…");
-            train_classifier(0.25, 42, threads)
+            train_classifier(0.25, 42, threads, metrics_out.map(|_| &registry))
         }
     };
     let threshold = opts.u64_flag("threshold", 2)? as usize;
@@ -268,13 +342,28 @@ pub fn replay(args: &[String]) -> Result<(), String> {
         scoring_threads: threads,
         ..DetectorConfig::default()
     };
-    let report = if opts.bool_flag("strict") {
-        let txs = load_transactions(path)?;
-        forensic::analyze_transactions(&txs, classifier, config)
-    } else {
-        let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        forensic::analyze_pcap_lenient(&bytes, classifier, config)
+    let telemetry_on = metrics_out.is_some();
+    let report = match (opts.bool_flag("strict"), telemetry_on) {
+        (true, false) => {
+            let txs = load_transactions(path)?;
+            forensic::analyze_transactions(&txs, classifier, config)
+        }
+        (true, true) => {
+            let txs = load_transactions(path)?;
+            forensic::analyze_transactions_telemetry(&txs, classifier, config, &registry)
+        }
+        (false, false) => {
+            let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            forensic::analyze_pcap_lenient(&bytes, classifier, config)
+        }
+        (false, true) => {
+            let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            forensic::analyze_pcap_lenient_telemetry(&bytes, classifier, config, &registry)
+        }
     };
+    if let Some(path) = metrics_out {
+        write_metrics(&registry, path)?;
+    }
     if opts.flags.get("format").map(String::as_str) == Some("json") {
         let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         println!("{json}");
@@ -288,6 +377,16 @@ pub fn replay(args: &[String]) -> Result<(), String> {
     );
     if let Some(ingest) = &report.ingest {
         println!("  ingest: {ingest}");
+    }
+    if let Some(stats) = &report.stats {
+        println!(
+            "  stats: {} clue(s), {} WCG rebuild(s), {} re-classification(s), {} eviction(s)",
+            stats.counter("detector_clues_total"),
+            stats.counter("detector_wcg_rebuilds_total"),
+            stats.counter("detector_reclassifications_total"),
+            stats.counter("session_retention_evictions_total")
+                + stats.counter("session_cap_evictions_total"),
+        );
     }
     for verdict in &report.conversations {
         println!(

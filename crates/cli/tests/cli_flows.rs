@@ -53,6 +53,41 @@ fn classify_accepts_pcapng_captures() {
 }
 
 #[test]
+fn metrics_out_writes_json_snapshot_and_prometheus_text() {
+    let infection = tmp("nuclear.pcap");
+    commands::generate(&args(&["--family", "nuclear", "--seed", "13", "--out", &infection]))
+        .unwrap();
+    let model = trained_model_path();
+    let metrics = tmp("replay-metrics.json");
+    commands::replay(&args(&["--model", &model, "--metrics-out", &metrics, &infection]))
+        .unwrap();
+    // The JSON side is a parseable telemetry snapshot with both ingest
+    // and detector counters populated.
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    let snap: telemetry::Snapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snap.counter("ingest_captures_total"), 1);
+    assert!(snap.counter("ingest_transactions_recovered_total") > 0);
+    assert!(snap.counter("detector_transactions_total") > 0);
+    assert!(snap.histogram_count("classifier_scoring_ns") > 0);
+    // The Prometheus side carries the exposition preamble and
+    // cumulative histogram series.
+    let prom = std::fs::read_to_string(tmp("replay-metrics.prom")).unwrap();
+    assert!(prom.contains("# TYPE detector_transactions_total counter"));
+    assert!(prom.contains("# TYPE classifier_scoring_ns histogram"));
+    assert!(prom.contains("_bucket{le=\"+Inf\"}"));
+    assert!(prom.contains("classifier_scoring_ns_count"));
+
+    // classify --metrics-out goes through the batched path.
+    let metrics = tmp("classify-metrics.json");
+    commands::classify(&args(&["--model", &model, "--metrics-out", &metrics, &infection]))
+        .unwrap();
+    let snap: telemetry::Snapshot =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(snap.counter("ingest_captures_total"), 1);
+    assert_eq!(snap.histogram_count("classifier_feature_extraction_ns"), 1);
+}
+
+#[test]
 fn helpful_errors_for_bad_input() {
     assert!(commands::classify(&args(&["--model", "/nonexistent.json", "x.pcap"]))
         .unwrap_err()

@@ -135,6 +135,25 @@ impl Classifier {
         }
     }
 
+    /// [`Classifier::fit_threaded`] with per-tree fit times recorded
+    /// into `tree_fit_ns` (see [`RandomForest::fit_threaded_timed`]).
+    /// Timing is observational only: the model stays bit-identical.
+    pub fn fit_threaded_timed(
+        data: &Dataset,
+        selection: FeatureSelection,
+        config: &ForestConfig,
+        seed: u64,
+        threads: usize,
+        tree_fit_ns: Option<&telemetry::Histogram>,
+    ) -> Classifier {
+        assert_eq!(data.n_features(), FEATURE_COUNT, "expected a 37-feature dataset");
+        let projected = data.select_features(&selection.columns());
+        Classifier {
+            forest: RandomForest::fit_threaded_timed(&projected, config, seed, threads, tree_fit_ns),
+            selection,
+        }
+    }
+
     /// Trains with the paper's default configuration on all features.
     pub fn fit_default(data: &Dataset, seed: u64) -> Classifier {
         Classifier::fit(data, FeatureSelection::All, &ForestConfig::default(), seed)

@@ -17,12 +17,15 @@ pub mod clue;
 pub mod session;
 
 use std::net::Ipv4Addr;
+use std::time::Instant;
 
 use nettrace::payload::PayloadClass;
 use nettrace::HttpTransaction;
 use serde::{Deserialize, Serialize};
+use telemetry::Registry;
 
 use crate::classifier::Classifier;
+use crate::metrics::DetectorMetrics;
 use crate::trusted::TrustedHosts;
 use crate::wcg::Wcg;
 pub use clue::ClueConfig;
@@ -146,11 +149,31 @@ pub struct OnTheWireDetector {
     alerts: Vec<Alert>,
     transactions_seen: usize,
     classifications: usize,
+    telemetry: Registry,
+    metrics: DetectorMetrics,
+    /// Tracker eviction totals already folded into the telemetry
+    /// counters (the tracker keeps running sums; counters take deltas).
+    synced_retention_evictions: usize,
+    synced_cap_evictions: usize,
+    synced_dropped_transactions: u64,
 }
 
 impl OnTheWireDetector {
-    /// Creates a detector around a trained classifier.
+    /// Creates a detector around a trained classifier, with telemetry
+    /// going to a private registry (see
+    /// [`OnTheWireDetector::telemetry`]).
     pub fn new(classifier: Classifier, config: DetectorConfig) -> Self {
+        Self::with_telemetry(classifier, config, &Registry::new())
+    }
+
+    /// Creates a detector whose metrics register into `registry`, so
+    /// several pipeline stages (or several detectors) aggregate into
+    /// one exposition.
+    pub fn with_telemetry(
+        classifier: Classifier,
+        config: DetectorConfig,
+        registry: &Registry,
+    ) -> Self {
         let tracker = match config.retention {
             Some(retention) => SessionTracker::with_retention(config.idle_timeout, retention),
             None => SessionTracker::new(config.idle_timeout),
@@ -163,16 +186,42 @@ impl OnTheWireDetector {
             alerts: Vec::new(),
             transactions_seen: 0,
             classifications: 0,
+            telemetry: registry.clone(),
+            metrics: DetectorMetrics::new(registry),
+            synced_retention_evictions: 0,
+            synced_cap_evictions: 0,
+            synced_dropped_transactions: 0,
         }
     }
 
     /// Processes one transaction; returns an alert if this update tipped
     /// its conversation into the infectious verdict.
     pub fn observe(&mut self, tx: &HttpTransaction) -> Option<Alert> {
+        let out = self.observe_inner(tx);
+        // Fold the tracker's running eviction totals into the monotone
+        // telemetry counters (delta since the last sync) and refresh
+        // the live-conversation gauge.
+        let m = &self.metrics;
+        let evicted = self.tracker.evicted_count();
+        m.retention_evictions.add((evicted - self.synced_retention_evictions) as u64);
+        self.synced_retention_evictions = evicted;
+        let cap_evicted = self.tracker.cap_evicted_count();
+        m.cap_evictions.add((cap_evicted - self.synced_cap_evictions) as u64);
+        self.synced_cap_evictions = cap_evicted;
+        let dropped = self.tracker.dropped_transaction_count();
+        m.dropped_transactions.add(dropped - self.synced_dropped_transactions);
+        self.synced_dropped_transactions = dropped;
+        m.conversations_live.set(self.tracker.conversation_count() as i64);
+        out
+    }
+
+    fn observe_inner(&mut self, tx: &HttpTransaction) -> Option<Alert> {
         if self.config.trusted.is_trusted(&tx.host) {
+            self.metrics.trusted_weeded.inc();
             return None; // weed out trusted-vendor noise
         }
         self.transactions_seen += 1;
+        self.metrics.transactions.inc();
         let conv = self.tracker.assign(tx);
         // Incremental clue counters.
         let is_redirect = tx.is_redirect() || !crate::wcg::redirect::targets(tx).is_empty();
@@ -193,6 +242,9 @@ impl OnTheWireDetector {
         }
         let first_look = !conv.watched;
         conv.watched = true;
+        if first_look {
+            self.metrics.clues.inc();
+        }
         let significant_download =
             download.is_some_and(|l| l >= self.config.clue.min_payload_likelihood);
         if self.config.reclassify == ReclassifyPolicy::OnSignificantUpdate
@@ -201,15 +253,26 @@ impl OnTheWireDetector {
             && !is_redirect
             && !significant_download
         {
+            self.metrics.reclassify_skipped.inc();
             return None; // subresource chatter: verdict is unlikely to move
         }
         self.classifications += 1;
+        self.metrics.wcg_rebuilds.inc();
+        if !first_look {
+            self.metrics.reclassifications.inc();
+        }
         // Go back in time: rebuild the potential-infection WCG around the
         // clue and query the classifier.
+        let started = Instant::now();
         let wcg = Wcg::from_transactions(&conv.transactions);
-        let score = self.classifier.score_wcg(&wcg);
+        let fv = crate::features::extract(&wcg);
+        self.metrics.feature_extraction_ns.observe_since(started);
+        let started = Instant::now();
+        let score = self.classifier.score_features(&fv);
+        self.metrics.scoring_ns.observe_since(started);
         if score >= self.config.alert_threshold {
             conv.alerted = true;
+            self.metrics.alerts.inc();
             let alert = Alert {
                 client: tx.client.addr,
                 conversation_id: conv.id,
@@ -243,6 +306,17 @@ impl OnTheWireDetector {
     /// The conversation tracker (for forensic summaries).
     pub fn tracker(&self) -> &SessionTracker {
         &self.tracker
+    }
+
+    /// The registry this detector's metrics live in (private unless one
+    /// was shared via [`OnTheWireDetector::with_telemetry`]).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// The detector's metric handles.
+    pub fn metrics(&self) -> &DetectorMetrics {
+        &self.metrics
     }
 
     /// The detector's classifier.

@@ -128,6 +128,10 @@ pub struct SessionTracker {
     clients: BTreeMap<Ipv4Addr, Vec<Conversation>>,
     idle_timeout: f64,
     retention: Option<f64>,
+    /// Live conversation count, maintained incrementally so the
+    /// per-transaction telemetry gauge update is O(1) instead of a sum
+    /// over all clients.
+    live: usize,
     evicted: usize,
     max_conversations: usize,
     max_transactions: usize,
@@ -146,6 +150,7 @@ impl SessionTracker {
             clients: BTreeMap::new(),
             idle_timeout,
             retention: None,
+            live: 0,
             evicted: 0,
             max_conversations: usize::MAX,
             max_transactions: usize::MAX,
@@ -203,6 +208,7 @@ impl SessionTracker {
             let before = convs.len();
             convs.retain(|c| now - c.last_ts() <= retention);
             self.evicted += before - convs.len();
+            self.live -= before - convs.len();
         }
         self.clients.retain(|_, convs| !convs.is_empty());
     }
@@ -253,10 +259,12 @@ impl SessionTracker {
                         .expect("cap is >= 1, so a full client has conversations");
                     convs.remove(lru);
                     self.cap_evicted += 1;
+                    self.live -= 1;
                 }
                 let id = self.next_id;
                 self.next_id += 1;
                 convs.push(Conversation::new(id, tx.ts));
+                self.live += 1;
                 convs.len() - 1
             }
         };
@@ -275,9 +283,10 @@ impl SessionTracker {
         self.clients.values().flatten()
     }
 
-    /// Number of conversations tracked so far.
+    /// Number of live conversations (O(1); maintained incrementally).
     pub fn conversation_count(&self) -> usize {
-        self.clients.values().map(Vec::len).sum()
+        debug_assert_eq!(self.live, self.clients.values().map(Vec::len).sum::<usize>());
+        self.live
     }
 }
 

@@ -57,6 +57,10 @@ pub struct ForensicReport {
     /// Ingest-health counters from lenient capture decoding; `None` when
     /// the report came from pre-extracted transactions or a strict parse.
     pub ingest: Option<nettrace::IngestReport>,
+    /// Pipeline telemetry captured during the replay; `None` unless the
+    /// replay ran through a telemetry-enabled entry point
+    /// ([`analyze_transactions_telemetry`], [`analyze_pcap_lenient_telemetry`]).
+    pub stats: Option<telemetry::Snapshot>,
 }
 
 impl ForensicReport {
@@ -81,6 +85,9 @@ impl Serialize for ForensicReport {
         ];
         if let Some(ingest) = &self.ingest {
             fields.push(("ingest".to_string(), field(serde::to_value(ingest))?));
+        }
+        if let Some(stats) = &self.stats {
+            fields.push(("stats".to_string(), field(serde::to_value(stats))?));
         }
         serializer.serialize_value(serde::Value::Object(fields))
     }
@@ -108,7 +115,11 @@ impl<'de> Deserialize<'de> for ForensicReport {
             None | Some(serde::Value::Null) => None,
             Some(v) => Some(serde::from_value(v).map_err(D::Error::custom)?),
         };
-        Ok(ForensicReport { transactions, conversations, downloads, alerts, ingest })
+        let stats = match serde::__private::take_field(&mut fields, "stats") {
+            None | Some(serde::Value::Null) => None,
+            Some(v) => Some(serde::from_value(v).map_err(D::Error::custom)?),
+        };
+        Ok(ForensicReport { transactions, conversations, downloads, alerts, ingest, stats })
     }
 }
 
@@ -118,7 +129,31 @@ pub fn analyze_transactions(
     classifier: Classifier,
     config: DetectorConfig,
 ) -> ForensicReport {
-    let mut detector = OnTheWireDetector::new(classifier, config);
+    analyze_with(transactions, classifier, config, None)
+}
+
+/// Like [`analyze_transactions`], but with detector metrics registered
+/// in `registry` and the resulting snapshot attached as
+/// [`ForensicReport::stats`].
+pub fn analyze_transactions_telemetry(
+    transactions: &[HttpTransaction],
+    classifier: Classifier,
+    config: DetectorConfig,
+    registry: &telemetry::Registry,
+) -> ForensicReport {
+    analyze_with(transactions, classifier, config, Some(registry))
+}
+
+fn analyze_with(
+    transactions: &[HttpTransaction],
+    classifier: Classifier,
+    config: DetectorConfig,
+    registry: Option<&telemetry::Registry>,
+) -> ForensicReport {
+    let mut detector = match registry {
+        Some(registry) => OnTheWireDetector::with_telemetry(classifier, config, registry),
+        None => OnTheWireDetector::new(classifier, config),
+    };
     let mut downloads = Vec::new();
     let mut order: Vec<&HttpTransaction> = transactions.iter().collect();
     order.sort_by(|a, b| a.ts.total_cmp(&b.ts));
@@ -143,7 +178,9 @@ pub fn analyze_transactions(
         detector.tracker().conversations().collect();
     let tx_slices: Vec<&[HttpTransaction]> =
         convs.iter().map(|c| c.transactions.as_slice()).collect();
+    let batch_started = std::time::Instant::now();
     let scores = classifier.score_conversations_batch(&tx_slices, threads);
+    detector.metrics().scoring_ns.observe_since(batch_started);
     let conversations = convs
         .iter()
         .zip(scores)
@@ -161,6 +198,7 @@ pub fn analyze_transactions(
         downloads,
         alerts: detector.alerts().len(),
         ingest: None,
+        stats: registry.map(telemetry::Registry::snapshot),
     }
 }
 
@@ -194,6 +232,27 @@ pub fn analyze_pcap_lenient(
     let transactions = TransactionExtractor::extract_lenient(&packets, &mut ingest);
     let mut report = analyze_transactions(&transactions, classifier, config);
     report.ingest = Some(ingest);
+    report
+}
+
+/// Lenient replay with full pipeline telemetry: ingest counters are
+/// folded into `registry` alongside the detector metrics, and the final
+/// snapshot rides on [`ForensicReport::stats`] next to the per-capture
+/// [`ForensicReport::ingest`] report.
+pub fn analyze_pcap_lenient_telemetry(
+    pcap_bytes: &[u8],
+    classifier: Classifier,
+    config: DetectorConfig,
+    registry: &telemetry::Registry,
+) -> ForensicReport {
+    let mut ingest = nettrace::IngestReport::new();
+    let packets = nettrace::capture::read_packets_lenient(pcap_bytes, &mut ingest);
+    let transactions = TransactionExtractor::extract_lenient(&packets, &mut ingest);
+    nettrace::metrics::IngestMetrics::new(registry).record(&ingest);
+    let mut report = analyze_transactions_telemetry(&transactions, classifier, config, registry);
+    report.ingest = Some(ingest);
+    // Re-snapshot so the ingest counters recorded above are included.
+    report.stats = Some(registry.snapshot());
     report
 }
 
@@ -321,6 +380,40 @@ mod tests {
         let v = serde::to_value(&lenient).unwrap();
         let back: ForensicReport = serde::from_value(v).unwrap();
         assert!(back.ingest.is_some());
+    }
+
+    #[test]
+    fn telemetry_replay_attaches_consistent_stats() {
+        let clf = classifier(8);
+        let mut rng = StdRng::seed_from_u64(38);
+        let ep = generate_infection(&mut rng, EkFamily::Neutrino, 1.4e9);
+        let pcap = episode_pcap(&ep).unwrap();
+        let registry = telemetry::Registry::new();
+        let report =
+            analyze_pcap_lenient_telemetry(&pcap, clf, DetectorConfig::default(), &registry);
+        let stats = report.stats.as_ref().expect("telemetry replay attaches stats");
+        let ingest = report.ingest.as_ref().unwrap();
+        // The snapshot mirrors both the ingest report and the detector.
+        assert_eq!(stats.counter("ingest_captures_total"), 1);
+        assert_eq!(
+            stats.counter("ingest_transactions_recovered_total"),
+            ingest.transactions_recovered
+        );
+        assert_eq!(
+            stats.counter("detector_transactions_total") as usize,
+            report.transactions
+        );
+        assert_eq!(stats.counter("detector_alerts_total") as usize, report.alerts);
+        // Each WCG rebuild produced one timed feature extraction + scoring.
+        let rebuilds = stats.counter("detector_wcg_rebuilds_total");
+        assert!(rebuilds > 0, "an infection episode must classify at least once");
+        assert_eq!(stats.histogram_count("classifier_feature_extraction_ns"), rebuilds);
+        // +1: the final batched verdict pass is one scoring observation.
+        assert_eq!(stats.histogram_count("classifier_scoring_ns"), rebuilds + 1);
+        // And the stats field serializes with the report.
+        let v = serde::to_value(&report).unwrap();
+        let back: ForensicReport = serde::from_value(v).unwrap();
+        assert_eq!(back.stats.as_ref(), Some(stats));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod classifier;
 pub mod detector;
 pub mod features;
 pub mod forensic;
+pub mod metrics;
 pub mod trusted;
 pub mod wcg;
 

@@ -118,6 +118,26 @@ impl RandomForest {
         seed: u64,
         threads: usize,
     ) -> Self {
+        Self::fit_threaded_timed(data, config, seed, threads, None)
+    }
+
+    /// Trains like [`RandomForest::fit_threaded`], recording each
+    /// tree's wall-clock fit time into `tree_fit_ns` when given. The
+    /// per-tree durations are folded in *index order* after the pool
+    /// joins (via a [`telemetry::LocalHistogram`] shard), so the
+    /// histogram's bucket counts are as deterministic as the timings
+    /// themselves and the model stays bit-identical for any `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty or `config.n_trees` is zero.
+    pub fn fit_threaded_timed(
+        data: &Dataset,
+        config: &ForestConfig,
+        seed: u64,
+        threads: usize,
+        tree_fit_ns: Option<&telemetry::Histogram>,
+    ) -> Self {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         assert!(config.n_trees > 0, "need at least one tree");
         let tree_config = TreeConfig {
@@ -125,9 +145,23 @@ impl RandomForest {
             min_samples_split: config.min_samples_split,
             max_features: Some(config.max_features.resolve(data.n_features())),
         };
-        let trees = parallel::run_indexed(config.n_trees, threads, |t| {
-            grow_tree(data, config, &tree_config, seed, t).0
+        let timed = parallel::run_indexed(config.n_trees, threads, |t| {
+            let started = std::time::Instant::now();
+            let tree = grow_tree(data, config, &tree_config, seed, t).0;
+            let elapsed = started.elapsed().as_nanos();
+            (tree, u64::try_from(elapsed).unwrap_or(u64::MAX))
         });
+        let mut trees = Vec::with_capacity(timed.len());
+        if let Some(hist) = tree_fit_ns {
+            let mut shard = telemetry::LocalHistogram::shard_of(hist);
+            for (tree, ns) in timed {
+                shard.observe(ns);
+                trees.push(tree);
+            }
+            hist.record_local(&shard);
+        } else {
+            trees.extend(timed.into_iter().map(|(tree, _)| tree));
+        }
         RandomForest { trees, n_classes: data.n_classes(), combination: config.combination }
     }
 
@@ -665,5 +699,20 @@ mod tests {
         let rows: Vec<Vec<f64>> = Vec::new();
         assert!(forest.predict_proba_batch(&rows).is_empty());
         assert!(forest.predict_proba_batch_threaded(&rows, 4).is_empty());
+    }
+
+    #[test]
+    fn timed_fit_records_one_observation_per_tree_and_same_model() {
+        let data = noisy_data(25);
+        let config = ForestConfig::default();
+        let plain = RandomForest::fit_threaded(&data, &config, 9, 2);
+        let registry = telemetry::Registry::new();
+        let hist = registry.latency_histogram("mlearn_tree_fit_ns", "per-tree fit time");
+        let timed = RandomForest::fit_threaded_timed(&data, &config, 9, 2, Some(&hist));
+        assert_eq!(hist.count(), config.n_trees as u64);
+        assert!(hist.sum() > 0, "trees take measurable time");
+        // Timing is observational only: the model is bit-identical.
+        let rows: Vec<Vec<f64>> = (0..data.len()).map(|i| data.row(i).to_vec()).collect();
+        assert_eq!(timed.predict_proba_batch(&rows), plain.predict_proba_batch(&rows));
     }
 }

@@ -56,6 +56,10 @@ pub struct IngestReport {
     /// Streams carrying something other than HTTP (TLS, SSH, …),
     /// counted instead of silently dropped.
     pub streams_skipped_non_http: u64,
+    /// Sequence-number discontinuities (lost segments) skipped during
+    /// reassembly: each is a point where later bytes were appended
+    /// directly after earlier ones instead of stalling the stream.
+    pub reassembly_gaps: u64,
     /// HTTP transactions recovered end-to-end.
     pub transactions_recovered: u64,
     /// Response bodies whose gzip content encoding failed to decode
@@ -84,6 +88,7 @@ impl IngestReport {
         self.streams_salvaged += other.streams_salvaged;
         self.streams_discarded += other.streams_discarded;
         self.streams_skipped_non_http += other.streams_skipped_non_http;
+        self.reassembly_gaps += other.reassembly_gaps;
         self.transactions_recovered += other.transactions_recovered;
         self.gzip_failures += other.gzip_failures;
         self.chunked_failures += other.chunked_failures;
@@ -98,6 +103,7 @@ impl IngestReport {
             || self.packets_dropped_decode > 0
             || self.streams_salvaged > 0
             || self.streams_discarded > 0
+            || self.reassembly_gaps > 0
             || self.gzip_failures > 0
             || self.chunked_failures > 0
     }
@@ -109,7 +115,7 @@ impl std::fmt::Display for IngestReport {
             f,
             "capture: {} packets read, {} records dropped, {} bytes skipped{}; \
              decode: {} undecodable, {} non-tcp; \
-             streams: {} total, {} salvaged, {} discarded, {} non-http; \
+             streams: {} total, {} salvaged, {} discarded, {} non-http, {} gaps; \
              http: {} transactions, {} gzip failures, {} chunked failures",
             self.packets_read,
             self.records_dropped,
@@ -121,6 +127,7 @@ impl std::fmt::Display for IngestReport {
             self.streams_salvaged,
             self.streams_discarded,
             self.streams_skipped_non_http,
+            self.reassembly_gaps,
             self.transactions_recovered,
             self.gzip_failures,
             self.chunked_failures,

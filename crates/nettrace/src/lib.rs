@@ -42,6 +42,7 @@ pub mod flate;
 pub mod http;
 pub mod ingest;
 pub mod ipv4;
+pub mod metrics;
 pub mod payload;
 pub mod pcap;
 pub mod pcapng;

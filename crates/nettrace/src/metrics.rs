@@ -1,0 +1,207 @@
+//! Ingest telemetry: the [`IngestReport`] counters exported as
+//! registry metrics.
+//!
+//! [`IngestReport`] stays the single source of truth for what one
+//! capture recovered and lost — it is cheap, copyable, and travels
+//! with the forensic result. [`IngestMetrics`] is the long-lived
+//! aggregation layer on top: call [`IngestMetrics::record`] with each
+//! capture's (fresh) report and the per-layer counts accumulate into
+//! shared telemetry counters, one per report field, where they merge
+//! with the rest of the pipeline's metrics and render to Prometheus.
+//!
+//! The 1:1 field↔counter mapping is load-bearing: the fault-injection
+//! suite asserts that after any sequence of hostile captures the
+//! telemetry counters and the merged reports agree exactly.
+
+use telemetry::{Counter, Registry};
+
+use crate::ingest::IngestReport;
+
+/// Counter handles mirroring every [`IngestReport`] field.
+#[derive(Clone, Debug)]
+pub struct IngestMetrics {
+    pub captures: Counter,
+    pub packets_read: Counter,
+    pub records_dropped: Counter,
+    pub bytes_skipped: Counter,
+    pub capture_truncations: Counter,
+    pub packets_dropped_decode: Counter,
+    pub packets_non_tcp: Counter,
+    pub streams_total: Counter,
+    pub streams_salvaged: Counter,
+    pub streams_discarded: Counter,
+    pub streams_skipped_non_http: Counter,
+    pub reassembly_gaps: Counter,
+    pub transactions_recovered: Counter,
+    pub gzip_failures: Counter,
+    pub chunked_failures: Counter,
+}
+
+impl IngestMetrics {
+    /// Registers (or re-attaches to) the ingest counters in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        IngestMetrics {
+            captures: registry
+                .counter("ingest_captures_total", "Captures ingested through the lenient path"),
+            packets_read: registry
+                .counter("ingest_packets_read_total", "Capture records decoded into packets"),
+            records_dropped: registry
+                .counter("ingest_records_dropped_total", "Capture records skipped or abandoned"),
+            bytes_skipped: registry
+                .counter("ingest_bytes_skipped_total", "Capture bytes abandoned undecoded"),
+            capture_truncations: registry.counter(
+                "ingest_capture_truncations_total",
+                "Captures that ended mid-record or mid-block",
+            ),
+            packets_dropped_decode: registry.counter(
+                "ingest_packets_dropped_decode_total",
+                "Packets that failed Ethernet/IPv4/TCP decoding",
+            ),
+            packets_non_tcp: registry.counter(
+                "ingest_packets_non_tcp_total",
+                "Well-formed packets that are not IPv4/TCP",
+            ),
+            streams_total: registry.counter(
+                "ingest_streams_total",
+                "Reassembled unidirectional streams seen",
+            ),
+            streams_salvaged: registry.counter(
+                "ingest_streams_salvaged_total",
+                "Streams with a parseable prefix kept after a mid-stream error",
+            ),
+            streams_discarded: registry.counter(
+                "ingest_streams_discarded_total",
+                "Streams quarantined without recovering a message",
+            ),
+            streams_skipped_non_http: registry.counter(
+                "ingest_streams_non_http_total",
+                "Streams carrying a non-HTTP protocol",
+            ),
+            reassembly_gaps: registry.counter(
+                "ingest_reassembly_gaps_total",
+                "Sequence discontinuities skipped during TCP reassembly",
+            ),
+            transactions_recovered: registry.counter(
+                "ingest_transactions_recovered_total",
+                "HTTP transactions recovered end-to-end",
+            ),
+            gzip_failures: registry.counter(
+                "ingest_gzip_failures_total",
+                "Response bodies whose gzip encoding failed to decode",
+            ),
+            chunked_failures: registry.counter(
+                "ingest_chunked_failures_total",
+                "Chunked transfer framing errors",
+            ),
+        }
+    }
+
+    /// Folds one capture's report into the counters. `report` must be
+    /// the per-capture delta (a freshly-zeroed report threaded through
+    /// one lenient ingest), not a running total — counters are
+    /// monotone and would double-count.
+    pub fn record(&self, report: &IngestReport) {
+        self.captures.inc();
+        self.packets_read.add(report.packets_read);
+        self.records_dropped.add(report.records_dropped);
+        self.bytes_skipped.add(report.bytes_skipped);
+        self.capture_truncations.add(u64::from(report.capture_truncated));
+        self.packets_dropped_decode.add(report.packets_dropped_decode);
+        self.packets_non_tcp.add(report.packets_non_tcp);
+        self.streams_total.add(report.streams_total);
+        self.streams_salvaged.add(report.streams_salvaged);
+        self.streams_discarded.add(report.streams_discarded);
+        self.streams_skipped_non_http.add(report.streams_skipped_non_http);
+        self.reassembly_gaps.add(report.reassembly_gaps);
+        self.transactions_recovered.add(report.transactions_recovered);
+        self.gzip_failures.add(report.gzip_failures);
+        self.chunked_failures.add(report.chunked_failures);
+    }
+
+    /// Asserts the counters equal a merged report plus a capture count
+    /// — the consistency contract the fault-injection suite leans on.
+    /// Panics with the first mismatching layer.
+    pub fn assert_consistent_with(&self, merged: &IngestReport, captures: u64, truncated: u64) {
+        let pairs: [(&str, u64, u64); 15] = [
+            ("captures", self.captures.get(), captures),
+            ("packets_read", self.packets_read.get(), merged.packets_read),
+            ("records_dropped", self.records_dropped.get(), merged.records_dropped),
+            ("bytes_skipped", self.bytes_skipped.get(), merged.bytes_skipped),
+            ("capture_truncations", self.capture_truncations.get(), truncated),
+            (
+                "packets_dropped_decode",
+                self.packets_dropped_decode.get(),
+                merged.packets_dropped_decode,
+            ),
+            ("packets_non_tcp", self.packets_non_tcp.get(), merged.packets_non_tcp),
+            ("streams_total", self.streams_total.get(), merged.streams_total),
+            ("streams_salvaged", self.streams_salvaged.get(), merged.streams_salvaged),
+            ("streams_discarded", self.streams_discarded.get(), merged.streams_discarded),
+            (
+                "streams_skipped_non_http",
+                self.streams_skipped_non_http.get(),
+                merged.streams_skipped_non_http,
+            ),
+            ("reassembly_gaps", self.reassembly_gaps.get(), merged.reassembly_gaps),
+            (
+                "transactions_recovered",
+                self.transactions_recovered.get(),
+                merged.transactions_recovered,
+            ),
+            ("gzip_failures", self.gzip_failures.get(), merged.gzip_failures),
+            ("chunked_failures", self.chunked_failures.get(), merged.chunked_failures),
+        ];
+        for (name, counter, report) in pairs {
+            assert_eq!(counter, report, "telemetry/IngestReport divergence on {name}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every field maps to its own counter: distinct values per field
+    /// would expose a crossed or forgotten mapping.
+    #[test]
+    fn record_maps_every_field_exactly() {
+        let registry = Registry::new();
+        let metrics = IngestMetrics::new(&registry);
+        let report = IngestReport {
+            packets_read: 2,
+            records_dropped: 3,
+            bytes_skipped: 5,
+            capture_truncated: true,
+            packets_dropped_decode: 7,
+            packets_non_tcp: 11,
+            streams_total: 13,
+            streams_salvaged: 17,
+            streams_discarded: 19,
+            streams_skipped_non_http: 23,
+            reassembly_gaps: 29,
+            transactions_recovered: 31,
+            gzip_failures: 37,
+            chunked_failures: 41,
+        };
+        metrics.record(&report);
+        metrics.assert_consistent_with(&report, 1, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ingest_packets_read_total"), 2);
+        assert_eq!(snap.counter("ingest_capture_truncations_total"), 1);
+        assert_eq!(snap.counter("ingest_reassembly_gaps_total"), 29);
+        assert_eq!(snap.counter("ingest_chunked_failures_total"), 41);
+    }
+
+    #[test]
+    fn record_accumulates_across_captures() {
+        let registry = Registry::new();
+        let metrics = IngestMetrics::new(&registry);
+        let a = IngestReport { packets_read: 4, ..IngestReport::new() };
+        let b = IngestReport { packets_read: 6, capture_truncated: true, ..IngestReport::new() };
+        metrics.record(&a);
+        metrics.record(&b);
+        let mut merged = a;
+        merged.merge(&b);
+        metrics.assert_consistent_with(&merged, 2, 1);
+    }
+}

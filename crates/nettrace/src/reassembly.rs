@@ -146,6 +146,22 @@ impl StreamReassembler {
             }
         };
         if seg.flags.syn {
+            if let (Some(old_isn), false) = (state.isn, state.isn_from_syn) {
+                // Data outran the SYN (reordered capture): the buffered
+                // chunks are keyed to a provisional base taken from the
+                // first data segment. Re-key them to the SYN's base so
+                // they line up with segments still to come.
+                let new_base = seg.seq.wrapping_add(1);
+                let diff = old_isn.wrapping_sub(new_base) as i32;
+                let old = std::mem::take(&mut state.chunks);
+                if diff >= 0 {
+                    let shift = diff as u64;
+                    state.chunks = old.into_iter().map(|(k, v)| (k + shift, v)).collect();
+                }
+                // diff < 0: the buffered data claimed to precede the
+                // SYN — stale retransmission, dropped (same rule as
+                // post-SYN segments below).
+            }
             state.isn = Some(seg.seq);
             state.isn_from_syn = true;
         }
@@ -186,6 +202,14 @@ impl StreamReassembler {
     /// behaviour on lossy captures. Overlapping retransmissions keep the
     /// earliest copy of each byte.
     pub fn into_streams(self) -> Vec<Stream> {
+        let mut gaps = 0;
+        self.into_streams_counting(&mut gaps)
+    }
+
+    /// Like [`StreamReassembler::into_streams`], but counts every
+    /// skipped sequence discontinuity into `gaps` so lenient ingest can
+    /// report reassembly stalls instead of papering over them.
+    pub fn into_streams_counting(self, gaps: &mut u64) -> Vec<Stream> {
         let mut flows = self.flows;
         self.order
             .into_iter()
@@ -195,6 +219,13 @@ impl StreamReassembler {
                 let mut timeline = Vec::new();
                 let mut next_rel = 0u64;
                 for (rel, (ts, bytes)) in state.chunks {
+                    // A chunk starting past the write cursor means the
+                    // bytes in between were never captured (the first
+                    // chunk sits at rel 0 by construction unless a SYN
+                    // pinned the base and the opening data was lost).
+                    if rel > next_rel {
+                        *gaps += 1;
+                    }
                     let bytes: &[u8] = if rel < next_rel {
                         let overlap = (next_rel - rel) as usize;
                         if overlap >= bytes.len() {
@@ -248,6 +279,39 @@ mod tests {
         push_data(&mut r, 2.0, key(), 106, b"world");
         push_data(&mut r, 1.0, key(), 100, b"hello ");
         assert_eq!(r.into_streams()[0].data, b"hello world");
+    }
+
+    #[test]
+    fn syn_arriving_after_data_rebases_buffered_chunks() {
+        // Multi-queue reordering can deliver data segments before the
+        // SYN. The buffered bytes must be re-keyed to the SYN's base:
+        // no false gap, no dropped bytes.
+        let mut r = StreamReassembler::new();
+        push_data(&mut r, 2.0, key(), 6400, b"world"); // second chunk, first to arrive
+        let syn = tcp::build(key().src.port, key().dst.port, 4999, 0, TcpFlags::syn(), b"");
+        r.push(1.0, key(), &TcpSegment::parse(&syn).unwrap());
+        push_data(&mut r, 1.5, key(), 5000, &[b'x'; 1400]);
+        let mut gaps = 0;
+        let streams = r.into_streams_counting(&mut gaps);
+        assert_eq!(gaps, 0, "reordering is not loss");
+        assert_eq!(streams[0].data.len(), 1405);
+        assert!(streams[0].data.ends_with(b"world"));
+    }
+
+    #[test]
+    fn stale_data_below_a_late_syn_is_dropped() {
+        // A segment below the SYN's base is a stale retransmission from
+        // an earlier connection on the same 4-tuple; a late SYN must
+        // discard it rather than splice it in.
+        let mut r = StreamReassembler::new();
+        push_data(&mut r, 1.0, key(), 100, b"stale");
+        let syn = tcp::build(key().src.port, key().dst.port, 499, 0, TcpFlags::syn(), b"");
+        r.push(2.0, key(), &TcpSegment::parse(&syn).unwrap());
+        push_data(&mut r, 3.0, key(), 500, b"fresh");
+        let mut gaps = 0;
+        let streams = r.into_streams_counting(&mut gaps);
+        assert_eq!(gaps, 0);
+        assert_eq!(streams[0].data, b"fresh");
     }
 
     #[test]
@@ -319,5 +383,29 @@ mod tests {
         push_data(&mut r, 1.0, key(), 100, b"abc");
         push_data(&mut r, 2.0, key(), 200, b"xyz");
         assert_eq!(r.into_streams()[0].data, b"abcxyz");
+    }
+
+    #[test]
+    fn gaps_are_counted_per_discontinuity() {
+        let mut r = StreamReassembler::new();
+        push_data(&mut r, 1.0, key(), 100, b"abc"); // rel 0
+        push_data(&mut r, 2.0, key(), 200, b"xyz"); // gap 1
+        push_data(&mut r, 3.0, key(), 300, b"pqr"); // gap 2
+        push_data(&mut r, 4.0, key().reversed(), 1, b"clean");
+        let mut gaps = 0;
+        let streams = r.into_streams_counting(&mut gaps);
+        assert_eq!(streams.len(), 2);
+        assert_eq!(gaps, 2);
+    }
+
+    #[test]
+    fn contiguous_and_retransmitted_streams_count_no_gaps() {
+        let mut r = StreamReassembler::new();
+        push_data(&mut r, 1.0, key(), 100, b"abc");
+        push_data(&mut r, 2.0, key(), 100, b"abc"); // retransmit
+        push_data(&mut r, 3.0, key(), 103, b"def");
+        let mut gaps = 0;
+        r.into_streams_counting(&mut gaps);
+        assert_eq!(gaps, 0);
     }
 }

@@ -240,7 +240,7 @@ impl TransactionExtractor {
     pub fn finish_lenient(self, report: &mut IngestReport) -> Vec<HttpTransaction> {
         report.packets_dropped_decode += self.dropped_decode;
         report.packets_non_tcp += self.non_tcp;
-        let streams = self.reassembler.into_streams();
+        let streams = self.reassembler.into_streams_counting(&mut report.reassembly_gaps);
         report.streams_total += streams.len() as u64;
         let mut connections: BTreeMap<(Endpoint, Endpoint), (Option<Stream>, Option<Stream>)> =
             BTreeMap::new();

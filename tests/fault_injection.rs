@@ -174,6 +174,58 @@ fn corrupted_infection_replay_still_alerts() {
 }
 
 #[test]
+fn telemetry_counters_track_ingest_reports_across_all_fault_classes() {
+    // One long-lived metrics aggregation over every fault class: after
+    // each hostile capture is recorded as a per-capture delta report,
+    // the telemetry counters must equal the merged report exactly —
+    // the 1:1 field↔counter contract of `IngestMetrics`.
+    let registry = telemetry::Registry::new();
+    let metrics = nettrace::metrics::IngestMetrics::new(&registry);
+    let mut merged = IngestReport::new();
+    let mut captures = 0u64;
+    let mut truncated = 0u64;
+    for (i, fault) in Fault::ALL.into_iter().enumerate() {
+        for seed in 0..3u64 {
+            let pcap = infection_pcap(200 + seed, EkFamily::ALL[(i + seed as usize) % 10]);
+            let mut rng = StdRng::seed_from_u64(3000 + i as u64 * 10 + seed);
+            let hurt = faultgen::apply(&pcap, fault, &mut rng);
+            let mut report = IngestReport::new();
+            let packets = nettrace::capture::read_packets_lenient(&hurt, &mut report);
+            TransactionExtractor::extract_lenient(&packets, &mut report);
+            metrics.record(&report);
+            captures += 1;
+            truncated += u64::from(report.capture_truncated);
+            merged.merge(&report);
+            // Consistency must hold after every capture, not only at
+            // the end — a divergence points at the offending fault.
+            metrics.assert_consistent_with(&merged, captures, truncated);
+        }
+    }
+    // The hostile corpus must actually have exercised the malformed-
+    // record cause counters, not just the happy path.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("ingest_captures_total"), 11 * 3);
+    assert!(snap.counter("ingest_transactions_recovered_total") > 0);
+    let loss_causes = [
+        "ingest_records_dropped_total",
+        "ingest_capture_truncations_total",
+        "ingest_packets_dropped_decode_total",
+        "ingest_streams_salvaged_total",
+        "ingest_streams_discarded_total",
+        "ingest_reassembly_gaps_total",
+        "ingest_gzip_failures_total",
+        "ingest_chunked_failures_total",
+    ];
+    let recorded: Vec<&str> =
+        loss_causes.into_iter().filter(|c| snap.counter(c) > 0).collect();
+    assert!(
+        recorded.len() >= 4,
+        "fault corpus only moved {} loss-cause counters: {recorded:?}",
+        recorded.len()
+    );
+}
+
+#[test]
 fn every_fault_class_replays_through_the_detector() {
     let clf = classifier();
     for (i, fault) in Fault::ALL.into_iter().enumerate() {

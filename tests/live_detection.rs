@@ -1,0 +1,172 @@
+//! End-to-end coverage of the on-the-wire stage sequence (PAPER.md
+//! §IV): a synthetic EK episode is fed transaction-by-transaction
+//! through the detector's `SessionTracker` clustering, and the
+//! clue → retrospective-WCG-rebuild → re-classify-on-growth sequence
+//! is asserted through the telemetry counters after every step.
+
+use std::net::Ipv4Addr;
+
+use dynaminer::classifier::{build_dataset, Classifier};
+use dynaminer::detector::{DetectorConfig, OnTheWireDetector};
+use nettrace::http::{HeaderMap, Method};
+use nettrace::payload::PayloadClass;
+use nettrace::reassembly::Endpoint;
+use nettrace::HttpTransaction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synthtraffic::benign::generate_benign;
+use synthtraffic::episode::generate_infection;
+use synthtraffic::{BenignScenario, EkFamily};
+use telemetry::Registry;
+
+#[allow(clippy::too_many_arguments)]
+fn tx(
+    ts: f64,
+    host: &str,
+    uri: &str,
+    method: Method,
+    status: u16,
+    class: PayloadClass,
+    size: usize,
+    referer: Option<&str>,
+    location: Option<&str>,
+) -> HttpTransaction {
+    let mut req_headers = HeaderMap::new();
+    req_headers.append("Host", host);
+    if let Some(r) = referer {
+        req_headers.append("Referer", r);
+    }
+    let mut resp_headers = HeaderMap::new();
+    if let Some(l) = location {
+        resp_headers.append("Location", l);
+    }
+    HttpTransaction {
+        ts,
+        resp_ts: ts + 0.05,
+        client: Endpoint::new(Ipv4Addr::new(10, 0, 0, 9), 51000),
+        server: Endpoint::new(Ipv4Addr::new(203, 0, 113, 44), 80),
+        host: host.to_string(),
+        method,
+        uri: uri.to_string(),
+        req_headers,
+        status,
+        resp_headers,
+        payload_class: class,
+        payload_size: size,
+        body_preview: Vec::new(),
+        payload_digest: 7,
+    }
+}
+
+/// A hand-built exploit-kit episode: landing page, two redirect hops,
+/// an executable drop, then post-infection traffic — the paper's
+/// canonical sequence.
+fn ek_episode() -> Vec<HttpTransaction> {
+    vec![
+        tx(1.0, "landing.example", "/", Method::Get, 200, PayloadClass::Html, 900, None, None),
+        tx(
+            2.0, "landing.example", "/go", Method::Get, 302, PayloadClass::Empty, 0,
+            Some("http://landing.example/"), Some("http://hop.example/l"),
+        ),
+        tx(
+            3.0, "hop.example", "/l", Method::Get, 302, PayloadClass::Empty, 0,
+            Some("http://landing.example/go"), Some("http://drop.example/gate"),
+        ),
+        tx(
+            4.0, "drop.example", "/payload.exe", Method::Get, 200, PayloadClass::Exe, 4096,
+            Some("http://hop.example/l"), None,
+        ),
+        tx(5.0, "cc.example", "/beacon", Method::Post, 200, PayloadClass::Text, 12, None, None),
+    ]
+}
+
+fn small_classifier() -> Classifier {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut items = Vec::new();
+    for i in 0..8 {
+        items.push((generate_infection(&mut rng, EkFamily::ALL[i], 1.4e9).transactions, true));
+        items.push((generate_benign(&mut rng, BenignScenario::Search, 1.43e9).transactions, false));
+    }
+    let data = build_dataset(items.iter().map(|(t, l)| (t.as_slice(), *l)));
+    Classifier::fit_default(&data, 1)
+}
+
+#[test]
+fn clue_then_retrospective_rebuild_then_reclassify_on_growth() {
+    let registry = Registry::new();
+    // Alerting disabled (threshold > 1) so the conversation keeps
+    // growing and every re-classification round is observable.
+    let config = DetectorConfig { alert_threshold: 1.1, ..DetectorConfig::default() };
+    let mut detector =
+        OnTheWireDetector::with_telemetry(small_classifier(), config, &registry);
+    let episode = ek_episode();
+    let counters = |registry: &Registry| {
+        let s = registry.snapshot();
+        (
+            s.counter("detector_transactions_total"),
+            s.counter("detector_clues_total"),
+            s.counter("detector_wcg_rebuilds_total"),
+            s.counter("detector_reclassifications_total"),
+        )
+    };
+
+    // Landing page: clustered, but no redirect chain and a benign
+    // payload — the clue gate stays shut and no WCG is built.
+    detector.observe(&episode[0]);
+    assert_eq!(counters(&registry), (1, 0, 0, 0));
+    assert_eq!(registry.snapshot().gauges["session_conversations_live"], 1);
+
+    // Two redirect hops: still no risky download, still no clue —
+    // chain length alone must not trigger classification.
+    detector.observe(&episode[1]);
+    detector.observe(&episode[2]);
+    assert_eq!(counters(&registry), (3, 0, 0, 0));
+
+    // The exe drop completes the chain+download conjunction: the clue
+    // fires and the detector goes back in time, rebuilding the WCG
+    // over the *whole* conversation so far (all 4 transactions).
+    detector.observe(&episode[3]);
+    assert_eq!(counters(&registry), (4, 1, 1, 0));
+    assert_eq!(
+        registry.snapshot().histogram_count("classifier_feature_extraction_ns"),
+        1,
+        "the rebuild ran one timed feature extraction"
+    );
+    let conv = detector.tracker().conversations().next().unwrap();
+    assert_eq!(conv.transactions.len(), 4, "retrospective WCG spans the full conversation");
+    assert!(conv.watched);
+
+    // Post-infection beacon: the watched conversation grew, so it is
+    // re-classified (a second rebuild, first re-classification round).
+    detector.observe(&episode[4]);
+    assert_eq!(counters(&registry), (5, 1, 2, 1));
+    // Everything stayed one conversation — the session tracker
+    // clustered the whole episode.
+    assert_eq!(detector.tracker().conversation_count(), 1);
+}
+
+#[test]
+fn alert_terminates_the_session_and_stops_reclassification() {
+    let registry = Registry::new();
+    // Threshold 0 forces the alert on the first classification, which
+    // must stop further rebuilds for that conversation.
+    let config = DetectorConfig { alert_threshold: 0.0, ..DetectorConfig::default() };
+    let mut detector =
+        OnTheWireDetector::with_telemetry(small_classifier(), config, &registry);
+    let episode = ek_episode();
+    let mut alert = None;
+    for t in &episode {
+        if let Some(a) = detector.observe(t) {
+            alert = Some(a);
+        }
+    }
+    let alert = alert.expect("threshold 0 must alert at the clue");
+    assert_eq!(alert.conversation_size, 4, "alert fired on the exe drop, over 4 transactions");
+    assert_eq!(alert.trigger_host, "drop.example");
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("detector_clues_total"), 1);
+    assert_eq!(snap.counter("detector_wcg_rebuilds_total"), 1, "no rebuild after the alert");
+    assert_eq!(snap.counter("detector_reclassifications_total"), 0);
+    assert_eq!(snap.counter("detector_alerts_total"), 1);
+    assert_eq!(snap.counter("detector_transactions_total"), 5);
+}

@@ -1,0 +1,147 @@
+//! Golden-snapshot regression test: the full pipeline over a fixed-seed
+//! ground-truth corpus must produce exactly the telemetry counters
+//! recorded in `tests/golden/telemetry_scale0.1_seed42.json`.
+//!
+//! Every counter here is a deterministic function of (seed, scale,
+//! detector config): the corpus generator, classifier training, session
+//! clustering, clue gates, and alerting are all seeded and
+//! thread-count-invariant. Only histogram *sums* carry wall-clock time,
+//! so the golden pins counter values and histogram observation counts
+//! but never durations.
+//!
+//! To regenerate after a deliberate behavior change:
+//!
+//! ```text
+//! UPDATE_TELEMETRY_GOLDEN=1 cargo test --test telemetry_golden
+//! ```
+//!
+//! On mismatch the actual snapshot is written next to the target dir as
+//! `telemetry-golden-actual.json` so CI can upload it as an artifact and
+//! the diff can be inspected without re-running the corpus.
+
+use std::collections::BTreeMap;
+
+use dynaminer::classifier::{build_dataset, Classifier};
+use dynaminer::detector::{DetectorConfig, OnTheWireDetector};
+use serde::{Deserialize, Serialize};
+use telemetry::Registry;
+
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/telemetry_scale0.1_seed42.json");
+
+/// The deterministic projection of a [`telemetry::Snapshot`]: everything
+/// except histogram sums (which measure wall-clock time).
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct Golden {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histogram_counts: BTreeMap<String, u64>,
+}
+
+impl Golden {
+    fn project(snapshot: &telemetry::Snapshot) -> Golden {
+        Golden {
+            counters: snapshot.counters.clone(),
+            gauges: snapshot.gauges.clone(),
+            histogram_counts: snapshot
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.count))
+                .collect(),
+        }
+    }
+}
+
+fn run_pipeline() -> telemetry::Snapshot {
+    // The pinned corpus: scale 0.1, seed 42 — 76 infections + 98 benign.
+    let corpus = synthtraffic::ground_truth(42, 0.1);
+    let data = build_dataset(
+        corpus.iter().map(|ep| (ep.transactions.as_slice(), ep.is_infection())),
+    );
+    let classifier = Classifier::fit_default(&data, 42);
+
+    // One detector over the whole corpus as a single interleaved stream,
+    // with retention low enough that eviction counters move.
+    let mut stream: Vec<&nettrace::HttpTransaction> =
+        corpus.iter().flat_map(|ep| ep.transactions.iter()).collect();
+    stream.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    let registry = Registry::new();
+    let config = DetectorConfig { retention: Some(3600.0), ..DetectorConfig::default() };
+    let mut detector = OnTheWireDetector::with_telemetry(classifier, config, &registry);
+    for tx in stream {
+        detector.observe(tx);
+    }
+    registry.snapshot()
+}
+
+#[test]
+fn pipeline_telemetry_matches_golden_snapshot() {
+    let snapshot = run_pipeline();
+    let actual = Golden::project(&snapshot);
+
+    // Structural sanity independent of the golden file: the corpus must
+    // have actually exercised every stage the golden pins.
+    assert!(actual.counters["detector_transactions_total"] > 1000);
+    assert!(actual.counters["detector_clues_total"] > 0);
+    assert!(actual.counters["detector_wcg_rebuilds_total"] > 0);
+    assert!(actual.counters["detector_alerts_total"] > 0);
+    assert!(actual.counters["session_retention_evictions_total"] > 0);
+    assert_eq!(
+        actual.histogram_counts["classifier_feature_extraction_ns"],
+        actual.counters["detector_wcg_rebuilds_total"],
+        "every rebuild times exactly one feature extraction"
+    );
+    assert_eq!(
+        actual.histogram_counts["classifier_scoring_ns"],
+        actual.counters["detector_wcg_rebuilds_total"],
+        "every rebuild times exactly one scoring call"
+    );
+
+    if std::env::var_os("UPDATE_TELEMETRY_GOLDEN").is_some() {
+        let json = serde_json::to_string_pretty(&actual).unwrap();
+        std::fs::write(GOLDEN_PATH, json + "\n").unwrap();
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+
+    let golden_json = std::fs::read_to_string(GOLDEN_PATH)
+        .unwrap_or_else(|e| panic!("cannot read {GOLDEN_PATH}: {e} (run with UPDATE_TELEMETRY_GOLDEN=1 to create it)"));
+    let golden: Golden =
+        serde_json::from_str(&golden_json).expect("golden file must parse as a Golden snapshot");
+
+    if actual != golden {
+        // Leave the actual projection on disk for CI artifact upload.
+        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/target/telemetry-golden-actual.json");
+        let json = serde_json::to_string_pretty(&actual).unwrap();
+        let _ = std::fs::write(out, json + "\n");
+        let diff: Vec<String> = golden
+            .counters
+            .iter()
+            .filter(|(k, v)| actual.counters.get(*k) != Some(v))
+            .map(|(k, v)| {
+                format!("  {k}: golden {v} vs actual {:?}", actual.counters.get(k))
+            })
+            .chain(
+                actual
+                    .counters
+                    .keys()
+                    .filter(|k| !golden.counters.contains_key(*k))
+                    .map(|k| format!("  {k}: not in golden")),
+            )
+            .collect();
+        panic!(
+            "telemetry snapshot drifted from {GOLDEN_PATH} \
+             (actual written to {out}); counter diff:\n{}",
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn pipeline_telemetry_is_reproducible_within_a_run() {
+    // Two independent runs of the same seeded pipeline agree exactly —
+    // the precondition for the golden file being meaningful at all.
+    let a = Golden::project(&run_pipeline());
+    let b = Golden::project(&run_pipeline());
+    assert_eq!(a, b);
+}
