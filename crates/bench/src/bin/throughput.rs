@@ -7,9 +7,15 @@
 //! * pcap ingest (parse + transaction extraction), MB/s,
 //! * WCG construction from conversations, conversations/s,
 //! * 37-feature extraction, WCGs/s,
+//! * end-to-end live-detector replay, incremental vs from-scratch WCGs,
+//!   transactions/s,
 //! * forest training, sequential and parallel, fits/s,
 //! * forest prediction, per-row and batched, rows/s — with the batched
 //!   speedup recorded explicitly.
+//!
+//! Usage: `throughput [--baseline <report.json>]` — with a baseline, the
+//! run additionally prints per-entry rate deltas against the older report
+//! and writes the comparison to `BENCH_compare.json`.
 //!
 //! Environment:
 //!
@@ -17,26 +23,38 @@
 //!   CI smoke runs (numbers are noisier but the harness still proves the
 //!   paths run and the artifact schema holds).
 //! * `DYNAMINER_BENCH_OUT` — output path (default `BENCH_throughput.json`).
+//! * `DYNAMINER_BENCH_COMPARE_OUT` — baseline-comparison output path
+//!   (default `BENCH_compare.json`; only written with `--baseline`).
 //! * `DYNAMINER_THREADS` — worker threads for the parallel measurements
 //!   (default: available parallelism).
 
 use std::time::Duration;
 
 use criterion::{Criterion, Throughput};
-use dynaminer::classifier::{build_dataset, build_dataset_parallel};
+use dynaminer::classifier::{build_dataset, build_dataset_parallel, Classifier};
+use dynaminer::detector::{DetectorConfig, OnTheWireDetector};
 use dynaminer::features;
 use dynaminer::wcg::Wcg;
 use mlearn::forest::{ForestConfig, RandomForest};
 use nettrace::TransactionExtractor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use synthtraffic::benign::generate_benign;
 use synthtraffic::episode::generate_infection;
 use synthtraffic::pcapgen;
 use synthtraffic::{BenignScenario, EkFamily};
 
-#[derive(Debug, Serialize)]
+/// The total measurement budget per entry is floored at this regardless
+/// of the configured mode, so numbers aren't dominated by timer
+/// resolution and scheduler jitter on fast entries.
+const MIN_MEASUREMENT_TIME: Duration = Duration::from_millis(250);
+/// Warm-up must complete at least this many iterations, so entries whose
+/// single iteration exceeds the warm-up *time* budget still measure
+/// against warmed caches.
+const MIN_WARMUP_ITERS: usize = 2;
+
+#[derive(Debug, Serialize, Deserialize)]
 struct BenchEntry {
     /// Stable benchmark identifier.
     name: String,
@@ -63,6 +81,39 @@ struct BenchReport {
     /// recording is folded in (0.01 = 1% slower; negative = noise).
     /// Target: under 0.03.
     telemetry_overhead_ingest: f64,
+    /// Incremental live-replay throughput over the from-scratch rebuild
+    /// path (the tentpole win of per-conversation `WcgBuilder`s plus
+    /// memoized topology features).
+    live_replay_speedup: f64,
+}
+
+/// The subset of a bench report `--baseline` comparison needs. Only
+/// `entries` is extracted, so baselines written by older revisions (with
+/// fewer top-level fields) still parse.
+#[derive(Debug, Deserialize)]
+struct BaselineReport {
+    entries: Vec<BenchEntry>,
+}
+
+#[derive(Debug, Serialize)]
+struct CompareEntry {
+    name: String,
+    baseline_rate: f64,
+    current_rate: f64,
+    /// Rate change in percent (+10 = 10% faster than baseline).
+    rate_delta_pct: f64,
+    unit: String,
+}
+
+#[derive(Debug, Serialize)]
+struct CompareReport {
+    schema: String,
+    baseline_path: String,
+    entries: Vec<CompareEntry>,
+    /// Entries present only in the current run.
+    new_entries: Vec<String>,
+    /// Entries present only in the baseline.
+    removed_entries: Vec<String>,
 }
 
 fn entry(name: &str, per_iter: Duration, work: f64, unit: &str) -> BenchEntry {
@@ -83,18 +134,25 @@ fn main() {
         .map_or_else(mlearn::parallel::default_threads, mlearn::parallel::resolve_threads);
     let out_path = std::env::var("DYNAMINER_BENCH_OUT")
         .unwrap_or_else(|_| "BENCH_throughput.json".to_string());
-
-    let mut c = if quick {
-        Criterion::default()
-            .sample_size(3)
-            .measurement_time(Duration::from_millis(300))
-            .warm_up_time(Duration::from_millis(100))
-    } else {
-        Criterion::default()
-            .sample_size(10)
-            .measurement_time(Duration::from_secs(2))
-            .warm_up_time(Duration::from_millis(500))
+    let baseline_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--baseline").map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--baseline requires a file path"))
+                .clone()
+        })
     };
+
+    let measurement = if quick { Duration::from_millis(300) } else { Duration::from_secs(2) };
+    let mut c = Criterion::default()
+        .sample_size(if quick { 3 } else { 10 })
+        .measurement_time(measurement.max(MIN_MEASUREMENT_TIME))
+        .warm_up_time(if quick {
+            Duration::from_millis(100)
+        } else {
+            Duration::from_millis(500)
+        })
+        .warm_up_iterations(MIN_WARMUP_ITERS);
     println!(
         "throughput bench: quick={quick} threads={threads} → {out_path}"
     );
@@ -180,6 +238,50 @@ fn main() {
     group.finish();
     entries.push(entry("wcg/extract_37_features", t, wcgs.len() as f64, "WCGs/s"));
 
+    // 3b. End-to-end live detection: replay a merged multi-episode
+    // stream through the detector with alerting disabled (threshold
+    // above 1), so watched conversations keep growing and every
+    // transaction exercises the classify path. `replay_live` uses the
+    // incremental per-conversation WCG builders with memoized topology
+    // features; `replay_live_scratch` rebuilds each WCG from scratch per
+    // classification (the pre-incremental behaviour). Both produce
+    // bit-identical verdicts (asserted in the detector's tests).
+    let live_clf = {
+        let live_data = build_dataset(labelled.iter().copied());
+        Classifier::fit_default(&live_data, 7)
+    };
+    let stream = {
+        let mut stream: Vec<nettrace::HttpTransaction> =
+            episodes.iter().flat_map(|e| e.transactions.iter().cloned()).collect();
+        stream.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        stream
+    };
+    let mut group = c.benchmark_group("detector");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    let replay = |incremental: bool| {
+        let config = DetectorConfig {
+            alert_threshold: 1.1,
+            incremental,
+            ..DetectorConfig::default()
+        };
+        let mut det = OnTheWireDetector::new(live_clf.clone(), config);
+        for tx in &stream {
+            det.observe(tx);
+        }
+        det.classification_count()
+    };
+    let t_live = group.bench_function("replay_live", |b| b.iter(|| replay(true)));
+    entries.push(entry("detector/replay_live", t_live, stream.len() as f64, "transactions/s"));
+    let t_live_scratch =
+        group.bench_function("replay_live_scratch", |b| b.iter(|| replay(false)));
+    group.finish();
+    entries.push(entry(
+        "detector/replay_live_scratch",
+        t_live_scratch,
+        stream.len() as f64,
+        "transactions/s",
+    ));
+
     // 4. Corpus featurization, sequential vs pooled (dataset build).
     let mut group = c.benchmark_group("dataset");
     let t = group.bench_function("build_sequential", |b| {
@@ -255,18 +357,24 @@ fn main() {
             0.0
         }
     };
+    // With one core, the "parallel" fit resolves to the identical inline
+    // code path as the sequential fit (run_indexed inlines at threads
+    // <= 1), so any measured ratio is pure noise; report the identity.
+    let parallel_fit_speedup =
+        if threads <= 1 { 1.0 } else { speedup(t_fit_par, t_fit_seq) };
     let report = BenchReport {
         schema: "dynaminer-bench-throughput-v1".to_string(),
         quick,
         threads,
         entries,
         batched_predict_speedup: speedup(t_batched, t_single),
-        parallel_fit_speedup: speedup(t_fit_par, t_fit_seq),
+        parallel_fit_speedup,
         telemetry_overhead_ingest: if t_lenient > Duration::ZERO {
             t_lenient_telemetry.as_secs_f64() / t_lenient.as_secs_f64() - 1.0
         } else {
             0.0
         },
+        live_replay_speedup: speedup(t_live, t_live_scratch),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write bench report");
@@ -274,9 +382,76 @@ fn main() {
         "\nbatched predict speedup: {:.2}x over per-row; parallel fit speedup: {:.2}x over 1 thread",
         report.batched_predict_speedup, report.parallel_fit_speedup
     );
+    if threads <= 1 {
+        println!("(single core: parallel fit is the same inline code path; speedup is 1.0 by identity)");
+    }
     println!(
         "telemetry overhead on lenient ingest: {:+.2}%",
         report.telemetry_overhead_ingest * 100.0
     );
+    println!(
+        "live replay speedup (incremental over from-scratch): {:.2}x",
+        report.live_replay_speedup
+    );
     println!("wrote {out_path}");
+
+    if let Some(baseline_path) = baseline_path {
+        compare_to_baseline(&report, &baseline_path);
+    }
+}
+
+/// Prints per-entry rate deltas against an older report and writes the
+/// comparison artifact for CI upload.
+fn compare_to_baseline(report: &BenchReport, baseline_path: &str) {
+    let raw = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline: BaselineReport = serde_json::from_str(&raw)
+        .unwrap_or_else(|e| panic!("parse baseline {baseline_path}: {e}"));
+    let compare_out = std::env::var("DYNAMINER_BENCH_COMPARE_OUT")
+        .unwrap_or_else(|_| "BENCH_compare.json".to_string());
+
+    println!("\ncomparison against {baseline_path}:");
+    let mut entries = Vec::new();
+    let mut new_entries = Vec::new();
+    for e in &report.entries {
+        match baseline.entries.iter().find(|b| b.name == e.name) {
+            Some(b) if b.rate > 0.0 => {
+                let delta = (e.rate / b.rate - 1.0) * 100.0;
+                println!(
+                    "  {:<34} {:>12.0} → {:>12.0} {}  ({:+.1}%)",
+                    e.name, b.rate, e.rate, e.unit, delta
+                );
+                entries.push(CompareEntry {
+                    name: e.name.clone(),
+                    baseline_rate: b.rate,
+                    current_rate: e.rate,
+                    rate_delta_pct: delta,
+                    unit: e.unit.clone(),
+                });
+            }
+            _ => {
+                println!("  {:<34} {:>12} → {:>12.0} {}  (new)", e.name, "-", e.rate, e.unit);
+                new_entries.push(e.name.clone());
+            }
+        }
+    }
+    let removed_entries: Vec<String> = baseline
+        .entries
+        .iter()
+        .filter(|b| report.entries.iter().all(|e| e.name != b.name))
+        .map(|b| b.name.clone())
+        .collect();
+    for name in &removed_entries {
+        println!("  {name:<34} (removed)");
+    }
+    let comparison = CompareReport {
+        schema: "dynaminer-bench-compare-v1".to_string(),
+        baseline_path: baseline_path.to_string(),
+        entries,
+        new_entries,
+        removed_entries,
+    };
+    let json = serde_json::to_string_pretty(&comparison).expect("comparison serializes");
+    std::fs::write(&compare_out, json + "\n").expect("write comparison report");
+    println!("wrote {compare_out}");
 }

@@ -76,6 +76,13 @@ pub struct DetectorConfig {
     /// verdict pass). `0` means "use the machine's available parallelism".
     /// Scores are bit-identical at any setting.
     pub scoring_threads: usize,
+    /// Score watched conversations from the incrementally maintained WCG
+    /// (each conversation folds transactions into a
+    /// [`WcgBuilder`](crate::wcg::WcgBuilder) as they arrive) instead of
+    /// rebuilding the graph from scratch per classification. Feature
+    /// vectors are bit-identical either way; `false` exists for A/B
+    /// benchmarking and as an escape hatch.
+    pub incremental: bool,
 }
 
 impl Default for DetectorConfig {
@@ -90,6 +97,7 @@ impl Default for DetectorConfig {
             max_conversations_per_client: 512,
             max_transactions_per_conversation: 8192,
             scoring_threads: 0,
+            incremental: true,
         }
     }
 }
@@ -149,6 +157,9 @@ pub struct OnTheWireDetector {
     alerts: Vec<Alert>,
     transactions_seen: usize,
     classifications: usize,
+    /// Reusable feature-extraction workspace (adjacency buffers survive
+    /// across classifications).
+    extractor: crate::features::FeatureExtractor,
     telemetry: Registry,
     metrics: DetectorMetrics,
     /// Tracker eviction totals already folded into the telemetry
@@ -186,6 +197,7 @@ impl OnTheWireDetector {
             alerts: Vec::new(),
             transactions_seen: 0,
             classifications: 0,
+            extractor: crate::features::FeatureExtractor::new(),
             telemetry: registry.clone(),
             metrics: DetectorMetrics::new(registry),
             synced_retention_evictions: 0,
@@ -223,8 +235,10 @@ impl OnTheWireDetector {
         self.transactions_seen += 1;
         self.metrics.transactions.inc();
         let conv = self.tracker.assign(tx);
-        // Incremental clue counters.
-        let is_redirect = tx.is_redirect() || !crate::wcg::redirect::targets(tx).is_empty();
+        // Incremental clue counters. The conversation already derived
+        // redirect targets while absorbing the transaction; reuse its
+        // verdict instead of recomputing them.
+        let is_redirect = conv.last_tx_redirectish;
         if is_redirect {
             conv.redirects_seen += 1;
         }
@@ -261,11 +275,20 @@ impl OnTheWireDetector {
         if !first_look {
             self.metrics.reclassifications.inc();
         }
-        // Go back in time: rebuild the potential-infection WCG around the
-        // clue and query the classifier.
+        // Query the classifier over the conversation's WCG. The
+        // incremental path reads the graph each conversation has been
+        // folding transactions into (and reuses memoized topology
+        // features while the node/edge structure is unchanged); the
+        // scratch path goes back in time and rebuilds it wholesale, as
+        // the paper describes.
         let started = Instant::now();
-        let wcg = Wcg::from_transactions(&conv.transactions);
-        let fv = crate::features::extract(&wcg);
+        let fv = if self.config.incremental {
+            let (wcg, topo_version, cache) = conv.wcg_state();
+            self.extractor.extract_memoized(wcg, topo_version, cache)
+        } else {
+            let wcg = Wcg::from_transactions(&conv.transactions);
+            crate::features::extract(&wcg)
+        };
         self.metrics.feature_extraction_ns.observe_since(started);
         let started = Instant::now();
         let score = self.classifier.score_features(&fv);
@@ -458,6 +481,86 @@ mod tests {
             alerts_sig + 1 >= alerts_every,
             "alerts {alerts_sig} vs {alerts_every}"
         );
+    }
+
+    #[test]
+    fn incremental_and_scratch_paths_agree_bit_for_bit() {
+        let clf = trained_classifier(9);
+        let mut rng = StdRng::seed_from_u64(70);
+        // A merged multi-episode stream (interleaved conversations, some
+        // out-of-order arrivals within the merge) with alerting disabled,
+        // so every watched conversation keeps being re-classified.
+        let mut stream: Vec<nettrace::HttpTransaction> = Vec::new();
+        for i in 0..6 {
+            stream.extend(
+                generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.4e9 + i as f64 * 90.0)
+                    .transactions,
+            );
+            stream.extend(
+                generate_benign(&mut rng, BenignScenario::WEIGHTED[i % 8].0, 1.4e9 + i as f64 * 90.0)
+                    .transactions,
+            );
+        }
+        stream.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        let run = |incremental: bool| {
+            let config = DetectorConfig {
+                alert_threshold: 1.1,
+                incremental,
+                ..DetectorConfig::default()
+            };
+            let mut det = OnTheWireDetector::new(clf.clone(), config);
+            let mut scores = Vec::new();
+            for tx in &stream {
+                det.observe(tx);
+            }
+            // Final per-conversation feature vectors must agree too.
+            for conv in det.tracker().conversations() {
+                let wcg = Wcg::from_transactions(&conv.transactions);
+                scores.push(crate::features::extract(&wcg));
+            }
+            (det.classification_count(), scores)
+        };
+        let (calls_inc, fvs_inc) = run(true);
+        let (calls_scratch, fvs_scratch) = run(false);
+        assert_eq!(calls_inc, calls_scratch);
+        assert!(calls_inc > 0);
+        assert_eq!(fvs_inc.len(), fvs_scratch.len());
+        for (a, b) in fvs_inc.iter().zip(&fvs_scratch) {
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_alerts_match_scratch_alerts() {
+        let clf = trained_classifier(10);
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut stream: Vec<nettrace::HttpTransaction> = Vec::new();
+        for i in 0..6 {
+            stream.extend(
+                generate_infection(&mut rng, EkFamily::ALL[(i * 3) % 10], 1.4e9 + i as f64 * 400.0)
+                    .transactions,
+            );
+        }
+        stream.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        let run = |incremental: bool| {
+            let config = DetectorConfig { incremental, ..DetectorConfig::default() };
+            let mut det = OnTheWireDetector::new(clf.clone(), config);
+            for tx in &stream {
+                det.observe(tx);
+            }
+            det.alerts().to_vec()
+        };
+        let inc = run(true);
+        let scratch = run(false);
+        assert_eq!(inc.len(), scratch.len());
+        for (a, b) in inc.iter().zip(&scratch) {
+            assert_eq!(a.conversation_id, b.conversation_id);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.conversation_size, b.conversation_size);
+        }
     }
 
     #[test]

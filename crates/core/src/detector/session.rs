@@ -22,6 +22,9 @@ use std::net::Ipv4Addr;
 
 use nettrace::HttpTransaction;
 
+use crate::features::TopoCache;
+use crate::wcg::{PushOutcome, Wcg, WcgBuilder};
+
 /// One conversation under observation.
 #[derive(Debug, Clone)]
 pub struct Conversation {
@@ -40,6 +43,16 @@ pub struct Conversation {
     /// Whether the most recent transaction introduced a host this
     /// conversation had not contacted before.
     pub last_tx_added_host: bool,
+    /// Whether the most recent transaction was a redirect hop (3xx or a
+    /// detectable redirect target). Computed once here so the detector
+    /// does not re-derive redirect targets per transaction.
+    pub last_tx_redirectish: bool,
+    /// Incrementally maintained WCG over the stored transactions,
+    /// equivalent to `Wcg::from_transactions(&self.transactions)` at
+    /// every point.
+    builder: WcgBuilder,
+    /// Memoized topology-dependent feature values for the detector.
+    feature_cache: TopoCache,
     hosts: BTreeSet<String>,
     session_ids: BTreeSet<String>,
     urls: BTreeSet<String>,
@@ -56,6 +69,9 @@ impl Conversation {
             redirects_seen: 0,
             max_payload_likelihood: 0.0,
             last_tx_added_host: false,
+            last_tx_redirectish: false,
+            builder: WcgBuilder::new(),
+            feature_cache: TopoCache::new(),
             hosts: BTreeSet::new(),
             session_ids: BTreeSet::new(),
             urls: BTreeSet::new(),
@@ -68,13 +84,24 @@ impl Conversation {
         self.last_ts
     }
 
+    /// The incrementally maintained WCG over the stored transactions,
+    /// its topology version, and the conversation's feature cache —
+    /// split-borrowed so the caller can extract features while the cache
+    /// is held mutably.
+    pub fn wcg_state(&mut self) -> (&Wcg, u64, &mut TopoCache) {
+        let Conversation { builder, feature_cache, .. } = self;
+        (builder.wcg(), builder.topo_version(), feature_cache)
+    }
+
     /// Records a transaction that was dropped by the per-conversation
     /// cap: activity is acknowledged (so idle/retention timers behave)
     /// but nothing is stored, bounding memory against a hostile endpoint
     /// streaming unbounded transactions into one conversation.
-    fn note_capped(&mut self, ts: f64) {
+    fn note_capped(&mut self, tx: &HttpTransaction) {
         self.last_tx_added_host = false;
-        self.last_ts = self.last_ts.max(ts);
+        self.last_tx_redirectish =
+            tx.is_redirect() || !crate::wcg::redirect::targets(tx).is_empty();
+        self.last_ts = self.last_ts.max(tx.ts);
     }
 
     /// Hosts contacted in this conversation.
@@ -88,9 +115,14 @@ impl Conversation {
             self.session_ids.insert(sid);
         }
         self.urls.insert(format!("http://{}{}", tx.host, tx.uri));
+        // Redirect targets are derived once per transaction and shared by
+        // host pre-registration, the detector's redirect clue, and the
+        // incremental WCG push.
+        let targets = crate::wcg::redirect::targets(tx);
+        self.last_tx_redirectish = tx.is_redirect() || !targets.is_empty();
         // Redirect targets become expected hosts, so follow-up requests
         // with stripped referrers still cluster correctly.
-        for target in crate::wcg::redirect::targets(tx) {
+        for target in &targets {
             if let Some(host) = target.split_once("://").map(|(_, r)| r) {
                 if let Some(h) = host.split(['/', '?', '#']).next() {
                     self.hosts
@@ -100,6 +132,9 @@ impl Conversation {
         }
         self.last_ts = self.last_ts.max(tx.ts);
         self.transactions.push(tx.clone());
+        if self.builder.push_with_targets(tx, &targets) == PushOutcome::NeedsRebuild {
+            self.builder.rebuild(&self.transactions);
+        }
     }
 
     fn matches(&self, tx: &HttpTransaction, referer_host: Option<&str>) -> bool {
@@ -271,7 +306,7 @@ impl SessionTracker {
         let conv = &mut convs[idx];
         if conv.transactions.len() >= self.max_transactions {
             self.dropped_transactions += 1;
-            conv.note_capped(tx.ts);
+            conv.note_capped(tx);
         } else {
             conv.absorb(tx);
         }

@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 use wcgraph::algo;
+use wcgraph::GraphView;
 
 use crate::wcg::Wcg;
 
@@ -138,23 +139,102 @@ impl FeatureVector {
     }
 }
 
-/// Extracts all 37 features from a WCG.
+/// Columns of the feature vector that depend only on the graph's simple
+/// topology (which nodes exist and which ordered pairs are connected),
+/// not on edge multiplicities, attributes, or traffic aggregates. These
+/// are exactly the columns [`FeatureExtractor::extract_memoized`] reuses
+/// from a [`TopoCache`] while the topology version is unchanged:
+/// f12 diameter, f15 reciprocity, f17 closeness, f18 betweenness,
+/// f19 load, f20 node connectivity, f21 clustering, f22 neighbor degree,
+/// f24 k-nearest (k = 2), f25 pagerank.
+pub const TOPO_COLUMNS: [usize; 10] = [11, 14, 16, 17, 18, 19, 20, 21, 23, 24];
+
+/// Memoized values of the [`TOPO_COLUMNS`] features, keyed by the
+/// [`WcgBuilder::topo_version`](crate::wcg::WcgBuilder::topo_version)
+/// they were computed at.
+#[derive(Debug, Clone, Default)]
+pub struct TopoCache {
+    version: Option<u64>,
+    values: [f64; TOPO_COLUMNS.len()],
+}
+
+impl TopoCache {
+    /// An empty cache; the first extraction always computes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The topology version the cached values correspond to, if any.
+    pub fn version(&self) -> Option<u64> {
+        self.version
+    }
+}
+
+/// Reusable feature-extraction workspace.
 ///
-/// # Example
-///
-/// ```
-/// use dynaminer::{features, wcg::Wcg};
-///
-/// let wcg = Wcg::from_transactions(&[]);
-/// let fv = features::extract(&wcg);
-/// assert_eq!(fv.values().len(), features::FEATURE_COUNT);
-/// assert_eq!(fv.get("order"), 0.0);
-/// ```
-pub fn extract(wcg: &Wcg) -> FeatureVector {
+/// Owns a [`GraphView`] whose CSR adjacency buffers are rebuilt in place
+/// per extraction, so the per-call allocations of the one-shot
+/// [`extract`] path (three adjacency materializations plus the fused
+/// betweenness/load pass's scratch) are amortized across calls. Results
+/// are bit-identical to [`extract`].
+#[derive(Debug, Default)]
+pub struct FeatureExtractor {
+    view: GraphView,
+}
+
+impl FeatureExtractor {
+    /// A fresh extractor with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts all 37 features, reusing this extractor's scratch space.
+    pub fn extract(&mut self, wcg: &Wcg) -> FeatureVector {
+        let mut f = [0.0f64; FEATURE_COUNT];
+        base_features(wcg, &mut f);
+        self.view.load(&wcg.graph);
+        let mut topo = [0.0f64; TOPO_COLUMNS.len()];
+        topo_features(&self.view, &mut topo);
+        for (&col, &v) in TOPO_COLUMNS.iter().zip(topo.iter()) {
+            f[col] = v;
+        }
+        FeatureVector(f)
+    }
+
+    /// Extracts all 37 features, reusing the [`TOPO_COLUMNS`] values from
+    /// `cache` when it was filled at the same `topo_version` (and
+    /// refilling it otherwise).
+    ///
+    /// `topo_version` must come from the
+    /// [`WcgBuilder`](crate::wcg::WcgBuilder) that built `wcg`; the
+    /// builder bumps it whenever a node or a new simple directed edge
+    /// pair appears, which are exactly the events the topology-only
+    /// features can observe. All other columns are recomputed every call.
+    pub fn extract_memoized(
+        &mut self,
+        wcg: &Wcg,
+        topo_version: u64,
+        cache: &mut TopoCache,
+    ) -> FeatureVector {
+        let mut f = [0.0f64; FEATURE_COUNT];
+        base_features(wcg, &mut f);
+        if cache.version != Some(topo_version) {
+            self.view.load(&wcg.graph);
+            topo_features(&self.view, &mut cache.values);
+            cache.version = Some(topo_version);
+        }
+        for (&col, &v) in TOPO_COLUMNS.iter().zip(cache.values.iter()) {
+            f[col] = v;
+        }
+        FeatureVector(f)
+    }
+}
+
+/// Fills every feature column except [`TOPO_COLUMNS`].
+fn base_features(wcg: &Wcg, f: &mut [f64; FEATURE_COUNT]) {
     let g = &wcg.graph;
     let n = g.node_count();
     let e = g.edge_count();
-    let mut f = [0.0f64; FEATURE_COUNT];
 
     // --- High-level features f1–f6 --------------------------------------
     f[0] = f64::from(wcg.origin.is_some() || wcg.referrer_set > 0); // f1 origin known
@@ -178,27 +258,17 @@ pub fn extract(wcg: &Wcg) -> FeatureVector {
         0.0
     }; // f6
 
-    // --- Graph features f7–f25 ------------------------------------------
+    // --- Graph features f7–f25 (multiplicity/degree-sensitive part) ------
     f[6] = n as f64; // f7 order
     f[7] = e as f64; // f8 size
     f[8] = g.node_ids().map(|v| g.degree(v)).max().unwrap_or(0) as f64; // f9 degree Δ(G)
     f[9] = if n > 1 { e as f64 / (n * (n - 1)) as f64 } else { 0.0 }; // f10 density
     f[10] = (2 * e) as f64; // f11 volume
-    f[11] = algo::paths::diameter(g) as f64; // f12
     f[12] = if n > 0 { e as f64 / n as f64 } else { 0.0 }; // f13 avg in-degree
     f[13] = f[12]; // f14 avg out-degree (equal on any digraph; the paper
                    // ranks these adjacently with identical gain)
-    f[14] = algo::reciprocity::reciprocity(g); // f15
     f[15] = algo::centrality::avg_degree_centrality(g); // f16
-    f[16] = algo::centrality::avg_closeness_centrality(g); // f17
-    f[17] = algo::centrality::avg_betweenness_centrality(g); // f18
-    f[18] = algo::centrality::avg_load_centrality(g); // f19
-    f[19] = algo::connectivity::average_node_connectivity(g); // f20
-    f[20] = algo::clustering::avg_clustering_coefficient(g); // f21
-    f[21] = algo::clustering::avg_neighbor_degree(g); // f22
     f[22] = algo::connectivity::avg_degree_connectivity(g); // f23
-    f[23] = algo::paths::avg_nodes_within_distance(g, 2); // f24
-    f[24] = algo::pagerank::avg_pagerank(g); // f25
 
     // --- Header features f26–f35 -----------------------------------------
     f[25] = wcg.method_counts.get as f64;
@@ -222,8 +292,48 @@ pub fn extract(wcg: &Wcg) -> FeatureVector {
     } else {
         wcg.inter_tx_gaps.iter().sum::<f64>() / wcg.inter_tx_gaps.len() as f64
     };
+}
 
-    FeatureVector(f)
+/// Computes the [`TOPO_COLUMNS`] features from a loaded view, in column
+/// order. Betweenness (f18) and load (f19) come out of one fused Brandes
+/// pass.
+fn topo_features(view: &GraphView, out: &mut [f64; TOPO_COLUMNS.len()]) {
+    out[0] = algo::paths::diameter_view(view) as f64; // f12
+    out[1] = algo::reciprocity::reciprocity_view(view); // f15
+    out[2] = algo::mean(&algo::centrality::closeness_centrality_view(view)); // f17
+    let (between, load) = algo::centrality::betweenness_and_load_view(view);
+    out[3] = algo::mean(&between); // f18
+    out[4] = algo::mean(&load); // f19
+    out[5] = algo::connectivity::average_node_connectivity_view(view); // f20
+    out[6] = algo::mean(&algo::clustering::clustering_coefficients_view(view)); // f21
+    out[7] = algo::mean(&algo::clustering::neighbor_degrees_view(view)); // f22
+    out[8] = algo::paths::avg_nodes_within_distance_view(view, 2); // f24
+    out[9] = algo::mean(&algo::pagerank::pagerank_view(
+        view,
+        algo::pagerank::DEFAULT_DAMPING,
+        algo::pagerank::DEFAULT_TOL,
+        algo::pagerank::DEFAULT_MAX_ITER,
+    )); // f25
+}
+
+/// Extracts all 37 features from a WCG.
+///
+/// One-shot convenience over [`FeatureExtractor`]; repeated callers (the
+/// live detector, training loops) should hold an extractor to reuse its
+/// adjacency buffers.
+///
+/// # Example
+///
+/// ```
+/// use dynaminer::{features, wcg::Wcg};
+///
+/// let wcg = Wcg::from_transactions(&[]);
+/// let fv = features::extract(&wcg);
+/// assert_eq!(fv.values().len(), features::FEATURE_COUNT);
+/// assert_eq!(fv.get("order"), 0.0);
+/// ```
+pub fn extract(wcg: &Wcg) -> FeatureVector {
+    FeatureExtractor::new().extract(wcg)
 }
 
 /// Number of extension features (f38–f45).
@@ -445,6 +555,49 @@ mod tests {
             assert_eq!(NAMES[i], *name, "golden vector out of order at {i}");
             assert_eq!(fv.get(name), *expected, "f{} {name}", i + 1);
         }
+    }
+
+    #[test]
+    fn memoized_extraction_is_bit_identical_to_fresh() {
+        let wcg = infection_wcg();
+        let fresh = extract(&wcg);
+        let mut ex = FeatureExtractor::new();
+        let mut cache = TopoCache::new();
+        assert_eq!(cache.version(), None);
+        let first = ex.extract_memoized(&wcg, 7, &mut cache);
+        assert_eq!(cache.version(), Some(7));
+        // Second call at the same version takes the cached-topology path.
+        let second = ex.extract_memoized(&wcg, 7, &mut cache);
+        for (i, name) in NAMES.iter().enumerate() {
+            assert_eq!(fresh.values()[i].to_bits(), first.values()[i].to_bits(), "{name}");
+            assert_eq!(fresh.values()[i].to_bits(), second.values()[i].to_bits(), "{name}");
+        }
+    }
+
+    #[test]
+    fn stale_cache_is_refilled_on_version_change() {
+        let mut ex = FeatureExtractor::new();
+        let mut cache = TopoCache::new();
+        // Seed the cache with an empty graph's (all-zero) topology...
+        let empty = Wcg::from_transactions(&[]);
+        let _ = ex.extract_memoized(&empty, 0, &mut cache);
+        // ...then a different version must recompute, not replay stale values.
+        let wcg = infection_wcg();
+        let fv = ex.extract_memoized(&wcg, 1, &mut cache);
+        assert_eq!(cache.version(), Some(1));
+        assert_eq!(fv, extract(&wcg));
+        assert!(fv.get("diameter") >= 1.0);
+    }
+
+    #[test]
+    fn topo_columns_lie_in_the_graph_group() {
+        for &c in TOPO_COLUMNS.iter() {
+            assert_eq!(FeatureGroup::of_column(c), FeatureGroup::Graph);
+        }
+        let mut sorted = TOPO_COLUMNS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), TOPO_COLUMNS.len(), "columns must be unique");
     }
 
     #[test]

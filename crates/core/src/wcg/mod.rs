@@ -6,6 +6,7 @@
 //! method, URI length, status code, payload type and size, timestamp, and
 //! infection **stage** (pre-download / download / post-download).
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
@@ -15,9 +16,11 @@ use nettrace::HttpTransaction;
 use serde::{Deserialize, Serialize};
 use wcgraph::{DiGraph, NodeId};
 
+pub mod builder;
 pub mod redirect;
 pub mod stages;
 
+pub use builder::{PushOutcome, WcgBuilder};
 pub use stages::Stage;
 
 /// What a node represents.
@@ -180,9 +183,9 @@ impl Wcg {
     /// assert_eq!(wcg.tx_count, ep.transactions.len());
     /// ```
     pub fn from_transactions(transactions: &[HttpTransaction]) -> Wcg {
-        let mut order: Vec<&HttpTransaction> = transactions.iter().collect();
-        order.sort_by(|a, b| a.ts.total_cmp(&b.ts));
-        build(&order)
+        let mut builder = WcgBuilder::new();
+        builder.rebuild(transactions);
+        builder.into_wcg()
     }
 
     /// Conversation duration in seconds.
@@ -229,223 +232,45 @@ impl Wcg {
     }
 }
 
-fn registrable_domain(host: &str) -> String {
-    let labels: Vec<&str> = host.rsplit('.').take(2).collect();
-    labels.into_iter().rev().collect::<Vec<_>>().join(".")
+/// Last two DNS labels of `host`, borrowed from the input (no allocation —
+/// this runs once per redirect edge on the live path).
+fn registrable_domain(host: &str) -> &str {
+    match host.rmatch_indices('.').nth(1) {
+        Some((i, _)) => &host[i + 1..],
+        None => host,
+    }
 }
 
-fn tld(host: &str) -> Option<String> {
+/// Top-level domain of `host`, borrowed from the input. `None` for IPv4
+/// literals. Callers pass already-lowercased host names, so no case
+/// normalization happens here.
+fn tld(host: &str) -> Option<&str> {
     if host.parse::<Ipv4Addr>().is_ok() {
         return None;
     }
-    host.rsplit('.').next().map(str::to_ascii_lowercase)
+    host.rsplit('.').next()
 }
 
-fn host_of_url(url: &str) -> Option<String> {
+/// Host component of `url`, lowercased. Borrows from the input when the
+/// host is already lowercase (the overwhelmingly common case for mined
+/// redirect targets).
+fn host_of_url(url: &str) -> Option<Cow<'_, str>> {
     let rest = url.split_once("://").map_or(url, |(_, r)| r);
     let host = rest.split(['/', '?', '#']).next()?;
     let host = host.split(':').next()?;
     if host.is_empty() {
         None
+    } else if host.bytes().any(|b| b.is_ascii_uppercase()) {
+        Some(Cow::Owned(host.to_ascii_lowercase()))
     } else {
-        Some(host.to_ascii_lowercase())
+        Some(Cow::Borrowed(host))
     }
-}
-
-fn build(order: &[&HttpTransaction]) -> Wcg {
-    let mut graph: DiGraph<NodeAttr, EdgeAttr> = DiGraph::new();
-    let mut nodes: BTreeMap<String, NodeId> = BTreeMap::new();
-    let stages = stages::annotate(order);
-
-    let mut wcg = Wcg {
-        graph: DiGraph::new(),
-        victim: None,
-        origin: None,
-        dnt: false,
-        x_flash: false,
-        method_counts: MethodCounts::default(),
-        status_class_counts: [0; 6],
-        referrer_set: 0,
-        referrer_unset: 0,
-        uri_length_total: 0,
-        uri_count: 0,
-        first_ts: order.first().map_or(0.0, |t| t.ts),
-        last_ts: order.first().map_or(0.0, |t| t.ts),
-        inter_tx_gaps: Vec::new(),
-        redirects: RedirectStats::default(),
-        tx_count: order.len(),
-        payload_bytes: 0,
-        stage_counts: [0; 3],
-    };
-
-    if order.is_empty() {
-        return wcg;
-    }
-
-    // Victim node.
-    let victim_name = format!("victim:{}", order[0].client.addr);
-    let victim = graph.add_node(NodeAttr {
-        ip: Some(order[0].client.addr),
-        ..NodeAttr::new(&victim_name, NodeKind::Victim)
-    });
-    nodes.insert(victim_name, victim);
-
-    // Origin node: the first transaction's referrer host, when it is not
-    // itself a server contacted in this conversation. Hostnames are
-    // case-insensitive; everything below works on lowercase names.
-    let contacted: BTreeSet<String> =
-        order.iter().map(|t| t.host.to_ascii_lowercase()).collect();
-    let origin = order[0]
-        .referer()
-        .and_then(host_of_url)
-        .filter(|h| !contacted.contains(h))
-        .map(|h| {
-            let id = graph.add_node(NodeAttr::new(&h, NodeKind::Origin));
-            nodes.insert(h, id);
-            id
-        });
-
-    let node_for = |graph: &mut DiGraph<NodeAttr, EdgeAttr>,
-                        nodes: &mut BTreeMap<String, NodeId>,
-                        host: &str|
-     -> NodeId {
-        if let Some(&id) = nodes.get(host) {
-            return id;
-        }
-        let id = graph.add_node(NodeAttr::new(host, NodeKind::Remote));
-        nodes.insert(host.to_string(), id);
-        id
-    };
-
-    // Chain lengths: host → length of the redirect chain that led to it.
-    let mut chain_len: BTreeMap<String, usize> = BTreeMap::new();
-    let mut last_redirect_ts: Option<f64> = None;
-    let mut prev_ts: Option<f64> = None;
-
-    for (i, tx) in order.iter().enumerate() {
-        let stage = stages[i];
-        wcg.stage_counts[stage.index()] += 1;
-        let tx_host = tx.host.to_ascii_lowercase();
-        let host_node = node_for(&mut graph, &mut nodes, &tx_host);
-        {
-            let attr = graph.node_mut(host_node);
-            attr.ip = Some(tx.server.addr);
-            attr.uris.insert(tx.uri.clone());
-            if tx.status != 0 {
-                *attr.payload_summary.entry(tx.payload_class).or_insert(0) += 1;
-            }
-        }
-        // Request edge.
-        graph.add_edge(victim, host_node, EdgeAttr {
-            kind: EdgeKind::Request,
-            stage,
-            ts: tx.ts,
-            method: Some(tx.method.clone()),
-            uri_len: tx.uri.len(),
-            status: 0,
-            payload_class: None,
-            payload_size: 0,
-        });
-        // Response edge.
-        if tx.status != 0 {
-            graph.add_edge(host_node, victim, EdgeAttr {
-                kind: EdgeKind::Response,
-                stage,
-                ts: tx.resp_ts,
-                method: None,
-                uri_len: 0,
-                status: tx.status,
-                payload_class: Some(tx.payload_class),
-                payload_size: tx.payload_size,
-            });
-            wcg.payload_bytes += tx.payload_size;
-        }
-        // Redirect edges.
-        let incoming_chain = chain_len.get(tx_host.as_str()).copied().unwrap_or(0);
-        for target_url in redirect::targets(tx) {
-            let Some(target_host) = host_of_url(&target_url) else { continue };
-            if target_host == tx_host {
-                continue; // same-host refresh, not a hop
-            }
-            let target_node = node_for(&mut graph, &mut nodes, &target_host);
-            graph.add_edge(host_node, target_node, EdgeAttr {
-                kind: EdgeKind::Redirect,
-                stage,
-                ts: tx.resp_ts,
-                method: None,
-                uri_len: 0,
-                status: tx.status,
-                payload_class: None,
-                payload_size: 0,
-            });
-            wcg.redirects.total += 1;
-            let new_chain = incoming_chain + 1;
-            let entry = chain_len.entry(target_host.clone()).or_insert(0);
-            *entry = (*entry).max(new_chain);
-            wcg.redirects.max_chain = wcg.redirects.max_chain.max(new_chain);
-            if registrable_domain(&tx_host) != registrable_domain(&target_host) {
-                wcg.redirects.cross_domain += 1;
-            }
-            for h in [tx_host.as_str(), target_host.as_str()] {
-                if let Some(t) = tld(h) {
-                    wcg.redirects.tlds.insert(t);
-                }
-            }
-            if let Some(prev) = last_redirect_ts {
-                wcg.redirects.redirect_gaps.push((tx.resp_ts - prev).max(0.0));
-            }
-            last_redirect_ts = Some(tx.resp_ts);
-        }
-
-        // Aggregates.
-        match tx.method {
-            Method::Get => wcg.method_counts.get += 1,
-            Method::Post => wcg.method_counts.post += 1,
-            _ => wcg.method_counts.other += 1,
-        }
-        let class = (tx.status / 100).min(5) as usize;
-        wcg.status_class_counts[class] += 1;
-        if tx.referer().is_some() {
-            wcg.referrer_set += 1;
-        } else {
-            wcg.referrer_unset += 1;
-        }
-        wcg.uri_length_total += tx.uri.len();
-        wcg.uri_count += 1;
-        wcg.dnt |= tx.dnt_enabled();
-        wcg.x_flash |= tx.x_flash_version().is_some();
-        wcg.last_ts = wcg.last_ts.max(tx.resp_ts).max(tx.ts);
-        if let Some(p) = prev_ts {
-            wcg.inter_tx_gaps.push((tx.ts - p).max(0.0));
-        }
-        prev_ts = Some(tx.ts);
-    }
-
-    // Origin edge: origin → first contacted host.
-    if let Some(origin_id) = origin {
-        let first_host = nodes[order[0].host.to_ascii_lowercase().as_str()];
-        graph.add_edge(origin_id, first_host, EdgeAttr {
-            kind: EdgeKind::Redirect,
-            stage: stages[0],
-            ts: order[0].ts,
-            method: None,
-            uri_len: 0,
-            status: 0,
-            payload_class: None,
-            payload_size: 0,
-        });
-    }
-
-    wcg.graph = graph;
-    wcg.victim = Some(victim);
-    wcg.origin = origin;
-    wcg
 }
 
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use nettrace::http::HeaderMap;
+    use nettrace::http::{HeaderMap, Method};
     use nettrace::reassembly::Endpoint;
 
     #[allow(clippy::too_many_arguments)]
@@ -600,11 +425,14 @@ pub(crate) mod tests {
     #[test]
     fn helper_functions() {
         assert_eq!(registrable_domain("a.b.example.com"), "example.com");
-        assert_eq!(tld("x.example.ru").as_deref(), Some("ru"));
+        assert_eq!(registrable_domain("example.com"), "example.com");
+        assert_eq!(registrable_domain("com"), "com");
+        assert_eq!(tld("x.example.ru"), Some("ru"));
         assert_eq!(tld("198.51.100.9"), None);
         assert_eq!(host_of_url("http://h.com/p?q=1").as_deref(), Some("h.com"));
         assert_eq!(host_of_url("https://h.com:8080/p").as_deref(), Some("h.com"));
         assert_eq!(host_of_url("h.com/p").as_deref(), Some("h.com"));
+        assert_eq!(host_of_url("http://H.CoM/p").as_deref(), Some("h.com"));
         assert_eq!(host_of_url("http:///"), None);
     }
 

@@ -20,22 +20,82 @@ pub fn targets(tx: &HttpTransaction) -> Vec<String> {
             out.push(l.to_string());
         }
     }
-    let body = String::from_utf8_lossy(&tx.body_preview);
-    if let Some(url) = meta_refresh_target(&body) {
-        out.push(url);
+    // Raw-byte prechecks before paying for UTF-8 conversion. ASCII bytes
+    // survive `from_utf8_lossy` unchanged and in order (invalid sequences
+    // become the non-ASCII U+FFFD), so a pure-ASCII pattern absent from
+    // the raw preview is absent from the converted body too. Most bodies
+    // — all binary payloads and nearly all benign HTML — stop here.
+    let raw = &tx.body_preview;
+    let might_meta = find_anchored(raw, b"http-equiv=\"refresh\"", 4, true).is_some();
+    let might_js = find_anchored(raw, b"atob(\"", 4, false).is_some()
+        || find_anchored(raw, b"window.location", 6, false).is_some();
+    if might_meta || might_js {
+        let body = String::from_utf8_lossy(raw);
+        if might_meta {
+            if let Some(url) = meta_refresh_target(&body) {
+                out.push(url);
+            }
+        }
+        if might_js {
+            out.extend(js_targets(&body));
+        }
     }
-    out.extend(js_targets(&body));
     out
+}
+
+/// Substring search over raw bytes, skipping via a single-byte scan for
+/// the needle byte at `anchor` — chosen by the caller as a byte without
+/// case variants (`-`, `(`, `.`) so one scan serves the case-insensitive
+/// mode too. This runs against every response body on the WCG
+/// construction path; a windowed compare at every offset is ~20× slower.
+fn find_anchored(h: &[u8], n: &[u8], anchor: usize, ci: bool) -> Option<usize> {
+    debug_assert!(!n[anchor].is_ascii_alphabetic(), "anchor byte must be caseless");
+    if h.len() < n.len() {
+        return None;
+    }
+    let last = h.len() - n.len();
+    let mut at = anchor;
+    loop {
+        let pos = h.get(at..)?.iter().position(|&b| b == n[anchor])? + at;
+        let start = pos - anchor; // pos >= at >= anchor
+        if start > last {
+            return None;
+        }
+        let w = &h[start..start + n.len()];
+        if if ci { w.eq_ignore_ascii_case(n) } else { w == n } {
+            return Some(start);
+        }
+        at = pos + 1;
+    }
+}
+
+/// ASCII-case-insensitive substring search. Returns a byte offset that is
+/// always a char boundary (the needle's first byte is ASCII on a match).
+/// Avoids lowercasing the whole haystack.
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() {
+        return Some(0);
+    }
+    match n.iter().position(|b| !b.is_ascii_alphabetic()) {
+        Some(a) => find_anchored(h, n, a, true),
+        None => {
+            if h.len() < n.len() {
+                return None;
+            }
+            h.windows(n.len()).position(|w| w.eq_ignore_ascii_case(n))
+        }
+    }
 }
 
 /// Parses a meta-refresh redirect target out of an HTML body.
 pub fn meta_refresh_target(body: &str) -> Option<String> {
-    let lower = body.to_ascii_lowercase();
-    let meta_at = lower.find("http-equiv=\"refresh\"")?;
-    let content_at = lower[meta_at..].find("content=\"")? + meta_at + "content=\"".len();
-    let content_end = lower[content_at..].find('"')? + content_at;
+    let meta_at = find_ci(body, "http-equiv=\"refresh\"")?;
+    let content_at = find_ci(&body[meta_at..], "content=\"")? + meta_at + "content=\"".len();
+    let content_end = body[content_at..].find('"')? + content_at;
     let content = &body[content_at..content_end];
-    let url_at = content.to_ascii_lowercase().find("url=")?;
+    let url_at = find_ci(content, "url=")?;
     let url = content[url_at + 4..].trim();
     if url.is_empty() {
         None

@@ -145,6 +145,11 @@ impl RandomForest {
             min_samples_split: config.min_samples_split,
             max_features: Some(config.max_features.resolve(data.n_features())),
         };
+        // Below this tree count, thread spawn/join overhead eats the win;
+        // run inline. The model is bit-identical either way (per-tree
+        // seeds depend only on the index).
+        const PARALLEL_MIN_TREES: usize = 8;
+        let threads = if config.n_trees < PARALLEL_MIN_TREES { 1 } else { threads };
         let timed = parallel::run_indexed(config.n_trees, threads, |t| {
             let started = std::time::Instant::now();
             let tree = grow_tree(data, config, &tree_config, seed, t).0;

@@ -33,6 +33,7 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    warm_up_iterations: usize,
 }
 
 impl Default for Criterion {
@@ -41,6 +42,7 @@ impl Default for Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(3),
             warm_up_time: Duration::from_secs(1),
+            warm_up_iterations: 1,
         }
     }
 }
@@ -64,6 +66,18 @@ impl Criterion {
     #[must_use]
     pub fn warm_up_time(mut self, t: Duration) -> Self {
         self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the minimum number of warm-up iterations per benchmark
+    /// (workspace extension, not in real criterion). Warm-up runs until
+    /// *both* the warm-up time has elapsed and this many iterations have
+    /// completed, so long-iteration benches are measured against warmed
+    /// caches and lazily-initialized state even when one iteration
+    /// exceeds the warm-up budget.
+    #[must_use]
+    pub fn warm_up_iterations(mut self, n: usize) -> Self {
+        self.warm_up_iterations = n.max(1);
         self
     }
 
@@ -98,6 +112,7 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> Duration {
         let mut bencher = Bencher {
             warm_up: self.criterion.warm_up_time,
+            warm_up_iters: self.criterion.warm_up_iterations,
             measurement: self.criterion.measurement_time,
             samples: self.criterion.sample_size,
             per_iter: Duration::ZERO,
@@ -114,6 +129,7 @@ impl BenchmarkGroup<'_> {
 /// Timer handle passed to each benchmark closure.
 pub struct Bencher {
     warm_up: Duration,
+    warm_up_iters: usize,
     measurement: Duration,
     samples: usize,
     per_iter: Duration,
@@ -132,12 +148,15 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        // Warm-up: run until the warm-up budget elapses (at least once).
+        // Warm-up: run until the warm-up budget elapses AND the minimum
+        // iteration count is met (at least once either way).
         let warm_start = Instant::now();
+        let mut warm_iters = 0usize;
         loop {
             let input = setup();
             let _ = std::hint::black_box(routine(std::hint::black_box(input)));
-            if warm_start.elapsed() >= self.warm_up {
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up && warm_iters >= self.warm_up_iters {
                 break;
             }
         }
@@ -231,5 +250,26 @@ mod tests {
         group.finish();
         assert!(ran > 0);
         assert!(per_iter > Duration::ZERO, "measured time is returned");
+    }
+
+    #[test]
+    fn warm_up_iteration_floor_is_respected() {
+        // Zero warm-up time but a 5-iteration floor: the routine must run
+        // at least 5 warm-up iterations plus one measured iteration.
+        let mut c = Criterion::default()
+            .sample_size(1)
+            .measurement_time(Duration::from_nanos(1))
+            .warm_up_time(Duration::ZERO)
+            .warm_up_iterations(5);
+        let mut group = c.benchmark_group("shim");
+        let mut ran = 0u64;
+        group.bench_function("floor", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran >= 6, "ran {ran} iterations");
     }
 }

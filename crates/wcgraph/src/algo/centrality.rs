@@ -3,9 +3,18 @@
 //! Closeness, betweenness, and load operate on the undirected simple view
 //! of the graph (see [`DiGraph::undirected_adjacency`]); degree centrality
 //! counts parallel edges, matching NetworkX's behaviour on multigraphs.
+//!
+//! Each metric has a `*_view` variant taking a prebuilt [`GraphView`] so a
+//! full feature extraction materializes adjacency once instead of per
+//! metric; the graph-taking entry points are thin wrappers. Betweenness and
+//! load share their BFS phase — [`betweenness_and_load_view`] runs one
+//! Brandes pass per source and back-propagates both measures, which is how
+//! the feature extractor obtains f18 and f19 for the price of one
+//! traversal.
 
 use crate::algo::mean;
 use crate::algo::paths::bfs_distances;
+use crate::view::{Adjacency, GraphView};
 use crate::DiGraph;
 
 /// Per-node degree centrality: `degree / (n - 1)`, parallel edges counted.
@@ -18,6 +27,16 @@ pub fn degree_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
     g.node_ids().map(|v| g.degree(v) as f64 / denom).collect()
 }
 
+/// [`degree_centrality`] over a prebuilt view.
+pub fn degree_centrality_view(view: &GraphView) -> Vec<f64> {
+    let n = view.order();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    let denom = (n - 1) as f64;
+    view.degrees().iter().map(|&d| d as f64 / denom).collect()
+}
+
 /// Average degree centrality over all nodes (feature f16).
 pub fn avg_degree_centrality<N, E>(g: &DiGraph<N, E>) -> f64 {
     mean(&degree_centrality(g))
@@ -27,11 +46,19 @@ pub fn avg_degree_centrality<N, E>(g: &DiGraph<N, E>) -> f64 {
 /// disconnected graphs: `((r-1)/Σd) · ((r-1)/(n-1))` where `r` is the size
 /// of the node's reachable set.
 pub fn closeness_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
-    let n = g.node_count();
-    let adj = g.undirected_adjacency();
+    closeness_centrality_in(&g.undirected_adjacency())
+}
+
+/// [`closeness_centrality`] over a prebuilt view.
+pub fn closeness_centrality_view(view: &GraphView) -> Vec<f64> {
+    closeness_centrality_in(view.undirected())
+}
+
+fn closeness_centrality_in<A: Adjacency + ?Sized>(adj: &A) -> Vec<f64> {
+    let n = adj.order();
     (0..n)
         .map(|u| {
-            let dist = bfs_distances(&adj, u);
+            let dist = bfs_distances(adj, u);
             let mut reachable = 0usize;
             let mut total = 0usize;
             for (v, &d) in dist.iter().enumerate() {
@@ -58,22 +85,54 @@ pub fn avg_closeness_centrality<N, E>(g: &DiGraph<N, E>) -> f64 {
 /// simple view, normalized by `(n-1)(n-2)` (both traversal directions are
 /// accumulated, which folds in the standard factor 2).
 pub fn betweenness_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
-    let n = g.node_count();
-    let adj = g.undirected_adjacency();
+    betweenness_and_load_in(&g.undirected_adjacency()).0
+}
+
+/// Per-node load centrality: like betweenness, but when flow is pushed back
+/// from a node toward the source it is split *equally* among the node's
+/// shortest-path predecessors instead of proportionally to path counts
+/// (NetworkX `load_centrality` / Newman's measure). Normalized by
+/// `(n-1)(n-2)`.
+pub fn load_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
+    betweenness_and_load_in(&g.undirected_adjacency()).1
+}
+
+/// Betweenness and load centrality from a single Brandes pass per source.
+///
+/// The BFS phase (shortest-path DAG, path counts, visitation order) is
+/// common to both measures; only the back-propagation differs. Results are
+/// bit-identical to running [`betweenness_centrality`] and
+/// [`load_centrality`] separately.
+pub fn betweenness_and_load_view(view: &GraphView) -> (Vec<f64>, Vec<f64>) {
+    betweenness_and_load_in(view.undirected())
+}
+
+fn betweenness_and_load_in<A: Adjacency + ?Sized>(adj: &A) -> (Vec<f64>, Vec<f64>) {
+    let n = adj.order();
     let mut bc = vec![0.0f64; n];
+    let mut lc = vec![0.0f64; n];
+    // Per-source scratch, allocated once and reset between sources.
+    let mut order = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![usize::MAX; n];
+    let mut delta = vec![0.0f64; n];
+    let mut between = vec![0.0f64; n];
+    let mut queue = std::collections::VecDeque::new();
     for s in 0..n {
         // Brandes: single-source shortest paths with path counts.
-        let mut stack = Vec::with_capacity(n);
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut sigma = vec![0.0f64; n];
-        let mut dist = vec![usize::MAX; n];
+        order.clear();
+        for p in &mut preds {
+            p.clear();
+        }
+        sigma.fill(0.0);
+        dist.fill(usize::MAX);
         sigma[s] = 1.0;
         dist[s] = 0;
-        let mut queue = std::collections::VecDeque::new();
         queue.push_back(s);
         while let Some(u) = queue.pop_front() {
-            stack.push(u);
-            for &v in &adj[u] {
+            order.push(u);
+            for &v in adj.neighbors(u) {
                 if dist[v] == usize::MAX {
                     dist[v] = dist[u] + 1;
                     queue.push_back(v);
@@ -84,8 +143,10 @@ pub fn betweenness_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
                 }
             }
         }
-        let mut delta = vec![0.0f64; n];
-        while let Some(w) = stack.pop() {
+        // Betweenness back-propagation: dependency accumulation in reverse
+        // visitation order, split proportionally to path counts.
+        delta.fill(0.0);
+        for &w in order.iter().rev() {
             for &v in &preds[w] {
                 delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
             }
@@ -93,58 +154,16 @@ pub fn betweenness_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
                 bc[w] += delta[w];
             }
         }
-    }
-    if n > 2 {
-        let scale = 1.0 / ((n - 1) as f64 * (n - 2) as f64);
-        for b in &mut bc {
-            *b *= scale;
-        }
-    }
-    bc
-}
-
-/// Average betweenness centrality (feature f18).
-pub fn avg_betweenness_centrality<N, E>(g: &DiGraph<N, E>) -> f64 {
-    mean(&betweenness_centrality(g))
-}
-
-/// Per-node load centrality: like betweenness, but when flow is pushed back
-/// from a node toward the source it is split *equally* among the node's
-/// shortest-path predecessors instead of proportionally to path counts
-/// (NetworkX `load_centrality` / Newman's measure). Normalized by
-/// `(n-1)(n-2)`.
-pub fn load_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
-    let n = g.node_count();
-    let adj = g.undirected_adjacency();
-    let mut lc = vec![0.0f64; n];
-    for s in 0..n {
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut dist = vec![usize::MAX; n];
-        let mut order = Vec::with_capacity(n);
-        dist[s] = 0;
-        let mut queue = std::collections::VecDeque::new();
-        queue.push_back(s);
-        while let Some(u) = queue.pop_front() {
-            order.push(u);
-            for &v in &adj[u] {
-                if dist[v] == usize::MAX {
-                    dist[v] = dist[u] + 1;
-                    queue.push_back(v);
-                }
-                if dist[v] == dist[u] + 1 {
-                    preds[v].push(u);
-                }
-            }
-        }
-        // Each reachable node (except s) injects one unit; push everything
-        // back toward the source, splitting equally among predecessors.
-        let mut between = vec![1.0f64; n];
+        // Load back-propagation: each reachable node (except s) injects one
+        // unit; push everything back toward the source, splitting equally
+        // among predecessors.
+        between.fill(1.0);
         for &v in order.iter().rev() {
             if preds[v].is_empty() {
                 continue;
             }
             let share = between[v] / preds[v].len() as f64;
-            for &p in preds[v].clone().iter() {
+            for &p in &preds[v] {
                 between[p] += share;
             }
         }
@@ -156,11 +175,19 @@ pub fn load_centrality<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
     }
     if n > 2 {
         let scale = 1.0 / ((n - 1) as f64 * (n - 2) as f64);
+        for b in &mut bc {
+            *b *= scale;
+        }
         for l in &mut lc {
             *l *= scale;
         }
     }
-    lc
+    (bc, lc)
+}
+
+/// Average betweenness centrality (feature f18).
+pub fn avg_betweenness_centrality<N, E>(g: &DiGraph<N, E>) -> f64 {
+    mean(&betweenness_centrality(g))
 }
 
 /// Average load centrality (feature f19).
@@ -306,5 +333,17 @@ mod tests {
         let bc = betweenness_centrality(&g);
         let avg: f64 = bc.iter().sum::<f64>() / bc.len() as f64;
         assert!((avg_betweenness_centrality(&g) - avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn view_variants_are_bit_identical() {
+        for g in [star(), path3()] {
+            let view = GraphView::of(&g);
+            let (bc, lc) = betweenness_and_load_view(&view);
+            assert_eq!(bc, betweenness_centrality(&g));
+            assert_eq!(lc, load_centrality(&g));
+            assert_eq!(closeness_centrality_view(&view), closeness_centrality(&g));
+            assert_eq!(degree_centrality_view(&view), degree_centrality(&g));
+        }
     }
 }

@@ -1,15 +1,25 @@
 //! Clustering coefficient and neighbor-degree measures.
 
 use crate::algo::mean;
+use crate::view::{Adjacency, GraphView};
 use crate::DiGraph;
 
 /// Per-node clustering coefficient on the undirected simple view:
 /// `2·T(v) / (k(v)·(k(v)−1))` where `T(v)` is the number of triangles
 /// through `v` and `k(v)` its simple degree. Nodes with degree < 2 get 0.
 pub fn clustering_coefficients<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
-    let adj = g.undirected_adjacency();
-    adj.iter()
-        .map(|nbrs| {
+    clustering_coefficients_in(&g.undirected_adjacency())
+}
+
+/// [`clustering_coefficients`] over a prebuilt view.
+pub fn clustering_coefficients_view(view: &GraphView) -> Vec<f64> {
+    clustering_coefficients_in(view.undirected())
+}
+
+fn clustering_coefficients_in<A: Adjacency + ?Sized>(adj: &A) -> Vec<f64> {
+    (0..adj.order())
+        .map(|w| {
+            let nbrs = adj.neighbors(w);
             let k = nbrs.len();
             if k < 2 {
                 return 0.0;
@@ -17,7 +27,7 @@ pub fn clustering_coefficients<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
             let mut triangles = 0usize;
             for (i, &u) in nbrs.iter().enumerate() {
                 for &v in &nbrs[i + 1..] {
-                    if adj[u].binary_search(&v).is_ok() {
+                    if adj.neighbors(u).binary_search(&v).is_ok() {
                         triangles += 1;
                     }
                 }
@@ -35,13 +45,23 @@ pub fn avg_clustering_coefficient<N, E>(g: &DiGraph<N, E>) -> f64 {
 /// Per-node average neighbor degree on the undirected simple view: the
 /// mean simple degree of each node's neighbors. Isolated nodes get 0.
 pub fn neighbor_degrees<N, E>(g: &DiGraph<N, E>) -> Vec<f64> {
-    let adj = g.undirected_adjacency();
-    adj.iter()
-        .map(|nbrs| {
+    neighbor_degrees_in(&g.undirected_adjacency())
+}
+
+/// [`neighbor_degrees`] over a prebuilt view.
+pub fn neighbor_degrees_view(view: &GraphView) -> Vec<f64> {
+    neighbor_degrees_in(view.undirected())
+}
+
+fn neighbor_degrees_in<A: Adjacency + ?Sized>(adj: &A) -> Vec<f64> {
+    (0..adj.order())
+        .map(|w| {
+            let nbrs = adj.neighbors(w);
             if nbrs.is_empty() {
                 0.0
             } else {
-                nbrs.iter().map(|&u| adj[u].len() as f64).sum::<f64>() / nbrs.len() as f64
+                nbrs.iter().map(|&u| adj.neighbors(u).len() as f64).sum::<f64>()
+                    / nbrs.len() as f64
             }
         })
         .collect()

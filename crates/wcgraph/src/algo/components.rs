@@ -1,5 +1,6 @@
 //! Strongly connected components (Tarjan) and degree assortativity.
 
+use crate::view::{Adjacency, GraphView};
 use crate::DiGraph;
 
 /// Strongly connected components via Tarjan's algorithm (iterative, so
@@ -7,8 +8,17 @@ use crate::DiGraph;
 /// node; ids are assigned in reverse topological order of the condensation
 /// (a component's id is ≥ the ids of components it can reach).
 pub fn strongly_connected_components<N, E>(g: &DiGraph<N, E>) -> Vec<usize> {
-    let n = g.node_count();
     let (succ, _) = g.directed_adjacency();
+    strongly_connected_components_in(&succ)
+}
+
+/// [`strongly_connected_components`] over a prebuilt view.
+pub fn strongly_connected_components_view(view: &GraphView) -> Vec<usize> {
+    strongly_connected_components_in(view.successors())
+}
+
+fn strongly_connected_components_in<A: Adjacency + ?Sized>(succ: &A) -> Vec<usize> {
+    let n = succ.order();
     let mut index = vec![usize::MAX; n];
     let mut lowlink = vec![0usize; n];
     let mut on_stack = vec![false; n];
@@ -30,7 +40,7 @@ pub fn strongly_connected_components<N, E>(g: &DiGraph<N, E>) -> Vec<usize> {
         stack.push(start);
         on_stack[start] = true;
         while let Some(&mut (v, ref mut next)) = frames.last_mut() {
-            if let Some(&w) = succ[v].get(*next) {
+            if let Some(&w) = succ.neighbors(v).get(*next) {
                 *next += 1;
                 if index[w] == usize::MAX {
                     index[w] = next_index;
@@ -73,15 +83,23 @@ pub fn scc_count<N, E>(g: &DiGraph<N, E>) -> usize {
 /// (Newman 2002). Ranges in [-1, 1]; star graphs are strongly
 /// disassortative, regular graphs undefined (returns 0).
 pub fn degree_assortativity<N, E>(g: &DiGraph<N, E>) -> f64 {
-    let adj = g.undirected_adjacency();
+    degree_assortativity_in(&g.undirected_adjacency())
+}
+
+/// [`degree_assortativity`] over a prebuilt view.
+pub fn degree_assortativity_view(view: &GraphView) -> f64 {
+    degree_assortativity_in(view.undirected())
+}
+
+fn degree_assortativity_in<A: Adjacency + ?Sized>(adj: &A) -> f64 {
     let mut xs: Vec<f64> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
-    for (u, nbrs) in adj.iter().enumerate() {
-        for &v in nbrs {
+    for u in 0..adj.order() {
+        for &v in adj.neighbors(u) {
             // Each undirected edge contributes both orientations, which
             // symmetrizes the correlation.
-            xs.push(adj[u].len() as f64);
-            ys.push(adj[v].len() as f64);
+            xs.push(adj.neighbors(u).len() as f64);
+            ys.push(adj.neighbors(v).len() as f64);
         }
     }
     if xs.is_empty() {

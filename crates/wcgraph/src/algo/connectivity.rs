@@ -1,5 +1,6 @@
 //! Node connectivity (vertex-disjoint paths) and degree connectivity.
 
+use crate::view::{Adjacency, GraphView};
 use crate::DiGraph;
 
 /// Local node connectivity between `s` and `t` on an undirected simple
@@ -12,9 +13,9 @@ use crate::DiGraph;
 ///
 /// Adjacent `s`, `t` still yield finite values (the direct edge counts as
 /// one disjoint path).
-pub fn local_node_connectivity(adj: &[Vec<usize>], s: usize, t: usize) -> usize {
+pub fn local_node_connectivity<A: Adjacency + ?Sized>(adj: &A, s: usize, t: usize) -> usize {
     assert_ne!(s, t, "local connectivity requires distinct endpoints");
-    let n = adj.len();
+    let n = adj.order();
     // Node v_in = 2v, v_out = 2v+1. Residual capacities in a hash-free
     // edge-list representation: (to, cap, reverse-index).
     let mut graph: Vec<Vec<(usize, i32, usize)>> = vec![Vec::new(); 2 * n];
@@ -28,8 +29,8 @@ pub fn local_node_connectivity(adj: &[Vec<usize>], s: usize, t: usize) -> usize 
         let cap = if v == s || v == t { i32::MAX / 2 } else { 1 };
         add(&mut graph, 2 * v, 2 * v + 1, cap);
     }
-    for (u, nbrs) in adj.iter().enumerate() {
-        for &v in nbrs {
+    for u in 0..n {
+        for &v in adj.neighbors(u) {
             if u < v {
                 add(&mut graph, 2 * u + 1, 2 * v, 1);
                 add(&mut graph, 2 * v + 1, 2 * u, 1);
@@ -90,11 +91,19 @@ pub fn average_node_connectivity<N, E>(g: &DiGraph<N, E>) -> f64 {
 /// See [`average_node_connectivity`]; `sample_limit` bounds the node count
 /// above which pair sampling kicks in.
 pub fn average_node_connectivity_with_limit<N, E>(g: &DiGraph<N, E>, sample_limit: usize) -> f64 {
-    let n = g.node_count();
+    average_node_connectivity_in(&g.undirected_adjacency(), sample_limit)
+}
+
+/// [`average_node_connectivity`] over a prebuilt view.
+pub fn average_node_connectivity_view(view: &GraphView) -> f64 {
+    average_node_connectivity_in(view.undirected(), 64)
+}
+
+fn average_node_connectivity_in<A: Adjacency + ?Sized>(adj: &A, sample_limit: usize) -> f64 {
+    let n = adj.order();
     if n < 2 {
         return 0.0;
     }
-    let adj = g.undirected_adjacency();
     let mut pairs: Vec<(usize, usize)> =
         (0..n).flat_map(|s| ((s + 1)..n).map(move |t| (s, t))).collect();
     if n > sample_limit {
@@ -102,7 +111,7 @@ pub fn average_node_connectivity_with_limit<N, E>(g: &DiGraph<N, E>, sample_limi
         let stride = (pairs.len() / target).max(1);
         pairs = pairs.into_iter().step_by(stride).collect();
     }
-    let total: usize = pairs.iter().map(|&(s, t)| local_node_connectivity(&adj, s, t)).sum();
+    let total: usize = pairs.iter().map(|&(s, t)| local_node_connectivity(adj, s, t)).sum();
     total as f64 / pairs.len() as f64
 }
 

@@ -13,8 +13,10 @@ pub mod pagerank;
 pub mod paths;
 pub mod reciprocity;
 
-/// Mean of a slice, or 0.0 when empty.
-pub(crate) fn mean(values: &[f64]) -> f64 {
+/// Mean of a slice, or 0.0 when empty. Public so downstream feature
+/// extractors averaging per-node vectors share the exact float semantics
+/// of the `avg_*` wrappers in this module tree.
+pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
         0.0
     } else {

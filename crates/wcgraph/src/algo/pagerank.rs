@@ -1,6 +1,7 @@
 //! PageRank by power iteration on the directed simple graph.
 
 use crate::algo::mean;
+use crate::view::{Adjacency, GraphView};
 use crate::DiGraph;
 
 /// Default damping factor.
@@ -13,24 +14,39 @@ pub const DEFAULT_MAX_ITER: usize = 200;
 /// Per-node PageRank with damping `d`. Dangling nodes (no out-edges)
 /// redistribute their rank uniformly. The result sums to 1 over all nodes.
 pub fn pagerank<N, E>(g: &DiGraph<N, E>, damping: f64, tol: f64, max_iter: usize) -> Vec<f64> {
-    let n = g.node_count();
+    let (succ, _) = g.directed_adjacency();
+    pagerank_in(&succ, damping, tol, max_iter)
+}
+
+/// [`pagerank`] over a prebuilt view.
+pub fn pagerank_view(view: &GraphView, damping: f64, tol: f64, max_iter: usize) -> Vec<f64> {
+    pagerank_in(view.successors(), damping, tol, max_iter)
+}
+
+fn pagerank_in<A: Adjacency + ?Sized>(
+    succ: &A,
+    damping: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Vec<f64> {
+    let n = succ.order();
     if n == 0 {
         return Vec::new();
     }
-    let (succ, _) = g.directed_adjacency();
     let uniform = 1.0 / n as f64;
     let mut rank = vec![uniform; n];
     for _ in 0..max_iter {
         let dangling_mass: f64 =
-            (0..n).filter(|&v| succ[v].is_empty()).map(|v| rank[v]).sum();
+            (0..n).filter(|&v| succ.neighbors(v).is_empty()).map(|v| rank[v]).sum();
         let base = (1.0 - damping) * uniform + damping * dangling_mass * uniform;
         let mut next = vec![base; n];
-        for v in 0..n {
-            if succ[v].is_empty() {
+        for (v, r) in rank.iter().enumerate() {
+            let out = succ.neighbors(v);
+            if out.is_empty() {
                 continue;
             }
-            let share = damping * rank[v] / succ[v].len() as f64;
-            for &u in &succ[v] {
+            let share = damping * r / out.len() as f64;
+            for &u in out {
                 next[u] += share;
             }
         }

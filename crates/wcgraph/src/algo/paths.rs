@@ -4,17 +4,18 @@
 //! undirected view is the natural distance metric, and it keeps the
 //! diameter finite on weakly connected graphs).
 
+use crate::view::{Adjacency, GraphView};
 use crate::DiGraph;
 
-/// BFS distances from `source` over an undirected adjacency list.
+/// BFS distances from `source` over an undirected adjacency.
 /// Unreachable nodes get `usize::MAX`.
-pub fn bfs_distances(adj: &[Vec<usize>], source: usize) -> Vec<usize> {
-    let mut dist = vec![usize::MAX; adj.len()];
+pub fn bfs_distances<A: Adjacency + ?Sized>(adj: &A, source: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; adj.order()];
     let mut queue = std::collections::VecDeque::new();
     dist[source] = 0;
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        for &v in &adj[u] {
+        for &v in adj.neighbors(u) {
             if dist[v] == usize::MAX {
                 dist[v] = dist[u] + 1;
                 queue.push_back(v);
@@ -27,11 +28,17 @@ pub fn bfs_distances(adj: &[Vec<usize>], source: usize) -> Vec<usize> {
 /// Eccentricity of every node: the longest shortest-path distance to any
 /// *reachable* node (so disconnected graphs still get finite values).
 pub fn eccentricities<N, E>(g: &DiGraph<N, E>) -> Vec<usize> {
-    let adj = g.undirected_adjacency();
-    (0..g.node_count())
-        .map(|s| {
-            bfs_distances(&adj, s).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0)
-        })
+    eccentricities_in(&g.undirected_adjacency())
+}
+
+/// [`eccentricities`] over a prebuilt view.
+pub fn eccentricities_view(view: &GraphView) -> Vec<usize> {
+    eccentricities_in(view.undirected())
+}
+
+fn eccentricities_in<A: Adjacency + ?Sized>(adj: &A) -> Vec<usize> {
+    (0..adj.order())
+        .map(|s| bfs_distances(adj, s).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0))
         .collect()
 }
 
@@ -43,18 +50,31 @@ pub fn diameter<N, E>(g: &DiGraph<N, E>) -> usize {
     eccentricities(g).into_iter().max().unwrap_or(0)
 }
 
+/// [`diameter`] over a prebuilt view.
+pub fn diameter_view(view: &GraphView) -> usize {
+    eccentricities_view(view).into_iter().max().unwrap_or(0)
+}
+
 /// Average number of nodes within distance `k` of each node (excluding the
 /// node itself). This implements the paper's f24 "average number of nodes
 /// at k-nodes distance from each node".
 pub fn avg_nodes_within_distance<N, E>(g: &DiGraph<N, E>, k: usize) -> f64 {
-    let n = g.node_count();
+    avg_nodes_within_distance_in(&g.undirected_adjacency(), k)
+}
+
+/// [`avg_nodes_within_distance`] over a prebuilt view.
+pub fn avg_nodes_within_distance_view(view: &GraphView, k: usize) -> f64 {
+    avg_nodes_within_distance_in(view.undirected(), k)
+}
+
+fn avg_nodes_within_distance_in<A: Adjacency + ?Sized>(adj: &A, k: usize) -> f64 {
+    let n = adj.order();
     if n == 0 {
         return 0.0;
     }
-    let adj = g.undirected_adjacency();
     let total: usize = (0..n)
         .map(|s| {
-            bfs_distances(&adj, s)
+            bfs_distances(adj, s)
                 .into_iter()
                 .enumerate()
                 .filter(|&(v, d)| v != s && d != usize::MAX && d <= k)

@@ -1,5 +1,6 @@
 //! Edge reciprocity: the likelihood of nodes to be mutually linked.
 
+use crate::view::{Adjacency, GraphView};
 use crate::DiGraph;
 
 /// Reciprocity of the directed simple graph: the fraction of directed
@@ -8,12 +9,21 @@ use crate::DiGraph;
 /// edges.
 pub fn reciprocity<N, E>(g: &DiGraph<N, E>) -> f64 {
     let (succ, _) = g.directed_adjacency();
+    reciprocity_in(&succ)
+}
+
+/// [`reciprocity`] over a prebuilt view.
+pub fn reciprocity_view(view: &GraphView) -> f64 {
+    reciprocity_in(view.successors())
+}
+
+fn reciprocity_in<A: Adjacency + ?Sized>(succ: &A) -> f64 {
     let mut total = 0usize;
     let mut reciprocated = 0usize;
-    for (u, out) in succ.iter().enumerate() {
-        for &v in out {
+    for u in 0..succ.order() {
+        for &v in succ.neighbors(u) {
             total += 1;
-            if succ[v].binary_search(&u).is_ok() {
+            if succ.neighbors(v).binary_search(&u).is_ok() {
                 reciprocated += 1;
             }
         }

@@ -163,19 +163,37 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// Distinct successor nodes of `n` (parallel edges collapsed, sorted).
+    ///
+    /// Allocates a fresh `Vec` per call; prefer [`DiGraph::successor_ids`]
+    /// or a [`crate::GraphView`] on hot paths.
     pub fn successors(&self, n: NodeId) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.out_adj[n.0].iter().map(|e| self.edges[e.0].dst).collect();
+        let mut v: Vec<NodeId> = self.successor_ids(n).collect();
         v.sort_unstable();
         v.dedup();
         v
     }
 
     /// Distinct predecessor nodes of `n` (parallel edges collapsed, sorted).
+    ///
+    /// Allocates a fresh `Vec` per call; prefer [`DiGraph::predecessor_ids`]
+    /// or a [`crate::GraphView`] on hot paths.
     pub fn predecessors(&self, n: NodeId) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.in_adj[n.0].iter().map(|e| self.edges[e.0].src).collect();
+        let mut v: Vec<NodeId> = self.predecessor_ids(n).collect();
         v.sort_unstable();
         v.dedup();
         v
+    }
+
+    /// Successor nodes of `n` in edge-insertion order, without allocating.
+    /// Parallel edges yield their target once per edge.
+    pub fn successor_ids(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_adj[n.0].iter().map(|e| self.edges[e.0].dst)
+    }
+
+    /// Predecessor nodes of `n` in edge-insertion order, without allocating.
+    /// Parallel edges yield their source once per edge.
+    pub fn predecessor_ids(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_adj[n.0].iter().map(|e| self.edges[e.0].src)
     }
 
     /// Simple undirected adjacency: for each node, the sorted distinct

@@ -28,7 +28,9 @@
 
 pub mod algo;
 pub mod dot;
+pub mod view;
 
 mod digraph;
 
 pub use digraph::{DiGraph, EdgeId, NodeId};
+pub use view::{Adjacency, Csr, GraphView};

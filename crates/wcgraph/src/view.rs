@@ -1,0 +1,243 @@
+//! Shared analytics workspace.
+//!
+//! Every metric in [`crate::algo`] needs some flavour of adjacency —
+//! undirected neighbor sets, successor lists, predecessor lists, degrees.
+//! Historically each function privately re-materialized those (`Vec<Vec<_>>`
+//! with a per-row sort and dedup), so a full 37-feature extraction rebuilt
+//! the same adjacency close to a dozen times. A [`GraphView`] builds each
+//! representation exactly once per extraction, in compact CSR form, and is
+//! threaded through all algorithm modules. The buffers are reusable: calling
+//! [`GraphView::load`] on a long-lived view recycles prior allocations, so a
+//! detector scoring thousands of conversations performs near-zero steady
+//! state allocation for adjacency.
+//!
+//! Neighbor ordering is identical to the legacy per-call materialization
+//! (sorted ascending, deduplicated, self-loops excluded from the undirected
+//! form), which keeps every floating-point reduction in `algo` bit-identical
+//! whether it runs over a view or over ad-hoc lists.
+
+use crate::digraph::DiGraph;
+
+/// Read-only adjacency abstraction shared by ad-hoc `Vec<Vec<usize>>`
+/// neighbor lists and the CSR rows of a [`GraphView`].
+///
+/// Implementations must present each node's neighbors sorted ascending and
+/// deduplicated; algorithms rely on that for binary search and for stable
+/// float summation order.
+pub trait Adjacency {
+    /// Number of nodes.
+    fn order(&self) -> usize;
+    /// Sorted, deduplicated neighbors of `u`.
+    fn neighbors(&self, u: usize) -> &[usize];
+}
+
+impl Adjacency for [Vec<usize>] {
+    fn order(&self) -> usize {
+        self.len()
+    }
+
+    fn neighbors(&self, u: usize) -> &[usize] {
+        &self[u]
+    }
+}
+
+impl Adjacency for Vec<Vec<usize>> {
+    fn order(&self) -> usize {
+        self.len()
+    }
+
+    fn neighbors(&self, u: usize) -> &[usize] {
+        &self[u]
+    }
+}
+
+/// Compressed-sparse-row adjacency: one flat target array plus per-node
+/// offsets. Rows are sorted ascending and deduplicated.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+}
+
+impl Csr {
+    /// Sorted, deduplicated neighbors of `u`.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Number of rows.
+    pub fn order(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Rebuild rows from an unsorted `(src, dst)` pair list, reusing
+    /// capacity. `pairs` is sorted and deduplicated in place; because the
+    /// sort is row-major, the flat target array comes out per-row sorted —
+    /// the same ordering the legacy `Vec<Vec<usize>>` builders produced.
+    fn rebuild(&mut self, n: usize, pairs: &mut Vec<(u32, u32)>) {
+        pairs.sort_unstable();
+        pairs.dedup();
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for &(u, _) in pairs.iter() {
+            self.offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        self.targets.clear();
+        self.targets.extend(pairs.iter().map(|&(_, v)| v as usize));
+    }
+}
+
+impl Adjacency for Csr {
+    fn order(&self) -> usize {
+        Csr::order(self)
+    }
+
+    fn neighbors(&self, u: usize) -> &[usize] {
+        Csr::neighbors(self, u)
+    }
+}
+
+/// All adjacency representations the analytics stack needs, built once per
+/// extraction and shared across every metric.
+#[derive(Debug, Clone, Default)]
+pub struct GraphView {
+    n: usize,
+    /// Per-node total degree, counting parallel edges and self-loops twice,
+    /// exactly like [`DiGraph::degree`].
+    degree: Vec<usize>,
+    /// Undirected simple adjacency, self-loops excluded
+    /// (mirrors [`DiGraph::undirected_adjacency`]).
+    und: Csr,
+    /// Directed simple successors, self-loops excluded
+    /// (mirrors [`DiGraph::directed_adjacency`]).
+    succ: Csr,
+    /// Directed simple predecessors, self-loops excluded.
+    pred: Csr,
+    /// Scratch pair list recycled across rebuilds.
+    pairs: Vec<(u32, u32)>,
+}
+
+impl GraphView {
+    /// An empty view; call [`GraphView::load`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a view of `g` in one pass over its edge list.
+    pub fn of<N, E>(g: &DiGraph<N, E>) -> Self {
+        let mut view = Self::new();
+        view.load(g);
+        view
+    }
+
+    /// (Re)populate the view from `g`, reusing prior allocations.
+    pub fn load<N, E>(&mut self, g: &DiGraph<N, E>) {
+        let n = g.node_count();
+        assert!(
+            u32::try_from(n).is_ok(),
+            "GraphView supports at most u32::MAX nodes"
+        );
+        self.n = n;
+        self.degree.clear();
+        self.degree.extend(g.node_ids().map(|v| g.degree(v)));
+
+        self.pairs.clear();
+        for (_, src, dst, _) in g.edges() {
+            if src != dst {
+                self.pairs.push((src.0 as u32, dst.0 as u32));
+            }
+        }
+        self.succ.rebuild(n, &mut self.pairs);
+
+        self.pairs.clear();
+        for (_, src, dst, _) in g.edges() {
+            if src != dst {
+                self.pairs.push((dst.0 as u32, src.0 as u32));
+            }
+        }
+        self.pred.rebuild(n, &mut self.pairs);
+
+        self.pairs.clear();
+        for (_, src, dst, _) in g.edges() {
+            if src != dst {
+                self.pairs.push((src.0 as u32, dst.0 as u32));
+                self.pairs.push((dst.0 as u32, src.0 as u32));
+            }
+        }
+        self.und.rebuild(n, &mut self.pairs);
+    }
+
+    /// Number of nodes.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Total degree of `u` (parallel edges counted, self-loops twice).
+    pub fn degree(&self, u: usize) -> usize {
+        self.degree[u]
+    }
+
+    /// Per-node degrees, indexed by node id.
+    pub fn degrees(&self) -> &[usize] {
+        &self.degree
+    }
+
+    /// Undirected simple adjacency (self-loops excluded).
+    pub fn undirected(&self) -> &Csr {
+        &self.und
+    }
+
+    /// Directed simple successor adjacency.
+    pub fn successors(&self) -> &Csr {
+        &self.succ
+    }
+
+    /// Directed simple predecessor adjacency.
+    pub fn predecessors(&self) -> &Csr {
+        &self.pred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        for &(s, d) in &[(0, 1), (1, 0), (0, 2), (2, 3), (3, 3), (0, 1), (4, 0)] {
+            g.add_edge(ids[s], ids[d], ());
+        }
+        g
+    }
+
+    #[test]
+    fn view_matches_legacy_adjacency() {
+        let g = sample();
+        let view = GraphView::of(&g);
+        let und = g.undirected_adjacency();
+        let (succ, pred) = g.directed_adjacency();
+        for u in 0..g.node_count() {
+            assert_eq!(view.undirected().neighbors(u), und[u].as_slice(), "und {u}");
+            assert_eq!(view.successors().neighbors(u), succ[u].as_slice(), "succ {u}");
+            assert_eq!(view.predecessors().neighbors(u), pred[u].as_slice(), "pred {u}");
+            assert_eq!(view.degree(u), g.degree(crate::NodeId(u)), "deg {u}");
+        }
+    }
+
+    #[test]
+    fn load_reuses_buffers_and_handles_empty() {
+        let mut view = GraphView::new();
+        view.load(&DiGraph::<(), ()>::new());
+        assert_eq!(view.order(), 0);
+        let g = sample();
+        view.load(&g);
+        assert_eq!(view.order(), 5);
+        view.load(&DiGraph::<(), ()>::new());
+        assert_eq!(view.order(), 0);
+        assert!(view.degrees().is_empty());
+    }
+}

@@ -3,8 +3,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use dynaminer::features;
-use dynaminer::wcg::Wcg;
+use dynaminer::features::{self, FeatureExtractor, TopoCache};
+use dynaminer::wcg::{PushOutcome, Wcg, WcgBuilder};
 use nettrace::http::{HeaderMap, Method};
 use nettrace::payload::PayloadClass;
 use nettrace::reassembly::Endpoint;
@@ -307,11 +307,15 @@ fn mutation_test_classifier() -> &'static dynaminer::classifier::Classifier {
 // ---------------------------------------------------------------------
 
 fn arb_transaction() -> impl Strategy<Value = HttpTransaction> {
+    // "origin.example" matches the Referer host below, so streams can
+    // contact an inferred origin node — the rare case that forces the
+    // incremental builder down its rebuild path.
     let hosts = prop_oneof![
         Just("a.example.com".to_string()),
         Just("b.example.net".to_string()),
         Just("c.example.org".to_string()),
         Just("198.51.100.7".to_string()),
+        Just("origin.example".to_string()),
     ];
     let methods = prop_oneof![Just(Method::Get), Just(Method::Post), Just(Method::Head)];
     let statuses = prop_oneof![
@@ -390,5 +394,54 @@ proptest! {
         prop_assert!(wcg.duration() >= 0.0);
         let min_ts = txs.iter().map(|t| t.ts).fold(f64::INFINITY, f64::min);
         prop_assert!((wcg.first_ts - min_ts).abs() < 1e-9);
+    }
+
+    // The incremental builder must be indistinguishable from a from-scratch
+    // build at *every prefix* of an arbitrary stream. Random timestamps make
+    // out-of-order arrivals (and hence the rebuild path) common, and the
+    // "origin.example" host exercises origin-contact rebuilds.
+    #[test]
+    fn incremental_builder_matches_from_scratch_at_every_prefix(
+        txs in vec(arb_transaction(), 0..25)
+    ) {
+        let mut builder = WcgBuilder::new();
+        for i in 0..txs.len() {
+            if builder.push(&txs[i]) == PushOutcome::NeedsRebuild {
+                builder.rebuild(&txs[..=i]);
+            }
+            let fresh = Wcg::from_transactions(&txs[..=i]);
+            prop_assert_eq!(
+                serde_json::to_string(builder.wcg()).unwrap(),
+                serde_json::to_string(&fresh).unwrap(),
+                "incremental state diverged at prefix {}", i + 1
+            );
+        }
+    }
+
+    // The detector's memoized extraction path (topology features cached
+    // against the builder's topo_version) must be bit-identical to a fresh
+    // 37-feature extraction over a from-scratch WCG, for every prefix.
+    #[test]
+    fn memoized_features_match_fresh_extraction_bit_for_bit(
+        txs in vec(arb_transaction(), 1..20)
+    ) {
+        let mut builder = WcgBuilder::new();
+        let mut extractor = FeatureExtractor::new();
+        let mut cache = TopoCache::new();
+        for i in 0..txs.len() {
+            if builder.push(&txs[i]) == PushOutcome::NeedsRebuild {
+                builder.rebuild(&txs[..=i]);
+            }
+            let memo =
+                extractor.extract_memoized(builder.wcg(), builder.topo_version(), &mut cache);
+            let fresh = features::extract(&Wcg::from_transactions(&txs[..=i]));
+            for (j, (a, b)) in memo.values().iter().zip(fresh.values()).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "feature {} diverged at prefix {}: memoized {} fresh {}",
+                    features::NAMES[j], i + 1, a, b
+                );
+            }
+        }
     }
 }
