@@ -36,6 +36,7 @@ fn tx(
         resp_headers.append("Location", l);
     }
     HttpTransaction {
+        seq: 0,
         ts,
         resp_ts: ts + 0.08,
         client: Endpoint::new(Ipv4Addr::new(10, 1, 1, 20), 49500),

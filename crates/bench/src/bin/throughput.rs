@@ -9,6 +9,10 @@
 //! * 37-feature extraction, WCGs/s,
 //! * end-to-end live-detector replay, incremental vs from-scratch WCGs,
 //!   transactions/s,
+//! * sharded replay through the `streamd` engine at 4 shards,
+//!   transactions/s — with the speedup over the single-threaded replay
+//!   recorded explicitly (≤ 1.0 on a single-core host, where the shard
+//!   workers time-slice one core and only the handoff cost shows),
 //! * forest training, sequential and parallel, fits/s,
 //! * forest prediction, per-row and batched, rows/s — with the batched
 //!   speedup recorded explicitly.
@@ -40,6 +44,7 @@ use nettrace::TransactionExtractor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use streamd::{StreamConfig, StreamEngine};
 use synthtraffic::benign::generate_benign;
 use synthtraffic::episode::generate_infection;
 use synthtraffic::pcapgen;
@@ -85,6 +90,11 @@ struct BenchReport {
     /// path (the tentpole win of per-conversation `WcgBuilder`s plus
     /// memoized topology features).
     live_replay_speedup: f64,
+    /// 4-shard `streamd` engine replay throughput over the
+    /// single-threaded live replay. Scales with cores; on a single-core
+    /// host the shard workers time-slice one core, so the ratio only
+    /// exposes the queue-handoff overhead and sits at or below 1.0.
+    sharded_replay_speedup: f64,
 }
 
 /// The subset of a bench report `--baseline` comparison needs. Only
@@ -274,11 +284,40 @@ fn main() {
     entries.push(entry("detector/replay_live", t_live, stream.len() as f64, "transactions/s"));
     let t_live_scratch =
         group.bench_function("replay_live_scratch", |b| b.iter(|| replay(false)));
-    group.finish();
     entries.push(entry(
         "detector/replay_live_scratch",
         t_live_scratch,
         stream.len() as f64,
+        "transactions/s",
+    ));
+
+    // 3c. Sharded replay: the same stream through a 4-shard
+    // `streamd::StreamEngine` (one detector per shard, hash-partitioned
+    // by client, blocking backpressure). Numbered with `assign_seq`
+    // because the engine merges alerts in (ts, ingest seq) order. A
+    // fresh engine per iteration, mirroring the fresh detector above.
+    let shard_stream = {
+        let mut s = stream.clone();
+        nettrace::assign_seq(&mut s);
+        s
+    };
+    const BENCH_SHARDS: usize = 4;
+    let t_sharded = group.bench_function("replay_sharded", |b| {
+        b.iter(|| {
+            let config = DetectorConfig { alert_threshold: 1.1, ..DetectorConfig::default() };
+            let mut engine = StreamEngine::new(
+                live_clf.clone(),
+                config,
+                StreamConfig { shards: BENCH_SHARDS, ..StreamConfig::default() },
+            );
+            engine.process(shard_stream.iter().cloned()).processed
+        })
+    });
+    group.finish();
+    entries.push(entry(
+        "detector/replay_sharded",
+        t_sharded,
+        shard_stream.len() as f64,
         "transactions/s",
     ));
 
@@ -375,6 +414,7 @@ fn main() {
             0.0
         },
         live_replay_speedup: speedup(t_live, t_live_scratch),
+        sharded_replay_speedup: speedup(t_sharded, t_live),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write bench report");
@@ -393,6 +433,16 @@ fn main() {
         "live replay speedup (incremental over from-scratch): {:.2}x",
         report.live_replay_speedup
     );
+    println!(
+        "sharded replay speedup (4 shards over single-threaded): {:.2}x",
+        report.sharded_replay_speedup
+    );
+    if std::thread::available_parallelism().map_or(1, |n| n.get()) <= 1 {
+        println!(
+            "(single core: 4 shard workers time-slice one core, so the ratio only \
+             measures queue-handoff overhead; run on a multi-core host for the scaling number)"
+        );
+    }
     println!("wrote {out_path}");
 
     if let Some(baseline_path) = baseline_path {

@@ -22,7 +22,7 @@ dynaminer — payload-agnostic web-conversation-graph malware detection
 USAGE:
   dynaminer train    [--scale S] [--seed N] [--threads N] [--metrics-out FILE] --out model.json
   dynaminer classify --model model.json [--threads N] [--strict] [--metrics-out FILE] <capture.pcap>...
-  dynaminer replay   [--model model.json] [--threshold L] [--threads N] [--format text|json] [--strict] [--metrics-out FILE] <capture.pcap>
+  dynaminer replay   [--model model.json] [--threshold L] [--threads N] [--shards N] [--format text|json] [--strict] [--metrics-out FILE] <capture.pcap>
   dynaminer generate [--family <name> | --benign <scenario>] [--seed N] --out <file.pcap>
   dynaminer dot      <capture.pcap>
   dynaminer features <capture.pcap>
@@ -39,6 +39,11 @@ are bit-identical at any value).
 --metrics-out FILE writes pipeline telemetry after the run: a JSON
 snapshot at FILE and Prometheus text exposition at FILE with the
 extension swapped to .prom.
+
+--shards N (replay) runs the capture through the sharded stream engine:
+N per-shard detectors partitioned by client address. With default state
+caps the report is bit-identical to the single-threaded replay at any
+shard count.
 
 Families:  angler rig nuclear magnitude sweetorange flashpack neutrino goon fiesta other
 Scenarios: search social webmail video alexa-browse software-update unofficial-download torrent-session";
@@ -343,22 +348,48 @@ pub fn replay(args: &[String]) -> Result<(), String> {
         ..DetectorConfig::default()
     };
     let telemetry_on = metrics_out.is_some();
-    let report = match (opts.bool_flag("strict"), telemetry_on) {
-        (true, false) => {
-            let txs = load_transactions(path)?;
-            forensic::analyze_transactions(&txs, classifier, config)
-        }
-        (true, true) => {
-            let txs = load_transactions(path)?;
-            forensic::analyze_transactions_telemetry(&txs, classifier, config, &registry)
-        }
-        (false, false) => {
-            let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            forensic::analyze_pcap_lenient(&bytes, classifier, config)
-        }
-        (false, true) => {
-            let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            forensic::analyze_pcap_lenient_telemetry(&bytes, classifier, config, &registry)
+    let shards = opts.u64_flag("shards", 1)? as usize;
+    let report = if shards > 1 {
+        // Sharded replay through the streamd engine: same ingest
+        // behaviour as the single-threaded path, then the stream is
+        // hash-partitioned by client across `shards` workers.
+        let (txs, ingest) = if opts.bool_flag("strict") {
+            (load_transactions(path)?, None)
+        } else {
+            let (txs, report) = load_transactions_lenient(path)?;
+            (txs, Some(report))
+        };
+        let stream_config = streamd::StreamConfig { shards, ..streamd::StreamConfig::default() };
+        let mut report = if telemetry_on {
+            if let Some(ingest) = &ingest {
+                nettrace::metrics::IngestMetrics::new(&registry).record(ingest);
+            }
+            streamd::analyze_transactions_sharded_telemetry(
+                &txs, classifier, config, stream_config, &registry,
+            )
+        } else {
+            streamd::analyze_transactions_sharded(&txs, classifier, config, stream_config)
+        };
+        report.ingest = ingest;
+        report
+    } else {
+        match (opts.bool_flag("strict"), telemetry_on) {
+            (true, false) => {
+                let txs = load_transactions(path)?;
+                forensic::analyze_transactions(&txs, classifier, config)
+            }
+            (true, true) => {
+                let txs = load_transactions(path)?;
+                forensic::analyze_transactions_telemetry(&txs, classifier, config, &registry)
+            }
+            (false, false) => {
+                let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                forensic::analyze_pcap_lenient(&bytes, classifier, config)
+            }
+            (false, true) => {
+                let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                forensic::analyze_pcap_lenient_telemetry(&bytes, classifier, config, &registry)
+            }
         }
     };
     if let Some(path) = metrics_out {

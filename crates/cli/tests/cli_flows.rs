@@ -87,6 +87,70 @@ fn metrics_out_writes_json_snapshot_and_prometheus_text() {
     assert_eq!(snap.histogram_count("classifier_feature_extraction_ns"), 1);
 }
 
+/// The full model round trip: `train --out` produces a file that
+/// `classify --model` and `replay --model` accept, and a model whose
+/// `format_version` is from the future is rejected up front with the
+/// version mismatch message instead of a parse error deep in scoring.
+#[test]
+fn model_format_version_round_trip_and_mismatch_rejection() {
+    let capture = tmp("goon.pcap");
+    commands::generate(&args(&["--family", "goon", "--seed", "21", "--out", &capture])).unwrap();
+    let model = tmp("roundtrip-model.json");
+    commands::train(&args(&["--scale", "0.05", "--seed", "17", "--out", &model])).unwrap();
+    commands::classify(&args(&["--model", &model, &capture])).unwrap();
+    commands::replay(&args(&["--model", &model, &capture])).unwrap();
+
+    // Same bytes, format_version bumped: every consumer must refuse it.
+    let text = std::fs::read_to_string(&model).unwrap();
+    let tampered = text.replacen("\"format_version\":1", "\"format_version\":99", 1);
+    assert_ne!(tampered, text, "the saved model carries its format version");
+    let bumped = tmp("model-v99.json");
+    std::fs::write(&bumped, tampered).unwrap();
+    for result in [
+        commands::classify(&args(&["--model", &bumped, &capture])),
+        commands::replay(&args(&["--model", &bumped, &capture])),
+        commands::inspect(&args(&["--model", &bumped])),
+    ] {
+        let err = result.unwrap_err();
+        assert!(
+            err.contains("uses model format 99 but this build expects 1"),
+            "unexpected error: {err}"
+        );
+    }
+}
+
+/// `replay --shards N` drives the streamd engine: the run succeeds, the
+/// engine's telemetry lands in --metrics-out, and the zero-loss drain
+/// invariant (enqueued == processed, nothing dropped) holds.
+#[test]
+fn replay_sharded_reports_engine_metrics_with_zero_loss() {
+    let capture = tmp("magnitude.pcap");
+    commands::generate(&args(&["--family", "magnitude", "--seed", "19", "--out", &capture]))
+        .unwrap();
+    let model = trained_model_path();
+    let metrics = tmp("sharded-metrics.json");
+    commands::replay(&args(&[
+        "--model", &model, "--shards", "4", "--metrics-out", &metrics, &capture,
+    ]))
+    .unwrap();
+    let snap: telemetry::Snapshot =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(snap.gauges["streamd_shards"], 4);
+    assert!(snap.counter("streamd_enqueued_total") > 0);
+    assert_eq!(
+        snap.counter("streamd_enqueued_total"),
+        snap.counter("streamd_processed_total"),
+        "graceful drain loses nothing"
+    );
+    assert_eq!(snap.counter("streamd_dropped_total"), 0);
+    // Ingest + per-shard detector metrics were folded into the snapshot.
+    assert_eq!(snap.counter("ingest_captures_total"), 1);
+    assert!(snap.counter("detector_transactions_total") > 0);
+    // Strict sharded replay works too (no ingest report attached).
+    commands::replay(&args(&["--model", &model, "--shards", "2", "--strict", &capture]))
+        .unwrap();
+}
+
 #[test]
 fn helpful_errors_for_bad_input() {
     assert!(commands::classify(&args(&["--model", "/nonexistent.json", "x.pcap"]))

@@ -207,8 +207,18 @@ impl OnTheWireDetector {
     }
 
     /// Processes one transaction; returns an alert if this update tipped
-    /// its conversation into the infectious verdict.
+    /// its conversation into the infectious verdict. Clones the
+    /// transaction into conversation storage; cross-thread callers (the
+    /// sharded stream engine's shard queues) use
+    /// [`OnTheWireDetector::observe_owned`] to move it instead.
     pub fn observe(&mut self, tx: &HttpTransaction) -> Option<Alert> {
+        self.observe_owned(tx.clone())
+    }
+
+    /// Processes one owned transaction, moving it into conversation
+    /// storage — the zero-clone path for shard queues that hand
+    /// transactions over by value.
+    pub fn observe_owned(&mut self, tx: HttpTransaction) -> Option<Alert> {
         let out = self.observe_inner(tx);
         // Fold the tracker's running eviction totals into the monotone
         // telemetry counters (delta since the last sync) and refresh
@@ -227,14 +237,20 @@ impl OnTheWireDetector {
         out
     }
 
-    fn observe_inner(&mut self, tx: &HttpTransaction) -> Option<Alert> {
+    fn observe_inner(&mut self, tx: HttpTransaction) -> Option<Alert> {
         if self.config.trusted.is_trusted(&tx.host) {
             self.metrics.trusted_weeded.inc();
             return None; // weed out trusted-vendor noise
         }
         self.transactions_seen += 1;
         self.metrics.transactions.inc();
-        let conv = self.tracker.assign(tx);
+        // Alert context and the download clue are captured before the
+        // transaction is moved into the tracker.
+        let client = tx.client.addr;
+        let ts = tx.ts;
+        let trigger_payload = tx.payload_class;
+        let download = clue::download_likelihood(&tx);
+        let conv = self.tracker.assign_owned(tx);
         // Incremental clue counters. The conversation already derived
         // redirect targets while absorbing the transaction; reuse its
         // verdict instead of recomputing them.
@@ -242,7 +258,6 @@ impl OnTheWireDetector {
         if is_redirect {
             conv.redirects_seen += 1;
         }
-        let download = clue::download_likelihood(tx);
         if let Some(likelihood) = download {
             conv.max_payload_likelihood = conv.max_payload_likelihood.max(likelihood);
         }
@@ -297,12 +312,12 @@ impl OnTheWireDetector {
             conv.alerted = true;
             self.metrics.alerts.inc();
             let alert = Alert {
-                client: tx.client.addr,
+                client,
                 conversation_id: conv.id,
-                ts: tx.ts,
+                ts,
                 score,
-                trigger_host: tx.host.clone(),
-                trigger_payload: tx.payload_class,
+                trigger_host: conv.last_host().to_string(),
+                trigger_payload,
                 conversation_size: conv.transactions.len(),
             };
             self.alerts.push(alert.clone());
@@ -611,6 +626,63 @@ mod tests {
         }
         assert!(det.tracker().conversation_count() <= 32);
         assert!(det.tracker().cap_evicted_count() >= 2000 - 32);
+    }
+
+    #[test]
+    fn eviction_accounting_matches_telemetry_snapshot_exactly() {
+        use crate::wcg::tests::tx;
+        use nettrace::http::Method;
+        let clf = trained_classifier(11);
+        let config = DetectorConfig {
+            max_conversations_per_client: 4,
+            max_transactions_per_conversation: 3,
+            ..DetectorConfig::default()
+        };
+        let mut det = OnTheWireDetector::new(clf, config);
+        // Blow the transactions-per-conversation cap: 10 clustering
+        // transactions into one conversation, 3 stored, 7 dropped.
+        for i in 0..10 {
+            let t = tx(
+                i as f64, "one.example", "/x", Method::Get, 200,
+                PayloadClass::Html, 100, None, None,
+            );
+            det.observe(&t);
+        }
+        // Blow the conversations-per-client cap: 20 unclusterable
+        // one-shots on top of the 1 existing conversation; the client
+        // holds at most 4, so 21 - 4 = 17 evictions.
+        for i in 0..20 {
+            let host = format!("h{i}.example");
+            let referer = format!("http://unique-{i}.example/");
+            let t = tx(
+                100.0 + i as f64 * 0.01, &host, "/x", Method::Get, 200,
+                PayloadClass::Html, 100, Some(&referer), None,
+            );
+            det.observe(&t);
+        }
+        let tracker = det.tracker();
+        assert_eq!(tracker.dropped_transaction_count(), 7);
+        assert_eq!(tracker.cap_evicted_count(), 17);
+        assert_eq!(tracker.evicted_count(), 0, "no retention window configured");
+        // The telemetry counters must agree with the tracker's own
+        // accounting, exactly.
+        let snap = det.telemetry().snapshot();
+        assert_eq!(
+            snap.counter("session_transactions_dropped_total"),
+            tracker.dropped_transaction_count()
+        );
+        assert_eq!(
+            snap.counter("session_cap_evictions_total"),
+            tracker.cap_evicted_count() as u64
+        );
+        assert_eq!(
+            snap.counter("session_retention_evictions_total"),
+            tracker.evicted_count() as u64
+        );
+        assert_eq!(
+            snap.gauges["session_conversations_live"],
+            tracker.conversation_count() as i64
+        );
     }
 
     #[test]

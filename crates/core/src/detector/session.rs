@@ -28,7 +28,13 @@ use crate::wcg::{PushOutcome, Wcg, WcgBuilder};
 /// One conversation under observation.
 #[derive(Debug, Clone)]
 pub struct Conversation {
-    /// Stable conversation id (unique per tracker).
+    /// Stable conversation id, unique per tracker and *client-scoped*:
+    /// the high 32 bits are the client's IPv4 address, the low 32 bits a
+    /// per-client creation counter. Because the id never depends on how
+    /// other clients' transactions interleave, a stream sharded by
+    /// client address assigns the same ids as a single tracker seeing
+    /// the whole stream — the property the sharded engine's determinism
+    /// contract rests on.
     pub id: u64,
     /// Transactions assigned so far, in arrival order.
     pub transactions: Vec<HttpTransaction>,
@@ -57,6 +63,9 @@ pub struct Conversation {
     session_ids: BTreeSet<String>,
     urls: BTreeSet<String>,
     last_ts: f64,
+    /// Host of the most recent transaction *if* it was dropped by the
+    /// per-conversation cap (cleared on every stored transaction).
+    capped_host: Option<String>,
 }
 
 impl Conversation {
@@ -76,6 +85,7 @@ impl Conversation {
             session_ids: BTreeSet::new(),
             urls: BTreeSet::new(),
             last_ts: ts,
+            capped_host: None,
         }
     }
 
@@ -96,12 +106,24 @@ impl Conversation {
     /// Records a transaction that was dropped by the per-conversation
     /// cap: activity is acknowledged (so idle/retention timers behave)
     /// but nothing is stored, bounding memory against a hostile endpoint
-    /// streaming unbounded transactions into one conversation.
-    fn note_capped(&mut self, tx: &HttpTransaction) {
+    /// streaming unbounded transactions into one conversation. Only the
+    /// host survives (moved, not cloned) so an alert fired by a capped
+    /// transaction can still name its trigger.
+    fn note_capped(&mut self, tx: HttpTransaction) {
         self.last_tx_added_host = false;
         self.last_tx_redirectish =
-            tx.is_redirect() || !crate::wcg::redirect::targets(tx).is_empty();
+            tx.is_redirect() || !crate::wcg::redirect::targets(&tx).is_empty();
         self.last_ts = self.last_ts.max(tx.ts);
+        self.capped_host = Some(tx.host);
+    }
+
+    /// Host of the most recently arrived transaction, whether it was
+    /// stored or dropped by the per-conversation cap.
+    pub fn last_host(&self) -> &str {
+        self.capped_host
+            .as_deref()
+            .or_else(|| self.transactions.last().map(|t| t.host.as_str()))
+            .unwrap_or("")
     }
 
     /// Hosts contacted in this conversation.
@@ -109,7 +131,8 @@ impl Conversation {
         self.hosts.iter().map(String::as_str)
     }
 
-    fn absorb(&mut self, tx: &HttpTransaction) {
+    fn absorb(&mut self, tx: HttpTransaction) {
+        self.capped_host = None;
         self.last_tx_added_host = self.hosts.insert(tx.host.to_ascii_lowercase());
         if let Some(sid) = tx.session_id() {
             self.session_ids.insert(sid);
@@ -118,7 +141,7 @@ impl Conversation {
         // Redirect targets are derived once per transaction and shared by
         // host pre-registration, the detector's redirect clue, and the
         // incremental WCG push.
-        let targets = crate::wcg::redirect::targets(tx);
+        let targets = crate::wcg::redirect::targets(&tx);
         self.last_tx_redirectish = tx.is_redirect() || !targets.is_empty();
         // Redirect targets become expected hosts, so follow-up requests
         // with stripped referrers still cluster correctly.
@@ -131,8 +154,12 @@ impl Conversation {
             }
         }
         self.last_ts = self.last_ts.max(tx.ts);
-        self.transactions.push(tx.clone());
-        if self.builder.push_with_targets(tx, &targets) == PushOutcome::NeedsRebuild {
+        // The transaction is moved into storage — the shard queues of the
+        // stream engine hand transactions over by value, so the live path
+        // never clones one.
+        self.transactions.push(tx);
+        let stored = self.transactions.last().expect("just pushed");
+        if self.builder.push_with_targets(stored, &targets) == PushOutcome::NeedsRebuild {
             self.builder.rebuild(&self.transactions);
         }
     }
@@ -157,10 +184,21 @@ impl Conversation {
     }
 }
 
+/// One client's conversations plus its private id counter. Conversation
+/// ids are `(client_ip << 32) | local_counter`, so two trackers that see
+/// the same per-client substreams assign identical ids regardless of how
+/// the clients' transactions interleave — the invariant that lets the
+/// sharded stream engine reproduce single-threaded output bit for bit.
+#[derive(Debug, Default)]
+struct ClientSessions {
+    convs: Vec<Conversation>,
+    next_local: u32,
+}
+
 /// Per-client conversation tracker.
 #[derive(Debug)]
 pub struct SessionTracker {
-    clients: BTreeMap<Ipv4Addr, Vec<Conversation>>,
+    clients: BTreeMap<Ipv4Addr, ClientSessions>,
     idle_timeout: f64,
     retention: Option<f64>,
     /// Live conversation count, maintained incrementally so the
@@ -172,7 +210,6 @@ pub struct SessionTracker {
     max_transactions: usize,
     cap_evicted: usize,
     dropped_transactions: u64,
-    next_id: u64,
 }
 
 impl SessionTracker {
@@ -191,7 +228,6 @@ impl SessionTracker {
             max_transactions: usize::MAX,
             cap_evicted: 0,
             dropped_transactions: 0,
-            next_id: 0,
         }
     }
 
@@ -237,24 +273,40 @@ impl SessionTracker {
 
     /// Drops every conversation of every client whose last activity
     /// precedes `now - retention`. No-op without a retention window.
+    ///
+    /// A client whose conversations were all evicted loses its map entry
+    /// (and with it the local id counter), so conversation ids can be
+    /// reused after the client returns — retention mode trades the
+    /// unique-id guarantee for bounded memory, which is why the sharded
+    /// engine's bit-identity contract is stated for `retention: None`.
     fn evict_stale(&mut self, now: f64) {
         let Some(retention) = self.retention else { return };
-        for convs in self.clients.values_mut() {
-            let before = convs.len();
-            convs.retain(|c| now - c.last_ts() <= retention);
-            self.evicted += before - convs.len();
-            self.live -= before - convs.len();
+        for entry in self.clients.values_mut() {
+            let before = entry.convs.len();
+            entry.convs.retain(|c| now - c.last_ts() <= retention);
+            self.evicted += before - entry.convs.len();
+            self.live -= before - entry.convs.len();
         }
-        self.clients.retain(|_, convs| !convs.is_empty());
+        self.clients.retain(|_, entry| !entry.convs.is_empty());
     }
 
     /// Assigns a transaction to a conversation (existing or new) and
-    /// returns a mutable reference to it.
+    /// returns a mutable reference to it. Clones the transaction; the
+    /// live path uses [`SessionTracker::assign_owned`] to move it
+    /// instead.
     pub fn assign(&mut self, tx: &HttpTransaction) -> &mut Conversation {
+        self.assign_owned(tx.clone())
+    }
+
+    /// Assigns an owned transaction to a conversation (existing or new)
+    /// and returns a mutable reference to it. The transaction is moved
+    /// into the conversation's storage — no clone on the hot path.
+    pub fn assign_owned(&mut self, tx: HttpTransaction) -> &mut Conversation {
         self.evict_stale(tx.ts);
         let client = tx.client.addr;
         let idle_timeout = self.idle_timeout;
-        let convs = self.clients.entry(client).or_default();
+        let entry = self.clients.entry(client).or_default();
+        let convs = &mut entry.convs;
         let referer_host = tx.referer().and_then(|r| {
             let rest = r.split_once("://").map_or(r, |(_, x)| x);
             rest.split(['/', '?', '#']).next().map(|h| h.to_ascii_lowercase())
@@ -264,7 +316,7 @@ impl SessionTracker {
         // Pass 1: structural match among active conversations.
         let mut chosen: Option<usize> = None;
         for (i, c) in convs.iter().enumerate() {
-            if active(c) && c.matches(tx, referer_host.as_deref()) {
+            if active(c) && c.matches(&tx, referer_host.as_deref()) {
                 chosen = Some(i);
                 break;
             }
@@ -296,8 +348,10 @@ impl SessionTracker {
                     self.cap_evicted += 1;
                     self.live -= 1;
                 }
-                let id = self.next_id;
-                self.next_id += 1;
+                // Client-scoped id: high 32 bits the client address, low
+                // 32 bits the per-client creation counter.
+                let id = (u64::from(u32::from(client)) << 32) | u64::from(entry.next_local);
+                entry.next_local = entry.next_local.wrapping_add(1);
                 convs.push(Conversation::new(id, tx.ts));
                 self.live += 1;
                 convs.len() - 1
@@ -315,12 +369,15 @@ impl SessionTracker {
 
     /// All conversations of all clients (for offline/forensic summaries).
     pub fn conversations(&self) -> impl Iterator<Item = &Conversation> {
-        self.clients.values().flatten()
+        self.clients.values().flat_map(|entry| entry.convs.iter())
     }
 
     /// Number of live conversations (O(1); maintained incrementally).
     pub fn conversation_count(&self) -> usize {
-        debug_assert_eq!(self.live, self.clients.values().map(Vec::len).sum::<usize>());
+        debug_assert_eq!(
+            self.live,
+            self.clients.values().map(|entry| entry.convs.len()).sum::<usize>()
+        );
         self.live
     }
 }

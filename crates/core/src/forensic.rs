@@ -156,7 +156,9 @@ fn analyze_with(
     };
     let mut downloads = Vec::new();
     let mut order: Vec<&HttpTransaction> = transactions.iter().collect();
-    order.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    // (ts, seq) is a total order over a numbered stream; ts alone leaves
+    // tied-timestamp order incidental.
+    order.sort_by(|a, b| a.ts.total_cmp(&b.ts).then(a.seq.cmp(&b.seq)));
     for tx in order {
         if tx.status / 100 == 2 && tx.payload_size > 0 && tx.payload_class.is_exploit_type() {
             downloads.push(DownloadRecord {

@@ -295,6 +295,7 @@ pub(crate) mod tests {
             resp_headers.append("Location", l);
         }
         HttpTransaction {
+            seq: 0,
             ts,
             resp_ts: ts + 0.1,
             client: Endpoint::new(Ipv4Addr::new(10, 0, 0, 5), 50000),

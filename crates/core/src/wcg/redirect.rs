@@ -164,6 +164,7 @@ mod tests {
             resp_headers.append("Location", l);
         }
         HttpTransaction {
+            seq: 0,
             ts: 0.0,
             resp_ts: 0.1,
             client: Endpoint::new(Ipv4Addr::LOCALHOST, 1),

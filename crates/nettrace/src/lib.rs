@@ -54,7 +54,7 @@ mod error;
 
 pub use error::Error;
 pub use ingest::IngestReport;
-pub use transaction::{HttpTransaction, TransactionExtractor};
+pub use transaction::{assign_seq, HttpTransaction, TransactionExtractor};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -32,6 +32,15 @@ pub const BODY_PREVIEW_LEN: usize = 4096;
 /// One paired HTTP request/response exchange.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HttpTransaction {
+    /// Monotone ingest sequence number: the transaction's position in
+    /// the stream it was ingested from. Timestamps can tie (coarse
+    /// capture clocks, batched exports), so every replay path orders by
+    /// `(ts, seq)` — a total order — instead of `ts` alone, and the
+    /// sharded stream engine uses `seq` as the merge tie-break when
+    /// recombining per-shard alert streams. [`TransactionExtractor`]
+    /// numbers transactions in emission order; [`assign_seq`] renumbers
+    /// a merged or re-sorted stream.
+    pub seq: u64,
     /// Time the request head was observed (seconds since epoch).
     pub ts: f64,
     /// Time the response body completed.
@@ -211,6 +220,7 @@ impl TransactionExtractor {
             out.extend(pair_connection(&req_stream, resp.as_ref())?);
         }
         out.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        assign_seq(&mut out);
         Ok(out)
     }
 
@@ -263,6 +273,7 @@ impl TransactionExtractor {
             out.extend(pair_connection_lenient(&req_stream, resp.as_ref(), report));
         }
         out.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        assign_seq(&mut out);
         report.transactions_recovered += out.len() as u64;
         out
     }
@@ -275,6 +286,17 @@ impl TransactionExtractor {
             ex.push_packet(p);
         }
         ex.finish_lenient(report)
+    }
+}
+
+/// Renumbers a transaction stream's [`HttpTransaction::seq`] ingest
+/// sequence numbers to match the stream's current order. Call after
+/// merging or re-sorting streams from several sources so `(ts, seq)`
+/// ordering is a total order again (duplicate sequence numbers from
+/// independent extractions would otherwise leave ties).
+pub fn assign_seq(transactions: &mut [HttpTransaction]) {
+    for (i, tx) in transactions.iter_mut().enumerate() {
+        tx.seq = i as u64;
     }
 }
 
@@ -503,6 +525,7 @@ fn build_transactions(
         let payload_class = classify(&req.head.uri, content_type.as_deref(), body.len(), &body);
         let preview_len = body.len().min(BODY_PREVIEW_LEN);
         out.push(HttpTransaction {
+            seq: 0, // numbered in emission order by finish()/finish_lenient()
             ts: req.ts,
             resp_ts: end_ts,
             client,
@@ -615,6 +638,7 @@ mod tests {
     #[test]
     fn session_id_from_cookie_and_query() {
         let mut t = HttpTransaction {
+            seq: 0,
             ts: 0.0,
             resp_ts: 0.0,
             client: Endpoint::new(Ipv4Addr::LOCALHOST, 1),

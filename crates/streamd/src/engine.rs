@@ -1,0 +1,418 @@
+//! The sharded stream engine.
+
+use std::net::Ipv4Addr;
+
+use dynaminer::classifier::Classifier;
+use dynaminer::detector::{Alert, DetectorConfig, OnTheWireDetector};
+use nettrace::HttpTransaction;
+use telemetry::{Counter, Gauge, Registry, Snapshot};
+
+use crate::queue::ShardQueue;
+
+/// What the feeder does when a shard queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the feeder until the worker catches up. Nothing is lost;
+    /// ingest slows to the speed of the slowest shard.
+    Block,
+    /// Drop the whole offered batch and count it. Ingest never stalls;
+    /// the drop counters say what the verdict is worth.
+    DropNewest,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of shards (detector instances + worker threads), >= 1.
+    pub shards: usize,
+    /// Per-shard queue bound, in buffered transactions. Clamped to at
+    /// least `batch_size` so a full batch always fits an empty queue.
+    pub queue_capacity: usize,
+    /// Transactions handed over per queue operation. Larger batches
+    /// amortize synchronization; smaller ones reduce alert latency.
+    pub batch_size: usize,
+    /// Full-queue behavior.
+    pub backpressure: BackpressurePolicy,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            shards: 1,
+            queue_capacity: 4096,
+            batch_size: 64,
+            backpressure: BackpressurePolicy::Block,
+        }
+    }
+}
+
+/// Fixed base for the shard hash. The client→shard mapping must be a
+/// pure function of the client address so that replaying a capture
+/// shards identically across runs and machines.
+const SHARD_HASH_SEED: u64 = 0x7a3c_9f21_0b5d_e711;
+
+/// Shard index for a client address: SplitMix64-finalized hash of the
+/// IPv4 address, reduced modulo the shard count. All detector state is
+/// keyed by client, so this is the *only* partitioning decision in the
+/// engine — everything downstream is per-shard-local.
+pub fn shard_of(client: Ipv4Addr, shards: usize) -> usize {
+    (mlearn::parallel::derive_seed(SHARD_HASH_SEED, u64::from(u32::from(client)))
+        % shards.max(1) as u64) as usize
+}
+
+/// Outcome of one [`StreamEngine::process`] call.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Alerts from all shards, merged into `(ts, ingest seq)` order —
+    /// the same total order a single-threaded detector fed the
+    /// `(ts, seq)`-sorted stream emits them in.
+    pub alerts: Vec<Alert>,
+    /// Transactions offered to shard queues.
+    pub enqueued: u64,
+    /// Transactions consumed by shard workers.
+    pub processed: u64,
+    /// Transactions dropped by the `DropNewest` policy. The drain
+    /// invariant is `enqueued == processed + dropped`, with
+    /// `dropped == 0` under `Block`.
+    pub dropped: u64,
+    /// Times the feeder blocked on a full queue (`Block` policy).
+    pub backpressure_waits: u64,
+    /// Transactions processed per shard, for imbalance inspection.
+    pub per_shard_processed: Vec<u64>,
+}
+
+impl EngineReport {
+    /// Max-over-mean shard load, in permille (1000 = perfectly even;
+    /// `shards * 1000` = everything on one shard). 1000 when idle.
+    pub fn imbalance_permille(&self) -> u64 {
+        let n = self.per_shard_processed.len().max(1) as u64;
+        if self.processed == 0 {
+            return 1000;
+        }
+        let max = self.per_shard_processed.iter().copied().max().unwrap_or(0);
+        max * n * 1000 / self.processed
+    }
+}
+
+/// Per-shard engine metrics, named `streamd_shard<i>_*` (the registry
+/// has no label support, so the shard index rides in the name).
+struct ShardMetrics {
+    queue_depth: Gauge,
+    enqueued: Counter,
+    processed: Counter,
+    dropped: Counter,
+    backpressure_waits: Counter,
+    alerts: Counter,
+    evictions: Counter,
+}
+
+impl ShardMetrics {
+    fn new(registry: &Registry, shard: usize) -> Self {
+        let name = |suffix: &str| format!("streamd_shard{shard}_{suffix}");
+        ShardMetrics {
+            queue_depth: registry
+                .gauge(&name("queue_depth"), "Transactions buffered in this shard's queue"),
+            enqueued: registry
+                .counter(&name("enqueued_total"), "Transactions offered to this shard"),
+            processed: registry
+                .counter(&name("processed_total"), "Transactions consumed by this shard"),
+            dropped: registry.counter(
+                &name("dropped_total"),
+                "Transactions dropped at this shard's full queue (DropNewest)",
+            ),
+            backpressure_waits: registry.counter(
+                &name("backpressure_waits_total"),
+                "Feeder blocks on this shard's full queue (Block)",
+            ),
+            alerts: registry
+                .counter(&name("alerts_total"), "Alerts raised by this shard's detector"),
+            evictions: counter_evictions(registry, &name("evictions_total")),
+        }
+    }
+}
+
+fn counter_evictions(registry: &Registry, name: &str) -> Counter {
+    registry.counter(name, "Conversations evicted by this shard's tracker (retention + caps)")
+}
+
+/// Engine-wide totals.
+struct EngineMetrics {
+    enqueued: Counter,
+    processed: Counter,
+    dropped: Counter,
+    backpressure_waits: Counter,
+    shards: Gauge,
+    imbalance_permille: Gauge,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> Self {
+        EngineMetrics {
+            enqueued: registry
+                .counter("streamd_enqueued_total", "Transactions offered to shard queues"),
+            processed: registry
+                .counter("streamd_processed_total", "Transactions consumed by shard workers"),
+            dropped: registry.counter(
+                "streamd_dropped_total",
+                "Transactions dropped at full queues (DropNewest)",
+            ),
+            backpressure_waits: registry.counter(
+                "streamd_backpressure_waits_total",
+                "Feeder blocks on full queues (Block)",
+            ),
+            shards: registry.gauge("streamd_shards", "Configured shard count"),
+            imbalance_permille: registry.gauge(
+                "streamd_shard_imbalance_permille",
+                "Max-over-mean shard load of the last process() call, permille",
+            ),
+        }
+    }
+}
+
+struct ShardRun {
+    /// `(ingest seq, alert)` pairs in this shard's emission order.
+    alerts: Vec<(u64, Alert)>,
+    processed: u64,
+}
+
+/// Sharded, multi-worker wrapper around N per-shard
+/// [`OnTheWireDetector`] instances.
+///
+/// Transactions are hash-partitioned by client address onto bounded
+/// per-shard queues and processed by one worker thread per shard; since
+/// every piece of detector state (conversations, clue windows, WCG
+/// builders) is client-keyed, shards never coordinate. Emitted alerts
+/// are merged into `(ts, ingest seq)` order.
+///
+/// **Determinism contract:** with `retention: None` and the
+/// state-exhaustion caps not binding, [`StreamEngine::process`] over a
+/// `(ts, seq)`-sorted stream produces exactly the alert sequence a
+/// single-threaded detector produces, at any shard count and any
+/// worker timing. Per-detector caps become per-*shard* caps: a capped
+/// regime can diverge because each shard evicts based on its own
+/// clients only (see DESIGN.md §12).
+///
+/// Detector state persists across `process` calls; dropping the engine
+/// is the shutdown. A graceful drain happens at the end of every
+/// `process` call: queues are closed, workers consume every buffered
+/// batch, and the merged alerts of the call are returned.
+pub struct StreamEngine {
+    detectors: Vec<OnTheWireDetector>,
+    shard_registries: Vec<Registry>,
+    shard_metrics: Vec<ShardMetrics>,
+    totals: EngineMetrics,
+    registry: Registry,
+    config: StreamConfig,
+    /// Per-shard detector totals already folded into the monotone
+    /// engine counters (counters take deltas).
+    synced_alerts: Vec<usize>,
+    synced_evictions: Vec<usize>,
+}
+
+impl StreamEngine {
+    /// Builds an engine of `config.shards` detectors, each a clone of
+    /// `classifier` under `detector_config`, with engine telemetry in a
+    /// private registry.
+    pub fn new(
+        classifier: Classifier,
+        detector_config: DetectorConfig,
+        config: StreamConfig,
+    ) -> Self {
+        Self::with_telemetry(classifier, detector_config, config, &Registry::new())
+    }
+
+    /// Like [`StreamEngine::new`] with engine metrics registered in
+    /// `registry`. Each shard's detector keeps a *private* registry
+    /// (shards share metric names, which must not collide in one
+    /// registry); [`StreamEngine::detector_stats`] aggregates them.
+    pub fn with_telemetry(
+        classifier: Classifier,
+        detector_config: DetectorConfig,
+        config: StreamConfig,
+        registry: &Registry,
+    ) -> Self {
+        let shards = config.shards.max(1);
+        let shard_registries: Vec<Registry> = (0..shards).map(|_| Registry::new()).collect();
+        let detectors = shard_registries
+            .iter()
+            .map(|reg| {
+                OnTheWireDetector::with_telemetry(
+                    classifier.clone(),
+                    detector_config.clone(),
+                    reg,
+                )
+            })
+            .collect();
+        let shard_metrics = (0..shards).map(|i| ShardMetrics::new(registry, i)).collect();
+        let totals = EngineMetrics::new(registry);
+        totals.shards.set(shards as i64);
+        StreamEngine {
+            detectors,
+            shard_registries,
+            shard_metrics,
+            totals,
+            registry: registry.clone(),
+            config: StreamConfig { shards, ..config },
+            synced_alerts: vec![0; shards],
+            synced_evictions: vec![0; shards],
+        }
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// The per-shard detectors (for forensic summaries over their
+    /// trackers). Index `i` is shard `i`.
+    pub fn detectors(&self) -> &[OnTheWireDetector] {
+        &self.detectors
+    }
+
+    /// The registry holding the engine's own metrics.
+    pub fn telemetry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Aggregated snapshot of all shards' detector metrics: counters
+    /// and histograms sum across shards, and gauges sum too (each
+    /// shard's live conversations are a disjoint population).
+    pub fn detector_stats(&self) -> Snapshot {
+        let aggregate = Registry::new();
+        for reg in &self.shard_registries {
+            aggregate.absorb(&reg.snapshot());
+        }
+        aggregate.snapshot()
+    }
+
+    /// Runs a transaction stream through the shards and drains: the
+    /// feeder (caller's thread) partitions transactions by client onto
+    /// the shard queues in batches, one worker per shard consumes its
+    /// queue, and when the stream ends the queues are closed, every
+    /// buffered batch is flushed, and the workers join. Returns the
+    /// call's alerts merged into `(ts, ingest seq)` order.
+    pub fn process<I>(&mut self, stream: I) -> EngineReport
+    where
+        I: IntoIterator<Item = HttpTransaction>,
+    {
+        let shards = self.detectors.len();
+        let batch_size = self.config.batch_size.max(1);
+        let capacity = self.config.queue_capacity.max(batch_size);
+        let policy = self.config.backpressure;
+        let queues: Vec<ShardQueue> = (0..shards).map(|_| ShardQueue::new(capacity)).collect();
+        let queues = &queues;
+
+        let mut enqueued = vec![0u64; shards];
+        let mut dropped = vec![0u64; shards];
+        let mut waits = vec![0u64; shards];
+        let depth_gauges: Vec<Gauge> =
+            self.shard_metrics.iter().map(|m| m.queue_depth.clone()).collect();
+
+        let mut runs: Vec<ShardRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .detectors
+                .iter_mut()
+                .zip(queues)
+                .zip(&depth_gauges)
+                .map(|((detector, queue), depth)| {
+                    scope.spawn(move || {
+                        let mut alerts: Vec<(u64, Alert)> = Vec::new();
+                        let mut processed = 0u64;
+                        while let Some(batch) = queue.pop() {
+                            depth.set(queue.depth() as i64);
+                            processed += batch.len() as u64;
+                            for tx in batch {
+                                let seq = tx.seq;
+                                if let Some(alert) = detector.observe_owned(tx) {
+                                    alerts.push((seq, alert));
+                                }
+                            }
+                        }
+                        ShardRun { alerts, processed }
+                    })
+                })
+                .collect();
+
+            // The flush closure's borrows (counters, queues) end with
+            // this block, before the queues are closed below.
+            {
+                let mut pending: Vec<Vec<HttpTransaction>> =
+                    (0..shards).map(|_| Vec::with_capacity(batch_size)).collect();
+                let mut flush = |s: usize, batch: Vec<HttpTransaction>| {
+                    enqueued[s] += batch.len() as u64;
+                    match policy {
+                        BackpressurePolicy::Block => waits[s] += queues[s].push_blocking(batch),
+                        BackpressurePolicy::DropNewest => {
+                            if let Err(rejected) = queues[s].push_or_reject(batch) {
+                                dropped[s] += rejected.len() as u64;
+                            }
+                        }
+                    }
+                    depth_gauges[s].set(queues[s].depth() as i64);
+                };
+                for tx in stream {
+                    let s = shard_of(tx.client.addr, shards);
+                    pending[s].push(tx);
+                    if pending[s].len() >= batch_size {
+                        let batch =
+                            std::mem::replace(&mut pending[s], Vec::with_capacity(batch_size));
+                        flush(s, batch);
+                    }
+                }
+                // Drain: flush partial batches, then close every queue
+                // so workers finish what is buffered and exit.
+                for (s, batch) in pending.into_iter().enumerate() {
+                    if !batch.is_empty() {
+                        flush(s, batch);
+                    }
+                }
+            }
+            for queue in queues {
+                queue.close();
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        // Fold this call's traffic into the monotone engine counters and
+        // sync the per-shard detector totals (alerts, evictions).
+        let per_shard_processed: Vec<u64> = runs.iter().map(|r| r.processed).collect();
+        for (i, m) in self.shard_metrics.iter().enumerate() {
+            m.enqueued.add(enqueued[i]);
+            m.processed.add(per_shard_processed[i]);
+            m.dropped.add(dropped[i]);
+            m.backpressure_waits.add(waits[i]);
+            m.queue_depth.set(0);
+            let alerts = self.detectors[i].alerts().len();
+            m.alerts.add((alerts - self.synced_alerts[i]) as u64);
+            self.synced_alerts[i] = alerts;
+            let tracker = self.detectors[i].tracker();
+            let evictions = tracker.evicted_count() + tracker.cap_evicted_count();
+            m.evictions.add((evictions - self.synced_evictions[i]) as u64);
+            self.synced_evictions[i] = evictions;
+        }
+        let report = EngineReport {
+            alerts: Vec::new(),
+            enqueued: enqueued.iter().sum(),
+            processed: per_shard_processed.iter().sum(),
+            dropped: dropped.iter().sum(),
+            backpressure_waits: waits.iter().sum(),
+            per_shard_processed,
+        };
+        self.totals.enqueued.add(report.enqueued);
+        self.totals.processed.add(report.processed);
+        self.totals.dropped.add(report.dropped);
+        self.totals.backpressure_waits.add(report.backpressure_waits);
+        self.totals.imbalance_permille.set(report.imbalance_permille() as i64);
+
+        // Merge shard alert streams into (ts, ingest seq) order. Each
+        // shard's list is deterministic and the sort is stable, so the
+        // merged stream is independent of worker timing.
+        let mut tagged: Vec<(u64, Alert)> =
+            runs.iter_mut().flat_map(|r| r.alerts.drain(..)).collect();
+        tagged.sort_by(|a, b| a.1.ts.total_cmp(&b.1.ts).then(a.0.cmp(&b.0)));
+        EngineReport { alerts: tagged.into_iter().map(|(_, a)| a).collect(), ..report }
+    }
+}

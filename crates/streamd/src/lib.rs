@@ -1,0 +1,138 @@
+//! `streamd` — sharded stream processing for on-the-wire detection.
+//!
+//! The paper's deployment model is a single detector instance on the
+//! wire; [`OnTheWireDetector`](dynaminer::detector::OnTheWireDetector)
+//! mirrors that and is single-threaded by construction. This crate
+//! scales it across cores the way ISP-scale web-request classifiers do:
+//! partition the stream *per client*. Every piece of detector state —
+//! conversations, clue windows, WCG builders — is keyed by client
+//! address, so a client-sharded stream needs zero cross-shard
+//! coordination.
+//!
+//! * [`StreamEngine`] — N per-shard detectors behind one facade:
+//!   hash-partitioned bounded queues with batched handoff, one worker
+//!   thread per shard, configurable backpressure ([`BackpressurePolicy`]),
+//!   graceful drain, per-shard telemetry, and a merged alert stream in
+//!   `(ts, ingest seq)` order.
+//! * [`analyze_transactions_sharded`] — the forensic replay path on top
+//!   of the engine; with `retention: None` and non-binding caps its
+//!   [`ForensicReport`] is identical to the single-threaded
+//!   [`analyze_transactions`](dynaminer::forensic::analyze_transactions)
+//!   at any shard count.
+//!
+//! See DESIGN.md §12 for the architecture and the exact determinism
+//! contract (including what changes in the capped regime).
+
+mod engine;
+mod queue;
+
+pub use engine::{shard_of, BackpressurePolicy, EngineReport, StreamConfig, StreamEngine};
+
+use dynaminer::classifier::Classifier;
+use dynaminer::detector::{Conversation, DetectorConfig};
+use dynaminer::forensic::{ConversationVerdict, DownloadRecord, ForensicReport};
+use nettrace::HttpTransaction;
+use telemetry::Registry;
+
+/// Sharded forensic replay: like
+/// [`analyze_transactions`](dynaminer::forensic::analyze_transactions)
+/// but run through a [`StreamEngine`] of `config.shards` workers.
+///
+/// Conversation ids are client-scoped and verdicts are reassembled in
+/// id order (== the single tracker's client-major iteration order), so
+/// with `retention: None` and non-binding caps the report matches the
+/// single-threaded one field for field at any shard count.
+pub fn analyze_transactions_sharded(
+    transactions: &[HttpTransaction],
+    classifier: Classifier,
+    detector_config: DetectorConfig,
+    config: StreamConfig,
+) -> ForensicReport {
+    analyze_sharded_with(transactions, classifier, detector_config, config, None)
+}
+
+/// Like [`analyze_transactions_sharded`], with engine metrics registered
+/// in `registry`, per-shard detector metrics aggregated into it at the
+/// end, and the final snapshot attached as `stats`.
+pub fn analyze_transactions_sharded_telemetry(
+    transactions: &[HttpTransaction],
+    classifier: Classifier,
+    detector_config: DetectorConfig,
+    config: StreamConfig,
+    registry: &Registry,
+) -> ForensicReport {
+    analyze_sharded_with(transactions, classifier, detector_config, config, Some(registry))
+}
+
+fn analyze_sharded_with(
+    transactions: &[HttpTransaction],
+    classifier: Classifier,
+    detector_config: DetectorConfig,
+    config: StreamConfig,
+    registry: Option<&Registry>,
+) -> ForensicReport {
+    let threads = mlearn::parallel::resolve_threads(detector_config.scoring_threads);
+    let own_registry;
+    let reg = match registry {
+        Some(r) => r,
+        None => {
+            own_registry = Registry::new();
+            &own_registry
+        }
+    };
+    let mut engine = StreamEngine::with_telemetry(classifier, detector_config, config, reg);
+
+    // Same feed order and download scan as the single-threaded path:
+    // (ts, seq) is a total order over a numbered stream.
+    let mut order: Vec<&HttpTransaction> = transactions.iter().collect();
+    order.sort_by(|a, b| a.ts.total_cmp(&b.ts).then(a.seq.cmp(&b.seq)));
+    let mut downloads = Vec::new();
+    for tx in &order {
+        if tx.status / 100 == 2 && tx.payload_size > 0 && tx.payload_class.is_exploit_type() {
+            downloads.push(DownloadRecord {
+                host: tx.host.clone(),
+                class: tx.payload_class,
+                size: tx.payload_size,
+                digest: tx.payload_digest,
+                ts: tx.ts,
+            });
+        }
+    }
+    let report = engine.process(order.into_iter().cloned());
+
+    // Final verdict pass, shard by shard. Batched conversation scoring
+    // is bit-identical at any thread count and conversations are
+    // independent, so scoring them per shard and reassembling by id
+    // reproduces the single tracker's scores in its iteration order
+    // (client-scoped ids sort client-major, like its BTreeMap).
+    let mut conversations: Vec<ConversationVerdict> = Vec::new();
+    for detector in engine.detectors() {
+        let convs: Vec<&Conversation> = detector.tracker().conversations().collect();
+        let slices: Vec<&[HttpTransaction]> =
+            convs.iter().map(|c| c.transactions.as_slice()).collect();
+        let started = std::time::Instant::now();
+        let scores = detector.classifier().score_conversations_batch(&slices, threads);
+        detector.metrics().scoring_ns.observe_since(started);
+        conversations.extend(convs.iter().zip(scores).map(|(c, score)| ConversationVerdict {
+            id: c.id,
+            transactions: c.transactions.len(),
+            score,
+            alerted: c.alerted,
+            hosts: c.hosts().count(),
+        }));
+    }
+    conversations.sort_by_key(|v| v.id);
+
+    let stats = registry.map(|r| {
+        r.absorb(&engine.detector_stats());
+        r.snapshot()
+    });
+    ForensicReport {
+        transactions: engine.detectors().iter().map(|d| d.transactions_seen()).sum(),
+        conversations,
+        downloads,
+        alerts: report.alerts.len(),
+        ingest: None,
+        stats,
+    }
+}

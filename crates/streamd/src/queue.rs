@@ -1,0 +1,180 @@
+//! Bounded per-shard handoff queue.
+//!
+//! Transactions travel in batches (`Vec<HttpTransaction>`) to amortize
+//! the mutex round-trip: one lock acquisition hands over up to
+//! `batch_size` transactions. The bound is expressed in *transactions*,
+//! not batches, so backpressure reacts to actual buffered work.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use nettrace::HttpTransaction;
+
+struct State {
+    batches: VecDeque<Vec<HttpTransaction>>,
+    /// Transactions buffered across all queued batches.
+    len: usize,
+    closed: bool,
+}
+
+/// A bounded MPSC-ish queue (one feeder, one worker) of transaction
+/// batches with blocking and rejecting push variants.
+pub(crate) struct ShardQueue {
+    state: Mutex<State>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        ShardQueue {
+            state: Mutex::new(State { batches: VecDeque::new(), len: 0, closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Whether `state` can admit `n` more transactions. An empty queue
+    /// admits any batch — even one larger than the capacity — so an
+    /// oversized batch makes progress instead of deadlocking both sides.
+    fn admits(&self, state: &State, n: usize) -> bool {
+        state.len == 0 || state.len + n <= self.capacity
+    }
+
+    /// Pushes a batch, blocking while the queue is over capacity.
+    /// Returns the number of times the caller had to wait (the
+    /// backpressure signal).
+    pub(crate) fn push_blocking(&self, batch: Vec<HttpTransaction>) -> u64 {
+        let mut waits = 0u64;
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        while !self.admits(&state, batch.len()) {
+            waits += 1;
+            state = self.not_full.wait(state).expect("shard queue poisoned");
+        }
+        state.len += batch.len();
+        state.batches.push_back(batch);
+        self.not_empty.notify_one();
+        waits
+    }
+
+    /// Pushes a batch unless it would overflow the queue; the rejected
+    /// batch is handed back so the caller can account the drop.
+    pub(crate) fn push_or_reject(
+        &self,
+        batch: Vec<HttpTransaction>,
+    ) -> Result<(), Vec<HttpTransaction>> {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        if !self.admits(&state, batch.len()) {
+            return Err(batch);
+        }
+        state.len += batch.len();
+        state.batches.push_back(batch);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Marks the stream finished: workers drain what is buffered, then
+    /// [`ShardQueue::pop`] returns `None`.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        state.closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Blocks for the next batch; `None` once the queue is closed *and*
+    /// fully drained — close never discards buffered transactions.
+    pub(crate) fn pop(&self) -> Option<Vec<HttpTransaction>> {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        loop {
+            if let Some(batch) = state.batches.pop_front() {
+                state.len -= batch.len();
+                self.not_full.notify_one();
+                return Some(batch);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("shard queue poisoned");
+        }
+    }
+
+    /// Transactions currently buffered.
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().expect("shard queue poisoned").len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(seq: u64) -> HttpTransaction {
+        use nettrace::http::{HeaderMap, Method};
+        use nettrace::payload::PayloadClass;
+        use nettrace::reassembly::Endpoint;
+        use std::net::Ipv4Addr;
+        HttpTransaction {
+            seq,
+            ts: seq as f64,
+            resp_ts: seq as f64 + 0.1,
+            client: Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 50000),
+            server: Endpoint::new(Ipv4Addr::new(203, 0, 113, 1), 80),
+            host: "h.example".to_string(),
+            method: Method::Get,
+            uri: "/".to_string(),
+            req_headers: HeaderMap::new(),
+            status: 200,
+            resp_headers: HeaderMap::new(),
+            payload_class: PayloadClass::Html,
+            payload_size: 0,
+            payload_digest: 0,
+            body_preview: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fifo_and_close_drains_everything() {
+        let q = ShardQueue::new(100);
+        q.push_blocking(vec![tx(0), tx(1)]);
+        q.push_blocking(vec![tx(2)]);
+        q.close();
+        let a = q.pop().unwrap();
+        assert_eq!(a.iter().map(|t| t.seq).collect::<Vec<_>>(), vec![0, 1]);
+        let b = q.pop().unwrap();
+        assert_eq!(b[0].seq, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn reject_when_full_but_admit_when_empty() {
+        let q = ShardQueue::new(2);
+        // Oversized batch into an empty queue is admitted (no deadlock).
+        assert!(q.push_or_reject(vec![tx(0), tx(1), tx(2)]).is_ok());
+        // Now non-empty and over capacity: reject.
+        let back = q.push_or_reject(vec![tx(3)]).unwrap_err();
+        assert_eq!(back.len(), 1);
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_consumer() {
+        use std::sync::Arc;
+        let q = Arc::new(ShardQueue::new(1));
+        q.push_blocking(vec![tx(0)]);
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let mut got = Vec::new();
+            while let Some(batch) = q2.pop() {
+                got.extend(batch.into_iter().map(|t| t.seq));
+            }
+            got
+        });
+        let waits = q.push_blocking(vec![tx(1)]);
+        assert!(waits >= 1, "full queue must block the producer");
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![0, 1]);
+    }
+}

@@ -188,6 +188,9 @@ impl TxFactory {
         let digest = fnv1a(&spec.body);
         let preview = spec.body.len().min(BODY_PREVIEW_LEN);
         HttpTransaction {
+            // Episodes are later merged and re-sorted into a stream; the
+            // stream builder renumbers with `nettrace::assign_seq`.
+            seq: 0,
             ts: spec.ts,
             resp_ts,
             client: Endpoint::new(self.victim.addr, self.next_client_port),

@@ -195,6 +195,24 @@ impl Histogram {
         self.inner.sum.fetch_add(shard.sum, Ordering::Relaxed);
     }
 
+    /// Fold a point-in-time snapshot of another histogram in. One
+    /// atomic add per non-empty bucket; bounds must match (panics
+    /// otherwise). This is how an aggregating registry absorbs
+    /// per-shard registries whose live handles it never held.
+    pub fn record_snapshot(&self, snap: &HistogramSnapshot) {
+        assert_eq!(
+            self.inner.bounds, snap.bounds,
+            "histogram merge requires identical bounds"
+        );
+        for (cell, &n) in self.inner.buckets.iter().zip(&snap.buckets) {
+            if n > 0 {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.inner.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.inner.sum.fetch_add(snap.sum, Ordering::Relaxed);
+    }
+
     pub fn count(&self) -> u64 {
         self.inner.count.load(Ordering::Relaxed)
     }
@@ -426,6 +444,25 @@ impl Registry {
         snap
     }
 
+    /// Fold another registry's snapshot into this registry's live
+    /// metrics: counters and histogram buckets add, and — unlike
+    /// [`Snapshot::merge`]'s last-writer rule — gauges add too, because
+    /// the caller is aggregating disjoint shards whose live state sums
+    /// (N shards' live-conversation gauges are N disjoint populations).
+    /// Metrics absent here are registered on the fly; call once per
+    /// shard, not periodically, or monotone totals double-count.
+    pub fn absorb(&self, snap: &Snapshot) {
+        for (name, v) in &snap.counters {
+            self.counter(name, "").add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(name, "").add(*v);
+        }
+        for (name, h) in &snap.histograms {
+            self.histogram(name, "", &h.bounds).record_snapshot(h);
+        }
+    }
+
     /// Prometheus text exposition (format version 0.0.4): `# HELP` /
     /// `# TYPE` preamble per metric, cumulative `_bucket{le="..."}`
     /// series plus `_sum` / `_count` for histograms.
@@ -577,6 +614,25 @@ mod tests {
         assert_eq!(merged.counter("only_b_total"), 1);
         assert_eq!(merged.histograms["h"].buckets, vec![1, 1]);
         assert_eq!(merged.histograms["h"].count, 2);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_gauges_across_shards() {
+        let total = Registry::new();
+        total.counter("alerts_total", "alerts").add(1);
+        total.gauge("live", "live").set(3);
+        for shard in 0..2 {
+            let reg = Registry::new();
+            reg.counter("alerts_total", "alerts").add(2);
+            reg.gauge("live", "live").set(5 + shard);
+            reg.histogram("lat_ns", "", &[10]).observe(4);
+            total.absorb(&reg.snapshot());
+        }
+        let snap = total.snapshot();
+        assert_eq!(snap.counter("alerts_total"), 5);
+        assert_eq!(snap.gauges["live"], 3 + 5 + 6);
+        assert_eq!(snap.histograms["lat_ns"].count, 2);
+        assert_eq!(snap.histograms["lat_ns"].buckets, vec![2, 0]);
     }
 
     #[test]

@@ -1,15 +1,20 @@
 //! On-the-wire detection in a mini-enterprise (the paper's Case Study 2).
 //!
-//! Three hosts browse concurrently through one DynaMiner instance deployed
-//! as a proxy; infections are injected into two of the streams. Alerts
-//! print as they fire, exactly one per infectious conversation.
+//! Three hosts browse concurrently through one DynaMiner deployment at
+//! the proxy; infections are injected into two of the streams. The
+//! traffic runs through the sharded `streamd::StreamEngine` — one
+//! detector per shard, hash-partitioned by client address — and the
+//! merged alert stream comes back in `(ts, ingest seq)` order, exactly
+//! one alert per infectious conversation, identical to what a single
+//! detector would emit.
 //!
 //! Run with: `cargo run --example live_proxy`
 
 use dynaminer::classifier::{build_dataset, Classifier};
-use dynaminer::detector::{DetectorConfig, OnTheWireDetector};
+use dynaminer::detector::DetectorConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use streamd::{StreamConfig, StreamEngine};
 use synthtraffic::benign::generate_benign;
 use synthtraffic::episode::generate_infection;
 use synthtraffic::{BenignScenario, EkFamily};
@@ -29,7 +34,6 @@ fn main() {
     }
     let data = build_dataset(corpus.iter().map(|(t, l)| (t.as_slice(), *l)));
     let classifier = Classifier::fit_default(&data, 5);
-    let mut detector = OnTheWireDetector::new(classifier, DetectorConfig::default());
 
     // Three hosts' interleaved traffic: mostly benign, two infections.
     let mut traffic_rng = StdRng::seed_from_u64(42);
@@ -54,25 +58,46 @@ fn main() {
         stream.extend(ep.transactions);
     }
     stream.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    nettrace::assign_seq(&mut stream);
 
-    println!("streaming {} transactions through the proxy…", stream.len());
-    for tx in &stream {
-        if let Some(alert) = detector.observe(tx) {
-            println!(
-                "ALERT t+{:.0}s client={} host={} payload={} score={:.3} ({} txs in WCG)",
-                alert.ts - t0,
-                alert.client,
-                alert.trigger_host,
-                alert.trigger_payload,
-                alert.score,
-                alert.conversation_size,
-            );
-        }
+    // A 4-shard engine: each client's substream lands on one shard, so
+    // the per-shard detectors need no coordination and the merged alert
+    // stream matches a single-detector run bit for bit.
+    let shards = 4;
+    let mut engine = StreamEngine::new(
+        classifier,
+        DetectorConfig::default(),
+        StreamConfig { shards, ..StreamConfig::default() },
+    );
+    println!(
+        "streaming {} transactions through the proxy ({shards} shards)…",
+        stream.len()
+    );
+    let report = engine.process(stream.iter().cloned());
+    for alert in &report.alerts {
+        println!(
+            "ALERT t+{:.0}s client={} host={} payload={} score={:.3} ({} txs in WCG)",
+            alert.ts - t0,
+            alert.client,
+            alert.trigger_host,
+            alert.trigger_payload,
+            alert.score,
+            alert.conversation_size,
+        );
     }
+    let conversations: usize =
+        engine.detectors().iter().map(|d| d.tracker().conversation_count()).sum();
+    let seen: usize = engine.detectors().iter().map(|d| d.transactions_seen()).sum();
     println!(
         "done: {} alerts over {} conversations ({} transactions inspected)",
-        detector.alerts().len(),
-        detector.tracker().conversation_count(),
-        detector.transactions_seen(),
+        report.alerts.len(),
+        conversations,
+        seen,
+    );
+    println!(
+        "shards: processed per shard {:?}, imbalance {:.1}%, {} backpressure wait(s), 0 dropped",
+        report.per_shard_processed,
+        report.imbalance_permille() as f64 / 10.0,
+        report.backpressure_waits,
     );
 }

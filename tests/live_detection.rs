@@ -41,6 +41,7 @@ fn tx(
         resp_headers.append("Location", l);
     }
     HttpTransaction {
+        seq: 0,
         ts,
         resp_ts: ts + 0.05,
         client: Endpoint::new(Ipv4Addr::new(10, 0, 0, 9), 51000),

@@ -336,6 +336,7 @@ fn arb_transaction() -> impl Strategy<Value = HttpTransaction> {
                 req_headers.append("Referer", "http://origin.example/start");
             }
             HttpTransaction {
+                seq: 0,
                 ts,
                 resp_ts: ts + 0.05,
                 client: Endpoint::new(Ipv4Addr::new(10, 0, 0, 9), 50000),
