@@ -313,12 +313,48 @@ fn main() {
             engine.process(shard_stream.iter().cloned()).processed
         })
     });
-    group.finish();
     entries.push(entry(
         "detector/replay_sharded",
         t_sharded,
         shard_stream.len() as f64,
         "transactions/s",
+    ));
+
+    // 3d. Durable-tier snapshot round trip: serialize a loaded engine's
+    // full state (DESIGN.md §13), parse it back, and restore it into a
+    // fresh engine — the complete crash/restart path minus the disk.
+    let loaded = {
+        let config = DetectorConfig { alert_threshold: 1.1, ..DetectorConfig::default() };
+        let mut engine = StreamEngine::new(
+            live_clf.clone(),
+            config,
+            StreamConfig { shards: BENCH_SHARDS, ..StreamConfig::default() },
+        );
+        engine.process(shard_stream.iter().cloned());
+        engine
+    };
+    let snapshot_bytes = loaded.snapshot().to_bytes().unwrap().len();
+    let t_snapshot = group.bench_function("snapshot_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = loaded.snapshot().to_bytes().unwrap();
+            let snap = streamd::EngineSnapshot::from_bytes(&bytes).unwrap();
+            let config = DetectorConfig { alert_threshold: 1.1, ..DetectorConfig::default() };
+            let restored = StreamEngine::restore(
+                live_clf.clone(),
+                config,
+                StreamConfig { shards: BENCH_SHARDS, ..StreamConfig::default() },
+                &telemetry::Registry::new(),
+                snap,
+            );
+            restored.fed()
+        })
+    });
+    group.finish();
+    entries.push(entry(
+        "detector/snapshot_roundtrip",
+        t_snapshot,
+        snapshot_bytes as f64 / 1e6,
+        "MB/s",
     ));
 
     // 4. Corpus featurization, sequential vs pooled (dataset build).

@@ -22,7 +22,8 @@ dynaminer — payload-agnostic web-conversation-graph malware detection
 USAGE:
   dynaminer train    [--scale S] [--seed N] [--threads N] [--metrics-out FILE] --out model.json
   dynaminer classify --model model.json [--threads N] [--strict] [--metrics-out FILE] <capture.pcap>...
-  dynaminer replay   [--model model.json] [--threshold L] [--threads N] [--shards N] [--format text|json] [--strict] [--metrics-out FILE] <capture.pcap>
+  dynaminer replay   [--model model.json] [--threshold L] [--threads N] [--shards N] [--format text|json] [--strict] [--metrics-out FILE]
+                     [--snapshot-out FILE] [--resume FILE] [--checkpoint-every N] [--pace-ms MS] [--reload-model FILE] [--reload-at N] <capture.pcap>
   dynaminer generate [--family <name> | --benign <scenario>] [--seed N] --out <file.pcap>
   dynaminer dot      <capture.pcap>
   dynaminer features <capture.pcap>
@@ -44,6 +45,16 @@ extension swapped to .prom.
 N per-shard detectors partitioned by client address. With default state
 caps the report is bit-identical to the single-threaded replay at any
 shard count.
+
+--snapshot-out FILE (replay) checkpoints the engine's durable state to
+FILE (atomic tmp+rename) every --checkpoint-every transactions (default
+2048) and at end of stream. --resume FILE restores a checkpoint first —
+transactions the checkpoint already covers are skipped, and the restore
+may use a different --shards count than the run that wrote it; the
+resumed report is byte-identical to an uninterrupted run. --pace-ms
+sleeps between checkpoints (crash-drill pacing). --reload-model FILE
+[--reload-at N] atomically hot-swaps in a second model once N
+transactions have been fed (default 0: before the first).
 
 Families:  angler rig nuclear magnitude sweetorange flashpack neutrino goon fiesta other
 Scenarios: search social webmail video alexa-browse software-update unofficial-download torrent-session";
@@ -349,7 +360,61 @@ pub fn replay(args: &[String]) -> Result<(), String> {
     };
     let telemetry_on = metrics_out.is_some();
     let shards = opts.u64_flag("shards", 1)? as usize;
-    let report = if shards > 1 {
+    let snapshot_out = opts.flags.get("snapshot-out");
+    let durable = snapshot_out.is_some() || opts.flags.contains_key("resume");
+    let report = if durable {
+        // Durable replay through the streamd engine (any shard count):
+        // periodic snapshots, optional resume, optional model
+        // hot-reload. Interrupted-and-resumed output is byte-identical
+        // to an uninterrupted run.
+        let (txs, ingest) = if opts.bool_flag("strict") {
+            (load_transactions(path)?, None)
+        } else {
+            let (txs, report) = load_transactions_lenient(path)?;
+            (txs, Some(report))
+        };
+        let resume = match opts.flags.get("resume") {
+            Some(p) => Some(streamd::read_snapshot(std::path::Path::new(p))?),
+            None => None,
+        };
+        let reload = match opts.flags.get("reload-model") {
+            // Reload models go through load_model, so they pass the
+            // same format-version gate as the initial --model.
+            Some(p) => Some((load_model(p)?, opts.u64_flag("reload-at", 0)?)),
+            None => None,
+        };
+        let pace_ms = opts.u64_flag("pace-ms", 0)?;
+        let mut sink = snapshot_out.map(|p| {
+            let path = std::path::PathBuf::from(p);
+            move |snap: &streamd::EngineSnapshot| streamd::write_snapshot_atomic(&path, snap)
+        });
+        if telemetry_on {
+            if let Some(ingest) = &ingest {
+                nettrace::metrics::IngestMetrics::new(&registry).record(ingest);
+            }
+        }
+        let durable_opts = streamd::DurableReplayOptions {
+            resume,
+            checkpoint_every: opts.u64_flag("checkpoint-every", 2048)?,
+            snapshot_sink: sink.as_mut().map(|f| {
+                f as &mut dyn FnMut(&streamd::EngineSnapshot) -> Result<(), String>
+            }),
+            pace: (pace_ms > 0).then(|| std::time::Duration::from_millis(pace_ms)),
+            reload,
+        };
+        let stream_config =
+            streamd::StreamConfig { shards: shards.max(1), ..streamd::StreamConfig::default() };
+        let mut report = streamd::analyze_transactions_durable(
+            &txs,
+            classifier,
+            config,
+            stream_config,
+            telemetry_on.then_some(&registry),
+            durable_opts,
+        )?;
+        report.ingest = ingest;
+        report
+    } else if shards > 1 {
         // Sharded replay through the streamd engine: same ingest
         // behaviour as the single-threaded path, then the stream is
         // hash-partitioned by client across `shards` workers.

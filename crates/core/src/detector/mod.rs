@@ -17,8 +17,10 @@ pub mod clue;
 pub mod session;
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Instant;
 
+use mlearn::slot::ModelSlot;
 use nettrace::payload::PayloadClass;
 use nettrace::HttpTransaction;
 use serde::{Deserialize, Serialize};
@@ -29,7 +31,7 @@ use crate::metrics::DetectorMetrics;
 use crate::trusted::TrustedHosts;
 use crate::wcg::Wcg;
 pub use clue::ClueConfig;
-pub use session::{Conversation, SessionTracker};
+pub use session::{Conversation, SessionTracker, SpillConfig, TrackerState};
 
 /// When a *watched* conversation is re-classified.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,6 +85,12 @@ pub struct DetectorConfig {
     /// vectors are bit-identical either way; `false` exists for A/B
     /// benchmarking and as an escape hatch.
     pub incremental: bool,
+    /// LRU spill tier budgets: when set, idle conversations over the
+    /// live-memory budget are demoted to a compact frozen form (and
+    /// rehydrated on their next transaction) instead of staying
+    /// resident, and hard eviction becomes the last resort. `None`
+    /// disables the tier (the default).
+    pub spill: Option<SpillConfig>,
 }
 
 impl Default for DetectorConfig {
@@ -98,6 +106,7 @@ impl Default for DetectorConfig {
             max_transactions_per_conversation: 8192,
             scoring_threads: 0,
             incremental: true,
+            spill: None,
         }
     }
 }
@@ -119,6 +128,91 @@ pub struct Alert {
     pub trigger_payload: PayloadClass,
     /// Conversation size (transactions) at alert time.
     pub conversation_size: usize,
+    /// Generation of the model that produced the score — every alert is
+    /// attributable to exactly one hot-reloadable model version.
+    pub model_version: u64,
+}
+
+/// Serializable image of a detector: the tracker state plus the alert
+/// log and monotone totals. This is what the stream engine snapshots
+/// per shard and re-partitions on restore.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorState {
+    /// Conversation tracker image.
+    pub tracker: TrackerState,
+    /// Alerts raised so far (the full log, so a restored run reports
+    /// whole-run totals).
+    pub alerts: Vec<Alert>,
+    /// Transactions processed after weed-out.
+    pub transactions_seen: u64,
+    /// Classifier invocations.
+    pub classifications: u64,
+}
+
+impl DetectorState {
+    /// Merges per-shard states into one logical state: clients sorted
+    /// by address (disjoint across shards by construction), counters
+    /// summed, alerts ordered by `(ts, conversation id)`.
+    pub fn merge(states: impl IntoIterator<Item = DetectorState>) -> DetectorState {
+        let mut clients = Vec::new();
+        let mut alerts = Vec::new();
+        let mut counters = session::TrackerCounters::default();
+        let (mut seen, mut classifications) = (0u64, 0u64);
+        for state in states {
+            clients.extend(state.tracker.clients);
+            alerts.extend(state.alerts);
+            let c = state.tracker.counters;
+            counters.created += c.created;
+            counters.evicted += c.evicted;
+            counters.cap_evicted += c.cap_evicted;
+            counters.spill_evicted += c.spill_evicted;
+            counters.spilled += c.spilled;
+            counters.rehydrated += c.rehydrated;
+            counters.dropped_transactions += c.dropped_transactions;
+            seen += state.transactions_seen;
+            classifications += state.classifications;
+        }
+        clients.sort_by_key(|r| r.addr);
+        alerts.sort_by(|a, b| a.ts.total_cmp(&b.ts).then(a.conversation_id.cmp(&b.conversation_id)));
+        DetectorState {
+            tracker: TrackerState { clients, counters },
+            alerts,
+            transactions_seen: seen,
+            classifications,
+        }
+    }
+
+    /// Splits a merged state across `shards` detectors, routing each
+    /// client by `route` (the engine's shard hash). Totals — counters,
+    /// the alert log, transaction counts — cannot be attributed back to
+    /// per-client slices, so they all land on shard 0; sums across
+    /// shards are preserved, which is all the whole-run report needs.
+    pub fn partition(
+        self,
+        shards: usize,
+        route: impl Fn(Ipv4Addr) -> usize,
+    ) -> Vec<DetectorState> {
+        let mut out: Vec<DetectorState> = (0..shards)
+            .map(|_| DetectorState {
+                tracker: TrackerState {
+                    clients: Vec::new(),
+                    counters: session::TrackerCounters::default(),
+                },
+                alerts: Vec::new(),
+                transactions_seen: 0,
+                classifications: 0,
+            })
+            .collect();
+        for record in self.tracker.clients {
+            let shard = route(record.addr) % shards;
+            out[shard].tracker.clients.push(record);
+        }
+        out[0].tracker.counters = self.tracker.counters;
+        out[0].alerts = self.alerts;
+        out[0].transactions_seen = self.transactions_seen;
+        out[0].classifications = self.classifications;
+        out
+    }
 }
 
 /// Streaming malware detector.
@@ -151,7 +245,10 @@ pub struct Alert {
 /// ```
 #[derive(Debug)]
 pub struct OnTheWireDetector {
-    classifier: Classifier,
+    /// Hot-swappable model slot. The detector takes a fresh snapshot of
+    /// the deployed model per classification, so a swap lands between
+    /// transactions — never mid-inference, never dropping one.
+    model: ModelSlot<Classifier>,
     config: DetectorConfig,
     tracker: SessionTracker,
     alerts: Vec<Alert>,
@@ -167,6 +264,12 @@ pub struct OnTheWireDetector {
     synced_retention_evictions: usize,
     synced_cap_evictions: usize,
     synced_dropped_transactions: u64,
+    synced_spilled: u64,
+    synced_rehydrated: u64,
+    synced_spill_evictions: usize,
+    /// Model version last seen on the classification path, to count
+    /// observed hot-reloads.
+    last_model_version: u64,
 }
 
 impl OnTheWireDetector {
@@ -185,13 +288,28 @@ impl OnTheWireDetector {
         config: DetectorConfig,
         registry: &Registry,
     ) -> Self {
-        let tracker = match config.retention {
+        Self::with_model_slot(ModelSlot::new(classifier), config, registry)
+    }
+
+    /// Creates a detector around a shared [`ModelSlot`] — the stream
+    /// engine hands every shard the same slot, so one
+    /// [`ModelSlot::swap`] hot-reloads all shards atomically.
+    pub fn with_model_slot(
+        model: ModelSlot<Classifier>,
+        config: DetectorConfig,
+        registry: &Registry,
+    ) -> Self {
+        let mut tracker = match config.retention {
             Some(retention) => SessionTracker::with_retention(config.idle_timeout, retention),
             None => SessionTracker::new(config.idle_timeout),
         }
         .with_caps(config.max_conversations_per_client, config.max_transactions_per_conversation);
+        if let Some(spill) = config.spill {
+            tracker = tracker.with_spill(spill);
+        }
+        let last_model_version = model.version();
         OnTheWireDetector {
-            classifier,
+            model,
             config,
             tracker,
             alerts: Vec::new(),
@@ -203,6 +321,10 @@ impl OnTheWireDetector {
             synced_retention_evictions: 0,
             synced_cap_evictions: 0,
             synced_dropped_transactions: 0,
+            synced_spilled: 0,
+            synced_rehydrated: 0,
+            synced_spill_evictions: 0,
+            last_model_version,
         }
     }
 
@@ -220,9 +342,14 @@ impl OnTheWireDetector {
     /// transactions over by value.
     pub fn observe_owned(&mut self, tx: HttpTransaction) -> Option<Alert> {
         let out = self.observe_inner(tx);
-        // Fold the tracker's running eviction totals into the monotone
-        // telemetry counters (delta since the last sync) and refresh
-        // the live-conversation gauge.
+        self.sync_tracker_metrics();
+        out
+    }
+
+    /// Folds the tracker's running totals into the monotone telemetry
+    /// counters (delta since the last sync) and refreshes the
+    /// conversation-tier gauges.
+    fn sync_tracker_metrics(&mut self) {
         let m = &self.metrics;
         let evicted = self.tracker.evicted_count();
         m.retention_evictions.add((evicted - self.synced_retention_evictions) as u64);
@@ -233,8 +360,18 @@ impl OnTheWireDetector {
         let dropped = self.tracker.dropped_transaction_count();
         m.dropped_transactions.add(dropped - self.synced_dropped_transactions);
         self.synced_dropped_transactions = dropped;
+        let spilled = self.tracker.spilled_count();
+        m.spilled_conversations.add(spilled - self.synced_spilled);
+        self.synced_spilled = spilled;
+        let rehydrated = self.tracker.rehydrated_count();
+        m.rehydrations.add(rehydrated - self.synced_rehydrated);
+        self.synced_rehydrated = rehydrated;
+        let spill_evicted = self.tracker.spill_evicted_count();
+        m.spill_evictions.add((spill_evicted - self.synced_spill_evictions) as u64);
+        self.synced_spill_evictions = spill_evicted;
         m.conversations_live.set(self.tracker.conversation_count() as i64);
-        out
+        m.conversations_frozen.set(self.tracker.frozen_count() as i64);
+        m.spill_bytes.set(self.tracker.spill_bytes() as i64);
     }
 
     fn observe_inner(&mut self, tx: HttpTransaction) -> Option<Alert> {
@@ -305,8 +442,16 @@ impl OnTheWireDetector {
             crate::features::extract(&wcg)
         };
         self.metrics.feature_extraction_ns.observe_since(started);
+        // Snapshot the deployed model for this classification: a
+        // concurrent hot-reload lands between transactions, never
+        // mid-inference, and the alert records which generation scored.
+        let (model, model_version) = self.model.load();
+        if model_version != self.last_model_version {
+            self.metrics.model_reloads.inc();
+            self.last_model_version = model_version;
+        }
         let started = Instant::now();
-        let score = self.classifier.score_features(&fv);
+        let score = model.score_features(&fv);
         self.metrics.scoring_ns.observe_since(started);
         if score >= self.config.alert_threshold {
             conv.alerted = true;
@@ -319,6 +464,7 @@ impl OnTheWireDetector {
                 trigger_host: conv.last_host().to_string(),
                 trigger_payload,
                 conversation_size: conv.transactions.len(),
+                model_version,
             };
             self.alerts.push(alert.clone());
             return Some(alert);
@@ -357,14 +503,67 @@ impl OnTheWireDetector {
         &self.metrics
     }
 
-    /// The detector's classifier.
-    pub fn classifier(&self) -> &Classifier {
-        &self.classifier
+    /// Snapshot of the currently deployed classifier.
+    pub fn classifier(&self) -> Arc<Classifier> {
+        self.model.load().0
+    }
+
+    /// The hot-reloadable model slot (shared: swapping through a clone
+    /// of this handle reloads the detector).
+    pub fn model_slot(&self) -> &ModelSlot<Classifier> {
+        &self.model
+    }
+
+    /// Version of the currently deployed model.
+    pub fn model_version(&self) -> u64 {
+        self.model.version()
     }
 
     /// The active configuration.
     pub fn config(&self) -> &DetectorConfig {
         &self.config
+    }
+
+    /// Thaws every spilled conversation back to the live tier (and
+    /// syncs the rehydration telemetry). Forensic verdict passes call
+    /// this so the final per-conversation sweep sees everything.
+    pub fn rehydrate_all(&mut self) {
+        self.tracker.rehydrate_all();
+        self.sync_tracker_metrics();
+    }
+
+    /// Serializable image of this detector's mutable state (the model
+    /// itself is restored separately through the CLI's validated model
+    /// files, not embedded in snapshots).
+    pub fn state(&self) -> DetectorState {
+        DetectorState {
+            tracker: self.tracker.state(),
+            alerts: self.alerts.clone(),
+            transactions_seen: self.transactions_seen as u64,
+            classifications: self.classifications as u64,
+        }
+    }
+
+    /// Replaces this detector's mutable state with a snapshot image.
+    /// The telemetry sync marks are fast-forwarded to the restored
+    /// totals, so the monotone counters only record post-restore work —
+    /// the pre-snapshot sums travel in the snapshot's own telemetry
+    /// image instead of being double-counted here.
+    pub fn restore_state(&mut self, state: DetectorState) {
+        self.tracker.restore(state.tracker);
+        self.alerts = state.alerts;
+        self.transactions_seen = state.transactions_seen as usize;
+        self.classifications = state.classifications as usize;
+        self.synced_retention_evictions = self.tracker.evicted_count();
+        self.synced_cap_evictions = self.tracker.cap_evicted_count();
+        self.synced_dropped_transactions = self.tracker.dropped_transaction_count();
+        self.synced_spilled = self.tracker.spilled_count();
+        self.synced_rehydrated = self.tracker.rehydrated_count();
+        self.synced_spill_evictions = self.tracker.spill_evicted_count();
+        self.last_model_version = self.model.version();
+        self.metrics.conversations_live.set(self.tracker.conversation_count() as i64);
+        self.metrics.conversations_frozen.set(self.tracker.frozen_count() as i64);
+        self.metrics.spill_bytes.set(self.tracker.spill_bytes() as i64);
     }
 }
 
@@ -683,6 +882,126 @@ mod tests {
             snap.gauges["session_conversations_live"],
             tracker.conversation_count() as i64
         );
+        // No spill tier configured: the spill counters exist but stay 0.
+        assert_eq!(snap.counter("session_spilled_conversations_total"), 0);
+        assert_eq!(snap.counter("session_rehydrations_total"), 0);
+        assert_eq!(snap.counter("session_spill_evictions_total"), 0);
+        assert_eq!(snap.gauges["session_conversations_frozen"], 0);
+        assert_eq!(snap.gauges["session_spill_bytes"], 0);
+        // Lifecycle accounting closes: every conversation ever created
+        // is live, frozen, or evicted through exactly one path.
+        assert_eq!(
+            tracker.created_count(),
+            (tracker.conversation_count()
+                + tracker.frozen_count()
+                + tracker.evicted_count()
+                + tracker.cap_evicted_count()
+                + tracker.spill_evicted_count()) as u64
+        );
+    }
+
+    /// The spill tier under an aggressive budget: counters move, the
+    /// telemetry matches the tracker exactly, and accounting closes.
+    #[test]
+    fn spill_accounting_matches_telemetry_snapshot_exactly() {
+        use crate::wcg::tests::tx;
+        use nettrace::http::Method;
+        let clf = trained_classifier(12);
+        let config = DetectorConfig {
+            spill: Some(SpillConfig {
+                max_live_bytes: 1,
+                max_spill_bytes: usize::MAX,
+                min_idle_secs: 0.5,
+            }),
+            ..DetectorConfig::default()
+        };
+        let mut det = OnTheWireDetector::new(clf, config);
+        // Unclusterable one-shots a second apart: each sweep demotes the
+        // previous conversation; revisiting a host rehydrates it.
+        for i in 0..10 {
+            let host = format!("h{i}.example");
+            let referer = format!("http://unique-{i}.example/");
+            let t = tx(
+                i as f64, &host, "/x", Method::Get, 200,
+                PayloadClass::Html, 100, Some(&referer), None,
+            );
+            det.observe(&t);
+        }
+        let revisit = tx(
+            11.0, "h0.example", "/y", Method::Get, 200,
+            PayloadClass::Html, 100, None, None,
+        );
+        det.observe(&revisit);
+        let tracker = det.tracker();
+        assert!(tracker.spilled_count() > 0, "budget forced demotions");
+        assert!(tracker.rehydrated_count() > 0, "revisit thawed a conversation");
+        assert_eq!(tracker.spill_evicted_count(), 0, "frozen budget never bound");
+        let snap = det.telemetry().snapshot();
+        assert_eq!(
+            snap.counter("session_spilled_conversations_total"),
+            tracker.spilled_count()
+        );
+        assert_eq!(snap.counter("session_rehydrations_total"), tracker.rehydrated_count());
+        assert_eq!(snap.counter("session_spill_evictions_total"), 0);
+        assert_eq!(
+            snap.gauges["session_conversations_frozen"],
+            tracker.frozen_count() as i64
+        );
+        assert_eq!(snap.gauges["session_spill_bytes"], tracker.spill_bytes() as i64);
+        assert_eq!(
+            tracker.spilled_count(),
+            tracker.rehydrated_count() + tracker.frozen_count() as u64
+        );
+        assert_eq!(
+            tracker.created_count(),
+            (tracker.conversation_count()
+                + tracker.frozen_count()
+                + tracker.evicted_count()
+                + tracker.cap_evicted_count()
+                + tracker.spill_evicted_count()) as u64
+        );
+    }
+
+    /// Swapping the model slot mid-stream: no transaction is lost, the
+    /// reload is observed on the classification path, and alerts name
+    /// the generation that scored them.
+    #[test]
+    fn model_hot_reload_attributes_alerts_to_generations() {
+        let clf_a = trained_classifier(13);
+        let clf_b = trained_classifier(14);
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut stream: Vec<nettrace::HttpTransaction> = Vec::new();
+        for i in 0..6 {
+            stream.extend(
+                generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.4e9 + i as f64 * 400.0)
+                    .transactions,
+            );
+        }
+        stream.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        let mut det = OnTheWireDetector::new(clf_a, DetectorConfig::default());
+        let slot = det.model_slot().clone();
+        let mid = stream.len() / 2;
+        for tx in &stream[..mid] {
+            det.observe(tx);
+        }
+        let first_half_alerts = det.alerts().len();
+        assert_eq!(slot.swap(clf_b), 2);
+        for tx in &stream[mid..] {
+            det.observe(tx);
+        }
+        assert_eq!(det.transactions_seen(), stream.len(), "no transaction dropped");
+        assert!(!det.alerts().is_empty(), "stream raised alerts");
+        for (i, alert) in det.alerts().iter().enumerate() {
+            let expected = if i < first_half_alerts { 1 } else { 2 };
+            assert_eq!(alert.model_version, expected, "alert {i}");
+        }
+        if det.alerts().len() > first_half_alerts && det.classification_count() > 0 {
+            assert_eq!(
+                det.telemetry().snapshot().counter("detector_model_reloads_total"),
+                1,
+                "the swap was observed exactly once"
+            );
+        }
     }
 
     #[test]

@@ -173,9 +173,11 @@ fn analyze_with(
     }
     // Final verdict pass: conversations are independent, so WCG
     // featurization and forest traversal run batched across the scoring
-    // thread pool instead of one full pipeline per conversation.
+    // thread pool instead of one full pipeline per conversation. Spilled
+    // conversations are thawed first so the sweep sees every one.
+    detector.rehydrate_all();
     let threads = mlearn::parallel::resolve_threads(detector.config().scoring_threads);
-    let classifier = detector.classifier().clone();
+    let classifier = detector.classifier();
     let convs: Vec<&crate::detector::Conversation> =
         detector.tracker().conversations().collect();
     let tx_slices: Vec<&[HttpTransaction]> =

@@ -15,7 +15,10 @@
 //!   (the paper's Table IV methodology),
 //! * [`parallel`] — deterministic scoped-thread worker pool; forest
 //!   training, cross-validation, and batched scoring parallelize through
-//!   it with bit-identical results at any thread count.
+//!   it with bit-identical results at any thread count,
+//! * [`slot`] — atomic model slot for zero-downtime hot-reload, with a
+//!   monotone version so every decision is attributable to one model
+//!   generation.
 //!
 //! # Example
 //!
@@ -39,4 +42,5 @@ pub mod forest;
 pub mod metrics;
 pub mod parallel;
 pub mod rank;
+pub mod slot;
 pub mod tree;

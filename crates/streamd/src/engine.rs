@@ -1,13 +1,16 @@
 //! The sharded stream engine.
 
 use std::net::Ipv4Addr;
+use std::time::Instant;
 
 use dynaminer::classifier::Classifier;
-use dynaminer::detector::{Alert, DetectorConfig, OnTheWireDetector};
+use dynaminer::detector::{Alert, DetectorConfig, DetectorState, OnTheWireDetector};
+use mlearn::slot::ModelSlot;
 use nettrace::HttpTransaction;
-use telemetry::{Counter, Gauge, Registry, Snapshot};
+use telemetry::{Counter, Gauge, Histogram, Registry, Snapshot};
 
 use crate::queue::ShardQueue;
+use crate::snapshot::{EngineSnapshot, Watermark};
 
 /// What the feeder does when a shard queue is at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,8 +144,11 @@ struct EngineMetrics {
     processed: Counter,
     dropped: Counter,
     backpressure_waits: Counter,
+    model_reloads: Counter,
     shards: Gauge,
     imbalance_permille: Gauge,
+    snapshot_write_ns: Histogram,
+    snapshot_restore_ns: Histogram,
 }
 
 impl EngineMetrics {
@@ -160,10 +166,22 @@ impl EngineMetrics {
                 "streamd_backpressure_waits_total",
                 "Feeder blocks on full queues (Block)",
             ),
+            model_reloads: registry.counter(
+                "streamd_model_reloads_total",
+                "Atomic model hot-reloads applied to all shards",
+            ),
             shards: registry.gauge("streamd_shards", "Configured shard count"),
             imbalance_permille: registry.gauge(
                 "streamd_shard_imbalance_permille",
                 "Max-over-mean shard load of the last process() call, permille",
+            ),
+            snapshot_write_ns: registry.latency_histogram(
+                "streamd_snapshot_write_ns",
+                "Engine state capture time per snapshot",
+            ),
+            snapshot_restore_ns: registry.latency_histogram(
+                "streamd_snapshot_restore_ns",
+                "Engine state restore time per resume",
             ),
         }
     }
@@ -207,6 +225,22 @@ pub struct StreamEngine {
     /// engine counters (counters take deltas).
     synced_alerts: Vec<usize>,
     synced_evictions: Vec<usize>,
+    /// One model slot shared by every shard: a single
+    /// [`StreamEngine::reload_model`] swap deploys the new model to all
+    /// shards atomically (each in-flight transaction finishes under the
+    /// model generation it loaded).
+    model: ModelSlot<Classifier>,
+    /// Detector telemetry carried over from the snapshot this engine
+    /// was restored from (empty for a fresh engine); folded into
+    /// [`StreamEngine::detector_stats`] so whole-run stats survive a
+    /// restart.
+    carried_stats: Snapshot,
+    /// Transactions fed across the engine's lifetime, including those
+    /// fed by interrupted runs this engine resumed from.
+    fed_total: u64,
+    /// Feed position of the last transaction this engine was fed (or
+    /// inherited from a restore).
+    watermark: Option<Watermark>,
 }
 
 impl StreamEngine {
@@ -232,15 +266,12 @@ impl StreamEngine {
         registry: &Registry,
     ) -> Self {
         let shards = config.shards.max(1);
+        let model = ModelSlot::new(classifier);
         let shard_registries: Vec<Registry> = (0..shards).map(|_| Registry::new()).collect();
         let detectors = shard_registries
             .iter()
             .map(|reg| {
-                OnTheWireDetector::with_telemetry(
-                    classifier.clone(),
-                    detector_config.clone(),
-                    reg,
-                )
+                OnTheWireDetector::with_model_slot(model.clone(), detector_config.clone(), reg)
             })
             .collect();
         let shard_metrics = (0..shards).map(|i| ShardMetrics::new(registry, i)).collect();
@@ -255,7 +286,116 @@ impl StreamEngine {
             config: StreamConfig { shards, ..config },
             synced_alerts: vec![0; shards],
             synced_evictions: vec![0; shards],
+            model,
+            carried_stats: Snapshot::default(),
+            fed_total: 0,
+            watermark: None,
         }
+    }
+
+    /// Rebuilds an engine from a snapshot, re-partitioning the saved
+    /// state into `config.shards` shards (which need not match the
+    /// shard count of the engine that wrote the snapshot). `classifier`
+    /// is loaded separately — snapshots deliberately do not embed the
+    /// model, so the CLI's model-format validation stays the single
+    /// gate models pass through. The slot resumes at the snapshot's
+    /// model generation so post-restore alerts continue its numbering.
+    pub fn restore(
+        classifier: Classifier,
+        detector_config: DetectorConfig,
+        config: StreamConfig,
+        registry: &Registry,
+        snapshot: EngineSnapshot,
+    ) -> Self {
+        let started = Instant::now();
+        let mut engine = Self::with_telemetry(classifier, detector_config, config, registry);
+        engine.model.force_version(snapshot.model_version);
+        let shards = engine.detectors.len();
+        let states = snapshot.detector.partition(shards, |addr| shard_of(addr, shards));
+        for (i, state) in states.into_iter().enumerate() {
+            engine.detectors[i].restore_state(state);
+            engine.synced_alerts[i] = engine.detectors[i].alerts().len();
+            let tracker = engine.detectors[i].tracker();
+            engine.synced_evictions[i] = tracker.evicted_count() + tracker.cap_evicted_count();
+        }
+        engine.carried_stats = snapshot.stats;
+        engine.fed_total = snapshot.fed;
+        engine.watermark = snapshot.watermark;
+        engine.totals.snapshot_restore_ns.observe_since(started);
+        engine
+    }
+
+    /// Captures a full durable image of the engine: merged per-shard
+    /// detector state, the feed watermark, the deployed model
+    /// generation, and the detector telemetry accumulated so far
+    /// (including any carried over from earlier restores). Call between
+    /// [`StreamEngine::process`] calls — the engine is quiescent then
+    /// (workers only live inside `process`).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let started = Instant::now();
+        let mut stats = self.detector_stats();
+        // Gauges describe the *current* population; the restored
+        // detectors re-publish them live, and `Registry::absorb` adds
+        // gauges, so carrying them would double-count.
+        stats.gauges.clear();
+        let snap = EngineSnapshot {
+            watermark: self.watermark,
+            fed: self.fed_total,
+            shards: self.detectors.len() as u32,
+            model_version: self.model.version(),
+            detector: DetectorState::merge(self.detectors.iter().map(|d| d.state())),
+            stats,
+        };
+        self.totals.snapshot_write_ns.observe_since(started);
+        snap
+    }
+
+    /// Atomically deploys a new model to every shard and returns the
+    /// new model generation. Safe to call concurrently with
+    /// [`StreamEngine::process`]: each transaction is classified
+    /// entirely under the generation it loaded, so no transaction is
+    /// dropped or reordered by a reload.
+    pub fn reload_model(&self, classifier: Classifier) -> u64 {
+        let version = self.model.swap(classifier);
+        self.totals.model_reloads.inc();
+        version
+    }
+
+    /// Generation of the currently deployed model.
+    pub fn model_version(&self) -> u64 {
+        self.model.version()
+    }
+
+    /// The shared model slot (swapping through a clone hot-reloads
+    /// every shard).
+    pub fn model_slot(&self) -> &ModelSlot<Classifier> {
+        &self.model
+    }
+
+    /// Thaws every spilled conversation on every shard, so a final
+    /// verdict sweep over [`StreamEngine::detectors`] sees all state.
+    pub fn rehydrate_all(&mut self) {
+        for det in &mut self.detectors {
+            det.rehydrate_all();
+        }
+    }
+
+    /// Alerts raised across all shards over the engine's lifetime
+    /// (including alerts restored from a snapshot).
+    pub fn total_alerts(&self) -> usize {
+        self.detectors.iter().map(|d| d.alerts().len()).sum()
+    }
+
+    /// Transactions fed over the engine's lifetime, including those fed
+    /// by interrupted runs this engine resumed from.
+    pub fn fed(&self) -> u64 {
+        self.fed_total
+    }
+
+    /// Feed position of the last transaction fed (or inherited from a
+    /// restore); `None` when nothing has been fed.
+    pub fn watermark(&self) -> Option<Watermark> {
+        self.watermark
     }
 
     /// Shard count.
@@ -276,9 +416,12 @@ impl StreamEngine {
 
     /// Aggregated snapshot of all shards' detector metrics: counters
     /// and histograms sum across shards, and gauges sum too (each
-    /// shard's live conversations are a disjoint population).
+    /// shard's live conversations are a disjoint population). Telemetry
+    /// carried from the snapshot this engine was restored from is
+    /// folded in, so the stats always describe the whole logical run.
     pub fn detector_stats(&self) -> Snapshot {
         let aggregate = Registry::new();
+        aggregate.absorb(&self.carried_stats);
         for reg in &self.shard_registries {
             aggregate.absorb(&reg.snapshot());
         }
@@ -305,6 +448,7 @@ impl StreamEngine {
         let mut enqueued = vec![0u64; shards];
         let mut dropped = vec![0u64; shards];
         let mut waits = vec![0u64; shards];
+        let mut last_fed = self.watermark;
         let depth_gauges: Vec<Gauge> =
             self.shard_metrics.iter().map(|m| m.queue_depth.clone()).collect();
 
@@ -351,6 +495,13 @@ impl StreamEngine {
                     depth_gauges[s].set(queues[s].depth() as i64);
                 };
                 for tx in stream {
+                    let advance = match last_fed {
+                        Some(prev) => !prev.covers(&tx),
+                        None => true,
+                    };
+                    if advance {
+                        last_fed = Some(Watermark::of(&tx));
+                    }
                     let s = shard_of(tx.client.addr, shards);
                     pending[s].push(tx);
                     if pending[s].len() >= batch_size {
@@ -406,6 +557,8 @@ impl StreamEngine {
         self.totals.dropped.add(report.dropped);
         self.totals.backpressure_waits.add(report.backpressure_waits);
         self.totals.imbalance_permille.set(report.imbalance_permille() as i64);
+        self.fed_total += report.enqueued;
+        self.watermark = last_fed;
 
         // Merge shard alert streams into (ts, ingest seq) order. Each
         // shard's list is deterministic and the sort is stable, so the

@@ -1,0 +1,308 @@
+//! Durable state tier acceptance tests (DESIGN.md §13).
+//!
+//! Three invariants:
+//!
+//! 1. **Snapshot/kill/restore is lossless.** A replay interrupted at a
+//!    random checkpoint and resumed from the snapshot produces the
+//!    byte-identical `ForensicReport` of an uninterrupted run — at
+//!    shards {1, 2, 8}, and even when the snapshot was written at one
+//!    shard count and restored into another.
+//! 2. **The spill tier is behavior-neutral.** Under an aggressive
+//!    live-memory budget, as long as the spill budget never forces a
+//!    hard eviction, the alert stream is bit-identical to an unbounded
+//!    run, and the spill/rehydrate counters balance.
+//! 3. **Model hot-reload is atomic and lossless.** A mid-stream swap
+//!    drops zero transactions and every alert is attributable to
+//!    exactly one model generation.
+
+use std::sync::OnceLock;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use dynaminer::classifier::{build_dataset, Classifier};
+use dynaminer::detector::{DetectorConfig, OnTheWireDetector, SpillConfig};
+use nettrace::HttpTransaction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use streamd::{
+    analyze_transactions_durable, analyze_transactions_sharded, DurableReplayOptions,
+    EngineSnapshot, StreamConfig, StreamEngine,
+};
+use synthtraffic::benign::generate_benign;
+use synthtraffic::episode::generate_infection;
+use synthtraffic::{BenignScenario, EkFamily};
+
+fn classifier() -> &'static Classifier {
+    static CLF: OnceLock<Classifier> = OnceLock::new();
+    CLF.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut items: Vec<(Vec<HttpTransaction>, bool)> = Vec::new();
+        for i in 0..30 {
+            items.push((
+                generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.4e9).transactions,
+                true,
+            ));
+            items.push((
+                generate_benign(&mut rng, BenignScenario::WEIGHTED[i % 8].0, 1.43e9).transactions,
+                false,
+            ));
+        }
+        let data = build_dataset(items.iter().map(|(t, l)| (t.as_slice(), *l)));
+        Classifier::fit_default(&data, 11)
+    })
+}
+
+/// A second, genuinely different model for hot-reload tests.
+fn other_classifier() -> &'static Classifier {
+    static CLF: OnceLock<Classifier> = OnceLock::new();
+    CLF.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut items: Vec<(Vec<HttpTransaction>, bool)> = Vec::new();
+        for i in 0..20 {
+            items.push((
+                generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.41e9).transactions,
+                true,
+            ));
+            items.push((
+                generate_benign(&mut rng, BenignScenario::WEIGHTED[i % 8].0, 1.44e9).transactions,
+                false,
+            ));
+        }
+        let data = build_dataset(items.iter().map(|(t, l)| (t.as_slice(), *l)));
+        Classifier::fit_default(&data, 23)
+    })
+}
+
+/// Interleaved multi-client stream, `(ts)`-sorted and `seq`-numbered —
+/// exactly what a capture replay feeds.
+fn build_stream(seed: u64, episodes: &[(bool, usize)]) -> Vec<HttpTransaction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream: Vec<HttpTransaction> = Vec::new();
+    for (i, &(infected, idx)) in episodes.iter().enumerate() {
+        let t0 = 1.4e9 + i as f64 * 37.0;
+        if infected {
+            stream.extend(generate_infection(&mut rng, EkFamily::ALL[idx % 10], t0).transactions);
+        } else {
+            stream.extend(
+                generate_benign(&mut rng, BenignScenario::WEIGHTED[idx % 8].0, t0).transactions,
+            );
+        }
+    }
+    stream.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    nettrace::assign_seq(&mut stream);
+    stream
+}
+
+fn shard_config(shards: usize) -> StreamConfig {
+    StreamConfig { shards, queue_capacity: 16, batch_size: 3, ..StreamConfig::default() }
+}
+
+/// Runs a durable replay that "crashes" right after its first
+/// checkpoint (the sink captures the snapshot, then fails), returning
+/// the snapshot after a full byte round-trip — exactly what a restarted
+/// process would read back from disk.
+fn crash_after_first_checkpoint(
+    stream: &[HttpTransaction],
+    shards: usize,
+    checkpoint_every: u64,
+) -> EngineSnapshot {
+    let mut captured: Option<EngineSnapshot> = None;
+    let mut sink = |snap: &EngineSnapshot| {
+        captured = Some(snap.clone());
+        Err("simulated crash".to_string())
+    };
+    let err = analyze_transactions_durable(
+        stream,
+        classifier().clone(),
+        DetectorConfig::default(),
+        shard_config(shards),
+        None,
+        DurableReplayOptions {
+            checkpoint_every,
+            snapshot_sink: Some(&mut sink),
+            ..DurableReplayOptions::default()
+        },
+    )
+    .expect_err("the failing sink aborts the replay");
+    assert!(err.contains("simulated crash"), "{err}");
+    let snap = captured.expect("one checkpoint was written before the crash");
+    let bytes = snap.to_bytes().expect("snapshot serializes");
+    EngineSnapshot::from_bytes(&bytes).expect("snapshot round-trips")
+}
+
+fn resume_report(
+    stream: &[HttpTransaction],
+    shards: usize,
+    snapshot: EngineSnapshot,
+) -> dynaminer::forensic::ForensicReport {
+    analyze_transactions_durable(
+        stream,
+        classifier().clone(),
+        DetectorConfig::default(),
+        shard_config(shards),
+        None,
+        DurableReplayOptions { resume: Some(snapshot), ..DurableReplayOptions::default() },
+    )
+    .expect("resumed replay completes")
+}
+
+proptest! {
+    /// Acceptance: snapshot at a random mid-replay point, kill, restore
+    /// → byte-identical report at shards {1, 2, 8}, and across a shard
+    /// count change (written at 1 shard, restored into 4).
+    #[test]
+    fn snapshot_kill_restore_is_byte_identical(
+        seed in any::<u64>(),
+        episodes in vec((any::<bool>(), 0usize..16), 2..5),
+        cut in 1u64..400,
+    ) {
+        let stream = build_stream(seed, &episodes);
+        let cut = cut.min(stream.len() as u64).max(1);
+        let reference = analyze_transactions_sharded(
+            &stream,
+            classifier().clone(),
+            DetectorConfig::default(),
+            shard_config(2),
+        );
+        let reference_json = serde_json::to_string(&reference).unwrap();
+
+        for shards in [1usize, 2, 8] {
+            let snap = crash_after_first_checkpoint(&stream, shards, cut);
+            prop_assert!(snap.fed >= cut.min(stream.len() as u64), "snapshot covers the first chunk");
+            let resumed = resume_report(&stream, shards, snap);
+            let json = serde_json::to_string(&resumed).unwrap();
+            prop_assert_eq!(
+                &json, &reference_json,
+                "kill/restore at {} shards diverged (cut {})", shards, cut
+            );
+        }
+
+        // Rebalance: snapshot written by a 1-shard engine, restored
+        // into a 4-shard engine.
+        let snap = crash_after_first_checkpoint(&stream, 1, cut);
+        let resumed = resume_report(&stream, 4, snap);
+        let json = serde_json::to_string(&resumed).unwrap();
+        prop_assert_eq!(&json, &reference_json, "1→4 shard rebalance diverged (cut {})", cut);
+    }
+
+    /// Acceptance: under an aggressive spill budget the alert stream is
+    /// bit-identical to the unbounded run whenever the spill tier never
+    /// has to hard-evict, and the tier's accounting balances.
+    #[test]
+    fn spill_tier_is_alert_identical_when_hard_eviction_never_triggers(
+        seed in any::<u64>(),
+        episodes in vec((any::<bool>(), 0usize..16), 2..5),
+        max_live_kb in 4usize..64,
+    ) {
+        let stream = build_stream(seed, &episodes);
+        let spill_config = DetectorConfig {
+            spill: Some(SpillConfig {
+                max_live_bytes: max_live_kb * 1024,
+                max_spill_bytes: usize::MAX / 2,
+                min_idle_secs: 5.0,
+            }),
+            ..DetectorConfig::default()
+        };
+
+        let mut unbounded = OnTheWireDetector::new(
+            classifier().clone(), DetectorConfig::default());
+        let mut spilled = OnTheWireDetector::new(classifier().clone(), spill_config);
+        for tx in &stream {
+            unbounded.observe(tx);
+            spilled.observe(tx);
+        }
+
+        let tracker = spilled.tracker();
+        prop_assert_eq!(tracker.spill_evicted_count(), 0, "budget was generous enough");
+        prop_assert_eq!(tracker.cap_evicted_count(), 0, "caps never bound");
+        prop_assert_eq!(
+            tracker.spilled_count(),
+            tracker.rehydrated_count() + tracker.frozen_count() as u64,
+            "every spilled conversation is frozen or was rehydrated"
+        );
+
+        let (got, want) = (spilled.alerts(), unbounded.alerts());
+        prop_assert_eq!(got.len(), want.len(), "alert count");
+        for (a, b) in got.iter().zip(want.iter()) {
+            prop_assert_eq!(a.client, b.client);
+            prop_assert_eq!(a.conversation_id, b.conversation_id);
+            prop_assert_eq!(a.ts.to_bits(), b.ts.to_bits());
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            prop_assert_eq!(&a.trigger_host, &b.trigger_host);
+        }
+    }
+}
+
+/// Acceptance: a model hot-reload mid-replay drops zero transactions
+/// (`enqueued == processed + dropped` holds on both sides of the swap)
+/// and every alert carries exactly one model generation — 1 before the
+/// swap, 2 after.
+#[test]
+fn model_hot_reload_is_atomic_and_lossless() {
+    let stream = build_stream(
+        21,
+        &[(true, 0), (false, 3), (true, 5), (false, 1), (true, 9), (true, 2)],
+    );
+    let registry = telemetry::Registry::new();
+    let mut engine = StreamEngine::with_telemetry(
+        classifier().clone(),
+        DetectorConfig::default(),
+        shard_config(4),
+        &registry,
+    );
+    assert_eq!(engine.model_version(), 1);
+    let mid = stream.len() / 2;
+
+    let before = engine.process(stream[..mid].iter().cloned());
+    assert_eq!(engine.reload_model(other_classifier().clone()), 2);
+    let after = engine.process(stream[mid..].iter().cloned());
+
+    assert_eq!(before.enqueued, before.processed + before.dropped);
+    assert_eq!(after.enqueued, after.processed + after.dropped);
+    assert_eq!(before.dropped + after.dropped, 0, "blocking policy drops nothing");
+    assert_eq!(
+        before.enqueued + after.enqueued,
+        stream.len() as u64,
+        "every transaction was fed exactly once across the reload"
+    );
+
+    assert!(!before.alerts.is_empty(), "infection episodes alert before the swap");
+    assert!(before.alerts.iter().all(|a| a.model_version == 1), "pre-swap generation");
+    assert!(after.alerts.iter().all(|a| a.model_version == 2), "post-swap generation");
+    assert_eq!(engine.model_version(), 2);
+    assert_eq!(registry.snapshot().counter("streamd_model_reloads_total"), 1);
+}
+
+/// The durable driver's `reload` option with the *same* model must not
+/// disturb the stream: the report stays byte-identical to a plain
+/// sharded replay, proving the swap machinery neither drops nor
+/// reorders transactions.
+#[test]
+fn durable_reload_with_identical_model_is_invisible() {
+    let stream = build_stream(33, &[(true, 4), (false, 2), (true, 8), (false, 6)]);
+    let reference = analyze_transactions_sharded(
+        &stream,
+        classifier().clone(),
+        DetectorConfig::default(),
+        shard_config(2),
+    );
+    let report = analyze_transactions_durable(
+        &stream,
+        classifier().clone(),
+        DetectorConfig::default(),
+        shard_config(2),
+        None,
+        DurableReplayOptions {
+            checkpoint_every: 64,
+            reload: Some((classifier().clone(), (stream.len() / 2) as u64)),
+            ..DurableReplayOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        serde_json::to_string(&report).unwrap(),
+        serde_json::to_string(&reference).unwrap(),
+        "reloading the same model is a no-op for the report"
+    );
+}

@@ -22,12 +22,20 @@
 use std::collections::BTreeMap;
 
 use dynaminer::classifier::{build_dataset, Classifier};
-use dynaminer::detector::{DetectorConfig, OnTheWireDetector};
+use dynaminer::detector::{DetectorConfig, OnTheWireDetector, SpillConfig};
 use serde::{Deserialize, Serialize};
+use streamd::{
+    analyze_transactions_durable, DurableReplayOptions, EngineSnapshot, StreamConfig,
+};
 use telemetry::Registry;
 
 const GOLDEN_PATH: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/telemetry_scale0.1_seed42.json");
+
+const DURABLE_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/telemetry_durable_scale0.05_seed42.json"
+);
 
 /// The deterministic projection of a [`telemetry::Snapshot`]: everything
 /// except histogram sums (which measure wall-clock time).
@@ -97,23 +105,31 @@ fn pipeline_telemetry_matches_golden_snapshot() {
         "every rebuild times exactly one scoring call"
     );
 
+    compare_against_golden(&actual, GOLDEN_PATH, "telemetry-golden-actual.json");
+}
+
+/// Regenerates (under `UPDATE_TELEMETRY_GOLDEN=1`) or compares `actual`
+/// against the golden file at `golden_path`, leaving the actual
+/// projection in `target/` as `artifact_name` on mismatch so CI can
+/// upload it.
+fn compare_against_golden(actual: &Golden, golden_path: &str, artifact_name: &str) {
     if std::env::var_os("UPDATE_TELEMETRY_GOLDEN").is_some() {
-        let json = serde_json::to_string_pretty(&actual).unwrap();
-        std::fs::write(GOLDEN_PATH, json + "\n").unwrap();
-        eprintln!("regenerated {GOLDEN_PATH}");
+        let json = serde_json::to_string_pretty(actual).unwrap();
+        std::fs::write(golden_path, json + "\n").unwrap();
+        eprintln!("regenerated {golden_path}");
         return;
     }
 
-    let golden_json = std::fs::read_to_string(GOLDEN_PATH)
-        .unwrap_or_else(|e| panic!("cannot read {GOLDEN_PATH}: {e} (run with UPDATE_TELEMETRY_GOLDEN=1 to create it)"));
+    let golden_json = std::fs::read_to_string(golden_path)
+        .unwrap_or_else(|e| panic!("cannot read {golden_path}: {e} (run with UPDATE_TELEMETRY_GOLDEN=1 to create it)"));
     let golden: Golden =
         serde_json::from_str(&golden_json).expect("golden file must parse as a Golden snapshot");
 
-    if actual != golden {
+    if *actual != golden {
         // Leave the actual projection on disk for CI artifact upload.
-        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/target/telemetry-golden-actual.json");
-        let json = serde_json::to_string_pretty(&actual).unwrap();
-        let _ = std::fs::write(out, json + "\n");
+        let out = format!("{}/target/{artifact_name}", env!("CARGO_MANIFEST_DIR"));
+        let json = serde_json::to_string_pretty(actual).unwrap();
+        let _ = std::fs::write(&out, json + "\n");
         let diff: Vec<String> = golden
             .counters
             .iter()
@@ -130,11 +146,120 @@ fn pipeline_telemetry_matches_golden_snapshot() {
             )
             .collect();
         panic!(
-            "telemetry snapshot drifted from {GOLDEN_PATH} \
+            "telemetry snapshot drifted from {golden_path} \
              (actual written to {out}); counter diff:\n{}",
             diff.join("\n")
         );
     }
+}
+
+/// A durable-tier pipeline over the pinned corpus: replay with spill
+/// budgets active, crash after the first checkpoint, resume the
+/// snapshot into a different shard count, and hot-reload the model
+/// mid-resume. Everything the projection keeps (counters, gauges,
+/// histogram counts) is a deterministic function of (seed, scale,
+/// configs) — only histogram sums carry wall-clock time.
+fn run_durable_pipeline() -> telemetry::Snapshot {
+    let corpus = synthtraffic::ground_truth(42, 0.05);
+    let data = build_dataset(
+        corpus.iter().map(|ep| (ep.transactions.as_slice(), ep.is_infection())),
+    );
+    let classifier = Classifier::fit_default(&data, 42);
+    let mut stream: Vec<nettrace::HttpTransaction> =
+        corpus.iter().flat_map(|ep| ep.transactions.iter().cloned()).collect();
+    stream.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    nettrace::assign_seq(&mut stream);
+
+    let config = DetectorConfig {
+        spill: Some(SpillConfig {
+            max_live_bytes: 32 * 1024,
+            max_spill_bytes: usize::MAX / 2,
+            min_idle_secs: 30.0,
+        }),
+        ..DetectorConfig::default()
+    };
+    // Queues sized to the stream so the feeder never blocks: the
+    // backpressure-wait counter would otherwise depend on worker timing.
+    let stream_config = |shards| StreamConfig {
+        shards,
+        queue_capacity: stream.len().max(64),
+        ..StreamConfig::default()
+    };
+    let cut = (stream.len() / 3).max(1) as u64;
+
+    // First leg (2 shards): crash right after the first checkpoint.
+    let mut first: Option<EngineSnapshot> = None;
+    let mut crash_sink = |snap: &EngineSnapshot| {
+        first = Some(snap.clone());
+        Err("simulated crash".to_string())
+    };
+    analyze_transactions_durable(
+        &stream,
+        classifier.clone(),
+        config.clone(),
+        stream_config(2),
+        None,
+        DurableReplayOptions {
+            checkpoint_every: cut,
+            snapshot_sink: Some(&mut crash_sink),
+            ..DurableReplayOptions::default()
+        },
+    )
+    .expect_err("the crash sink aborts the first leg");
+
+    // Second leg (3 shards): resume, keep checkpointing, and swap the
+    // model in two-thirds of the way through the stream.
+    let registry = Registry::new();
+    let mut checkpoints = 0u64;
+    let mut count_sink = |_: &EngineSnapshot| {
+        checkpoints += 1;
+        Ok(())
+    };
+    analyze_transactions_durable(
+        &stream,
+        classifier.clone(),
+        config,
+        stream_config(3),
+        Some(&registry),
+        DurableReplayOptions {
+            resume: first,
+            checkpoint_every: cut,
+            snapshot_sink: Some(&mut count_sink),
+            reload: Some((classifier, stream.len() as u64 * 2 / 3)),
+            ..DurableReplayOptions::default()
+        },
+    )
+    .expect("the resumed leg completes");
+    assert!(checkpoints > 0);
+    registry.snapshot()
+}
+
+#[test]
+fn durable_pipeline_telemetry_matches_golden_snapshot() {
+    let snapshot = run_durable_pipeline();
+    let actual = Golden::project(&snapshot);
+
+    // Structural sanity independent of the golden file: the run must
+    // actually exercise the durable tier end to end.
+    assert_eq!(actual.histogram_counts["streamd_snapshot_restore_ns"], 1, "one resume");
+    assert!(actual.histogram_counts["streamd_snapshot_write_ns"] >= 2, "several checkpoints");
+    assert_eq!(actual.counters["streamd_model_reloads_total"], 1, "one hot-reload");
+    assert!(actual.counters["session_spilled_conversations_total"] > 0, "spill tier active");
+    assert!(actual.counters["session_rehydrations_total"] > 0, "rehydration exercised");
+    assert_eq!(actual.counters["session_spill_evictions_total"], 0, "budget never bound");
+    assert_eq!(actual.gauges["session_conversations_frozen"], 0, "final sweep thawed all");
+    assert_eq!(actual.counters["streamd_backpressure_waits_total"], 0, "queues never filled");
+    assert_eq!(
+        actual.counters["streamd_enqueued_total"],
+        actual.counters["streamd_processed_total"],
+        "drain loses nothing"
+    );
+
+    compare_against_golden(
+        &actual,
+        DURABLE_GOLDEN_PATH,
+        "telemetry-durable-golden-actual.json",
+    );
 }
 
 #[test]
