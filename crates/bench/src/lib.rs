@@ -13,6 +13,61 @@ use synthtraffic::Episode;
 /// Seed used by every experiment binary so tables regenerate identically.
 pub const EXPERIMENT_SEED: u64 = 42;
 
+/// Heap-allocation counting for bench builds.
+///
+/// Binaries and tests that want allocation counts register the wrapper as
+/// their global allocator:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: bench::alloc_count::CountingAllocator = bench::alloc_count::CountingAllocator;
+/// ```
+///
+/// and read [`alloc_count::allocations`] deltas around the region of
+/// interest. Counting is a single relaxed atomic increment per
+/// `alloc`/`realloc`, cheap enough to leave on for whole bench runs; it
+/// exists so "allocation-free in steady state" claims are pinned by a
+/// measured zero rather than prose.
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// Total heap acquisitions (`alloc` + `realloc` calls, process-wide)
+    /// since start. Frees are not counted: the steady-state claims are
+    /// about *acquiring* memory on the hot path.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// `std::alloc::System` wrapper that counts heap acquisitions.
+    pub struct CountingAllocator;
+
+    // SAFETY: delegates every operation unchanged to `System`; the only
+    // addition is a relaxed counter bump, which allocates nothing.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+}
+
 /// Corpus scale factor from `DYNAMINER_SCALE` (default 1.0).
 pub fn scale() -> f64 {
     std::env::var("DYNAMINER_SCALE")

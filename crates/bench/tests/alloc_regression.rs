@@ -1,0 +1,55 @@
+//! Allocation-count regression fence for the feature-extraction hot
+//! path. Kept as the only test in this binary so no concurrent test
+//! thread can perturb the process-wide allocation counter.
+
+use dynaminer::features::FeatureExtractor;
+use dynaminer::wcg::Wcg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synthtraffic::episode::generate_infection;
+use synthtraffic::EkFamily;
+
+#[global_allocator]
+static ALLOC: bench::alloc_count::CountingAllocator = bench::alloc_count::CountingAllocator;
+
+/// `extract_37_features` with a reused [`FeatureExtractor`] must not
+/// acquire heap in steady state: the CSR view and every traversal
+/// scratch buffer grow to the largest conversation seen during warm-up
+/// and are reused from then on. The counter pins the claim at exactly 0
+/// — any new allocation on the path (a stray `to_vec`, a lowercase
+/// copy, a collect) fails this test before it shows up in bench noise.
+#[test]
+fn extract_37_features_is_allocation_free_in_steady_state() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let wcgs: Vec<Wcg> = (0..10)
+        .map(|i| {
+            let ep = generate_infection(&mut rng, EkFamily::ALL[i], 1.4e9);
+            Wcg::from_transactions(&ep.transactions)
+        })
+        .collect();
+    let mut extractor = FeatureExtractor::new();
+    // Warm-up pass: grows every scratch buffer to the high-water mark.
+    // Iterating largest-graph-first is NOT required — the shrink/regrow
+    // discipline is part of what this fence covers.
+    let mut warm = 0.0;
+    for w in &wcgs {
+        warm += extractor.extract(w).values()[0];
+    }
+    std::hint::black_box(warm);
+
+    let before = bench::alloc_count::allocations();
+    let mut acc = 0.0;
+    for _ in 0..3 {
+        for w in &wcgs {
+            acc += extractor.extract(w).values().iter().sum::<f64>();
+        }
+    }
+    std::hint::black_box(acc);
+    let delta = bench::alloc_count::allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state extraction performed {delta} heap allocations over \
+         {} extractions; the hot path must not allocate",
+        3 * wcgs.len()
+    );
+}

@@ -140,6 +140,45 @@ pub struct TrackerState {
     pub counters: TrackerCounters,
 }
 
+/// Per-conversation host symbol table: lowercased host names are
+/// interned to dense `u32` symbols once, so the per-transaction
+/// match/absorb path stores and compares symbols instead of allocating a
+/// fresh lowercase copy per candidate conversation.
+#[derive(Debug, Clone, Default)]
+struct HostInterner {
+    /// Lowercased name → symbol; symbols are dense insertion indices.
+    index: BTreeMap<String, u32>,
+}
+
+impl HostInterner {
+    /// Symbol for an already-lowercased host, interning it when new —
+    /// the only path that copies the host string.
+    fn intern(&mut self, lower: &str) -> u32 {
+        if let Some(&sym) = self.index.get(lower) {
+            return sym;
+        }
+        let sym = self.index.len() as u32;
+        self.index.insert(lower.to_string(), sym);
+        sym
+    }
+
+    /// Symbol of an already-interned lowercased host, if any.
+    fn lookup(&self, lower: &str) -> Option<u32> {
+        self.index.get(lower).copied()
+    }
+
+    /// Interned names in lexicographic order (the iteration order the
+    /// pre-interner `BTreeSet<String>` host set had).
+    fn names(&self) -> impl Iterator<Item = &str> {
+        self.index.keys().map(String::as_str)
+    }
+
+    /// Consumes the interner into its name set (freeze path).
+    fn into_names(self) -> BTreeSet<String> {
+        self.index.into_keys().collect()
+    }
+}
+
 /// One conversation under observation.
 #[derive(Debug, Clone)]
 pub struct Conversation {
@@ -174,9 +213,15 @@ pub struct Conversation {
     builder: WcgBuilder,
     /// Memoized topology-dependent feature values for the detector.
     feature_cache: TopoCache,
-    hosts: BTreeSet<String>,
+    /// Symbols (from `interner`) of the hosts contacted so far.
+    hosts: BTreeSet<u32>,
+    /// Host symbol table; its name set is exactly the hosts contacted.
+    interner: HostInterner,
     session_ids: BTreeSet<String>,
     urls: BTreeSet<String>,
+    /// Reusable buffer for building match keys (URL, lowercased target
+    /// host) without a fresh allocation per transaction.
+    scratch: String,
     last_ts: f64,
     /// Host of the most recent transaction *if* it was dropped by the
     /// per-conversation cap (cleared on every stored transaction).
@@ -200,8 +245,10 @@ impl Conversation {
             builder: WcgBuilder::new(),
             feature_cache: TopoCache::new(),
             hosts: BTreeSet::new(),
+            interner: HostInterner::default(),
             session_ids: BTreeSet::new(),
             urls: BTreeSet::new(),
+            scratch: String::new(),
             last_ts: ts,
             capped_host: None,
             approx_bytes: CONV_BASE_BYTES,
@@ -300,19 +347,43 @@ impl Conversation {
             .unwrap_or("")
     }
 
-    /// Hosts contacted in this conversation.
+    /// Hosts contacted in this conversation, in lexicographic order.
     pub fn hosts(&self) -> impl Iterator<Item = &str> {
-        self.hosts.iter().map(String::as_str)
+        self.interner.names()
     }
 
+    /// Cold-path absorb (snapshot replay): derives the per-transaction
+    /// match keys itself. The live path computes them once per
+    /// transaction in [`SessionTracker::assign_owned`] and calls
+    /// [`Conversation::absorb_prepared`] directly.
     fn absorb(&mut self, tx: HttpTransaction) {
+        let sid = tx.session_id();
+        let host_lower = tx.host.to_ascii_lowercase();
+        self.absorb_prepared(tx, sid, &host_lower);
+    }
+
+    fn absorb_prepared(
+        &mut self,
+        tx: HttpTransaction,
+        sid: Option<String>,
+        host_lower: &str,
+    ) {
         self.approx_bytes += tx_cost(&tx) + LIVE_TX_OVERHEAD;
         self.capped_host = None;
-        self.last_tx_added_host = self.hosts.insert(tx.host.to_ascii_lowercase());
-        if let Some(sid) = tx.session_id() {
+        let sym = self.interner.intern(host_lower);
+        self.last_tx_added_host = self.hosts.insert(sym);
+        if let Some(sid) = sid {
             self.session_ids.insert(sid);
         }
-        self.urls.insert(format!("http://{}{}", tx.host, tx.uri));
+        // The URL match key is assembled in the reusable scratch buffer
+        // and only copied to the heap when it is actually new.
+        self.scratch.clear();
+        self.scratch.push_str("http://");
+        self.scratch.push_str(&tx.host);
+        self.scratch.push_str(&tx.uri);
+        if !self.urls.contains(self.scratch.as_str()) {
+            self.urls.insert(self.scratch.clone());
+        }
         // Redirect targets are derived once per transaction and shared by
         // host pre-registration, the detector's redirect clue, and the
         // incremental WCG push.
@@ -323,8 +394,11 @@ impl Conversation {
         for target in &targets {
             if let Some(host) = target.split_once("://").map(|(_, r)| r) {
                 if let Some(h) = host.split(['/', '?', '#']).next() {
-                    self.hosts
-                        .insert(h.split(':').next().unwrap_or(h).to_ascii_lowercase());
+                    self.scratch.clear();
+                    self.scratch.push_str(h.split(':').next().unwrap_or(h));
+                    self.scratch.make_ascii_lowercase();
+                    let sym = self.interner.intern(&self.scratch);
+                    self.hosts.insert(sym);
                 }
             }
         }
@@ -339,9 +413,15 @@ impl Conversation {
         }
     }
 
-    fn matches(&self, tx: &HttpTransaction, referer_host: Option<&str>) -> bool {
-        if let Some(sid) = tx.session_id() {
-            if self.session_ids.contains(&sid) {
+    fn matches(
+        &self,
+        tx: &HttpTransaction,
+        sid: Option<&str>,
+        referer_host: Option<&str>,
+        host_lower: &str,
+    ) -> bool {
+        if let Some(sid) = sid {
+            if self.session_ids.contains(sid) {
                 return true;
             }
         }
@@ -351,11 +431,11 @@ impl Conversation {
             }
         }
         if let Some(h) = referer_host {
-            if self.hosts.contains(h) {
+            if self.interner.lookup(h).is_some() {
                 return true;
             }
         }
-        self.hosts.contains(&tx.host.to_ascii_lowercase())
+        self.interner.lookup(host_lower).is_some()
     }
 }
 
@@ -389,8 +469,11 @@ impl FrozenConversation {
             capped_host: conv.capped_host,
             transactions: conv.transactions,
         };
-        let key_bytes: usize = conv
-            .hosts
+        // Host symbols are resolved back to their names at the freeze
+        // boundary: the frozen tier keeps plain strings so its byte
+        // accounting and match predicate are interner-independent.
+        let hosts = conv.interner.into_names();
+        let key_bytes: usize = hosts
             .iter()
             .chain(&conv.session_ids)
             .chain(&conv.urls)
@@ -401,7 +484,7 @@ impl FrozenConversation {
             + key_bytes;
         FrozenConversation {
             state,
-            hosts: conv.hosts,
+            hosts,
             session_ids: conv.session_ids,
             urls: conv.urls,
             accounted_bytes,
@@ -418,9 +501,15 @@ impl FrozenConversation {
 
     /// Same predicate as [`Conversation::matches`], over the retained
     /// match keys.
-    fn matches(&self, tx: &HttpTransaction, referer_host: Option<&str>) -> bool {
-        if let Some(sid) = tx.session_id() {
-            if self.session_ids.contains(&sid) {
+    fn matches(
+        &self,
+        tx: &HttpTransaction,
+        sid: Option<&str>,
+        referer_host: Option<&str>,
+        host_lower: &str,
+    ) -> bool {
+        if let Some(sid) = sid {
+            if self.session_ids.contains(sid) {
                 return true;
             }
         }
@@ -434,7 +523,7 @@ impl FrozenConversation {
                 return true;
             }
         }
-        self.hosts.contains(&tx.host.to_ascii_lowercase())
+        self.hosts.contains(host_lower)
     }
 }
 
@@ -457,10 +546,16 @@ impl Slot {
         }
     }
 
-    fn matches(&self, tx: &HttpTransaction, referer_host: Option<&str>) -> bool {
+    fn matches(
+        &self,
+        tx: &HttpTransaction,
+        sid: Option<&str>,
+        referer_host: Option<&str>,
+        host_lower: &str,
+    ) -> bool {
         match self {
-            Slot::Live(c) => c.matches(tx, referer_host),
-            Slot::Frozen(f) => f.matches(tx, referer_host),
+            Slot::Live(c) => c.matches(tx, sid, referer_host, host_lower),
+            Slot::Frozen(f) => f.matches(tx, sid, referer_host, host_lower),
         }
     }
 
@@ -556,6 +651,10 @@ pub struct SessionTracker {
     live_bytes: usize,
     /// Estimated bytes held by frozen conversations.
     spill_bytes: usize,
+    /// Reusable buffer for the lowercased host of the transaction being
+    /// assigned — computed once per transaction, not per candidate
+    /// conversation.
+    host_lower: String,
 }
 
 impl SessionTracker {
@@ -582,6 +681,7 @@ impl SessionTracker {
             frozen: 0,
             live_bytes: 0,
             spill_bytes: 0,
+            host_lower: String::new(),
         }
     }
 
@@ -797,6 +897,15 @@ impl SessionTracker {
         let client = tx.client.addr;
         let idle_timeout = self.idle_timeout;
         let spill_enabled = self.spill.is_some();
+        // Per-transaction match keys, derived once here rather than once
+        // per candidate conversation: the session id, the lowercased host
+        // (built in a scratch buffer reused across transactions), and the
+        // referrer host.
+        let sid = tx.session_id();
+        let mut host_lower = std::mem::take(&mut self.host_lower);
+        host_lower.clear();
+        host_lower.push_str(&tx.host);
+        host_lower.make_ascii_lowercase();
         let entry = self.clients.entry(client).or_default();
         let convs = &mut entry.convs;
         let referer_host = tx.referer().and_then(|r| {
@@ -811,14 +920,15 @@ impl SessionTracker {
         // Pass 1: structural match among active conversations.
         let mut chosen: Option<usize> = None;
         for (i, s) in convs.iter().enumerate() {
-            if active(s) && s.matches(&tx, referer_host.as_deref()) {
+            if active(s) && s.matches(&tx, sid.as_deref(), referer_host.as_deref(), &host_lower)
+            {
                 chosen = Some(i);
                 break;
             }
         }
         // Pass 2: referrer-less transactions join the most recently
         // active conversation (timestamp heuristic).
-        if chosen.is_none() && tx.referer().is_none() && tx.session_id().is_none() {
+        if chosen.is_none() && tx.referer().is_none() && sid.is_none() {
             chosen = convs
                 .iter()
                 .enumerate()
@@ -890,9 +1000,10 @@ impl SessionTracker {
             self.dropped_transactions += 1;
             conv.note_capped(tx);
         } else {
-            conv.absorb(tx);
+            conv.absorb_prepared(tx, sid, &host_lower);
         }
         self.live_bytes += conv.approx_bytes - bytes_before;
+        self.host_lower = host_lower;
         conv
     }
 

@@ -173,13 +173,15 @@ impl TopoCache {
 /// Reusable feature-extraction workspace.
 ///
 /// Owns a [`GraphView`] whose CSR adjacency buffers are rebuilt in place
-/// per extraction, so the per-call allocations of the one-shot
-/// [`extract`] path (three adjacency materializations plus the fused
-/// betweenness/load pass's scratch) are amortized across calls. Results
-/// are bit-identical to [`extract`].
+/// per extraction, plus an [`algo::AlgoScratch`] threaded through every
+/// topology traversal, so steady-state extraction performs no heap
+/// allocation at all: adjacency, BFS, Brandes, PageRank, and max-flow
+/// buffers grow to the largest conversation seen and are reused from
+/// then on. Results are bit-identical to [`extract`].
 #[derive(Debug, Default)]
 pub struct FeatureExtractor {
     view: GraphView,
+    scratch: algo::AlgoScratch,
 }
 
 impl FeatureExtractor {
@@ -194,7 +196,7 @@ impl FeatureExtractor {
         base_features(wcg, &mut f);
         self.view.load(&wcg.graph);
         let mut topo = [0.0f64; TOPO_COLUMNS.len()];
-        topo_features(&self.view, &mut topo);
+        topo_features(&self.view, &mut self.scratch, &mut topo);
         for (&col, &v) in TOPO_COLUMNS.iter().zip(topo.iter()) {
             f[col] = v;
         }
@@ -220,7 +222,7 @@ impl FeatureExtractor {
         base_features(wcg, &mut f);
         if cache.version != Some(topo_version) {
             self.view.load(&wcg.graph);
-            topo_features(&self.view, &mut cache.values);
+            topo_features(&self.view, &mut self.scratch, &mut cache.values);
             cache.version = Some(topo_version);
         }
         for (&col, &v) in TOPO_COLUMNS.iter().zip(cache.values.iter()) {
@@ -296,24 +298,30 @@ fn base_features(wcg: &Wcg, f: &mut [f64; FEATURE_COUNT]) {
 
 /// Computes the [`TOPO_COLUMNS`] features from a loaded view, in column
 /// order. Betweenness (f18) and load (f19) come out of one fused Brandes
-/// pass.
-fn topo_features(view: &GraphView, out: &mut [f64; TOPO_COLUMNS.len()]) {
-    out[0] = algo::paths::diameter_view(view) as f64; // f12
+/// pass. Every traversal runs over `scratch`'s buffers, so this function
+/// allocates nothing once those have grown to the graph's order.
+fn topo_features(
+    view: &GraphView,
+    scratch: &mut algo::AlgoScratch,
+    out: &mut [f64; TOPO_COLUMNS.len()],
+) {
+    out[0] = algo::paths::diameter_view_scratch(view, scratch) as f64; // f12
     out[1] = algo::reciprocity::reciprocity_view(view); // f15
-    out[2] = algo::mean(&algo::centrality::closeness_centrality_view(view)); // f17
-    let (between, load) = algo::centrality::betweenness_and_load_view(view);
-    out[3] = algo::mean(&between); // f18
-    out[4] = algo::mean(&load); // f19
-    out[5] = algo::connectivity::average_node_connectivity_view(view); // f20
-    out[6] = algo::mean(&algo::clustering::clustering_coefficients_view(view)); // f21
-    out[7] = algo::mean(&algo::clustering::neighbor_degrees_view(view)); // f22
-    out[8] = algo::paths::avg_nodes_within_distance_view(view, 2); // f24
-    out[9] = algo::mean(&algo::pagerank::pagerank_view(
+    out[2] = algo::centrality::closeness_centrality_mean_scratch(view, scratch); // f17
+    let (between, load) = algo::centrality::betweenness_and_load_means_scratch(view, scratch);
+    out[3] = between; // f18
+    out[4] = load; // f19
+    out[5] = algo::connectivity::average_node_connectivity_view_scratch(view, scratch); // f20
+    out[6] = algo::clustering::clustering_coefficient_mean_view(view); // f21
+    out[7] = algo::clustering::neighbor_degree_mean_view(view); // f22
+    out[8] = algo::paths::avg_nodes_within_distance_view_scratch(view, 2, scratch); // f24
+    out[9] = algo::pagerank::pagerank_mean_scratch(
         view,
         algo::pagerank::DEFAULT_DAMPING,
         algo::pagerank::DEFAULT_TOL,
         algo::pagerank::DEFAULT_MAX_ITER,
-    )); // f25
+        scratch,
+    ); // f25
 }
 
 /// Extracts all 37 features from a WCG.

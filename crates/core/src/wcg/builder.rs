@@ -129,6 +129,10 @@ pub struct WcgBuilder {
     /// Distinct directed simple pairs (self-loops excluded) already in the
     /// graph; a new pair or node bumps `topo_version`.
     seen_pairs: BTreeSet<(NodeId, NodeId)>,
+    /// Reusable buffer for the lowercased host of the transaction being
+    /// applied, so the steady-state fold does not allocate one per
+    /// transaction.
+    host_scratch: String,
 }
 
 impl Default for WcgBuilder {
@@ -176,6 +180,7 @@ impl WcgBuilder {
             download_hosts: BTreeSet::new(),
             topo_version: 0,
             seen_pairs: BTreeSet::new(),
+            host_scratch: String::new(),
         }
     }
 
@@ -290,7 +295,13 @@ impl WcgBuilder {
 
     fn apply(&mut self, tx: &HttpTransaction, targets: &[String]) {
         let index = self.txs.len();
-        let tx_host = tx.host.to_ascii_lowercase();
+        // The lowercased host is built in a buffer reused across
+        // transactions, moved out of `self` for the duration of the apply
+        // so the borrow does not pin the builder.
+        let mut tx_host = std::mem::take(&mut self.host_scratch);
+        tx_host.clear();
+        tx_host.push_str(&tx.host);
+        tx_host.make_ascii_lowercase();
 
         if index == 0 {
             self.wcg.first_ts = tx.ts;
@@ -357,7 +368,9 @@ impl WcgBuilder {
                 self.first_dl = Some(index);
             }
             self.last_dl = Some(index);
-            self.download_hosts.insert(tx.host.clone());
+            if !self.download_hosts.contains(&tx.host) {
+                self.download_hosts.insert(tx.host.clone());
+            }
         }
         // This transaction's own stage under the updated global state.
         let stage = if is_get && self.pre_end.is_some_and(|pe| index <= pe) {
@@ -379,7 +392,9 @@ impl WcgBuilder {
         {
             let attr = self.wcg.graph.node_mut(host_node);
             attr.ip = Some(tx.server.addr);
-            attr.uris.insert(tx.uri.clone());
+            if !attr.uris.contains(&tx.uri) {
+                attr.uris.insert(tx.uri.clone());
+            }
             if tx.status != 0 {
                 *attr.payload_summary.entry(tx.payload_class).or_insert(0) += 1;
             }
@@ -498,6 +513,7 @@ impl WcgBuilder {
         if self.txs.len() == 1 || tx.ts.total_cmp(&self.max_ts) == Ordering::Greater {
             self.max_ts = tx.ts;
         }
+        self.host_scratch = tx_host;
     }
 }
 

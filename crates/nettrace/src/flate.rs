@@ -460,6 +460,78 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>> {
     Ok(out)
 }
 
+// ---------------------------------------------------------------------
+// `Content-Encoding: deflate` (zlib or raw DEFLATE).
+// ---------------------------------------------------------------------
+
+/// Adler-32 checksum (RFC 1950, as used by zlib).
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    // 5552 is the largest n with 255n(n+1)/2 + (n+1)(MOD-1) < 2^32.
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Wraps `data` in a zlib container (RFC 1950, stored-block deflate
+/// inside) — the nominal on-wire form of `Content-Encoding: deflate`.
+pub fn zlib_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = vec![
+        0x78, // CM = deflate, CINFO = 7 (32 KiB window)
+        0x01, // FLEVEL = fastest, no preset dict; (0x7801 % 31 == 0)
+    ];
+    out.extend_from_slice(&deflate_stored(data));
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Decompresses a `Content-Encoding: deflate` body.
+///
+/// RFC 9110 defines `deflate` as a zlib container (RFC 1950), but a
+/// long tail of servers sends the raw DEFLATE stream instead — browsers
+/// accept both, so we do too: when the first two bytes check out as a
+/// zlib header the wrapper is stripped (and the Adler-32 trailer
+/// verified when present), otherwise the bytes inflate as-is.
+///
+/// # Errors
+///
+/// Returns an error on malformed streams, truncation, checksum
+/// mismatch, or output larger than [`MAX_INFLATED`].
+pub fn deflate_decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() >= 2 {
+        let cmf = data[0];
+        let flg = data[1];
+        let zlib_header = cmf & 0x0f == 8 // CM = deflate
+            && cmf >> 4 <= 7 // CINFO ≤ 32 KiB window
+            && flg & 0x20 == 0 // no preset dictionary
+            && u16::from_be_bytes([cmf, flg]).is_multiple_of(31);
+        if zlib_header {
+            if let Ok(out) = inflate(&data[2..]) {
+                // Deflate consumes bits, not bytes; only a full 4-byte
+                // trailer after the compressed stream is checkable.
+                if data.len() >= 6 {
+                    let tail = &data[data.len() - 4..];
+                    let expect =
+                        u32::from_be_bytes([tail[0], tail[1], tail[2], tail[3]]);
+                    if adler32(&out) != expect {
+                        return Err(corrupt("zlib adler32 mismatch"));
+                    }
+                }
+                return Ok(out);
+            }
+        }
+    }
+    inflate(data)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +542,44 @@ mod tests {
             let deflated = deflate_stored(data);
             assert_eq!(inflate(&deflated).unwrap(), data);
         }
+    }
+
+    #[test]
+    fn zlib_roundtrip() {
+        for data in [&b""[..], b"a", b"deflate body", &[7u8; 70_000]] {
+            let z = zlib_compress(data);
+            assert_eq!(deflate_decompress(&z).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn raw_deflate_body_decodes_without_zlib_wrapper() {
+        let data = b"raw deflate stream, no RFC 1950 framing";
+        assert_eq!(deflate_decompress(&deflate_stored(data)).unwrap(), data);
+        assert_eq!(
+            deflate_decompress(&deflate_fixed_literals(data)).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn zlib_adler_mismatch_is_rejected() {
+        let mut z = zlib_compress(b"checked content");
+        let last = z.len() - 1;
+        z[last] ^= 0xff;
+        assert!(deflate_decompress(&z).is_err());
+    }
+
+    #[test]
+    fn deflate_garbage_is_rejected() {
+        assert!(deflate_decompress(&[0x07, 0xff, 0x12, 0x34]).is_err());
+    }
+
+    #[test]
+    fn adler32_known_vector() {
+        // RFC 1950 example: "Wikipedia" → 0x11E60398.
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+        assert_eq!(adler32(b""), 1);
     }
 
     #[test]

@@ -262,12 +262,21 @@ pub fn parse_response_head(buf: &[u8]) -> Result<Option<(ResponseHead, usize)>> 
     )))
 }
 
+/// Allocation-free ASCII case-insensitive substring test, equivalent to
+/// `haystack.to_ascii_lowercase().contains(needle)` for an already-lowercase
+/// non-empty needle. Runs once per parsed message head, so the lowercase
+/// copy it replaces was a per-response allocation on the decode gate.
+fn contains_ignore_ascii_case(haystack: &str, needle: &str) -> bool {
+    debug_assert!(!needle.is_empty());
+    haystack.as_bytes().windows(needle.len()).any(|w| w.eq_ignore_ascii_case(needle.as_bytes()))
+}
+
 /// Determines how the body after a request head is framed.
 pub fn request_body_framing(head: &RequestHead) -> BodyFraming {
     if head
         .headers
         .get("Transfer-Encoding")
-        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+        .is_some_and(|v| contains_ignore_ascii_case(v, "chunked"))
     {
         return BodyFraming::Chunked;
     }
@@ -290,7 +299,7 @@ pub fn response_body_framing(head: &ResponseHead, request_method: &Method) -> Bo
     if head
         .headers
         .get("Transfer-Encoding")
-        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+        .is_some_and(|v| contains_ignore_ascii_case(v, "chunked"))
     {
         return BodyFraming::Chunked;
     }

@@ -65,6 +65,9 @@ pub struct IngestReport {
     /// Response bodies whose gzip content encoding failed to decode
     /// (the raw bytes are kept).
     pub gzip_failures: u64,
+    /// Response bodies whose deflate content encoding (zlib or raw)
+    /// failed to decode (the raw bytes are kept).
+    pub deflate_failures: u64,
     /// Chunked transfer framing errors (the stream prefix is kept).
     pub chunked_failures: u64,
 }
@@ -91,6 +94,7 @@ impl IngestReport {
         self.reassembly_gaps += other.reassembly_gaps;
         self.transactions_recovered += other.transactions_recovered;
         self.gzip_failures += other.gzip_failures;
+        self.deflate_failures += other.deflate_failures;
         self.chunked_failures += other.chunked_failures;
     }
 
@@ -105,6 +109,7 @@ impl IngestReport {
             || self.streams_discarded > 0
             || self.reassembly_gaps > 0
             || self.gzip_failures > 0
+            || self.deflate_failures > 0
             || self.chunked_failures > 0
     }
 }
@@ -116,7 +121,8 @@ impl std::fmt::Display for IngestReport {
             "capture: {} packets read, {} records dropped, {} bytes skipped{}; \
              decode: {} undecodable, {} non-tcp; \
              streams: {} total, {} salvaged, {} discarded, {} non-http, {} gaps; \
-             http: {} transactions, {} gzip failures, {} chunked failures",
+             http: {} transactions, {} gzip failures, {} deflate failures, \
+             {} chunked failures",
             self.packets_read,
             self.records_dropped,
             self.bytes_skipped,
@@ -130,6 +136,7 @@ impl std::fmt::Display for IngestReport {
             self.reassembly_gaps,
             self.transactions_recovered,
             self.gzip_failures,
+            self.deflate_failures,
             self.chunked_failures,
         )
     }
@@ -161,6 +168,7 @@ mod tests {
         assert!(!IngestReport { packets_read: 10, streams_total: 2, ..IngestReport::new() }
             .has_loss());
         assert!(IngestReport { records_dropped: 1, ..IngestReport::new() }.has_loss());
+        assert!(IngestReport { deflate_failures: 1, ..IngestReport::new() }.has_loss());
         assert!(IngestReport { chunked_failures: 1, ..IngestReport::new() }.has_loss());
     }
 

@@ -34,6 +34,7 @@ pub struct IngestMetrics {
     pub reassembly_gaps: Counter,
     pub transactions_recovered: Counter,
     pub gzip_failures: Counter,
+    pub deflate_failures: Counter,
     pub chunked_failures: Counter,
 }
 
@@ -89,6 +90,10 @@ impl IngestMetrics {
                 "ingest_gzip_failures_total",
                 "Response bodies whose gzip encoding failed to decode",
             ),
+            deflate_failures: registry.counter(
+                "ingest_deflate_failures_total",
+                "Response bodies whose deflate encoding failed to decode",
+            ),
             chunked_failures: registry.counter(
                 "ingest_chunked_failures_total",
                 "Chunked transfer framing errors",
@@ -115,6 +120,7 @@ impl IngestMetrics {
         self.reassembly_gaps.add(report.reassembly_gaps);
         self.transactions_recovered.add(report.transactions_recovered);
         self.gzip_failures.add(report.gzip_failures);
+        self.deflate_failures.add(report.deflate_failures);
         self.chunked_failures.add(report.chunked_failures);
     }
 
@@ -122,7 +128,7 @@ impl IngestMetrics {
     /// — the consistency contract the fault-injection suite leans on.
     /// Panics with the first mismatching layer.
     pub fn assert_consistent_with(&self, merged: &IngestReport, captures: u64, truncated: u64) {
-        let pairs: [(&str, u64, u64); 15] = [
+        let pairs: [(&str, u64, u64); 16] = [
             ("captures", self.captures.get(), captures),
             ("packets_read", self.packets_read.get(), merged.packets_read),
             ("records_dropped", self.records_dropped.get(), merged.records_dropped),
@@ -149,6 +155,7 @@ impl IngestMetrics {
                 merged.transactions_recovered,
             ),
             ("gzip_failures", self.gzip_failures.get(), merged.gzip_failures),
+            ("deflate_failures", self.deflate_failures.get(), merged.deflate_failures),
             ("chunked_failures", self.chunked_failures.get(), merged.chunked_failures),
         ];
         for (name, counter, report) in pairs {
@@ -181,6 +188,7 @@ mod tests {
             reassembly_gaps: 29,
             transactions_recovered: 31,
             gzip_failures: 37,
+            deflate_failures: 43,
             chunked_failures: 41,
         };
         metrics.record(&report);
@@ -189,6 +197,7 @@ mod tests {
         assert_eq!(snap.counter("ingest_packets_read_total"), 2);
         assert_eq!(snap.counter("ingest_capture_truncations_total"), 1);
         assert_eq!(snap.counter("ingest_reassembly_gaps_total"), 29);
+        assert_eq!(snap.counter("ingest_deflate_failures_total"), 43);
         assert_eq!(snap.counter("ingest_chunked_failures_total"), 41);
     }
 

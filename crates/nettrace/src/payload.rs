@@ -117,22 +117,29 @@ pub const RANSOMWARE_EXTENSIONS: [&str; 45] = [
 ];
 
 /// Returns `true` when `ext` (without the dot, any case) is one of the 45
-/// known ransomware extensions.
+/// known ransomware extensions. Case is folded per comparison — no
+/// lowercase copy is allocated.
 pub fn is_ransomware_extension(ext: &str) -> bool {
-    let lower = ext.to_ascii_lowercase();
-    RANSOMWARE_EXTENSIONS.contains(&lower.as_str())
+    RANSOMWARE_EXTENSIONS.iter().any(|e| e.eq_ignore_ascii_case(ext))
 }
 
-/// Extracts the lowercase file extension from a URI path (query string and
-/// fragment stripped).
-pub fn uri_extension(uri: &str) -> Option<String> {
+/// Extracts the file extension from a URI path (query string and fragment
+/// stripped) in its original case. The allocation-free core of
+/// [`uri_extension`], used directly by the per-response classifier.
+fn uri_extension_raw(uri: &str) -> Option<&str> {
     let path = uri.split(['?', '#']).next().unwrap_or(uri);
     let file = path.rsplit('/').next().unwrap_or(path);
     let (stem, ext) = file.rsplit_once('.')?;
     if stem.is_empty() || ext.is_empty() || ext.len() > 16 {
         return None;
     }
-    Some(ext.to_ascii_lowercase())
+    Some(ext)
+}
+
+/// Extracts the lowercase file extension from a URI path (query string and
+/// fragment stripped).
+pub fn uri_extension(uri: &str) -> Option<String> {
+    uri_extension_raw(uri).map(|ext| ext.to_ascii_lowercase())
 }
 
 fn classify_magic(body: &[u8]) -> Option<PayloadClass> {
@@ -153,52 +160,78 @@ fn classify_magic(body: &[u8]) -> Option<PayloadClass> {
     }
 }
 
+/// Media-type table for [`classify_content_type`], compared
+/// case-insensitively without allocating a lowercase copy.
+const CONTENT_TYPE_CLASSES: &[(&str, PayloadClass)] = &[
+    ("application/pdf", PayloadClass::Pdf),
+    ("application/x-msdownload", PayloadClass::Exe),
+    ("application/x-msdos-program", PayloadClass::Exe),
+    ("application/vnd.microsoft.portable-executable", PayloadClass::Exe),
+    ("application/java-archive", PayloadClass::Jar),
+    ("application/x-java-archive", PayloadClass::Jar),
+    ("application/x-shockwave-flash", PayloadClass::Swf),
+    ("application/x-silverlight-app", PayloadClass::Xap),
+    ("application/x-apple-diskimage", PayloadClass::Dmg),
+    ("application/javascript", PayloadClass::Js),
+    ("text/javascript", PayloadClass::Js),
+    ("application/x-javascript", PayloadClass::Js),
+    ("text/html", PayloadClass::Html),
+    ("application/xhtml+xml", PayloadClass::Html),
+    ("text/css", PayloadClass::Css),
+    ("application/json", PayloadClass::Json),
+    ("text/plain", PayloadClass::Text),
+    ("application/zip", PayloadClass::Archive),
+    ("application/gzip", PayloadClass::Archive),
+    ("application/x-gzip", PayloadClass::Archive),
+    ("application/x-rar-compressed", PayloadClass::Archive),
+    ("application/x-7z-compressed", PayloadClass::Archive),
+];
+
 fn classify_content_type(ct: &str) -> Option<PayloadClass> {
-    let ct = ct.split(';').next().unwrap_or(ct).trim().to_ascii_lowercase();
-    match ct.as_str() {
-        "application/pdf" => Some(PayloadClass::Pdf),
-        "application/x-msdownload"
-        | "application/x-msdos-program"
-        | "application/vnd.microsoft.portable-executable" => Some(PayloadClass::Exe),
-        "application/java-archive" | "application/x-java-archive" => Some(PayloadClass::Jar),
-        "application/x-shockwave-flash" => Some(PayloadClass::Swf),
-        "application/x-silverlight-app" => Some(PayloadClass::Xap),
-        "application/x-apple-diskimage" => Some(PayloadClass::Dmg),
-        "application/javascript" | "text/javascript" | "application/x-javascript" => {
-            Some(PayloadClass::Js)
+    let ct = ct.split(';').next().unwrap_or(ct).trim();
+    for &(name, class) in CONTENT_TYPE_CLASSES {
+        if ct.eq_ignore_ascii_case(name) {
+            return Some(class);
         }
-        "text/html" | "application/xhtml+xml" => Some(PayloadClass::Html),
-        "text/css" => Some(PayloadClass::Css),
-        "application/json" => Some(PayloadClass::Json),
-        "text/plain" => Some(PayloadClass::Text),
-        "application/zip"
-        | "application/gzip"
-        | "application/x-gzip"
-        | "application/x-rar-compressed"
-        | "application/x-7z-compressed" => Some(PayloadClass::Archive),
-        _ if ct.starts_with("image/") => Some(PayloadClass::Image),
-        _ => None,
     }
+    // Byte-level prefix test so a non-ASCII byte right after the prefix
+    // cannot trip a char-boundary panic.
+    let b = ct.as_bytes();
+    if b.len() >= 6 && b[..6].eq_ignore_ascii_case(b"image/") {
+        return Some(PayloadClass::Image);
+    }
+    None
 }
 
 fn classify_extension(ext: &str) -> Option<PayloadClass> {
-    match ext {
-        "pdf" => Some(PayloadClass::Pdf),
-        "exe" | "scr" | "msi" | "com" => Some(PayloadClass::Exe),
-        "jar" => Some(PayloadClass::Jar),
-        "swf" => Some(PayloadClass::Swf),
-        "xap" => Some(PayloadClass::Xap),
-        "dmg" => Some(PayloadClass::Dmg),
-        "js" => Some(PayloadClass::Js),
-        "html" | "htm" | "php" | "asp" | "aspx" | "jsp" => Some(PayloadClass::Html),
-        "css" => Some(PayloadClass::Css),
-        "png" | "jpg" | "jpeg" | "gif" | "ico" | "webp" | "svg" | "bmp" => {
+    // Extensions are at most 16 bytes (enforced by `uri_extension_raw`),
+    // so case is folded on the stack instead of allocating a lowercase
+    // String per classified response.
+    let bytes = ext.as_bytes();
+    let mut buf = [0u8; 16];
+    if bytes.len() > buf.len() {
+        return None;
+    }
+    for (d, s) in buf.iter_mut().zip(bytes) {
+        *d = s.to_ascii_lowercase();
+    }
+    match &buf[..bytes.len()] {
+        b"pdf" => Some(PayloadClass::Pdf),
+        b"exe" | b"scr" | b"msi" | b"com" => Some(PayloadClass::Exe),
+        b"jar" => Some(PayloadClass::Jar),
+        b"swf" => Some(PayloadClass::Swf),
+        b"xap" => Some(PayloadClass::Xap),
+        b"dmg" => Some(PayloadClass::Dmg),
+        b"js" => Some(PayloadClass::Js),
+        b"html" | b"htm" | b"php" | b"asp" | b"aspx" | b"jsp" => Some(PayloadClass::Html),
+        b"css" => Some(PayloadClass::Css),
+        b"png" | b"jpg" | b"jpeg" | b"gif" | b"ico" | b"webp" | b"svg" | b"bmp" => {
             Some(PayloadClass::Image)
         }
-        "zip" | "gz" | "tgz" | "rar" | "7z" => Some(PayloadClass::Archive),
-        "json" => Some(PayloadClass::Json),
-        "txt" | "log" => Some(PayloadClass::Text),
-        e if is_ransomware_extension(e) => Some(PayloadClass::Crypt),
+        b"zip" | b"gz" | b"tgz" | b"rar" | b"7z" => Some(PayloadClass::Archive),
+        b"json" => Some(PayloadClass::Json),
+        b"txt" | b"log" => Some(PayloadClass::Text),
+        _ if is_ransomware_extension(ext) => Some(PayloadClass::Crypt),
         _ => None,
     }
 }
@@ -209,10 +242,10 @@ fn classify_extension(ext: &str) -> Option<PayloadClass> {
 /// Priority: ransomware extension → magic bytes → `Content-Type` → other
 /// URI extension → `Other`/`Empty`.
 pub fn classify(uri: &str, content_type: Option<&str>, size: usize, body: &[u8]) -> PayloadClass {
-    let ext = uri_extension(uri);
+    let ext = uri_extension_raw(uri);
     // The ransomware-extension match dominates: crypto-locker payloads ship
     // with generic content types and arbitrary magic.
-    if let Some(e) = &ext {
+    if let Some(e) = ext {
         if is_ransomware_extension(e) {
             return PayloadClass::Crypt;
         }
@@ -226,7 +259,7 @@ pub fn classify(uri: &str, content_type: Option<&str>, size: usize, body: &[u8])
     if let Some(c) = content_type.and_then(classify_content_type) {
         return c;
     }
-    if let Some(c) = ext.as_deref().and_then(classify_extension) {
+    if let Some(c) = ext.and_then(classify_extension) {
         return c;
     }
     PayloadClass::Other

@@ -115,7 +115,8 @@ impl HttpTransaction {
         for kv in query.split('&') {
             let (k, v) = kv.split_once('=')?;
             if ["phpsessid", "sessionid", "sid", "jsessionid"]
-                .contains(&k.to_ascii_lowercase().as_str())
+                .iter()
+                .any(|key| k.eq_ignore_ascii_case(key))
             {
                 return Some(v.to_string());
             }
@@ -475,9 +476,60 @@ fn pair_connection_lenient(
     build_transactions(req_stream, requests.items, responses, Some(report))
 }
 
+/// Removes the response's `Content-Encoding` layers from `body`.
+///
+/// The header is a comma-separated list of coding tokens applied in
+/// order, so decoding unwraps them in reverse. Per token
+/// (ASCII-case-insensitive, no allocation): `gzip` and its legacy alias
+/// `x-gzip` go through [`crate::flate::gzip_decompress`], `deflate`
+/// (zlib or raw) through [`crate::flate::deflate_decompress`], and
+/// `identity` (or an empty token) is a no-op. Decoding stops at the
+/// first failure or unknown coding (`br`, `zstd`, …) — the bytes
+/// recovered so far are kept so payload sizing still works, and
+/// failures are counted per coding in `report`.
+fn decode_content_codings(
+    mut body: Vec<u8>,
+    resp_headers: &HeaderMap,
+    mut report: Option<&mut IngestReport>,
+) -> Vec<u8> {
+    let Some(encodings) = resp_headers.get("Content-Encoding") else {
+        return body;
+    };
+    for token in encodings.rsplit(',') {
+        let token = token.trim();
+        if token.is_empty() || token.eq_ignore_ascii_case("identity") {
+            continue;
+        }
+        if token.eq_ignore_ascii_case("gzip") || token.eq_ignore_ascii_case("x-gzip") {
+            match crate::flate::gzip_decompress(&body) {
+                Ok(decoded) => body = decoded,
+                Err(_) => {
+                    if let Some(r) = report.as_deref_mut() {
+                        r.gzip_failures += 1;
+                    }
+                    break;
+                }
+            }
+        } else if token.eq_ignore_ascii_case("deflate") {
+            match crate::flate::deflate_decompress(&body) {
+                Ok(decoded) => body = decoded,
+                Err(_) => {
+                    if let Some(r) = report.as_deref_mut() {
+                        r.deflate_failures += 1;
+                    }
+                    break;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    body
+}
+
 /// FIFO-pairs parsed requests with parsed responses on one connection.
-/// With a `report`, gzip decode failures are counted (the raw body is
-/// kept either way).
+/// With a `report`, body decode failures are counted per coding (the
+/// raw body is kept either way).
 fn build_transactions(
     req_stream: &Stream,
     requests: Vec<ParsedRequest>,
@@ -500,27 +552,12 @@ fn build_transactions(
             Some(r) => (r.head.status, r.head.headers, r.body, r.end_ts),
             None => (0, HeaderMap::new(), Vec::new(), req.ts),
         };
-        // Entity bodies are exposed *decoded*: gzip transfer encoding is
+        // Entity bodies are exposed *decoded*: content codings are
         // removed so payload classification, digests, and redirect mining
         // see the real content (where meta-refresh tags and obfuscated
         // JavaScript actually live). Undecodable bodies fall back to the
-        // raw bytes.
-        let body = if resp_headers
-            .get("Content-Encoding")
-            .is_some_and(|v| v.to_ascii_lowercase().contains("gzip"))
-        {
-            match crate::flate::gzip_decompress(&body) {
-                Ok(decoded) => decoded,
-                Err(_) => {
-                    if let Some(r) = report.as_deref_mut() {
-                        r.gzip_failures += 1;
-                    }
-                    body
-                }
-            }
-        } else {
-            body
-        };
+        // raw bytes, counted per coding.
+        let body = decode_content_codings(body, &resp_headers, report.as_deref_mut());
         let content_type = resp_headers.get("Content-Type").map(str::to_string);
         let payload_class = classify(&req.head.uri, content_type.as_deref(), body.len(), &body);
         let preview_len = body.len().min(BODY_PREVIEW_LEN);
@@ -680,6 +717,102 @@ mod tests {
         assert_eq!(txs[0].payload_size, html.len(), "decoded size");
         assert_eq!(txs[0].payload_digest, fnv1a(html), "decoded digest");
         assert!(String::from_utf8_lossy(&txs[0].body_preview).contains("next.example"));
+    }
+
+    fn resp_with_encoding(encoding: &str, wire_body: &[u8]) -> Vec<u8> {
+        let mut resp = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Encoding: {encoding}\r\nContent-Length: {}\r\n\r\n",
+            wire_body.len()
+        )
+        .into_bytes();
+        resp.extend_from_slice(wire_body);
+        resp
+    }
+
+    fn single_tx(encoding: &str, wire_body: &[u8]) -> HttpTransaction {
+        let req = b"GET /page HTTP/1.1\r\nHost: h\r\n\r\n";
+        let resp = resp_with_encoding(encoding, wire_body);
+        let mut txs = pair_connection(
+            &mk_stream(conn(), req, 0.0),
+            Some(&mk_stream(conn().reversed(), &resp, 0.1)),
+        )
+        .unwrap();
+        assert_eq!(txs.len(), 1);
+        txs.remove(0)
+    }
+
+    #[test]
+    fn deflate_bodies_are_decoded_for_classification() {
+        let html = b"<html><meta http-equiv=\"refresh\" content=\"0;url=http://next.example/\"></html>";
+        // Both on-wire forms of `deflate`: zlib-wrapped and raw.
+        for wire in [crate::flate::zlib_compress(html), crate::flate::deflate_stored(html)] {
+            let tx = single_tx("deflate", &wire);
+            assert_eq!(tx.payload_class, PayloadClass::Html);
+            assert_eq!(tx.payload_size, html.len(), "decoded size");
+            assert_eq!(tx.payload_digest, fnv1a(html), "decoded digest");
+            assert!(String::from_utf8_lossy(&tx.body_preview).contains("next.example"));
+        }
+    }
+
+    #[test]
+    fn x_gzip_alias_decodes_like_gzip() {
+        let body = b"<html>aliased</html>";
+        let tx = single_tx("x-gzip", &crate::flate::gzip_compress(body));
+        assert_eq!(tx.payload_size, body.len());
+        assert_eq!(tx.payload_digest, fnv1a(body));
+    }
+
+    #[test]
+    fn content_encoding_token_list_is_parsed_not_substring_matched() {
+        let body = b"<html>token list</html>";
+        // Multi-token values decode the real coding, `identity` is a
+        // no-op in any position, and case/whitespace are irrelevant.
+        for enc in ["gzip, identity", "identity, gzip", " GZIP ", "identity,\tgzip"] {
+            let tx = single_tx(enc, &crate::flate::gzip_compress(body));
+            assert_eq!(tx.payload_size, body.len(), "encoding {enc:?}");
+            assert_eq!(tx.payload_digest, fnv1a(body), "encoding {enc:?}");
+        }
+        // A non-encoding token merely *containing* "gzip" must not
+        // trigger gzip decoding (the old substring bug).
+        let raw = b"not actually compressed";
+        let tx = single_tx("not-gzip-at-all", raw);
+        assert_eq!(tx.payload_size, raw.len(), "raw bytes kept");
+        assert_eq!(tx.payload_digest, fnv1a(raw));
+    }
+
+    #[test]
+    fn identity_encoding_is_a_no_op() {
+        let raw = b"plain text body";
+        let tx = single_tx("identity", raw);
+        assert_eq!(tx.payload_size, raw.len());
+        assert_eq!(tx.payload_digest, fnv1a(raw));
+    }
+
+    #[test]
+    fn stacked_codings_unwrap_in_reverse_order() {
+        let body = b"<html>double wrapped</html>";
+        // Applied deflate-then-gzip on the wire ⇒ listed "deflate, gzip"
+        // ⇒ decoder unwraps gzip first, then deflate.
+        let wire = crate::flate::gzip_compress(&crate::flate::zlib_compress(body));
+        let tx = single_tx("deflate, gzip", &wire);
+        assert_eq!(tx.payload_size, body.len());
+        assert_eq!(tx.payload_digest, fnv1a(body));
+    }
+
+    #[test]
+    fn lenient_counts_deflate_failure_and_keeps_raw_bytes() {
+        let garbage = [0x07, 0xff, 0x12, 0x34, 0x56];
+        let req = b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n";
+        let resp = resp_with_encoding("deflate", &garbage);
+        let mut report = IngestReport::new();
+        let txs = pair_connection_lenient(
+            &mk_stream(conn(), req, 0.0),
+            Some(&mk_stream(conn().reversed(), &resp, 0.1)),
+            &mut report,
+        );
+        assert_eq!(txs[0].payload_size, garbage.len(), "raw bytes kept");
+        assert_eq!(report.deflate_failures, 1);
+        assert_eq!(report.gzip_failures, 0);
     }
 
     #[test]

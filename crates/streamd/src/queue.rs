@@ -1,108 +1,250 @@
 //! Bounded per-shard handoff queue.
 //!
-//! Transactions travel in batches (`Vec<HttpTransaction>`) to amortize
-//! the mutex round-trip: one lock acquisition hands over up to
-//! `batch_size` transactions. The bound is expressed in *transactions*,
-//! not batches, so backpressure reacts to actual buffered work.
+//! Transactions travel in batches (`Vec<HttpTransaction>`) so one
+//! handoff moves up to `batch_size` transactions. The bound is
+//! expressed in *transactions*, not batches, so backpressure reacts to
+//! actual buffered work.
+//!
+//! The queue is a lock-free SPSC ring buffer of batch slots: the feeder
+//! is the only producer (owns `tail`), the shard worker the only
+//! consumer (owns `head`), so a push and a pop never contend on a lock.
+//! The uncontended path is a couple of atomic operations; only a
+//! genuinely full (producer) or empty (consumer) queue parks the
+//! thread, and the other side unparks it directly — no condvar, no
+//! broadcast wakeups. The ring holds `capacity` slots: while the
+//! transaction bound admits more work there is always a free slot
+//! (every buffered batch holds at least one transaction), so the slot
+//! count never rejects a push the transaction bound would admit.
 
-use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
 
 use nettrace::HttpTransaction;
 
-struct State {
-    batches: VecDeque<Vec<HttpTransaction>>,
-    /// Transactions buffered across all queued batches.
-    len: usize,
-    closed: bool,
+/// One side's park/unpark slot: the waiting thread registers its handle
+/// and raises `waiting` before re-checking the queue and parking; the
+/// other side only pays the handle lock + unpark syscall when the flag
+/// is up. A stale unpark token at worst costs one extra loop iteration.
+#[derive(Default)]
+struct Waiter {
+    waiting: AtomicBool,
+    thread: Mutex<Option<Thread>>,
 }
 
-/// A bounded MPSC-ish queue (one feeder, one worker) of transaction
-/// batches with blocking and rejecting push variants.
-pub(crate) struct ShardQueue {
-    state: Mutex<State>,
-    not_empty: Condvar,
-    not_full: Condvar,
-    capacity: usize,
+impl Waiter {
+    /// Registers the current thread and raises the waiting flag. The
+    /// caller MUST re-check its wake condition after this and before
+    /// parking — that ordering (flag up, then re-check) is what closes
+    /// the lost-wakeup race against [`Waiter::notify`].
+    fn prepare(&self) {
+        {
+            let mut slot = self.thread.lock().expect("waiter poisoned");
+            if slot.as_ref().is_none_or(|t| t.id() != std::thread::current().id()) {
+                *slot = Some(std::thread::current());
+            }
+        }
+        self.waiting.store(true, Ordering::SeqCst);
+    }
+
+    fn park(&self) {
+        std::thread::park();
+        self.waiting.store(false, Ordering::SeqCst);
+    }
+
+    fn cancel(&self) {
+        self.waiting.store(false, Ordering::SeqCst);
+    }
+
+    /// Unparks the registered thread if it announced it may be parked.
+    fn notify(&self) {
+        if self.waiting.load(Ordering::SeqCst) {
+            if let Some(t) = self.thread.lock().expect("waiter poisoned").as_ref() {
+                t.unpark();
+            }
+        }
+    }
 }
+
+/// A bounded SPSC queue (one feeder, one worker) of transaction batches
+/// with blocking and rejecting push variants.
+pub(crate) struct ShardQueue {
+    /// Ring of batch slots. Slot `i % slots.len()` is written by the
+    /// producer at ring position `i` and taken by the consumer.
+    slots: Box<[UnsafeCell<Option<Vec<HttpTransaction>>>]>,
+    /// Next ring position to pop (monotone; consumer-advanced).
+    head: AtomicU64,
+    /// Next ring position to push (monotone; producer-advanced).
+    tail: AtomicU64,
+    /// Transactions buffered across all queued batches.
+    len: AtomicUsize,
+    closed: AtomicBool,
+    capacity: usize,
+    producer: Waiter,
+    consumer: Waiter,
+}
+
+// SAFETY: slot `p` is written exactly once by the single producer
+// before `tail` advances past `p` (release), and taken exactly once by
+// the single consumer after observing `tail > p` (acquire), before
+// `head` advances past `p`. The producer never touches a slot until
+// `head` has moved past its previous occupancy. One mutator per slot at
+// any time ⇒ the `UnsafeCell` accesses never alias mutably.
+unsafe impl Send for ShardQueue {}
+unsafe impl Sync for ShardQueue {}
 
 impl ShardQueue {
     pub(crate) fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        // One slot per admissible transaction: a buffered batch holds
+        // ≥ 1 transaction, so `capacity` slots can never fill while the
+        // transaction bound still admits work. Capped so a huge bound
+        // doesn't balloon the ring (beyond the cap, a push can block on
+        // slots — still bounded-queue semantics, just a tighter bound).
+        let slots = capacity.clamp(1, 65_536);
         ShardQueue {
-            state: Mutex::new(State { batches: VecDeque::new(), len: 0, closed: false }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            capacity: capacity.max(1),
+            slots: (0..slots).map(|_| UnsafeCell::new(None)).collect(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            capacity,
+            producer: Waiter::default(),
+            consumer: Waiter::default(),
         }
     }
 
-    /// Whether `state` can admit `n` more transactions. An empty queue
-    /// admits any batch — even one larger than the capacity — so an
-    /// oversized batch makes progress instead of deadlocking both sides.
-    fn admits(&self, state: &State, n: usize) -> bool {
-        state.len == 0 || state.len + n <= self.capacity
+    /// Whether the queue can admit `n` more transactions. An empty
+    /// queue admits any batch — even one larger than the capacity — so
+    /// an oversized batch makes progress instead of deadlocking both
+    /// sides.
+    fn admits(&self, n: usize) -> bool {
+        let len = self.len.load(Ordering::SeqCst);
+        len == 0 || len + n <= self.capacity
     }
 
-    /// Pushes a batch, blocking while the queue is over capacity.
-    /// Returns the number of times the caller had to wait (the
-    /// backpressure signal).
+    /// Producer-only: publishes `batch` if both the transaction bound
+    /// and the ring admit it.
+    fn try_push(&self, batch: Vec<HttpTransaction>) -> Result<(), Vec<HttpTransaction>> {
+        let n = batch.len();
+        if !self.admits(n) {
+            return Err(batch);
+        }
+        let tail = self.tail.load(Ordering::Relaxed); // producer-owned
+        let head = self.head.load(Ordering::Acquire);
+        if tail - head >= self.slots.len() as u64 {
+            return Err(batch); // ring full (oversized-batch regimes only)
+        }
+        // `len` grows before the batch is visible so the consumer's
+        // decrement can never race it below zero.
+        self.len.fetch_add(n, Ordering::SeqCst);
+        let slot = &self.slots[(tail % self.slots.len() as u64) as usize];
+        // SAFETY: see the `Sync` impl — the consumer does not read this
+        // slot until `tail` advances past it below.
+        unsafe { *slot.get() = Some(batch) };
+        self.tail.store(tail + 1, Ordering::SeqCst);
+        self.consumer.notify();
+        Ok(())
+    }
+
+    /// Consumer-only: takes the next batch if one is published.
+    fn try_pop(&self) -> Option<Vec<HttpTransaction>> {
+        let head = self.head.load(Ordering::Relaxed); // consumer-owned
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &self.slots[(head % self.slots.len() as u64) as usize];
+        // SAFETY: `tail > head` proves the producer published this slot
+        // and will not touch it again until `head` advances past it.
+        let batch = unsafe { (*slot.get()).take() }.expect("published slot holds a batch");
+        self.head.store(head + 1, Ordering::SeqCst);
+        self.len.fetch_sub(batch.len(), Ordering::SeqCst);
+        self.producer.notify();
+        Some(batch)
+    }
+
+    /// Pushes a batch, blocking (parked) while the queue is over
+    /// capacity. Returns the number of times the caller had to wait
+    /// (the backpressure signal). Empty batches are a no-op.
     pub(crate) fn push_blocking(&self, batch: Vec<HttpTransaction>) -> u64 {
-        let mut waits = 0u64;
-        let mut state = self.state.lock().expect("shard queue poisoned");
-        while !self.admits(&state, batch.len()) {
-            waits += 1;
-            state = self.not_full.wait(state).expect("shard queue poisoned");
+        if batch.is_empty() {
+            return 0;
         }
-        state.len += batch.len();
-        state.batches.push_back(batch);
-        self.not_empty.notify_one();
-        waits
+        let mut waits = 0u64;
+        let mut batch = batch;
+        loop {
+            match self.try_push(batch) {
+                Ok(()) => return waits,
+                Err(back) => batch = back,
+            }
+            waits += 1;
+            self.producer.prepare();
+            // Re-check after raising the flag: a pop that happened in
+            // between either freed room now or left an unpark token.
+            match self.try_push(batch) {
+                Ok(()) => {
+                    self.producer.cancel();
+                    return waits;
+                }
+                Err(back) => batch = back,
+            }
+            self.producer.park();
+        }
     }
 
     /// Pushes a batch unless it would overflow the queue; the rejected
-    /// batch is handed back so the caller can account the drop.
+    /// batch is handed back so the caller can account the drop. Empty
+    /// batches are a no-op.
     pub(crate) fn push_or_reject(
         &self,
         batch: Vec<HttpTransaction>,
     ) -> Result<(), Vec<HttpTransaction>> {
-        let mut state = self.state.lock().expect("shard queue poisoned");
-        if !self.admits(&state, batch.len()) {
-            return Err(batch);
+        if batch.is_empty() {
+            return Ok(());
         }
-        state.len += batch.len();
-        state.batches.push_back(batch);
-        self.not_empty.notify_one();
-        Ok(())
+        self.try_push(batch)
     }
 
     /// Marks the stream finished: workers drain what is buffered, then
     /// [`ShardQueue::pop`] returns `None`.
     pub(crate) fn close(&self) {
-        let mut state = self.state.lock().expect("shard queue poisoned");
-        state.closed = true;
-        self.not_empty.notify_all();
+        self.closed.store(true, Ordering::SeqCst);
+        self.consumer.notify();
+        self.producer.notify();
     }
 
-    /// Blocks for the next batch; `None` once the queue is closed *and*
-    /// fully drained — close never discards buffered transactions.
+    /// Blocks (parked) for the next batch; `None` once the queue is
+    /// closed *and* fully drained — close never discards buffered
+    /// transactions.
     pub(crate) fn pop(&self) -> Option<Vec<HttpTransaction>> {
-        let mut state = self.state.lock().expect("shard queue poisoned");
         loop {
-            if let Some(batch) = state.batches.pop_front() {
-                state.len -= batch.len();
-                self.not_full.notify_one();
+            if let Some(batch) = self.try_pop() {
                 return Some(batch);
             }
-            if state.closed {
-                return None;
+            if self.closed.load(Ordering::SeqCst) {
+                // A push may have landed between the failed pop and the
+                // closed check; close never loses it.
+                return self.try_pop();
             }
-            state = self.not_empty.wait(state).expect("shard queue poisoned");
+            self.consumer.prepare();
+            // Re-check after raising the flag (lost-wakeup guard).
+            if let Some(batch) = self.try_pop() {
+                self.consumer.cancel();
+                return Some(batch);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                self.consumer.cancel();
+                continue;
+            }
+            self.consumer.park();
         }
     }
 
     /// Transactions currently buffered.
     pub(crate) fn depth(&self) -> usize {
-        self.state.lock().expect("shard queue poisoned").len
+        self.len.load(Ordering::SeqCst)
     }
 }
 
@@ -176,5 +318,58 @@ mod tests {
         assert!(waits >= 1, "full queue must block the producer");
         q.close();
         assert_eq!(consumer.join().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn ring_wraps_many_times_without_reordering() {
+        use std::sync::Arc;
+        // Tiny ring, long stream: head/tail wrap the slot array dozens
+        // of times while producer and consumer run concurrently.
+        let q = Arc::new(ShardQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(batch) = q2.pop() {
+                got.extend(batch.into_iter().map(|t| t.seq));
+            }
+            got
+        });
+        for i in 0..500u64 {
+            q.push_blocking(vec![tx(2 * i), tx(2 * i + 1)]);
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let q = ShardQueue::new(2);
+        assert_eq!(q.push_blocking(Vec::new()), 0);
+        assert!(q.push_or_reject(Vec::new()).is_ok());
+        assert_eq!(q.depth(), 0);
+        q.close();
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn close_after_push_never_loses_the_batch() {
+        // Stress the close/pop race: the consumer must always see a
+        // batch pushed before close, at any interleaving.
+        for _ in 0..200 {
+            use std::sync::Arc;
+            let q = Arc::new(ShardQueue::new(16));
+            let q2 = Arc::clone(&q);
+            let consumer = std::thread::spawn(move || {
+                let mut n = 0usize;
+                while let Some(batch) = q2.pop() {
+                    n += batch.len();
+                }
+                n
+            });
+            q.push_blocking(vec![tx(0), tx(1), tx(2)]);
+            q.close();
+            assert_eq!(consumer.join().unwrap(), 3);
+        }
     }
 }

@@ -353,9 +353,9 @@ pub fn generate_infection<R: Rng>(rng: &mut R, family: EkFamily, start_ts: f64) 
             _ => (200, None, redirect_body(kind, &target_url)),
         };
         let size = body.len();
-        // A third of HTML redirect carriers ship gzip-compressed, like
-        // real servers do — the evidence only appears after decoding.
-        let gzip_hop = !body.is_empty() && rng.gen_bool(0.35);
+        // A third of HTML redirect carriers ship compressed, like real
+        // servers do — the evidence only appears after decoding.
+        let compressed_hop = !body.is_empty() && rng.gen_bool(0.35);
         let mut hop_tx = fac.tx(rng, TxSpec {
             ts: t,
             method: Method::Get,
@@ -369,8 +369,13 @@ pub fn generate_infection<R: Rng>(rng: &mut R, family: EkFamily, start_ts: f64) 
             location,
             cookie: None,
         });
-        if gzip_hop {
-            hop_tx.resp_headers.append("Content-Encoding", "gzip");
+        if compressed_hop {
+            // The coding is derived from the already-computed body digest
+            // rather than a fresh draw, keeping the episode RNG stream
+            // stable: roughly half the carriers gzip, half deflate.
+            let coding =
+                if hop_tx.payload_digest & 1 == 0 { "gzip" } else { "deflate" };
+            hop_tx.resp_headers.append("Content-Encoding", coding);
         }
         txs.push(hop_tx);
         referer = Some(format!("http://{host}{uri}"));

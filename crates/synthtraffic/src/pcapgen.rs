@@ -34,20 +34,24 @@ pub fn request_bytes(tx: &HttpTransaction) -> Vec<u8> {
 }
 
 /// Renders the response bytes of a transaction, with `Content-Length`
-/// rewritten to the on-wire body length. Transactions marked
-/// `Content-Encoding: gzip` carry their body *decoded* (that is the
-/// [`HttpTransaction`] contract), so the wire form re-compresses it —
-/// the extractor then decodes it back to identical bytes.
+/// rewritten to the on-wire body length. Transactions marked with a
+/// `Content-Encoding` carry their body *decoded* (that is the
+/// [`HttpTransaction`] contract), so the wire form re-applies each
+/// coding token in listed order — gzip (and its `x-gzip` alias) as a
+/// gzip container, deflate as zlib — and the extractor decodes it back
+/// to identical bytes.
 pub fn response_bytes(tx: &HttpTransaction) -> Vec<u8> {
-    let gzipped = tx
-        .resp_headers
-        .get("Content-Encoding")
-        .is_some_and(|v| v.to_ascii_lowercase().contains("gzip"));
-    let wire_body: Vec<u8> = if gzipped {
-        nettrace::flate::gzip_compress(&tx.body_preview)
-    } else {
-        tx.body_preview.clone()
-    };
+    let mut wire_body = tx.body_preview.clone();
+    if let Some(encodings) = tx.resp_headers.get("Content-Encoding") {
+        for token in encodings.split(',') {
+            let token = token.trim();
+            if token.eq_ignore_ascii_case("gzip") || token.eq_ignore_ascii_case("x-gzip") {
+                wire_body = nettrace::flate::gzip_compress(&wire_body);
+            } else if token.eq_ignore_ascii_case("deflate") {
+                wire_body = nettrace::flate::zlib_compress(&wire_body);
+            }
+        }
+    }
     let mut out = format!("HTTP/1.1 {} X\r\n", tx.status).into_bytes();
     for (name, value) in tx.resp_headers.iter() {
         if name.eq_ignore_ascii_case("content-length") {
@@ -104,18 +108,25 @@ pub fn episode_packets(episode: &Episode) -> Vec<Packet> {
             t += 0.0005;
         }
         // Response segments, spread between request time and resp_ts.
+        // The final segment is pinned at exactly `resp_ts`, so the
+        // transaction's declared completion time survives the pcap
+        // round-trip bit-for-bit no matter how many segments the wire
+        // body occupies (content codings change the wire length but not
+        // when the response, per the episode, finished).
         let mut rseq = 5000u32;
         let n_chunks = resp.len().div_ceil(MSS).max(1);
-        let dt = ((tx.resp_ts - tx.ts).max(0.001)) / n_chunks as f64;
-        let mut rt = tx.ts + dt.min(0.05);
-        for chunk in resp.chunks(MSS) {
+        let end_ts = tx.resp_ts.max(tx.ts + 0.001);
+        let dt = (end_ts - tx.ts) / n_chunks as f64;
+        let mut fin_ts = tx.ts + dt.min(0.05);
+        for (i, chunk) in resp.chunks(MSS).enumerate() {
+            let rt = if i + 1 == n_chunks { end_ts } else { tx.ts + dt * (i + 1) as f64 };
             sink.push(rt, server, client, rseq, TcpFlags::data(), chunk);
             rseq += chunk.len() as u32;
-            rt += dt;
+            fin_ts = rt + dt.min(0.05);
         }
         // Teardown.
-        sink.push(rt, client, server, seq, TcpFlags::fin(), &[]);
-        sink.push(rt + 0.001, server, client, rseq, TcpFlags::fin(), &[]);
+        sink.push(fin_ts, client, server, seq, TcpFlags::fin(), &[]);
+        sink.push(fin_ts + 0.001, server, client, rseq, TcpFlags::fin(), &[]);
     }
     sink.packets.sort_by(|a, b| a.ts.total_cmp(&b.ts));
     sink.packets

@@ -520,9 +520,87 @@ fn kind_name(m: &Metric) -> &'static str {
     }
 }
 
+/// CPU time consumed by the *calling thread*, in nanoseconds.
+///
+/// Wall-clock speedups on a shared or single-core container say nothing
+/// about whether parallel code duplicates work; per-thread CPU time does
+/// (`CLOCK_THREAD_CPUTIME_ID`: the kernel's per-thread execution-time
+/// accounting, unaffected by preemption or other tenants). The workspace
+/// links no libc, so the clock is read with a raw `clock_gettime`
+/// syscall. On platforms where that isn't available this returns 0;
+/// callers treat 0 as "unmeasured" and skip CPU-derived metrics.
+pub fn thread_cpu_ns() -> u64 {
+    clock_ns(3) // CLOCK_THREAD_CPUTIME_ID
+}
+
+/// CPU time consumed by the *whole process* (all threads, live and
+/// exited), in nanoseconds. Same caveats as [`thread_cpu_ns`]; returns 0
+/// where the clock cannot be read. Deltas around a parallel region give
+/// the total CPU the region burned across every worker — the denominator
+/// of an honest parallel-efficiency number on a time-sliced host.
+pub fn process_cpu_ns() -> u64 {
+    clock_ns(2) // CLOCK_PROCESS_CPUTIME_ID
+}
+
+#[allow(unused_variables)]
+fn clock_ns(clock_id: u64) -> u64 {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        const SYS_CLOCK_GETTIME: u64 = 228;
+        let mut ts = [0i64; 2]; // struct timespec { tv_sec, tv_nsec }
+        let ret: i64;
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_CLOCK_GETTIME as i64 => ret,
+                in("rdi") clock_id,
+                in("rsi") ts.as_mut_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        if ret == 0 {
+            return (ts[0] as u64).saturating_mul(1_000_000_000) + ts[1] as u64;
+        }
+        0
+    }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_cpu_clock_advances_with_work() {
+        let start = thread_cpu_ns();
+        if start == 0 {
+            return; // unmeasured platform
+        }
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let end = thread_cpu_ns();
+        assert!(end > start, "CPU clock must advance: {start} -> {end}");
+    }
+
+    #[test]
+    fn process_cpu_clock_covers_the_calling_thread() {
+        let t = thread_cpu_ns();
+        let p = process_cpu_ns();
+        if t == 0 || p == 0 {
+            return; // unmeasured platform
+        }
+        // The process clock aggregates every thread, so it can never sit
+        // below the calling thread's own clock (modulo the read gap).
+        assert!(p.saturating_add(1_000_000) >= t, "process {p} < thread {t}");
+    }
 
     #[test]
     fn counter_and_gauge_roundtrip() {

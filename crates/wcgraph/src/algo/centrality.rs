@@ -13,7 +13,8 @@
 //! traversal.
 
 use crate::algo::mean;
-use crate::algo::paths::bfs_distances;
+use crate::algo::paths::{bfs_distances, bfs_distances_into};
+use crate::algo::AlgoScratch;
 use crate::view::{Adjacency, GraphView};
 use crate::DiGraph;
 
@@ -38,8 +39,17 @@ pub fn degree_centrality_view(view: &GraphView) -> Vec<f64> {
 }
 
 /// Average degree centrality over all nodes (feature f16).
+///
+/// Computed as a running sum in node order — bit-identical to
+/// `mean(&degree_centrality(g))` (same terms, same addition order)
+/// without materializing the per-node vector.
 pub fn avg_degree_centrality<N, E>(g: &DiGraph<N, E>) -> f64 {
-    mean(&degree_centrality(g))
+    let n = g.node_count();
+    if n <= 1 {
+        return 0.0;
+    }
+    let denom = (n - 1) as f64;
+    g.node_ids().map(|v| g.degree(v) as f64 / denom).sum::<f64>() / n as f64
 }
 
 /// Per-node closeness centrality with the Wasserman–Faust improvement for
@@ -59,21 +69,44 @@ fn closeness_centrality_in<A: Adjacency + ?Sized>(adj: &A) -> Vec<f64> {
     (0..n)
         .map(|u| {
             let dist = bfs_distances(adj, u);
-            let mut reachable = 0usize;
-            let mut total = 0usize;
-            for (v, &d) in dist.iter().enumerate() {
-                if v != u && d != usize::MAX {
-                    reachable += 1;
-                    total += d;
-                }
-            }
-            if total == 0 || n <= 1 {
-                0.0
-            } else {
-                (reachable as f64 / total as f64) * (reachable as f64 / (n - 1) as f64)
-            }
+            closeness_of(&dist, u, n)
         })
         .collect()
+}
+
+/// Wasserman–Faust closeness of node `u` from its BFS distance row.
+fn closeness_of(dist: &[usize], u: usize, n: usize) -> f64 {
+    let mut reachable = 0usize;
+    let mut total = 0usize;
+    for (v, &d) in dist.iter().enumerate() {
+        if v != u && d != usize::MAX {
+            reachable += 1;
+            total += d;
+        }
+    }
+    if total == 0 || n <= 1 {
+        0.0
+    } else {
+        (reachable as f64 / total as f64) * (reachable as f64 / (n - 1) as f64)
+    }
+}
+
+/// Mean closeness centrality over a prebuilt view, reusing `scratch`'s
+/// BFS buffers. Bit-identical to
+/// `mean(&closeness_centrality_view(view))`: same per-node values summed
+/// in the same order.
+pub fn closeness_centrality_mean_scratch(view: &GraphView, scratch: &mut AlgoScratch) -> f64 {
+    let adj = view.undirected();
+    let n = adj.order();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for u in 0..n {
+        bfs_distances_into(adj, u, &mut scratch.dist, &mut scratch.queue);
+        sum += closeness_of(&scratch.dist, u, n);
+    }
+    sum / n as f64
 }
 
 /// Average closeness centrality (feature f17).
@@ -108,21 +141,55 @@ pub fn betweenness_and_load_view(view: &GraphView) -> (Vec<f64>, Vec<f64>) {
 }
 
 fn betweenness_and_load_in<A: Adjacency + ?Sized>(adj: &A) -> (Vec<f64>, Vec<f64>) {
+    let mut scratch = AlgoScratch::new();
+    betweenness_and_load_into(adj, &mut scratch);
+    (std::mem::take(&mut scratch.values_a), std::mem::take(&mut scratch.values_b))
+}
+
+/// Mean betweenness and load over a prebuilt view, reusing `scratch`.
+/// Returns `(mean betweenness, mean load)` — the f18/f19 pair — without
+/// allocating once the scratch buffers have grown to the graph's order.
+pub fn betweenness_and_load_means_scratch(
+    view: &GraphView,
+    scratch: &mut AlgoScratch,
+) -> (f64, f64) {
+    betweenness_and_load_into(view.undirected(), scratch);
+    (mean(&scratch.values_a), mean(&scratch.values_b))
+}
+
+/// The fused Brandes pass over caller-owned buffers: betweenness lands in
+/// `scratch.values_a`, load in `scratch.values_b` (both sized to the
+/// graph's order). Predecessor rows keep their capacity across calls.
+fn betweenness_and_load_into<A: Adjacency + ?Sized>(adj: &A, scratch: &mut AlgoScratch) {
     let n = adj.order();
-    let mut bc = vec![0.0f64; n];
-    let mut lc = vec![0.0f64; n];
-    // Per-source scratch, allocated once and reset between sources.
-    let mut order = Vec::with_capacity(n);
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut sigma = vec![0.0f64; n];
-    let mut dist = vec![usize::MAX; n];
-    let mut delta = vec![0.0f64; n];
-    let mut between = vec![0.0f64; n];
-    let mut queue = std::collections::VecDeque::new();
+    let AlgoScratch {
+        dist, queue, order, preds, sigma, delta, between, values_a, values_b, ..
+    } = scratch;
+    values_a.clear();
+    values_a.resize(n, 0.0);
+    values_b.clear();
+    values_b.resize(n, 0.0);
+    let bc = values_a;
+    let lc = values_b;
+    // Per-source scratch, sized once and reset between sources.
+    order.clear();
+    if preds.len() < n {
+        preds.resize_with(n, Vec::new);
+    }
+    let preds = &mut preds[..n];
+    sigma.clear();
+    sigma.resize(n, 0.0);
+    dist.clear();
+    dist.resize(n, usize::MAX);
+    delta.clear();
+    delta.resize(n, 0.0);
+    between.clear();
+    between.resize(n, 0.0);
+    queue.clear();
     for s in 0..n {
         // Brandes: single-source shortest paths with path counts.
         order.clear();
-        for p in &mut preds {
+        for p in preds.iter_mut() {
             p.clear();
         }
         sigma.fill(0.0);
@@ -175,14 +242,13 @@ fn betweenness_and_load_in<A: Adjacency + ?Sized>(adj: &A) -> (Vec<f64>, Vec<f64
     }
     if n > 2 {
         let scale = 1.0 / ((n - 1) as f64 * (n - 2) as f64);
-        for b in &mut bc {
+        for b in bc.iter_mut() {
             *b *= scale;
         }
-        for l in &mut lc {
+        for l in lc.iter_mut() {
             *l *= scale;
         }
     }
-    (bc, lc)
 }
 
 /// Average betweenness centrality (feature f18).

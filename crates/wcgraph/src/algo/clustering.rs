@@ -17,24 +17,37 @@ pub fn clustering_coefficients_view(view: &GraphView) -> Vec<f64> {
 }
 
 fn clustering_coefficients_in<A: Adjacency + ?Sized>(adj: &A) -> Vec<f64> {
-    (0..adj.order())
-        .map(|w| {
-            let nbrs = adj.neighbors(w);
-            let k = nbrs.len();
-            if k < 2 {
-                return 0.0;
+    (0..adj.order()).map(|w| node_clustering(adj, w)).collect()
+}
+
+/// Clustering coefficient of a single node.
+fn node_clustering<A: Adjacency + ?Sized>(adj: &A, w: usize) -> f64 {
+    let nbrs = adj.neighbors(w);
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut triangles = 0usize;
+    for (i, &u) in nbrs.iter().enumerate() {
+        for &v in &nbrs[i + 1..] {
+            if adj.neighbors(u).binary_search(&v).is_ok() {
+                triangles += 1;
             }
-            let mut triangles = 0usize;
-            for (i, &u) in nbrs.iter().enumerate() {
-                for &v in &nbrs[i + 1..] {
-                    if adj.neighbors(u).binary_search(&v).is_ok() {
-                        triangles += 1;
-                    }
-                }
-            }
-            2.0 * triangles as f64 / (k * (k - 1)) as f64
-        })
-        .collect()
+        }
+    }
+    2.0 * triangles as f64 / (k * (k - 1)) as f64
+}
+
+/// Mean clustering coefficient over a prebuilt view, computed as a
+/// running sum in node order — bit-identical to
+/// `mean(&clustering_coefficients_view(view))`, no per-node vector.
+pub fn clustering_coefficient_mean_view(view: &GraphView) -> f64 {
+    let adj = view.undirected();
+    let n = adj.order();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).map(|w| node_clustering(adj, w)).sum::<f64>() / n as f64
 }
 
 /// Average clustering coefficient (feature f21).
@@ -54,17 +67,28 @@ pub fn neighbor_degrees_view(view: &GraphView) -> Vec<f64> {
 }
 
 fn neighbor_degrees_in<A: Adjacency + ?Sized>(adj: &A) -> Vec<f64> {
-    (0..adj.order())
-        .map(|w| {
-            let nbrs = adj.neighbors(w);
-            if nbrs.is_empty() {
-                0.0
-            } else {
-                nbrs.iter().map(|&u| adj.neighbors(u).len() as f64).sum::<f64>()
-                    / nbrs.len() as f64
-            }
-        })
-        .collect()
+    (0..adj.order()).map(|w| node_neighbor_degree(adj, w)).collect()
+}
+
+/// Average neighbor degree of a single node.
+fn node_neighbor_degree<A: Adjacency + ?Sized>(adj: &A, w: usize) -> f64 {
+    let nbrs = adj.neighbors(w);
+    if nbrs.is_empty() {
+        0.0
+    } else {
+        nbrs.iter().map(|&u| adj.neighbors(u).len() as f64).sum::<f64>() / nbrs.len() as f64
+    }
+}
+
+/// Mean neighbor degree over a prebuilt view, as a running sum in node
+/// order — bit-identical to `mean(&neighbor_degrees_view(view))`.
+pub fn neighbor_degree_mean_view(view: &GraphView) -> f64 {
+    let adj = view.undirected();
+    let n = adj.order();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).map(|w| node_neighbor_degree(adj, w)).sum::<f64>() / n as f64
 }
 
 /// Average neighbor degree over all nodes (feature f22).

@@ -1,5 +1,6 @@
 //! Node connectivity (vertex-disjoint paths) and degree connectivity.
 
+use crate::algo::AlgoScratch;
 use crate::view::{Adjacency, GraphView};
 use crate::DiGraph;
 
@@ -14,12 +15,31 @@ use crate::DiGraph;
 /// Adjacent `s`, `t` still yield finite values (the direct edge counts as
 /// one disjoint path).
 pub fn local_node_connectivity<A: Adjacency + ?Sized>(adj: &A, s: usize, t: usize) -> usize {
+    local_node_connectivity_scratch(adj, s, t, &mut AlgoScratch::new())
+}
+
+/// [`local_node_connectivity`] reusing `scratch`'s residual-graph rows,
+/// parent table, and BFS queue — no per-pair allocation once the rows
+/// have grown to their working size.
+pub fn local_node_connectivity_scratch<A: Adjacency + ?Sized>(
+    adj: &A,
+    s: usize,
+    t: usize,
+    scratch: &mut AlgoScratch,
+) -> usize {
     assert_ne!(s, t, "local connectivity requires distinct endpoints");
     let n = adj.order();
     // Node v_in = 2v, v_out = 2v+1. Residual capacities in a hash-free
-    // edge-list representation: (to, cap, reverse-index).
-    let mut graph: Vec<Vec<(usize, i32, usize)>> = vec![Vec::new(); 2 * n];
-    let add = |g: &mut Vec<Vec<(usize, i32, usize)>>, u: usize, v: usize, cap: i32| {
+    // edge-list representation: (to, cap, reverse-index). Rows are
+    // pooled in the scratch and rebuilt (capacity retained) per pair.
+    if scratch.flow.len() < 2 * n {
+        scratch.flow.resize_with(2 * n, Vec::new);
+    }
+    let graph = &mut scratch.flow[..2 * n];
+    for row in graph.iter_mut() {
+        row.clear();
+    }
+    let add = |g: &mut [Vec<(usize, i32, usize)>], u: usize, v: usize, cap: i32| {
         let ru = g[u].len();
         let rv = g[v].len();
         g[u].push((v, cap, rv));
@@ -27,23 +47,26 @@ pub fn local_node_connectivity<A: Adjacency + ?Sized>(adj: &A, s: usize, t: usiz
     };
     for v in 0..n {
         let cap = if v == s || v == t { i32::MAX / 2 } else { 1 };
-        add(&mut graph, 2 * v, 2 * v + 1, cap);
+        add(graph, 2 * v, 2 * v + 1, cap);
     }
     for u in 0..n {
         for &v in adj.neighbors(u) {
             if u < v {
-                add(&mut graph, 2 * u + 1, 2 * v, 1);
-                add(&mut graph, 2 * v + 1, 2 * u, 1);
+                add(graph, 2 * u + 1, 2 * v, 1);
+                add(graph, 2 * v + 1, 2 * u, 1);
             }
         }
     }
     // Edmonds–Karp from s_out to t_in.
     let source = 2 * s + 1;
     let sink = 2 * t;
+    let parent = &mut scratch.parent;
+    let queue = &mut scratch.queue;
     let mut flow = 0usize;
     loop {
-        let mut parent: Vec<Option<(usize, usize)>> = vec![None; 2 * n];
-        let mut queue = std::collections::VecDeque::new();
+        parent.clear();
+        parent.resize(2 * n, None);
+        queue.clear();
         queue.push_back(source);
         parent[source] = Some((source, usize::MAX));
         while let Some(u) = queue.pop_front() {
@@ -100,31 +123,74 @@ pub fn average_node_connectivity_view(view: &GraphView) -> f64 {
 }
 
 fn average_node_connectivity_in<A: Adjacency + ?Sized>(adj: &A, sample_limit: usize) -> f64 {
+    average_node_connectivity_scratch_in(adj, sample_limit, &mut AlgoScratch::new())
+}
+
+/// [`average_node_connectivity_view`] reusing `scratch`'s pair list and
+/// max-flow buffers.
+pub fn average_node_connectivity_view_scratch(
+    view: &GraphView,
+    scratch: &mut AlgoScratch,
+) -> f64 {
+    average_node_connectivity_scratch_in(view.undirected(), 64, scratch)
+}
+
+fn average_node_connectivity_scratch_in<A: Adjacency + ?Sized>(
+    adj: &A,
+    sample_limit: usize,
+    scratch: &mut AlgoScratch,
+) -> f64 {
     let n = adj.order();
     if n < 2 {
         return 0.0;
     }
-    let mut pairs: Vec<(usize, usize)> =
-        (0..n).flat_map(|s| ((s + 1)..n).map(move |t| (s, t))).collect();
+    scratch.pairs.clear();
+    for s in 0..n {
+        for t in (s + 1)..n {
+            scratch.pairs.push((s, t));
+        }
+    }
     if n > sample_limit {
         let target = sample_limit * (sample_limit - 1) / 2;
-        let stride = (pairs.len() / target).max(1);
-        pairs = pairs.into_iter().step_by(stride).collect();
+        let stride = (scratch.pairs.len() / target).max(1);
+        // In-place stride sample: keep indices 0, stride, 2·stride, …
+        // exactly as `step_by(stride)` would.
+        let mut w = 0usize;
+        let mut r = 0usize;
+        while r < scratch.pairs.len() {
+            scratch.pairs[w] = scratch.pairs[r];
+            w += 1;
+            r += stride;
+        }
+        scratch.pairs.truncate(w);
     }
-    let total: usize = pairs.iter().map(|&(s, t)| local_node_connectivity(adj, s, t)).sum();
-    total as f64 / pairs.len() as f64
+    let mut total = 0usize;
+    for i in 0..scratch.pairs.len() {
+        let (s, t) = scratch.pairs[i];
+        total += local_node_connectivity_scratch(adj, s, t, scratch);
+    }
+    total as f64 / scratch.pairs.len() as f64
 }
 
 /// Average degree over non-isolated nodes (feature f23, "average degree
 /// for connected nodes"). Parallel edges are counted, matching the degree
 /// definition used elsewhere.
 pub fn avg_degree_connectivity<N, E>(g: &DiGraph<N, E>) -> f64 {
-    let degrees: Vec<usize> =
-        g.node_ids().map(|v| g.degree(v)).filter(|&d| d > 0).collect();
-    if degrees.is_empty() {
+    // Integer running sums — exactly the value the collected-vector
+    // version produced, with no per-call allocation.
+    let mut sum = 0usize;
+    let mut connected = 0usize;
+    for v in g.node_ids() {
+        let d = g.degree(v);
+        if d > 0 {
+            sum += d;
+            connected += 1;
+        }
+    }
+    if connected == 0 {
         0.0
     } else {
-        degrees.iter().sum::<usize>() as f64 / degrees.len() as f64
+        sum as f64 / connected as f64
     }
 }
 

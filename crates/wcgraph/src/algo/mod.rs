@@ -12,6 +12,9 @@ pub mod connectivity;
 pub mod pagerank;
 pub mod paths;
 pub mod reciprocity;
+pub mod scratch;
+
+pub use scratch::AlgoScratch;
 
 /// Mean of a slice, or 0.0 when empty. Public so downstream feature
 /// extractors averaging per-node vectors share the exact float semantics

@@ -1,6 +1,7 @@
 //! PageRank by power iteration on the directed simple graph.
 
 use crate::algo::mean;
+use crate::algo::AlgoScratch;
 use crate::view::{Adjacency, GraphView};
 use crate::DiGraph;
 
@@ -29,17 +30,51 @@ fn pagerank_in<A: Adjacency + ?Sized>(
     tol: f64,
     max_iter: usize,
 ) -> Vec<f64> {
+    let mut scratch = AlgoScratch::new();
+    pagerank_into(succ, damping, tol, max_iter, &mut scratch);
+    std::mem::take(&mut scratch.rank)
+}
+
+/// Mean PageRank over a prebuilt view, reusing `scratch`'s double
+/// buffers. Bit-identical to `mean(&pagerank_view(...))`.
+pub fn pagerank_mean_scratch(
+    view: &GraphView,
+    damping: f64,
+    tol: f64,
+    max_iter: usize,
+    scratch: &mut AlgoScratch,
+) -> f64 {
+    pagerank_into(view.successors(), damping, tol, max_iter, scratch);
+    mean(&scratch.rank)
+}
+
+/// Power iteration into `scratch.rank`, swapping the two rank buffers
+/// each iteration instead of allocating a fresh `next` vector. The
+/// per-iteration arithmetic (and therefore every bit of the result) is
+/// unchanged from the allocating version.
+fn pagerank_into<A: Adjacency + ?Sized>(
+    succ: &A,
+    damping: f64,
+    tol: f64,
+    max_iter: usize,
+    scratch: &mut AlgoScratch,
+) {
     let n = succ.order();
+    let rank = &mut scratch.rank;
+    let next = &mut scratch.rank_next;
+    rank.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let uniform = 1.0 / n as f64;
-    let mut rank = vec![uniform; n];
+    rank.resize(n, uniform);
+    next.clear();
+    next.resize(n, 0.0);
     for _ in 0..max_iter {
         let dangling_mass: f64 =
             (0..n).filter(|&v| succ.neighbors(v).is_empty()).map(|v| rank[v]).sum();
         let base = (1.0 - damping) * uniform + damping * dangling_mass * uniform;
-        let mut next = vec![base; n];
+        next.fill(base);
         for (v, r) in rank.iter().enumerate() {
             let out = succ.neighbors(v);
             if out.is_empty() {
@@ -50,13 +85,12 @@ fn pagerank_in<A: Adjacency + ?Sized>(
                 next[u] += share;
             }
         }
-        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
-        rank = next;
+        let delta: f64 = rank.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(rank, next);
         if delta < tol {
             break;
         }
     }
-    rank
 }
 
 /// PageRank with the default parameters.

@@ -214,6 +214,7 @@ fn telemetry_counters_track_ingest_reports_across_all_fault_classes() {
         "ingest_streams_discarded_total",
         "ingest_reassembly_gaps_total",
         "ingest_gzip_failures_total",
+        "ingest_deflate_failures_total",
         "ingest_chunked_failures_total",
     ];
     let recorded: Vec<&str> =
