@@ -1,0 +1,98 @@
+//! Extension experiment: the **adversarial drift lab** — detector decay
+//! under time-walking evasion campaigns, and what shadow-model
+//! retraining wins back.
+//!
+//! Runs the same seeded drift campaign twice: once with the day-0
+//! champion pinned for the whole campaign (the decay curve) and once
+//! with the shadow-retraining loop promoting challengers between epochs
+//! (the recovery curve). VirusTotal is scored alongside so the
+//! signature-lag advantage (Table V, 9.25-day average lag) is visible
+//! per epoch as the adversary drifts.
+//!
+//! Exits non-zero when the retrained detector's final-epoch recall
+//! fails to recover above the unretrained one — this is the CI gate for
+//! the `drift-lab` job.
+
+use driftlab::{run_drift_lab, DriftLabConfig, DriftScheduleConfig, RetrainConfig};
+
+fn main() {
+    bench::banner("Extension: adversarial drift lab (decay + shadow retraining)");
+
+    // DYNAMINER_SCALE multiplies the lab's native 0.05 default, so the
+    // default run matches the golden-pinned campaign exactly.
+    let scale = 0.05 * bench::scale();
+    let schedule = DriftScheduleConfig {
+        seed: bench::EXPERIMENT_SEED,
+        scale,
+        ..DriftScheduleConfig::default()
+    };
+    let base = DriftLabConfig {
+        schedule,
+        train_scale: scale,
+        ..DriftLabConfig::default()
+    };
+
+    println!("campaign: {} epochs x {:.0} days, scale {scale}\n", base.schedule.epochs,
+        base.schedule.epoch_secs / 86_400.0);
+
+    let pinned = run_drift_lab(&base, None);
+    let retrained_cfg =
+        DriftLabConfig { retrain: Some(RetrainConfig::default()), ..base.clone() };
+    let retrained = run_drift_lab(&retrained_cfg, None);
+
+    println!(
+        "{:<6} {:>10} {:>10} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "epoch", "recall", "recall", "fpr", "vt-live", "vt-end", "model", "knobs"
+    );
+    println!(
+        "{:<6} {:>10} {:>10} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "", "(pinned)", "(retrain)", "(retrain)", "", "", "(retr.)", "(mimic)"
+    );
+    for (p, r) in pinned.curve.entries.iter().zip(&retrained.curve.entries) {
+        println!(
+            "{:<6} {:>10.3} {:>10.3} {:>9.3} {:>9.3} {:>9.3} {:>8} {:>8.2}",
+            p.epoch,
+            p.recall,
+            r.recall,
+            r.fpr,
+            p.vt_recall_live,
+            p.vt_recall_epoch_end,
+            r.model_version,
+            p.mean_knobs.benign_mimicry,
+        );
+    }
+
+    println!("\npromotion ledger ({} decisions):", retrained.ledger.len());
+    for e in &retrained.ledger {
+        println!(
+            "  epoch {}: champion v{} r={:.3} vs challenger r={:.3} (margin {:+.3}, fpr {:+.3}) -> {}",
+            e.epoch,
+            e.champion_version,
+            e.champion_recall,
+            e.challenger_recall,
+            e.recall_margin,
+            e.fpr_regression,
+            if e.promoted { format!("PROMOTED (v{})", e.model_version_after) } else { "held".into() },
+        );
+    }
+
+    let initial = pinned.curve.initial_recall();
+    let decayed = pinned.curve.final_recall();
+    let recovered = retrained.curve.final_recall();
+    let lost = initial - decayed;
+    println!("\ninitial recall          {initial:.3}");
+    println!("final recall, pinned    {decayed:.3}  (lost {lost:.3})");
+    println!(
+        "final recall, retrained {recovered:.3}  (won back {:.0}% of the loss)",
+        if lost > 0.0 { 100.0 * (recovered - decayed) / lost } else { 0.0 }
+    );
+
+    // The CI gate: retraining must beat the pinned model where it ends.
+    if recovered <= decayed {
+        eprintln!(
+            "FAIL: retrained final-epoch recall {recovered:.3} did not recover above pinned {decayed:.3}"
+        );
+        std::process::exit(1);
+    }
+    println!("\nPASS: retrained final-epoch recall recovered above the pinned model");
+}

@@ -25,6 +25,8 @@ USAGE:
   dynaminer replay   [--model model.json] [--threshold L] [--threads N] [--shards N] [--format text|json] [--strict] [--metrics-out FILE]
                      [--snapshot-out FILE] [--resume FILE] [--checkpoint-every N] [--pace-ms MS] [--reload-model FILE] [--reload-at N] <capture.pcap>
   dynaminer generate [--family <name> | --benign <scenario>] [--seed N] --out <file.pcap>
+  dynaminer drift    [--epochs N] [--scale S] [--seed N] [--shards N] [--retrain] [--promote-margin M]
+                     [--out FILE] [--ledger-out FILE] [--metrics-out FILE]
   dynaminer dot      <capture.pcap>
   dynaminer features <capture.pcap>
   dynaminer inspect  --model model.json [--top N]
@@ -56,6 +58,14 @@ sleeps between checkpoints (crash-drill pacing). --reload-model FILE
 [--reload-at N] atomically hot-swaps in a second model once N
 transactions have been fed (default 0: before the first).
 
+drift runs a seeded adversarial-drift campaign: per-family evasion
+parameters walk over simulated time while each epoch replays through a
+persistent stream engine, printing per-epoch recall/FPR/latency next to
+a simulated VirusTotal. --retrain enables the shadow champion/challenger
+loop (atomic model promotion between epochs; --promote-margin sets the
+minimum recall gain, default 0.02). --out writes the decay curve as
+JSON, --ledger-out the promotion ledger.
+
 Families:  angler rig nuclear magnitude sweetorange flashpack neutrino goon fiesta other
 Scenarios: search social webmail video alexa-browse software-update unofficial-download torrent-session";
 
@@ -66,7 +76,7 @@ struct Options {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 1] = ["strict"];
+const BOOL_FLAGS: [&str; 2] = ["strict", "retrain"];
 
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut flags = BTreeMap::new();
@@ -528,6 +538,96 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         episode.unique_hosts(),
         episode.label
     );
+    Ok(())
+}
+
+/// `dynaminer drift` — run an adversarial drift campaign and print the
+/// detector's decay curve (optionally with shadow retraining).
+pub fn drift(args: &[String]) -> Result<(), String> {
+    let opts = parse(args)?;
+    let epochs = opts.u64_flag("epochs", 6)? as usize;
+    let scale = opts.f64_flag("scale", 0.05)?;
+    let seed = opts.u64_flag("seed", 42)?;
+    let shards = opts.u64_flag("shards", 1)? as usize;
+    if epochs == 0 {
+        return Err("--epochs must be at least 1".into());
+    }
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err("--scale must be positive".into());
+    }
+    let retrain = opts.bool_flag("retrain").then(|| driftlab::RetrainConfig {
+        policy: driftlab::PromotionPolicy {
+            min_recall_gain: opts
+                .f64_flag("promote-margin", 0.02)
+                .unwrap_or(0.02),
+            ..driftlab::PromotionPolicy::default()
+        },
+        ..driftlab::RetrainConfig::default()
+    });
+    let config = driftlab::DriftLabConfig {
+        schedule: driftlab::DriftScheduleConfig {
+            seed,
+            scale,
+            epochs,
+            ..driftlab::DriftScheduleConfig::default()
+        },
+        shards,
+        train_scale: scale,
+        retrain,
+        ..driftlab::DriftLabConfig::default()
+    };
+
+    eprintln!(
+        "drift campaign: {epochs} epochs, scale {scale}, seed {seed}, {shards} shard(s), retrain {}…",
+        if config.retrain.is_some() { "on" } else { "off" }
+    );
+    let registry = telemetry::Registry::new();
+    let metrics_out = opts.flags.get("metrics-out");
+    let out = driftlab::run_drift_lab(&config, Some(&registry));
+
+    println!(
+        "{:<6} {:>8} {:>8} {:>10} {:>9} {:>9} {:>7}",
+        "epoch", "recall", "fpr", "latency-s", "vt-live", "vt-end", "model"
+    );
+    for e in &out.curve.entries {
+        println!(
+            "{:<6} {:>8.3} {:>8.3} {:>10} {:>9.3} {:>9.3} {:>7}",
+            e.epoch,
+            e.recall,
+            e.fpr,
+            e.mean_alert_latency.map_or_else(|| "-".into(), |l| format!("{l:.1}")),
+            e.vt_recall_live,
+            e.vt_recall_epoch_end,
+            e.model_version,
+        );
+    }
+    for entry in &out.ledger {
+        println!(
+            "epoch {}: challenger margin {:+.3} (fpr {:+.3}) -> {}",
+            entry.epoch,
+            entry.recall_margin,
+            entry.fpr_regression,
+            if entry.promoted {
+                format!("promoted to v{}", entry.model_version_after)
+            } else {
+                "held".into()
+            },
+        );
+    }
+
+    if let Some(path) = opts.flags.get("out") {
+        let json = serde_json::to_string_pretty(&out.curve).map_err(|e| e.to_string())?;
+        fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("decay curve written to {path}");
+    }
+    if let Some(path) = opts.flags.get("ledger-out") {
+        let json = serde_json::to_string_pretty(&out.ledger).map_err(|e| e.to_string())?;
+        fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("promotion ledger written to {path}");
+    }
+    if let Some(path) = metrics_out {
+        write_metrics(&registry, path)?;
+    }
     Ok(())
 }
 

@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         "classify" => commands::classify(rest),
         "replay" => commands::replay(rest),
         "generate" => commands::generate(rest),
+        "drift" => commands::drift(rest),
         "dot" => commands::dot(rest),
         "inspect" => commands::inspect(rest),
         "features" => commands::features(rest),

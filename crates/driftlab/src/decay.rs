@@ -1,0 +1,266 @@
+//! The decay harness: per-epoch detector metrics and the
+//! signature-scanner comparison.
+//!
+//! Each epoch's merged alert stream is attributed back to the episodes
+//! that produced it (by victim address and time window — the only
+//! join keys an on-the-wire observer has), yielding per-epoch recall,
+//! false-positive rate, and alert latency. Every infection's payloads
+//! are also scored through [`vtsim`] with `first_seen_ts` pinned to the
+//! episode itself, so the curve quantifies the paper's central claim —
+//! behavior-based detection does not wait out the 9.25-day signature
+//! lag — *per epoch*, as the adversary drifts.
+
+use dynaminer::detector::Alert;
+use serde::{Deserialize, Serialize};
+use synthtraffic::drift::DriftKnobs;
+use synthtraffic::episode::Episode;
+use vtsim::{ScanRequest, VirusTotalSim};
+
+use crate::schedule::EpochBatch;
+
+/// Grace period appended to an episode's own duration when matching
+/// alerts: verdict sweeps and idle-timeout closures can fire just after
+/// the last transaction.
+pub const ATTRIBUTION_GRACE_SECS: f64 = 60.0;
+
+/// Detector and scanner performance over one epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochMetrics {
+    /// Epoch index, 0-based.
+    pub epoch: usize,
+    /// Epoch window start (epoch seconds).
+    pub start_ts: f64,
+    /// Infection episodes in the epoch.
+    pub infections: usize,
+    /// Benign episodes in the epoch.
+    pub benign: usize,
+    /// Infection episodes with at least one attributed alert.
+    pub caught: usize,
+    /// Benign episodes with at least one attributed alert.
+    pub false_positives: usize,
+    /// `caught / infections`.
+    pub recall: f64,
+    /// `false_positives / benign`.
+    pub fpr: f64,
+    /// Mean seconds from episode start to its first attributed alert
+    /// (`None` when nothing was caught).
+    pub mean_alert_latency: Option<f64>,
+    /// Fraction of infections whose payloads VirusTotal flags when
+    /// queried *live*, at each episode's own end — the on-the-wire
+    /// comparison point.
+    pub vt_recall_live: f64,
+    /// The same fraction queried at the epoch's end, after signatures
+    /// have had up to the whole epoch to catch up.
+    pub vt_recall_epoch_end: f64,
+    /// Model generation that served this epoch (the version the engine
+    /// entered the epoch with).
+    pub model_version: u64,
+    /// Mean drift knobs across families at this epoch.
+    pub mean_knobs: DriftKnobs,
+}
+
+/// A full campaign's decay curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecayCurve {
+    /// Schedule seed.
+    pub seed: u64,
+    /// Schedule scale.
+    pub scale: f64,
+    /// Epoch count.
+    pub epochs: usize,
+    /// Engine shard count the campaign ran at.
+    pub shards: usize,
+    /// One entry per epoch, in order.
+    pub entries: Vec<EpochMetrics>,
+}
+
+impl DecayCurve {
+    /// Recall of the final epoch (0.0 for an empty curve).
+    pub fn final_recall(&self) -> f64 {
+        self.entries.last().map_or(0.0, |e| e.recall)
+    }
+
+    /// Recall of the first epoch (0.0 for an empty curve).
+    pub fn initial_recall(&self) -> f64 {
+        self.entries.first().map_or(0.0, |e| e.recall)
+    }
+}
+
+/// Whether `alert` belongs to `episode`: same victim address, raised
+/// inside the episode's own time span plus a grace period.
+pub fn alert_matches(alert: &Alert, episode: &Episode) -> bool {
+    alert.client == episode.victim.addr
+        && alert.ts >= episode.start_ts
+        && alert.ts <= episode.start_ts + episode.duration() + ATTRIBUTION_GRACE_SECS
+}
+
+/// Attributes an epoch's alerts to its episodes. Returns, per episode
+/// (in batch order), the timestamp of the first matching alert.
+pub fn attribute_alerts(batch: &EpochBatch, alerts: &[Alert]) -> Vec<Option<f64>> {
+    batch
+        .episodes
+        .iter()
+        .map(|ep| {
+            alerts
+                .iter()
+                .filter(|a| alert_matches(a, ep))
+                .map(|a| a.ts)
+                .fold(None, |acc: Option<f64>, ts| {
+                    Some(acc.map_or(ts, |prev| prev.min(ts)))
+                })
+        })
+        .collect()
+}
+
+/// Detector-side confusion over one epoch: `(caught, false_positives,
+/// mean alert latency over caught infections)`.
+pub fn confusion(batch: &EpochBatch, alerts: &[Alert]) -> (usize, usize, Option<f64>) {
+    let first_alert = attribute_alerts(batch, alerts);
+    let mut caught = 0usize;
+    let mut false_positives = 0usize;
+    let mut latency_sum = 0.0;
+    for (ep, first) in batch.episodes.iter().zip(&first_alert) {
+        match (ep.is_infection(), first) {
+            (true, Some(ts)) => {
+                caught += 1;
+                latency_sum += ts - ep.start_ts;
+            }
+            (false, Some(_)) => false_positives += 1,
+            _ => {}
+        }
+    }
+    let latency = (caught > 0).then(|| latency_sum / caught as f64);
+    (caught, false_positives, latency)
+}
+
+/// Whether VirusTotal flags `episode` at `query_ts`: any of its
+/// genuinely malicious payloads scores ≥ 3 engine positives. Payload
+/// `first_seen_ts` is the episode's own start — each drifted sample is
+/// new to the signature feeds, which is exactly the lag the paper
+/// measures.
+pub fn vt_flags_episode(vt: &VirusTotalSim, episode: &Episode, query_ts: f64) -> bool {
+    episode.malicious_digests.iter().any(|&digest| {
+        vt.scan(
+            &ScanRequest {
+                digest,
+                truly_malicious: true,
+                first_seen_ts: episode.start_ts,
+                unofficial_benign_source: false,
+            },
+            query_ts,
+        )
+        .is_flagged()
+    })
+}
+
+/// Computes the full metrics row for one epoch.
+pub fn epoch_metrics(
+    batch: &EpochBatch,
+    alerts: &[Alert],
+    model_version: u64,
+    vt: &VirusTotalSim,
+) -> EpochMetrics {
+    let infections = batch.infections().count();
+    let benign = batch.benign().count();
+    let (caught, false_positives, mean_alert_latency) = confusion(batch, alerts);
+    let mut vt_live = 0usize;
+    let mut vt_end = 0usize;
+    for ep in batch.infections() {
+        if vt_flags_episode(vt, ep, ep.start_ts + ep.duration()) {
+            vt_live += 1;
+        }
+        if vt_flags_episode(vt, ep, batch.end_ts) {
+            vt_end += 1;
+        }
+    }
+    let frac = |n: usize, d: usize| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+    EpochMetrics {
+        epoch: batch.epoch,
+        start_ts: batch.start_ts,
+        infections,
+        benign,
+        caught,
+        false_positives,
+        recall: frac(caught, infections),
+        fpr: frac(false_positives, benign),
+        mean_alert_latency,
+        vt_recall_live: frac(vt_live, infections),
+        vt_recall_epoch_end: frac(vt_end, infections),
+        model_version,
+        mean_knobs: batch.mean_knobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{DriftSchedule, DriftScheduleConfig};
+    use nettrace::payload::PayloadClass;
+
+    fn batch() -> EpochBatch {
+        DriftSchedule::new(DriftScheduleConfig {
+            scale: 0.02,
+            epochs: 3,
+            ..DriftScheduleConfig::default()
+        })
+        .epoch_batch(0)
+    }
+
+    fn alert_for(ep: &Episode, offset: f64) -> Alert {
+        Alert {
+            client: ep.victim.addr,
+            conversation_id: 1,
+            ts: ep.start_ts + offset,
+            score: 0.9,
+            trigger_host: "x".into(),
+            trigger_payload: PayloadClass::Exe,
+            conversation_size: 5,
+            model_version: 1,
+        }
+    }
+
+    #[test]
+    fn attribution_joins_on_victim_and_window() {
+        let b = batch();
+        let infection = b.infections().next().unwrap().clone();
+        let inside = alert_for(&infection, 1.0);
+        let too_late = alert_for(
+            &infection,
+            infection.duration() + ATTRIBUTION_GRACE_SECS + 1.0,
+        );
+        assert!(alert_matches(&inside, &infection));
+        assert!(!alert_matches(&too_late, &infection));
+
+        let (caught, fp, latency) = confusion(&b, &[inside.clone(), too_late]);
+        assert!(caught >= 1);
+        assert_eq!(fp, 0);
+        assert!(latency.unwrap() <= 1.0 + f64::EPSILON);
+        // Earliest matching alert wins the latency join.
+        let later = alert_for(&infection, 5.0);
+        let (_, _, lat2) = confusion(&b, &[later, inside]);
+        assert!(lat2.unwrap() <= 1.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn benign_alert_counts_as_false_positive() {
+        let b = batch();
+        let benign = b.benign().next().unwrap().clone();
+        let (caught, fp, _) = confusion(&b, &[alert_for(&benign, 0.5)]);
+        assert_eq!(caught, 0);
+        assert!(fp >= 1);
+    }
+
+    #[test]
+    fn vt_lag_shows_between_live_and_epoch_end() {
+        // Queried live (seconds after first appearance) the signature
+        // feeds should trail queries made two weeks later.
+        let b = batch();
+        let vt = VirusTotalSim::with_default_engines(42);
+        let m = epoch_metrics(&b, &[], 1, &vt);
+        assert!(m.vt_recall_epoch_end >= m.vt_recall_live);
+        assert!(m.vt_recall_live < 1.0, "live VT should miss fresh payloads");
+        assert_eq!(m.caught, 0);
+        assert_eq!(m.recall, 0.0);
+        assert!(m.mean_alert_latency.is_none());
+    }
+}

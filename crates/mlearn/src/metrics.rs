@@ -36,6 +36,41 @@ impl Confusion {
         c
     }
 
+    /// Builds confusion counts from `(label, predicted)` outcome pairs —
+    /// the natural shape for episode-level scoring, where each unit of
+    /// account is "was this conversation alerted on" rather than a raw
+    /// score vector.
+    pub fn from_outcomes(outcomes: impl IntoIterator<Item = (bool, bool)>) -> Self {
+        let mut c = Confusion::default();
+        for (label, predicted) in outcomes {
+            c.record(label, predicted);
+        }
+        c
+    }
+
+    /// Builds confusion counts by thresholding scores at `threshold`
+    /// (score ≥ threshold ⇒ predicted positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length.
+    pub fn from_scores(scores: &[f64], labels: &[bool], threshold: f64) -> Self {
+        assert_eq!(scores.len(), labels.len(), "length mismatch");
+        Confusion::from_outcomes(
+            labels.iter().zip(scores).map(|(&l, &s)| (l, s >= threshold)),
+        )
+    }
+
+    /// Records a single `(label, predicted)` outcome.
+    pub fn record(&mut self, label: bool, predicted: bool) {
+        match (label, predicted) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
     /// True-positive rate (recall): `tp / (tp + fn)`.
     pub fn tpr(&self) -> f64 {
         ratio(self.tp, self.tp + self.fn_)
@@ -278,6 +313,26 @@ mod tests {
         let (thr, fpr, tpr) = threshold_for_fpr(&scores, &labels, 1.0).expect("achievable");
         assert!(thr.is_finite());
         assert!(fpr <= 1.0 && tpr > 0.0);
+    }
+
+    #[test]
+    fn outcome_and_score_constructors_agree() {
+        let scores = [0.9, 0.4, 0.6, 0.2];
+        let labels = [true, true, false, false];
+        let from_scores = Confusion::from_scores(&scores, &labels, 0.5);
+        let from_outcomes = Confusion::from_outcomes(
+            labels.iter().zip(&scores).map(|(&l, &s)| (l, s >= 0.5)),
+        );
+        assert_eq!(from_scores, from_outcomes);
+        assert_eq!(from_scores.tp, 1);
+        assert_eq!(from_scores.fn_, 1);
+        assert_eq!(from_scores.fp, 1);
+        assert_eq!(from_scores.tn, 1);
+        let mut incremental = Confusion::default();
+        incremental.record(true, true);
+        incremental.record(false, false);
+        assert_eq!(incremental.tpr(), 1.0);
+        assert_eq!(incremental.fpr(), 0.0);
     }
 
     #[test]

@@ -96,6 +96,19 @@ impl HeaderMap {
         self.get(name).is_some()
     }
 
+    /// Replaces the first header named `name` (case-insensitively) in
+    /// place, or appends it when absent. Later duplicates are left
+    /// untouched — rewriting tools want to update the value a reader
+    /// would observe via [`HeaderMap::get`] without reshuffling order.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        match self.entries.iter_mut().find(|(n, _)| n.eq_ignore_ascii_case(&name)) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((name, value)),
+        }
+    }
+
     /// Number of header lines.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -103,7 +103,11 @@ fn analyze_sharded_with(
 /// downloads (the scan is a pure function of the input stream, so a
 /// resumed replay re-scans the full stream and reproduces the
 /// uninterrupted run's download list exactly).
-fn order_and_downloads(
+///
+/// Public so external replay harnesses (the drift lab feeds an engine
+/// epoch by epoch) can build the same download ledger the one-shot
+/// replay paths use.
+pub fn order_and_downloads(
     transactions: &[HttpTransaction],
 ) -> (Vec<&HttpTransaction>, Vec<DownloadRecord>) {
     let mut order: Vec<&HttpTransaction> = transactions.iter().collect();
@@ -130,7 +134,11 @@ fn order_and_downloads(
 /// iteration order (client-scoped ids sort client-major, like its
 /// BTreeMap). Spilled conversations are rehydrated first so the sweep
 /// sees every conversation, frozen or not.
-fn finish_report(
+///
+/// Public so harnesses that drive a long-lived engine across several
+/// `process` calls (epoch-by-epoch drift replay) can close it out with
+/// the exact report the one-shot replay paths produce.
+pub fn finish_report(
     engine: &mut StreamEngine,
     downloads: Vec<DownloadRecord>,
     threads: usize,

@@ -23,6 +23,9 @@
 //!   Sec. VI-B (unofficial download sites, torrent sessions with
 //!   246 MB–1.1 GB payloads),
 //! * [`corpus`] — ground-truth and held-out validation corpus builders,
+//! * [`drift`] — graduated adversarial-drift transforms (redirect-chain
+//!   shortening, benign mimicry, payload-type shifts, stepped evasions)
+//!   that walk a family's parameters over simulated time,
 //! * [`pcapgen`] — serializing an episode to real pcap bytes so the
 //!   `nettrace` parsing pipeline is exercised end-to-end,
 //! * [`faultgen`] — seeded capture mutation (truncation, bit rot, packet
@@ -33,6 +36,7 @@
 
 pub mod benign;
 pub mod corpus;
+pub mod drift;
 pub mod entice;
 pub mod episode;
 pub mod evasion;
@@ -42,6 +46,7 @@ pub mod hostgen;
 pub mod pcapgen;
 
 pub use corpus::{ground_truth, validation_set, CorpusStats};
+pub use drift::DriftKnobs;
 pub use entice::Enticement;
 pub use episode::{Episode, EpisodeLabel};
 pub use families::EkFamily;

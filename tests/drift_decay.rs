@@ -1,0 +1,353 @@
+//! The adversarial drift lab, pinned (DESIGN.md §15).
+//!
+//! Four groups:
+//!
+//! 1. **Evasion ordering** — the promoted `evasion_lab` example: each
+//!    Sec. VII cloaking strategy's offline recall at a fixed seed, with
+//!    the ordering `Full ≤ every single strategy ≤ None` asserted
+//!    rather than printed.
+//! 2. **Goldens** — the scale-0.05 seed-42 campaign's decay curve and
+//!    promotion ledger must match `tests/golden/` byte for byte, plus
+//!    the acceptance properties: recall decays across the campaign
+//!    without retraining, the shadow loop wins back at least half the
+//!    loss, and every alert carries the model generation that served
+//!    its epoch. Regenerate deliberately with:
+//!
+//!    ```text
+//!    UPDATE_DRIFT_GOLDEN=1 cargo test --test drift_decay
+//!    ```
+//!
+//!    On mismatch the actual JSON lands in `target/` for CI artifact
+//!    upload.
+//! 3. **Differential** — a champion-only campaign and a
+//!    champion+shadow campaign with promotion disabled are
+//!    bit-identical (alerts and forensic report), at 1 and 4 shards:
+//!    the shadow loop is observation-only by construction.
+//! 4. **Properties** — drift schedules are pure functions of
+//!    `(config, epoch)` (byte-identical JSON), and promotion is
+//!    monotone in both the observed margins and the policy thresholds.
+
+use proptest::prelude::*;
+
+use driftlab::{
+    run_drift_lab, DriftLabConfig, DriftSchedule, DriftScheduleConfig, PromotionPolicy,
+    RetrainConfig,
+};
+use dynaminer::classifier::{build_dataset, Classifier};
+use dynaminer::detector::Alert;
+use dynaminer::wcg::Wcg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synthtraffic::benign::generate_benign;
+use synthtraffic::episode::{generate_infection, Episode};
+use synthtraffic::evasion::{self, Evasion};
+use synthtraffic::{BenignScenario, EkFamily};
+
+// ---------------------------------------------------------------------
+// 1. Evasion ordering (promoted from examples/evasion_lab.rs).
+// ---------------------------------------------------------------------
+
+fn quick_classifier(seed: u64) -> Classifier {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut corpus: Vec<(Vec<nettrace::HttpTransaction>, bool)> = Vec::new();
+    for i in 0..60 {
+        corpus.push((
+            generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.4e9).transactions,
+            true,
+        ));
+        corpus.push((
+            generate_benign(&mut rng, BenignScenario::WEIGHTED[i % 8].0, 1.43e9).transactions,
+            false,
+        ));
+    }
+    let data = build_dataset(corpus.iter().map(|(t, l)| (t.as_slice(), *l)));
+    Classifier::fit_default(&data, 1)
+}
+
+fn offline_recall(classifier: &Classifier, infections: &[Episode], evasion: Evasion) -> f64 {
+    let detected = infections
+        .iter()
+        .filter(|ep| {
+            let cloaked = evasion::apply(evasion, (*ep).clone());
+            classifier.score_wcg(&Wcg::from_transactions(&cloaked.transactions)) >= 0.5
+        })
+        .count();
+    detected as f64 / infections.len() as f64
+}
+
+#[test]
+fn evasion_recall_ordering_is_stable_at_fixed_seed() {
+    let classifier = quick_classifier(8);
+    let mut rng = StdRng::seed_from_u64(2025);
+    let infections: Vec<Episode> = (0..40)
+        .map(|i| generate_infection(&mut rng, EkFamily::ALL[i % 10], 1.45e9 + i as f64 * 37.0))
+        .collect();
+
+    let recall_of = |e| offline_recall(&classifier, &infections, e);
+    let baseline = recall_of(Evasion::None);
+    let full = recall_of(Evasion::Full);
+    assert!(baseline > 0.8, "undrifted recall {baseline} too low to order against");
+
+    // Full cloaking strips every dynamic at once: it must do no better
+    // than any single strategy, and every single strategy no better
+    // than the uncloaked baseline.
+    for single in [
+        Evasion::FilelessDownload,
+        Evasion::NoRedirects,
+        Evasion::NoCallback,
+        Evasion::DelayedCallback,
+    ] {
+        let r = recall_of(single);
+        assert!(full <= r, "{single:?}: full {full} > single {r}");
+        assert!(r <= baseline, "{single:?}: single {r} > baseline {baseline}");
+    }
+    assert!(
+        full < baseline,
+        "full cloaking must cost detection: {full} vs {baseline}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 2. Goldens + acceptance properties for the pinned campaign.
+// ---------------------------------------------------------------------
+
+const CURVE_GOLDEN: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/decay_curve_scale0.05_seed42.json");
+const LEDGER_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/promotion_ledger_scale0.05_seed42.json"
+);
+
+fn pinned_campaign() -> DriftLabConfig {
+    DriftLabConfig {
+        schedule: DriftScheduleConfig { seed: 42, scale: 0.05, ..DriftScheduleConfig::default() },
+        train_scale: 0.05,
+        ..DriftLabConfig::default()
+    }
+}
+
+/// The ledger projection the golden pins: decision, margin, and the
+/// resulting model generation per epoch.
+#[derive(serde::Serialize)]
+struct LedgerRow {
+    epoch: usize,
+    model_version: u64,
+    recall_margin: f64,
+    promoted: bool,
+}
+
+/// Regenerates (under `UPDATE_DRIFT_GOLDEN=1`) or byte-compares
+/// `actual_json` against `golden_path`, leaving the actual in `target/`
+/// on mismatch for CI artifact upload.
+fn compare_against_golden(actual_json: &str, golden_path: &str, artifact_name: &str) {
+    if std::env::var_os("UPDATE_DRIFT_GOLDEN").is_some() {
+        std::fs::write(golden_path, format!("{actual_json}\n")).unwrap();
+        eprintln!("regenerated {golden_path}");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).unwrap_or_else(|e| {
+        panic!("cannot read {golden_path}: {e} (run with UPDATE_DRIFT_GOLDEN=1 to create it)")
+    });
+    if golden.trim_end() != actual_json {
+        let out = format!("{}/target/{artifact_name}", env!("CARGO_MANIFEST_DIR"));
+        let _ = std::fs::write(&out, format!("{actual_json}\n"));
+        panic!("drift artifact drifted from {golden_path}; actual written to {out}");
+    }
+}
+
+#[test]
+fn pinned_campaign_decays_recovers_and_matches_goldens() {
+    let pinned = run_drift_lab(&pinned_campaign(), None);
+    let retrained_cfg =
+        DriftLabConfig { retrain: Some(RetrainConfig::default()), ..pinned_campaign() };
+    let retrained = run_drift_lab(&retrained_cfg, None);
+
+    // Decay: with the day-0 model pinned, recall never rises and ends
+    // far below where it started — the drift schedule really erodes the
+    // model's signal across all six epochs.
+    let curve = &pinned.curve;
+    assert_eq!(curve.entries.len(), 6);
+    for pair in curve.entries.windows(2) {
+        assert!(
+            pair[1].recall <= pair[0].recall,
+            "pinned recall rose: epoch {} {} -> epoch {} {}",
+            pair[0].epoch,
+            pair[0].recall,
+            pair[1].epoch,
+            pair[1].recall
+        );
+    }
+    let initial = curve.initial_recall();
+    let decayed = curve.final_recall();
+    assert!(initial > 0.5, "day-0 recall {initial}");
+    assert!(initial - decayed >= 0.2, "decay too shallow: {initial} -> {decayed}");
+
+    // The signature-lag contrast holds every epoch: live VirusTotal
+    // queries at episode end never beat end-of-epoch queries.
+    for e in &curve.entries {
+        assert!(e.vt_recall_live <= e.vt_recall_epoch_end, "epoch {}", e.epoch);
+        assert!(e.fpr <= 0.05, "epoch {} fpr {}", e.epoch, e.fpr);
+    }
+
+    // Recovery: the shadow loop must promote at least once through the
+    // engine's model slot and win back at least half the lost recall in
+    // the final epoch.
+    let recovered = retrained.curve.final_recall();
+    assert!(retrained.ledger.iter().any(|e| e.promoted), "no challenger ever promoted");
+    assert!(
+        recovered - decayed >= 0.5 * (initial - decayed),
+        "recovered {recovered} vs decayed {decayed} (initial {initial})"
+    );
+    let last = retrained.curve.entries.last().unwrap();
+    assert!(last.model_version > 1, "final epoch still served by the day-0 model");
+
+    // Attribution: every alert carries exactly the model generation
+    // that served its epoch.
+    for (entry, alerts) in retrained.curve.entries.iter().zip(&retrained.epoch_alerts) {
+        for a in alerts {
+            assert_eq!(
+                a.model_version, entry.model_version,
+                "epoch {} alert at ts {}",
+                entry.epoch, a.ts
+            );
+        }
+    }
+
+    // Goldens: the pinned decay curve and the retrained promotion
+    // ledger, byte for byte.
+    compare_against_golden(
+        &serde_json::to_string_pretty(curve).unwrap(),
+        CURVE_GOLDEN,
+        "drift-curve-actual.json",
+    );
+    let rows: Vec<LedgerRow> = retrained
+        .ledger
+        .iter()
+        .map(|e| LedgerRow {
+            epoch: e.epoch,
+            model_version: e.model_version_after,
+            recall_margin: e.recall_margin,
+            promoted: e.promoted,
+        })
+        .collect();
+    compare_against_golden(
+        &serde_json::to_string_pretty(&rows).unwrap(),
+        LEDGER_GOLDEN,
+        "drift-ledger-actual.json",
+    );
+}
+
+// ---------------------------------------------------------------------
+// 3. Differential: the shadow loop is observation-only.
+// ---------------------------------------------------------------------
+
+fn assert_alerts_bit_identical(a: &[Vec<Alert>], b: &[Vec<Alert>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: epoch count");
+    for (epoch, (xs, ys)) in a.iter().zip(b).enumerate() {
+        assert_eq!(xs.len(), ys.len(), "{what}: alert count in epoch {epoch}");
+        for (x, y) in xs.iter().zip(ys) {
+            assert_eq!(x.client, y.client, "{what} epoch {epoch}");
+            assert_eq!(x.conversation_id, y.conversation_id, "{what} epoch {epoch}");
+            assert_eq!(x.ts.to_bits(), y.ts.to_bits(), "{what} epoch {epoch}");
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "{what} epoch {epoch}");
+            assert_eq!(x.trigger_host, y.trigger_host, "{what} epoch {epoch}");
+            assert_eq!(x.trigger_payload, y.trigger_payload, "{what} epoch {epoch}");
+            assert_eq!(x.conversation_size, y.conversation_size, "{what} epoch {epoch}");
+            assert_eq!(x.model_version, y.model_version, "{what} epoch {epoch}");
+        }
+    }
+}
+
+#[test]
+fn disabled_promotion_is_bit_identical_to_no_shadow_loop() {
+    let small = DriftLabConfig {
+        schedule: DriftScheduleConfig {
+            seed: 42,
+            scale: 0.02,
+            epochs: 3,
+            ..DriftScheduleConfig::default()
+        },
+        train_scale: 0.02,
+        ..DriftLabConfig::default()
+    };
+    for shards in [1usize, 4] {
+        let base = DriftLabConfig { shards, ..small.clone() };
+        let champion_only = run_drift_lab(&base, None);
+        let shadow_disabled = DriftLabConfig {
+            retrain: Some(RetrainConfig {
+                policy: PromotionPolicy::NEVER,
+                ..RetrainConfig::default()
+            }),
+            ..base
+        };
+        let shadowed = run_drift_lab(&shadow_disabled, None);
+
+        // The shadow loop ran (it trained and scored challengers)…
+        assert_eq!(shadowed.ledger.len(), 2, "{shards} shards");
+        assert!(shadowed.ledger.iter().all(|e| !e.promoted), "{shards} shards");
+        // …but never touched the live path: alerts and the forensic
+        // report are bit-identical to the run without it.
+        assert_alerts_bit_identical(
+            &champion_only.epoch_alerts,
+            &shadowed.epoch_alerts,
+            &format!("{shards} shards"),
+        );
+        assert_eq!(
+            serde_json::to_string(&champion_only.report).unwrap(),
+            serde_json::to_string(&shadowed.report).unwrap(),
+            "forensic report at {shards} shards"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Properties: schedule purity and promotion monotonicity.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn drift_schedules_are_byte_identical_per_seed(
+        seed in any::<u64>(),
+        epochs in 2usize..5,
+        epoch in 0usize..5,
+    ) {
+        let epoch = epoch % epochs;
+        let config = DriftScheduleConfig {
+            seed,
+            scale: 0.01,
+            epochs,
+            ..DriftScheduleConfig::default()
+        };
+        let a = DriftSchedule::new(config.clone()).epoch_batch(epoch);
+        let b = DriftSchedule::new(config).epoch_batch(epoch);
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn promotion_is_monotone_in_margin_and_threshold(
+        margin in -1.0f64..1.0,
+        fpr_reg in -1.0f64..1.0,
+        min_gain in -1.0f64..1.0,
+        max_fpr in -1.0f64..1.0,
+        slack in 0.0f64..1.0,
+    ) {
+        let policy = PromotionPolicy { min_recall_gain: min_gain, max_fpr_regression: max_fpr };
+        if policy.decide(margin, fpr_reg) {
+            // Monotone in the observed margins: a strictly better
+            // challenger is always still promoted…
+            prop_assert!(policy.decide(margin + slack, fpr_reg));
+            prop_assert!(policy.decide(margin, fpr_reg - slack));
+            // …and monotone in the policy: any laxer threshold promotes
+            // too (promoted at margin m ⇒ promoted at every
+            // min_recall_gain below the current one).
+            let laxer = PromotionPolicy {
+                min_recall_gain: min_gain - slack,
+                max_fpr_regression: max_fpr + slack,
+            };
+            prop_assert!(laxer.decide(margin, fpr_reg));
+        }
+    }
+}
