@@ -166,8 +166,7 @@ fn load_transactions_lenient(
 ) -> Result<(Vec<HttpTransaction>, nettrace::IngestReport), String> {
     let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut report = nettrace::IngestReport::new();
-    let packets = nettrace::capture::read_packets_lenient(&bytes, &mut report);
-    let txs = TransactionExtractor::extract_lenient(&packets, &mut report);
+    let txs = nettrace::SpanPipeline::extract_capture_lenient(&bytes, &mut report);
     Ok((txs, report))
 }
 

@@ -232,8 +232,7 @@ pub fn analyze_pcap_lenient(
     config: DetectorConfig,
 ) -> ForensicReport {
     let mut ingest = nettrace::IngestReport::new();
-    let packets = nettrace::capture::read_packets_lenient(pcap_bytes, &mut ingest);
-    let transactions = TransactionExtractor::extract_lenient(&packets, &mut ingest);
+    let transactions = nettrace::SpanPipeline::extract_capture_lenient(pcap_bytes, &mut ingest);
     let mut report = analyze_transactions(&transactions, classifier, config);
     report.ingest = Some(ingest);
     report
@@ -250,8 +249,7 @@ pub fn analyze_pcap_lenient_telemetry(
     registry: &telemetry::Registry,
 ) -> ForensicReport {
     let mut ingest = nettrace::IngestReport::new();
-    let packets = nettrace::capture::read_packets_lenient(pcap_bytes, &mut ingest);
-    let transactions = TransactionExtractor::extract_lenient(&packets, &mut ingest);
+    let transactions = nettrace::SpanPipeline::extract_capture_lenient(pcap_bytes, &mut ingest);
     nettrace::metrics::IngestMetrics::new(registry).record(&ingest);
     let mut report = analyze_transactions_telemetry(&transactions, classifier, config, registry);
     report.ingest = Some(ingest);

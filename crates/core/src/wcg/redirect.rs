@@ -43,11 +43,12 @@ pub fn targets(tx: &HttpTransaction) -> Vec<String> {
     out
 }
 
-/// Substring search over raw bytes, skipping via a single-byte scan for
-/// the needle byte at `anchor` — chosen by the caller as a byte without
-/// case variants (`-`, `(`, `.`) so one scan serves the case-insensitive
-/// mode too. This runs against every response body on the WCG
-/// construction path; a windowed compare at every offset is ~20× slower.
+/// Substring search over raw bytes, skipping via a SIMD single-byte scan
+/// ([`nettrace::scan::memchr`]) for the needle byte at `anchor` — chosen
+/// by the caller as a byte without case variants (`-`, `(`, `.`) so one
+/// scan serves the case-insensitive mode too. This runs against every
+/// response body on the WCG construction path; a windowed compare at
+/// every offset is ~20× slower.
 fn find_anchored(h: &[u8], n: &[u8], anchor: usize, ci: bool) -> Option<usize> {
     debug_assert!(!n[anchor].is_ascii_alphabetic(), "anchor byte must be caseless");
     if h.len() < n.len() {
@@ -56,7 +57,7 @@ fn find_anchored(h: &[u8], n: &[u8], anchor: usize, ci: bool) -> Option<usize> {
     let last = h.len() - n.len();
     let mut at = anchor;
     loop {
-        let pos = h.get(at..)?.iter().position(|&b| b == n[anchor])? + at;
+        let pos = nettrace::scan::memchr(n[anchor], h.get(at..)?)? + at;
         let start = pos - anchor; // pos >= at >= anchor
         if start > last {
             return None;
@@ -80,11 +81,11 @@ fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
     }
     match n.iter().position(|b| !b.is_ascii_alphabetic()) {
         Some(a) => find_anchored(h, n, a, true),
+        // All-alphabetic needles have no caseless anchor byte; fall back
+        // to the generic SIMD case-folding scan.
         None => {
-            if h.len() < n.len() {
-                return None;
-            }
-            h.windows(n.len()).position(|w| w.eq_ignore_ascii_case(n))
+            let lower = n.to_ascii_lowercase();
+            nettrace::scan::find_ignore_ascii_case(h, &lower)
         }
     }
 }
@@ -108,12 +109,16 @@ pub fn meta_refresh_target(body: &str) -> Option<String> {
 /// assignments and base64-obfuscated `atob("…")` arguments that decode to
 /// URLs.
 pub fn js_targets(body: &str) -> Vec<String> {
+    use nettrace::scan;
     let mut out = Vec::new();
+    // Match offsets are char boundaries: every needle is ASCII, and a
+    // match's first byte equals the needle's, so slicing the str there is
+    // sound.
     // Obfuscated: any atob("<base64>") whose decoded form looks like a URL.
     let mut rest = body;
-    while let Some(at) = rest.find("atob(\"") {
+    while let Some(at) = scan::find(rest.as_bytes(), b"atob(\"") {
         let after = &rest[at + 6..];
-        if let Some(end) = after.find('"') {
+        if let Some(end) = scan::memchr(b'"', after.as_bytes()) {
             if let Some(decoded) = nettrace::base64::decode(&after[..end]) {
                 if let Ok(text) = String::from_utf8(decoded) {
                     if text.starts_with("http://") || text.starts_with("https://") {
@@ -128,11 +133,11 @@ pub fn js_targets(body: &str) -> Vec<String> {
     }
     // Plain assignment: window.location = "http://…".
     let mut rest = body;
-    while let Some(at) = rest.find("window.location") {
+    while let Some(at) = scan::find(rest.as_bytes(), b"window.location") {
         let after = &rest[at..];
-        if let Some(q) = after.find('"') {
+        if let Some(q) = scan::memchr(b'"', after.as_bytes()) {
             let after_q = &after[q + 1..];
-            if let Some(end) = after_q.find('"') {
+            if let Some(end) = scan::memchr(b'"', after_q.as_bytes()) {
                 let candidate = &after_q[..end];
                 if candidate.starts_with("http://") || candidate.starts_with("https://") {
                     out.push(candidate.to_string());

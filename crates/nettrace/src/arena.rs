@@ -1,0 +1,133 @@
+//! Shared capture arena for the zero-copy ingest pipeline.
+//!
+//! A capture file is loaded (or mapped) into memory exactly once; every
+//! later stage — packet framing, TCP reassembly, HTTP parsing — refers
+//! to it by [`PacketSpan`] byte ranges instead of copying payload bytes
+//! forward. The arena is refcounted (`Arc`) so a consumer that outlives
+//! the ingest call (streamd handoff, deferred forensics) can keep the
+//! backing buffer alive without copying it.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// One capture file's bytes, shared by reference between pipeline stages.
+#[derive(Debug, Clone)]
+pub struct CaptureArena {
+    bytes: Arc<[u8]>,
+}
+
+impl CaptureArena {
+    /// Wraps an owned capture buffer without copying it.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        CaptureArena { bytes: bytes.into() }
+    }
+
+    /// Copies a borrowed capture into a fresh arena (the one deliberate
+    /// copy for callers that only hold a slice).
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        CaptureArena { bytes: Arc::from(bytes) }
+    }
+
+    /// The full capture bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Capture length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the capture is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl std::ops::Deref for CaptureArena {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl From<Vec<u8>> for CaptureArena {
+    fn from(bytes: Vec<u8>) -> Self {
+        CaptureArena::new(bytes)
+    }
+}
+
+/// One captured packet as a timestamped range into a [`CaptureArena`].
+///
+/// The range covers the captured link-layer frame bytes (what
+/// [`crate::pcap::Packet::data`] would own on the copying path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketSpan {
+    /// Capture timestamp (seconds since epoch).
+    pub ts: f64,
+    /// Frame bytes as a range into the arena.
+    pub range: Range<usize>,
+}
+
+impl PacketSpan {
+    /// The frame bytes this span covers.
+    #[inline]
+    pub fn bytes<'a>(&self, arena: &'a [u8]) -> &'a [u8] {
+        &arena[self.range.clone()]
+    }
+}
+
+/// Position of the subslice `sub` within its parent slice `base`, as a
+/// byte range into `base`.
+///
+/// This is how the span pipeline recovers arena offsets from the
+/// existing borrow-based Ethernet/IPv4/TCP parsers: parse a frame
+/// borrowed from the arena, then map the payload slice back to arena
+/// coordinates without re-deriving header lengths.
+///
+/// # Panics
+///
+/// Panics (debug assertion) when `sub` is not contained in `base`.
+#[inline]
+pub fn subslice_range(base: &[u8], sub: &[u8]) -> Range<usize> {
+    let base_start = base.as_ptr() as usize;
+    let sub_start = sub.as_ptr() as usize;
+    debug_assert!(
+        sub_start >= base_start && sub_start + sub.len() <= base_start + base.len(),
+        "subslice_range: sub is not within base"
+    );
+    let start = sub_start - base_start;
+    start..start + sub.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_shares_without_copy() {
+        let arena = CaptureArena::new(vec![1, 2, 3, 4]);
+        let clone = arena.clone();
+        assert_eq!(arena.as_slice(), clone.as_slice());
+        assert_eq!(arena.as_slice().as_ptr(), clone.as_slice().as_ptr(), "refcounted, not copied");
+    }
+
+    #[test]
+    fn span_resolves_bytes() {
+        let arena = CaptureArena::new(vec![0, 1, 2, 3, 4, 5]);
+        let span = PacketSpan { ts: 1.5, range: 2..5 };
+        assert_eq!(span.bytes(&arena), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn subslice_range_recovers_offsets() {
+        let base = [0u8; 32];
+        assert_eq!(subslice_range(&base, &base[5..17]), 5..17);
+        assert_eq!(subslice_range(&base, &base[..0]), 0..0);
+        assert_eq!(subslice_range(&base, &base[32..]), 32..32);
+    }
+}

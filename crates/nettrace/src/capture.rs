@@ -1,6 +1,7 @@
 //! Format-agnostic capture reading: classic pcap or pcapng, detected by
 //! magic.
 
+use crate::arena::PacketSpan;
 use crate::ingest::IngestReport;
 use crate::pcap::{Packet, PcapReader, MAGIC_USEC, MAGIC_USEC_SWAPPED};
 use crate::{pcapng, Error, Result};
@@ -66,6 +67,26 @@ pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Pack
     }
 }
 
+/// Span-based sibling of [`read_packets_lenient`]: same salvage walk in
+/// either format, but packets land in `out` as `(ts, range)` spans into
+/// `bytes` instead of copied buffers. `out` is an append sink so a
+/// caller-owned buffer can be reused across captures.
+pub fn read_packet_spans_lenient(
+    bytes: &[u8],
+    report: &mut IngestReport,
+    out: &mut Vec<PacketSpan>,
+) {
+    match detect(bytes) {
+        Some(CaptureFormat::Pcap) => {
+            crate::pcap::read_packet_spans_lenient(bytes, report, out);
+        }
+        Some(CaptureFormat::PcapNg) => {
+            pcapng::read_packet_spans_lenient(bytes, report, out);
+        }
+        None => report.bytes_skipped += bytes.len() as u64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +148,29 @@ mod tests {
         assert!(read_packets_lenient(b"not a capture", &mut report).is_empty());
         assert_eq!(report.bytes_skipped, 13);
         assert_eq!(report.packets_read, 0);
+    }
+
+    #[test]
+    fn span_dispatch_matches_copying_dispatch() {
+        let mut classic = Vec::new();
+        let mut w = PcapWriter::new(&mut classic).unwrap();
+        for p in sample_packets() {
+            w.write_packet(&p).unwrap();
+        }
+        w.finish().unwrap();
+        let ng = pcapng::write_packets(&sample_packets());
+        for bytes in [classic, ng, b"not a capture".to_vec()] {
+            let mut copy_report = IngestReport::new();
+            let copied = read_packets_lenient(&bytes, &mut copy_report);
+            let mut span_report = IngestReport::new();
+            let mut spans = Vec::new();
+            read_packet_spans_lenient(&bytes, &mut span_report, &mut spans);
+            assert_eq!(copy_report, span_report);
+            assert_eq!(copied.len(), spans.len());
+            for (p, s) in copied.iter().zip(&spans) {
+                assert_eq!(p.ts, s.ts);
+                assert_eq!(p.data.as_slice(), s.bytes(&bytes));
+            }
+        }
     }
 }

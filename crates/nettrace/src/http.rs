@@ -66,10 +66,69 @@ impl std::fmt::Display for Method {
     }
 }
 
+/// The hot header names interned to dense ids at parse time. Every name
+/// the extractor, decode gate, redirect miner, or feature layer looks up
+/// on the per-transaction path is here; the long tail falls back to the
+/// linear case-insensitive scan.
+const HOT_HEADERS: [&str; 12] = [
+    "Host",
+    "Content-Length",
+    "Content-Type",
+    "Content-Encoding",
+    "Transfer-Encoding",
+    "Location",
+    "Referer",
+    "User-Agent",
+    "Cookie",
+    "Connection",
+    "DNT",
+    "X-Flash-Version",
+];
+
+/// Sentinel id for names outside [`HOT_HEADERS`].
+const COLD_HEADER: u8 = u8::MAX;
+
+/// Interns a header name: `(length, lowercased first byte)` is a perfect
+/// hash over [`HOT_HEADERS`] (every pair is unique), so the lookup is one
+/// match plus at most one case-insensitive confirmation.
+fn hot_id(name: &str) -> u8 {
+    let bytes = name.as_bytes();
+    let Some(&first) = bytes.first() else { return COLD_HEADER };
+    let id: u8 = match (bytes.len(), first | 0x20) {
+        (4, b'h') => 0,   // Host
+        (14, b'c') => 1,  // Content-Length
+        (12, b'c') => 2,  // Content-Type
+        (16, b'c') => 3,  // Content-Encoding
+        (17, b't') => 4,  // Transfer-Encoding
+        (8, b'l') => 5,   // Location
+        (7, b'r') => 6,   // Referer
+        (10, b'u') => 7,  // User-Agent
+        (6, b'c') => 8,   // Cookie
+        (10, b'c') => 9,  // Connection
+        (3, b'd') => 10,  // DNT
+        (15, b'x') => 11, // X-Flash-Version
+        _ => return COLD_HEADER,
+    };
+    if name.eq_ignore_ascii_case(HOT_HEADERS[id as usize]) {
+        id
+    } else {
+        COLD_HEADER
+    }
+}
+
 /// An ordered, case-insensitive multimap of HTTP headers.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Hot header names (see [`HOT_HEADERS`]) are interned to dense ids when
+/// a header is inserted, so [`HeaderMap::get`]/[`HeaderMap::set`] on
+/// those names compare one byte per entry instead of running
+/// `eq_ignore_ascii_case` over every stored name. Lookups of other names
+/// fall back to the scan, restricted to the non-interned entries (a
+/// case-insensitive match implies an identical id).
+#[derive(Debug, Clone, Default)]
 pub struct HeaderMap {
     entries: Vec<(String, String)>,
+    /// Parallel to `entries`: `hot_id` of each entry's name.
+    ids: Vec<u8>,
 }
 
 impl HeaderMap {
@@ -80,15 +139,24 @@ impl HeaderMap {
 
     /// Appends a header, preserving insertion order.
     pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
-        self.entries.push((name.into(), value.into()));
+        let name = name.into();
+        self.ids.push(hot_id(&name));
+        self.entries.push((name, value.into()));
     }
 
     /// First value for `name`, compared case-insensitively.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        let id = hot_id(name);
+        if id != COLD_HEADER {
+            let i = self.ids.iter().position(|&e| e == id)?;
+            Some(self.entries[i].1.as_str())
+        } else {
+            self.entries
+                .iter()
+                .zip(&self.ids)
+                .find(|((n, _), &e)| e == COLD_HEADER && n.eq_ignore_ascii_case(name))
+                .map(|((_, v), _)| v.as_str())
+        }
     }
 
     /// Whether a header with `name` exists.
@@ -103,9 +171,21 @@ impl HeaderMap {
     pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
         let name = name.into();
         let value = value.into();
-        match self.entries.iter_mut().find(|(n, _)| n.eq_ignore_ascii_case(&name)) {
-            Some((_, v)) => *v = value,
-            None => self.entries.push((name, value)),
+        let id = hot_id(&name);
+        let pos = if id != COLD_HEADER {
+            self.ids.iter().position(|&e| e == id)
+        } else {
+            self.entries
+                .iter()
+                .zip(&self.ids)
+                .position(|((n, _), &e)| e == COLD_HEADER && n.eq_ignore_ascii_case(&name))
+        };
+        match pos {
+            Some(i) => self.entries[i].1 = value,
+            None => {
+                self.ids.push(id);
+                self.entries.push((name, value));
+            }
         }
     }
 
@@ -125,15 +205,63 @@ impl HeaderMap {
     }
 }
 
+impl PartialEq for HeaderMap {
+    fn eq(&self, other: &Self) -> bool {
+        // `ids` is a pure function of the names, so entries suffice.
+        self.entries == other.entries
+    }
+}
+
+impl Eq for HeaderMap {}
+
 impl FromIterator<(String, String)> for HeaderMap {
     fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
-        HeaderMap { entries: iter.into_iter().collect() }
+        let entries: Vec<(String, String)> = iter.into_iter().collect();
+        let ids = entries.iter().map(|(n, _)| hot_id(n)).collect();
+        HeaderMap { entries, ids }
     }
 }
 
 impl Extend<(String, String)> for HeaderMap {
     fn extend<T: IntoIterator<Item = (String, String)>>(&mut self, iter: T) {
-        self.entries.extend(iter);
+        for (name, value) in iter {
+            self.append(name, value);
+        }
+    }
+}
+
+// Manual serde impls: the wire format must stay exactly what the derive
+// produced before `ids` existed (`{"entries": [...]}`) — the interning
+// table is rebuilt from the names on deserialize, never serialized.
+impl Serialize for HeaderMap {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        let entries =
+            serde::to_value(&self.entries).map_err(<S::Error as serde::ser::Error>::custom)?;
+        serializer
+            .serialize_value(serde::Value::Object(vec![("entries".to_string(), entries)]))
+    }
+}
+
+impl<'de> Deserialize<'de> for HeaderMap {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let value = serde::Deserializer::deserialize_value(deserializer)?;
+        match value {
+            serde::Value::Object(mut fields) => {
+                let entries: Vec<(String, String)> =
+                    match serde::__private::take_field(&mut fields, "entries") {
+                        Some(v) => {
+                            serde::from_value(v).map_err(<D::Error as serde::de::Error>::custom)?
+                        }
+                        None => return Err(<D::Error as serde::de::Error>::missing_field("entries")),
+                    };
+                Ok(entries.into_iter().collect())
+            }
+            other => Err(<D::Error as serde::de::Error>::custom(format_args!(
+                "expected object for struct HeaderMap, found {other:?}"
+            ))),
+        }
     }
 }
 
@@ -178,7 +306,7 @@ pub enum BodyFraming {
 
 /// Finds the end of a message head: the index one past the blank line.
 fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+    crate::scan::find_head_end(buf)
 }
 
 fn parse_headers(lines: &str) -> Result<HeaderMap> {
@@ -335,7 +463,7 @@ pub fn decode_chunked(buf: &[u8]) -> Result<Option<(Vec<u8>, usize)>> {
     let mut body = Vec::new();
     let mut pos = 0usize;
     loop {
-        let line_end = match buf[pos..].windows(2).position(|w| w == b"\r\n") {
+        let line_end = match crate::scan::find_crlf(&buf[pos..]) {
             Some(e) => pos + e,
             None => return Ok(None),
         };
@@ -348,7 +476,7 @@ pub fn decode_chunked(buf: &[u8]) -> Result<Option<(Vec<u8>, usize)>> {
         if size == 0 {
             // Trailers: consume until blank line.
             loop {
-                let t_end = match buf[pos..].windows(2).position(|w| w == b"\r\n") {
+                let t_end = match crate::scan::find_crlf(&buf[pos..]) {
                     Some(e) => pos + e,
                     None => return Ok(None),
                 };
@@ -525,5 +653,74 @@ mod tests {
         for tok in ["GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "PATCH"] {
             assert_eq!(Method::from_token(tok).as_str(), tok);
         }
+    }
+
+    #[test]
+    fn hot_header_interning_is_a_perfect_hash() {
+        // Every hot name maps to its own id in any case; near-misses with
+        // the same (length, first byte) signature stay cold.
+        for (i, name) in HOT_HEADERS.iter().enumerate() {
+            assert_eq!(hot_id(name), i as u8, "{name}");
+            assert_eq!(hot_id(&name.to_ascii_uppercase()), i as u8);
+            assert_eq!(hot_id(&name.to_ascii_lowercase()), i as u8);
+        }
+        for cold in ["Host-", "Hast", "Content-Lengtt", "Xonnection", "X-Request-Id", ""] {
+            assert_eq!(hot_id(cold), COLD_HEADER, "{cold}");
+        }
+        // The (len, first-byte) signatures must be pairwise distinct or
+        // the match above would shadow an entry.
+        let sigs: Vec<_> =
+            HOT_HEADERS.iter().map(|n| (n.len(), n.as_bytes()[0] | 0x20)).collect();
+        for i in 0..sigs.len() {
+            for j in i + 1..sigs.len() {
+                assert_ne!(sigs[i], sigs[j], "{} vs {}", HOT_HEADERS[i], HOT_HEADERS[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn interned_lookups_match_scan_semantics() {
+        let mut h = HeaderMap::new();
+        h.append("content-type", "text/html");
+        h.append("X-Custom", "a");
+        h.append("Content-Type", "application/pdf");
+        h.append("x-custom", "b");
+        // Hot name: first entry in insertion order wins, any query case.
+        assert_eq!(h.get("Content-Type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        // Cold name: same rule via the fallback scan.
+        assert_eq!(h.get("X-CUSTOM"), Some("a"));
+        assert_eq!(h.get("Absent"), None);
+        // set() replaces the first match in place for both classes.
+        h.set("CONTENT-TYPE", "image/gif");
+        assert_eq!(h.get("content-type"), Some("image/gif"));
+        assert_eq!(h.iter().filter(|(n, _)| n.eq_ignore_ascii_case("content-type")).count(), 2);
+        h.set("X-Custom", "c");
+        assert_eq!(h.get("x-custom"), Some("c"));
+        h.set("New-Name", "v");
+        assert_eq!(h.get("new-name"), Some("v"));
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn header_map_serde_format_is_entries_only() {
+        // The interning ids must never leak into the wire format: the
+        // serialized shape is exactly the pre-interning derive's.
+        let mut h = HeaderMap::new();
+        h.append("Host", "x.example");
+        h.append("X-Cold", "1");
+        let v = serde::to_value(&h).unwrap();
+        match &v {
+            serde::Value::Object(fields) => {
+                assert_eq!(fields.len(), 1);
+                assert_eq!(fields[0].0, "entries");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        let back: HeaderMap = serde::from_value(v).unwrap();
+        assert_eq!(back, h);
+        // Interning survives the round trip (fast path finds the entry).
+        assert_eq!(back.get("HOST"), Some("x.example"));
+        assert_eq!(back.get("x-cold"), Some("1"));
     }
 }

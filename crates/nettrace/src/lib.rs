@@ -35,6 +35,7 @@
 //! # }
 //! ```
 
+pub mod arena;
 pub mod base64;
 pub mod capture;
 pub mod ether;
@@ -47,6 +48,7 @@ pub mod payload;
 pub mod pcap;
 pub mod pcapng;
 pub mod reassembly;
+pub mod scan;
 pub mod tcp;
 pub mod transaction;
 
@@ -54,7 +56,7 @@ mod error;
 
 pub use error::Error;
 pub use ingest::IngestReport;
-pub use transaction::{assign_seq, HttpTransaction, TransactionExtractor};
+pub use transaction::{assign_seq, HttpTransaction, SpanPipeline, TransactionExtractor};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, Error>;

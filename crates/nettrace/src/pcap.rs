@@ -7,6 +7,7 @@
 
 use std::io::{Read, Write};
 
+use crate::arena::PacketSpan;
 use crate::ingest::IngestReport;
 use crate::{Error, Result};
 
@@ -120,19 +121,25 @@ impl<R: Read> PcapReader<R> {
     }
 }
 
-/// Reads every decodable packet from classic pcap bytes, never failing.
+/// Lenient record walk shared by the copying and span readers: one
+/// callback per decodable packet with the record's timestamp and the
+/// frame's byte range in `bytes`. Accounting is identical on both paths
+/// by construction — this is the single implementation of it.
 ///
 /// Classic pcap has no per-record magic, so decoding cannot resynchronise
 /// after a corrupt record: the first unreadable record ends the walk and
 /// the remaining bytes are counted as skipped in `report`. Truncated
 /// final records (live-rotated captures) are the common benign case and
 /// set [`IngestReport::capture_truncated`].
-pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Packet> {
-    let mut out = Vec::new();
+fn walk_records_lenient(
+    bytes: &[u8],
+    report: &mut IngestReport,
+    mut emit: impl FnMut(f64, std::ops::Range<usize>),
+) {
     if bytes.len() < 24 {
         report.bytes_skipped += bytes.len() as u64;
         report.capture_truncated = true;
-        return out;
+        return;
     }
     let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
     let swapped = match magic {
@@ -140,7 +147,7 @@ pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Pack
         MAGIC_USEC_SWAPPED => true,
         _ => {
             report.bytes_skipped += bytes.len() as u64;
-            return out;
+            return;
         }
     };
     let mut pos = 24usize;
@@ -168,11 +175,32 @@ pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Pack
             break;
         }
         let ts = ts_sec as f64 + ts_usec as f64 * 1e-6;
-        out.push(Packet { ts, data: bytes[pos + 16..end].to_vec() });
+        emit(ts, pos + 16..end);
         report.packets_read += 1;
         pos = end;
     }
+}
+
+/// Reads every decodable packet from classic pcap bytes, never failing.
+/// See [`walk_records_lenient`] for the degradation rules.
+pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Packet> {
+    let mut out = Vec::new();
+    walk_records_lenient(bytes, report, |ts, range| {
+        out.push(Packet { ts, data: bytes[range].to_vec() });
+    });
     out
+}
+
+/// Zero-copy variant of [`read_packets_lenient`]: appends one
+/// [`PacketSpan`] per decodable packet to `out` instead of copying frame
+/// bytes. Spans index into `bytes` (the capture arena). Accounting in
+/// `report` is byte-identical to the copying reader.
+pub fn read_packet_spans_lenient(
+    bytes: &[u8],
+    report: &mut IngestReport,
+    out: &mut Vec<PacketSpan>,
+) {
+    walk_records_lenient(bytes, report, |ts, range| out.push(PacketSpan { ts, range }));
 }
 
 /// Streaming writer for classic pcap files (little-endian, microseconds).
@@ -351,6 +379,30 @@ mod tests {
         assert_eq!(strict, lenient);
         assert_eq!(report.packets_read, 5);
         assert!(!report.has_loss());
+    }
+
+    #[test]
+    fn span_read_matches_copying_read_including_faults() {
+        // Clean records followed by a truncated final record: spans and
+        // copies must agree packet-for-packet and report-for-report.
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        for i in 0..4u8 {
+            w.write_packet(&Packet::new(i as f64, vec![i; 20 + i as usize])).unwrap();
+        }
+        w.finish().unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut copy_report = IngestReport::new();
+        let packets = read_packets_lenient(&buf, &mut copy_report);
+        let mut span_report = IngestReport::new();
+        let mut spans = Vec::new();
+        read_packet_spans_lenient(&buf, &mut span_report, &mut spans);
+        assert_eq!(packets.len(), spans.len());
+        for (p, s) in packets.iter().zip(&spans) {
+            assert_eq!(p.ts, s.ts);
+            assert_eq!(p.data.as_slice(), s.bytes(&buf));
+        }
+        assert_eq!(copy_report, span_report);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! Use [`crate::capture::read_packets`] to accept either classic pcap or
 //! pcapng transparently.
 
+use crate::arena::PacketSpan;
 use crate::ingest::IngestReport;
 use crate::pcap::Packet;
 use crate::{Error, Result};
+use std::ops::Range;
 
 /// Block type of the Section Header Block.
 pub const SHB_TYPE: u32 = 0x0A0D_0D0A;
@@ -66,19 +68,23 @@ fn byte_order(bytes: &[u8]) -> Result<bool> {
     }
 }
 
-/// Parses one block at `pos`, appending any packet to `packets` and
-/// updating `tsresol` on interface blocks.
+/// Parses one block at `pos`, emitting any packet as a `(ts, range)`
+/// pair into `emit` and updating `tsresol` on interface blocks.
 ///
 /// Returns `Ok(Some(next_pos))` on success, `Ok(None)` when the
 /// remaining bytes are a truncated final block (the declared block
 /// length runs past the end of the input), and a structural error for
 /// in-place corruption (bad length fields, trailer mismatch).
+///
+/// Invariant relied on by the lenient walker: `emit` is called only
+/// after every validation for the block has passed, so an `Err` return
+/// implies nothing was emitted for this block.
 fn parse_block(
     cur: &Cursor<'_>,
     bytes: &[u8],
     pos: usize,
     tsresol: &mut Vec<f64>,
-    packets: &mut Vec<Packet>,
+    emit: &mut impl FnMut(f64, Range<usize>),
 ) -> Result<Option<usize>> {
     let block_type = cur.u32_at(pos)?;
     let total_len = cur.u32_at(pos + 4)? as usize;
@@ -92,37 +98,37 @@ fn parse_block(
     if trailer != total_len {
         return Err(syntax("block length trailer mismatch"));
     }
-    let body = &bytes[pos + 8..pos + total_len - 4];
+    let body_len = total_len - 12;
     match block_type {
         SHB_TYPE => {
             // New section: interfaces reset.
             tsresol.clear();
         }
         IDB_TYPE => {
-            tsresol.push(parse_idb_tsresol(cur, pos + 8, body.len())?);
+            tsresol.push(parse_idb_tsresol(cur, pos + 8, body_len)?);
         }
         EPB_TYPE => {
-            if body.len() < 20 {
+            if body_len < 20 {
                 return Err(syntax("truncated enhanced packet block"));
             }
             let iface = cur.u32_at(pos + 8)? as usize;
             let ts_high = cur.u32_at(pos + 12)? as u64;
             let ts_low = cur.u32_at(pos + 16)? as u64;
             let caplen = cur.u32_at(pos + 20)? as usize;
-            let data = bytes
-                .get(pos + 28..pos + 28 + caplen)
-                .ok_or_else(|| syntax("truncated packet data"))?;
+            if bytes.get(pos + 28..pos + 28 + caplen).is_none() {
+                return Err(syntax("truncated packet data"));
+            }
             let resol = tsresol.get(iface).copied().unwrap_or(1e6);
             let ticks = (ts_high << 32) | ts_low;
-            packets.push(Packet::new(ticks as f64 / resol, data.to_vec()));
+            emit(ticks as f64 / resol, pos + 28..pos + 28 + caplen);
         }
         SPB_TYPE => {
-            if body.len() < 4 {
+            if body_len < 4 {
                 return Err(syntax("truncated simple packet block"));
             }
             let orig_len = cur.u32_at(pos + 8)? as usize;
-            let caplen = orig_len.min(body.len() - 4);
-            packets.push(Packet::new(0.0, body[4..4 + caplen].to_vec()));
+            let caplen = orig_len.min(body_len - 4);
+            emit(0.0, pos + 12..pos + 12 + caplen);
         }
         _ => {} // options, name resolution, statistics… skipped
     }
@@ -149,7 +155,10 @@ pub fn read_packets(bytes: &[u8]) -> Result<Vec<Packet>> {
     // Per-interface timestamp resolution (ticks per second).
     let mut tsresol: Vec<f64> = Vec::new();
     while pos + 12 <= bytes.len() {
-        match parse_block(&cur, bytes, pos, &mut tsresol, &mut packets)? {
+        let emit = &mut |ts, range: Range<usize>| {
+            packets.push(Packet::new(ts, bytes[range].to_vec()));
+        };
+        match parse_block(&cur, bytes, pos, &mut tsresol, emit)? {
             Some(next) => pos = next,
             None => break, // truncated final block: keep what we have
         }
@@ -166,28 +175,58 @@ pub fn read_packets(bytes: &[u8]) -> Result<Vec<Packet>> {
 /// there. Dropped blocks and skipped bytes are counted in `report`.
 pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Packet> {
     let mut packets = Vec::new();
+    walk_blocks_lenient(bytes, report, |ts, range| {
+        packets.push(Packet::new(ts, bytes[range].to_vec()));
+    });
+    packets
+}
+
+/// Span-based sibling of [`read_packets_lenient`]: identical walk and
+/// accounting, but each salvaged packet is appended to `out` as a
+/// `(ts, range)` span into `bytes` instead of a copied buffer.
+pub fn read_packet_spans_lenient(
+    bytes: &[u8],
+    report: &mut IngestReport,
+    out: &mut Vec<PacketSpan>,
+) {
+    walk_blocks_lenient(bytes, report, |ts, range| out.push(PacketSpan { ts, range }));
+}
+
+/// The lenient block walk shared by the copying and span readers: one
+/// implementation of salvage, resync, and accounting, parameterised only
+/// by what to do with each recovered packet's `(ts, range)`.
+fn walk_blocks_lenient(
+    bytes: &[u8],
+    report: &mut IngestReport,
+    mut emit: impl FnMut(f64, Range<usize>),
+) {
     let Ok(big_endian) = byte_order(bytes) else {
         report.bytes_skipped += bytes.len() as u64;
-        return packets;
+        return;
     };
     let cur = Cursor { data: bytes, big_endian };
     let mut pos = 0usize;
     let mut tsresol: Vec<f64> = Vec::new();
     while pos + 12 <= bytes.len() {
-        let before = packets.len();
-        match parse_block(&cur, bytes, pos, &mut tsresol, &mut packets) {
+        let mut emitted = 0u64;
+        let sink = &mut |ts, range| {
+            emitted += 1;
+            emit(ts, range);
+        };
+        // A failed block emits nothing (see `parse_block`), so the error
+        // path needs no rollback of already-emitted packets.
+        match parse_block(&cur, bytes, pos, &mut tsresol, sink) {
             Ok(Some(next)) => {
-                report.packets_read += (packets.len() - before) as u64;
+                report.packets_read += emitted;
                 pos = next;
             }
             Ok(None) => {
                 report.records_dropped += 1;
                 report.bytes_skipped += (bytes.len() - pos) as u64;
                 report.capture_truncated = true;
-                return packets;
+                return;
             }
             Err(_) => {
-                packets.truncate(before);
                 report.records_dropped += 1;
                 match resync(&cur, bytes, pos + 1) {
                     Some(next) => {
@@ -196,7 +235,7 @@ pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Pack
                     }
                     None => {
                         report.bytes_skipped += (bytes.len() - pos) as u64;
-                        return packets;
+                        return;
                     }
                 }
             }
@@ -206,7 +245,6 @@ pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Pack
         report.bytes_skipped += (bytes.len() - pos) as u64;
         report.capture_truncated = true;
     }
-    packets
 }
 
 /// Finds the next plausible block start at or after `from`: a known
@@ -427,5 +465,35 @@ mod tests {
         let mut report = IngestReport::new();
         assert!(read_packets_lenient(b"garbage", &mut report).is_empty());
         assert_eq!(report.bytes_skipped, 7);
+    }
+
+    #[test]
+    fn span_read_matches_copying_read_including_faults() {
+        let packets = vec![
+            Packet::new(1.0, vec![0xaa; 16]),
+            Packet::new(2.0, vec![0xbb; 16]),
+            Packet::new(3.0, vec![0xcc; 16]),
+        ];
+        let mut corrupt = write_packets(&packets);
+        // Corrupt the second EPB's trailer (forces a resync) and leave a
+        // clean copy too.
+        let epb_len = 32 + 16;
+        let trailer_at = 28 + 20 + epb_len + epb_len - 4;
+        corrupt[trailer_at] ^= 0xff;
+        let clean = write_packets(&packets);
+        let truncated = clean[..clean.len() - 6].to_vec();
+        for bytes in [clean, corrupt, truncated, b"garbage".to_vec()] {
+            let mut copy_report = IngestReport::new();
+            let copied = read_packets_lenient(&bytes, &mut copy_report);
+            let mut span_report = IngestReport::new();
+            let mut spans = Vec::new();
+            read_packet_spans_lenient(&bytes, &mut span_report, &mut spans);
+            assert_eq!(copy_report, span_report);
+            assert_eq!(copied.len(), spans.len());
+            for (p, s) in copied.iter().zip(&spans) {
+                assert_eq!(p.ts, s.ts);
+                assert_eq!(p.data.as_slice(), s.bytes(&bytes));
+            }
+        }
     }
 }

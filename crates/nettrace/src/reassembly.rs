@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::ops::Range;
 
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +87,44 @@ impl Stream {
     /// Arrival timestamp of the byte at `offset` (timestamp of the segment
     /// that carried it). Falls back to the last known timestamp for offsets
     /// past the end.
+    pub fn timestamp_at(&self, offset: usize) -> f64 {
+        self.as_view().timestamp_at(offset)
+    }
+
+    /// This stream as a borrowed [`StreamView`], the common currency the
+    /// transaction extractor parses (shared with the zero-copy path).
+    pub fn as_view(&self) -> StreamView<'_> {
+        StreamView {
+            key: self.key,
+            data: &self.data,
+            timeline: &self.timeline,
+            closed: self.closed,
+        }
+    }
+}
+
+/// A borrowed view of one reassembled unidirectional stream.
+///
+/// Both reassembly paths produce this shape: [`Stream::as_view`] borrows
+/// from the owned copying-path stream, and [`StreamBuf::view`] borrows
+/// from the capture arena or the shared gather buffer on the zero-copy
+/// path. The HTTP transaction extractor parses views, so the two paths
+/// share one parser by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamView<'a> {
+    /// The flow this stream belongs to.
+    pub key: FlowKey,
+    /// Reassembled application bytes in sequence order.
+    pub data: &'a [u8],
+    /// `(byte_offset, timestamp)` markers, sorted by offset.
+    pub timeline: &'a [(usize, f64)],
+    /// Whether a FIN or RST was observed on this direction.
+    pub closed: bool,
+}
+
+impl StreamView<'_> {
+    /// Arrival timestamp of the byte at `offset`; see
+    /// [`Stream::timestamp_at`].
     pub fn timestamp_at(&self, offset: usize) -> f64 {
         match self.timeline.binary_search_by(|(o, _)| o.cmp(&offset)) {
             Ok(i) => self.timeline[i].1,
@@ -242,6 +281,276 @@ impl StreamReassembler {
                 Stream { key, data, timeline, closed: state.closed }
             })
             .collect()
+    }
+}
+
+/// One buffered TCP chunk on the zero-copy path: payload bytes as a
+/// range into the capture arena rather than an owned copy.
+#[derive(Debug, Clone)]
+struct SpanChunk {
+    /// Offset from the flow base (mutable: rebases shift it).
+    rel: u64,
+    /// Arrival order within the flow. The gather sort's tie-break: a
+    /// retransmission landing on an already-buffered offset loses to the
+    /// first arrival, exactly as the copying path's
+    /// `chunks.entry(rel).or_insert_with(..)` drops it at push time.
+    order: u32,
+    ts: f64,
+    range: Range<usize>,
+}
+
+#[derive(Debug, Default)]
+struct SpanFlowState {
+    chunks: Vec<SpanChunk>,
+    next_order: u32,
+    isn: Option<u32>,
+    isn_from_syn: bool,
+    closed: bool,
+}
+
+/// Where one gathered stream's bytes live.
+#[derive(Debug)]
+enum StreamSrc {
+    /// A single contiguous span: the stream is read straight out of the
+    /// capture arena, no bytes materialized.
+    Arena(Range<usize>),
+    /// Multiple chunks (or an overlap/retransmit conflict) forced a
+    /// gather copy into [`StreamBuf::data`].
+    Gathered(Range<usize>),
+}
+
+#[derive(Debug)]
+struct StreamDesc {
+    key: FlowKey,
+    src: StreamSrc,
+    timeline: Range<usize>,
+    closed: bool,
+}
+
+/// Reused output buffer for [`SpanReassembler::gather_streams`]: all
+/// gathered stream bytes, timelines, and descriptors live in three flat
+/// vectors whose capacity survives across captures, so steady-state
+/// reassembly allocates nothing.
+#[derive(Debug, Default)]
+pub struct StreamBuf {
+    data: Vec<u8>,
+    timeline: Vec<(usize, f64)>,
+    streams: Vec<StreamDesc>,
+}
+
+impl StreamBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        StreamBuf::default()
+    }
+
+    /// Discards all streams, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.timeline.clear();
+        self.streams.clear();
+    }
+
+    /// Number of streams held.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether no streams are held.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Borrows stream `i`. `arena` must be the capture the spans were
+    /// pushed from (single-span streams read straight out of it).
+    pub fn view<'a>(&'a self, arena: &'a [u8], i: usize) -> StreamView<'a> {
+        let d = &self.streams[i];
+        let data = match &d.src {
+            StreamSrc::Arena(r) => &arena[r.clone()],
+            StreamSrc::Gathered(r) => &self.data[r.clone()],
+        };
+        StreamView { key: d.key, data, timeline: &self.timeline[d.timeline.clone()], closed: d.closed }
+    }
+
+    /// Iterates all stream views in first-seen flow order.
+    pub fn views<'a>(&'a self, arena: &'a [u8]) -> impl Iterator<Item = StreamView<'a>> {
+        (0..self.streams.len()).map(move |i| self.view(arena, i))
+    }
+}
+
+/// Zero-copy sibling of [`StreamReassembler`]: buffers `(ts, span)`
+/// chunks instead of copied payloads, and materializes bytes only when a
+/// flow has more than one chunk (gather copy) — a single-segment stream
+/// stays a borrowed arena span end to end.
+///
+/// Ordering, rebase, retransmission, overlap, and gap semantics are
+/// byte-identical to the copying path (asserted by the equivalence tests
+/// below and the fault-injection proptest): the copying path's `BTreeMap`
+/// insert-time dedup becomes a `(rel, arrival order)` sort plus a
+/// same-`rel` skip at gather time.
+///
+/// The reassembler and its [`StreamBuf`] are designed for reuse:
+/// [`SpanReassembler::gather_streams`] drains every flow, reclaims chunk
+/// vectors into an internal pool, and leaves the map's capacity in place,
+/// so a warm reassembler processes a capture without allocating.
+#[derive(Debug, Default)]
+pub struct SpanReassembler {
+    flows: HashMap<FlowKey, SpanFlowState>,
+    order: Vec<FlowKey>,
+    pool: Vec<Vec<SpanChunk>>,
+}
+
+impl SpanReassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        SpanReassembler::default()
+    }
+
+    /// Adds one segment observed at time `ts` on flow `key`, with
+    /// `payload` locating `seg.payload` inside the capture arena
+    /// (callers recover it with [`crate::arena::subslice_range`]).
+    ///
+    /// Semantics match [`StreamReassembler::push`] exactly.
+    pub fn push_span(
+        &mut self,
+        ts: f64,
+        key: FlowKey,
+        seg: &TcpSegment<'_>,
+        payload: Range<usize>,
+    ) {
+        debug_assert_eq!(payload.len(), seg.payload.len());
+        let state = match self.flows.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                self.order.push(key);
+                let state = self.flows.entry(key).or_default();
+                if let Some(reclaimed) = self.pool.pop() {
+                    state.chunks = reclaimed;
+                }
+                state
+            }
+        };
+        if seg.flags.syn {
+            if let (Some(old_isn), false) = (state.isn, state.isn_from_syn) {
+                // Data outran the SYN: re-key buffered chunks to the
+                // SYN's base (see the copying path for the full story).
+                let new_base = seg.seq.wrapping_add(1);
+                let diff = old_isn.wrapping_sub(new_base) as i32;
+                if diff >= 0 {
+                    let shift = diff as u64;
+                    for c in &mut state.chunks {
+                        c.rel += shift;
+                    }
+                } else {
+                    // Buffered data claimed to precede the SYN: stale
+                    // retransmission, dropped.
+                    state.chunks.clear();
+                }
+            }
+            state.isn = Some(seg.seq);
+            state.isn_from_syn = true;
+        }
+        if seg.flags.fin || seg.flags.rst {
+            state.closed = true;
+        }
+        if seg.payload.is_empty() {
+            return;
+        }
+        if state.isn.is_none() {
+            state.isn = Some(seg.seq);
+            state.isn_from_syn = false;
+        }
+        let rel_signed = {
+            let isn = state.isn.expect("isn just ensured");
+            let base = if state.isn_from_syn { isn.wrapping_add(1) } else { isn };
+            seg.seq.wrapping_sub(base) as i32
+        };
+        if rel_signed < 0 {
+            if state.isn_from_syn {
+                // Data claiming to precede the SYN: stale retransmission.
+                return;
+            }
+            // Out-of-order arrival below the provisional base: rebase.
+            let shift = (-(rel_signed as i64)) as u64;
+            for c in &mut state.chunks {
+                c.rel += shift;
+            }
+            state.isn = Some(seg.seq);
+        }
+        let rel = {
+            let isn = state.isn.expect("isn set above");
+            let base = if state.isn_from_syn { isn.wrapping_add(1) } else { isn };
+            seg.seq.wrapping_sub(base) as u64
+        };
+        let order = state.next_order;
+        state.next_order += 1;
+        state.chunks.push(SpanChunk { rel, order, ts, range: payload });
+    }
+
+    /// Finishes reassembly into `buf` (cleared first), one stream per
+    /// flow in first-seen order, counting skipped discontinuities into
+    /// `gaps` — the zero-copy analogue of
+    /// [`StreamReassembler::into_streams_counting`].
+    ///
+    /// Drains all flow state and reclaims its buffers, leaving the
+    /// reassembler warm for the next capture.
+    pub fn gather_streams(&mut self, arena: &[u8], gaps: &mut u64, buf: &mut StreamBuf) {
+        buf.clear();
+        let mut order = std::mem::take(&mut self.order);
+        for &key in &order {
+            let mut state = self.flows.remove(&key).expect("flow recorded in order");
+            state.chunks.sort_unstable_by_key(|c| (c.rel, c.order));
+            let tl_start = buf.timeline.len();
+            // Fast path: one chunk — the stream IS its arena span.
+            if let [c] = state.chunks.as_slice() {
+                if c.rel > 0 {
+                    *gaps += 1; // opening bytes lost below a pinned base
+                }
+                buf.timeline.push((0, c.ts));
+                buf.streams.push(StreamDesc {
+                    key,
+                    src: StreamSrc::Arena(c.range.clone()),
+                    timeline: tl_start..buf.timeline.len(),
+                    closed: state.closed,
+                });
+            } else {
+                let data_start = buf.data.len();
+                let mut next_rel = 0u64;
+                let mut prev_rel = u64::MAX;
+                for c in &state.chunks {
+                    if c.rel == prev_rel {
+                        continue; // later arrival at a taken offset: dropped wholly
+                    }
+                    prev_rel = c.rel;
+                    if c.rel > next_rel {
+                        *gaps += 1;
+                    }
+                    let bytes = &arena[c.range.clone()];
+                    let bytes = if c.rel < next_rel {
+                        let overlap = (next_rel - c.rel) as usize;
+                        if overlap >= bytes.len() {
+                            continue; // fully retransmitted
+                        }
+                        &bytes[overlap..]
+                    } else {
+                        bytes
+                    };
+                    buf.timeline.push((buf.data.len() - data_start, c.ts));
+                    buf.data.extend_from_slice(bytes);
+                    next_rel = c.rel.max(next_rel) + bytes.len() as u64;
+                }
+                buf.streams.push(StreamDesc {
+                    key,
+                    src: StreamSrc::Gathered(data_start..buf.data.len()),
+                    timeline: tl_start..buf.timeline.len(),
+                    closed: state.closed,
+                });
+            }
+            state.chunks.clear();
+            self.pool.push(std::mem::take(&mut state.chunks));
+        }
+        order.clear();
+        self.order = order;
     }
 }
 
@@ -407,5 +716,129 @@ mod tests {
         let mut gaps = 0;
         r.into_streams_counting(&mut gaps);
         assert_eq!(gaps, 0);
+    }
+
+    /// One scripted segment: `(ts, key, seq, flags, payload)`.
+    type Scripted = (f64, FlowKey, u32, TcpFlags, &'static [u8]);
+
+    /// Runs the same script through both reassemblers and asserts the
+    /// resulting streams, timelines, closed flags, and gap counts are
+    /// identical. The span path parses segments borrowed from a single
+    /// arena and recovers payload offsets via `subslice_range`, exactly
+    /// like the production pipeline.
+    fn assert_paths_equivalent(script: &[Scripted]) {
+        // Copying path.
+        let mut legacy = StreamReassembler::new();
+        for &(ts, k, seq, flags, data) in script {
+            let raw = tcp::build(k.src.port, k.dst.port, seq, 0, flags, data);
+            legacy.push(ts, k, &TcpSegment::parse(&raw).unwrap());
+        }
+        let mut legacy_gaps = 0;
+        let streams = legacy.into_streams_counting(&mut legacy_gaps);
+
+        // Span path: all segments concatenated into one arena.
+        let mut arena = Vec::new();
+        let mut seg_at = Vec::new();
+        for &(_, k, seq, flags, data) in script {
+            let raw = tcp::build(k.src.port, k.dst.port, seq, 0, flags, data);
+            seg_at.push(arena.len()..arena.len() + raw.len());
+            arena.extend_from_slice(&raw);
+        }
+        let mut spans = SpanReassembler::new();
+        for (&(ts, k, _, _, _), raw_range) in script.iter().zip(&seg_at) {
+            let seg = TcpSegment::parse(&arena[raw_range.clone()]).unwrap();
+            let payload = crate::arena::subslice_range(&arena, seg.payload);
+            spans.push_span(ts, k, &seg, payload);
+        }
+        let mut span_gaps = 0;
+        let mut buf = StreamBuf::new();
+        spans.gather_streams(&arena, &mut span_gaps, &mut buf);
+
+        assert_eq!(legacy_gaps, span_gaps, "gap counts diverge");
+        assert_eq!(streams.len(), buf.len(), "stream counts diverge");
+        for (s, v) in streams.iter().zip(buf.views(&arena)) {
+            assert_eq!(s.key, v.key);
+            assert_eq!(s.data.as_slice(), v.data, "bytes diverge on {}", s.key.src);
+            assert_eq!(s.timeline.as_slice(), v.timeline);
+            assert_eq!(s.closed, v.closed);
+        }
+    }
+
+    #[test]
+    fn span_path_matches_copying_path_on_clean_and_hostile_scripts() {
+        let k = key();
+        let r = key().reversed();
+        let scripts: &[&[Scripted]] = &[
+            // Clean two-direction exchange with SYNs and FIN.
+            &[
+                (0.5, k, 999, TcpFlags::syn(), b""),
+                (1.0, k, 1000, TcpFlags::data(), b"GET / HTTP/1.1\r\n\r\n"),
+                (1.5, r, 499, TcpFlags::syn(), b""),
+                (2.0, r, 500, TcpFlags::data(), b"HTTP/1.1 200 OK\r\n"),
+                (2.5, r, 517, TcpFlags::data(), b"\r\nbody"),
+                (3.0, k, 1018, TcpFlags::fin(), b""),
+            ],
+            // Reordering, retransmission, and partial overlap.
+            &[
+                (2.0, k, 106, TcpFlags::data(), b"world"),
+                (1.0, k, 100, TcpFlags::data(), b"hello "),
+                (3.0, k, 100, TcpFlags::data(), b"HELLO "),
+                (4.0, k, 104, TcpFlags::data(), b"o WOR"),
+            ],
+            // Same-offset retransmit that is LONGER than the first copy:
+            // the copying path drops it wholly; the span path must too.
+            &[
+                (1.0, k, 100, TcpFlags::data(), b"abc"),
+                (2.0, k, 100, TcpFlags::data(), b"abcdef"),
+                (3.0, k, 103, TcpFlags::data(), b"XYZ"),
+            ],
+            // Late SYN rebase plus stale below-SYN data.
+            &[
+                (2.0, k, 6400, TcpFlags::data(), b"world"),
+                (1.0, k, 4999, TcpFlags::syn(), b""),
+                (1.5, k, 5000, TcpFlags::data(), b"front"),
+                (2.5, k, 4000, TcpFlags::data(), b"stale"),
+            ],
+            // Provisional-base rebase: below-base data arrives late.
+            &[
+                (1.0, k, 500, TcpFlags::data(), b"tail"),
+                (2.0, k, 100, TcpFlags::data(), b"head"),
+            ],
+            // Gaps in both directions, RST close.
+            &[
+                (1.0, k, 100, TcpFlags::data(), b"abc"),
+                (2.0, k, 200, TcpFlags::data(), b"xyz"),
+                (3.0, r, 1, TcpFlags::data(), b"pqr"),
+                (4.0, r, 900, TcpFlags::data(), b"end"),
+                (5.0, r, 903, TcpFlags { rst: true, ack: true, ..TcpFlags::default() }, b""),
+            ],
+        ];
+        for script in scripts {
+            assert_paths_equivalent(script);
+        }
+    }
+
+    #[test]
+    fn span_reassembler_reuse_is_clean_across_captures() {
+        let mut spans = SpanReassembler::new();
+        let mut buf = StreamBuf::new();
+        let k = key();
+        for round in 0..3 {
+            let raw = tcp::build(k.src.port, k.dst.port, 100, 0, TcpFlags::data(), b"abc");
+            let raw2 = tcp::build(k.src.port, k.dst.port, 103, 0, TcpFlags::data(), b"def");
+            let mut arena = raw.clone();
+            arena.extend_from_slice(&raw2);
+            let seg1 = TcpSegment::parse(&arena[..raw.len()]).unwrap();
+            let p1 = crate::arena::subslice_range(&arena, seg1.payload);
+            spans.push_span(1.0, k, &seg1, p1);
+            let seg2 = TcpSegment::parse(&arena[raw.len()..]).unwrap();
+            let p2 = crate::arena::subslice_range(&arena, seg2.payload);
+            spans.push_span(2.0, k, &seg2, p2);
+            let mut gaps = 0;
+            spans.gather_streams(&arena, &mut gaps, &mut buf);
+            assert_eq!(gaps, 0, "round {round}");
+            assert_eq!(buf.len(), 1);
+            assert_eq!(buf.view(&arena, 0).data, b"abcdef");
+        }
     }
 }

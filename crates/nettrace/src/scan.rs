@@ -1,0 +1,223 @@
+//! SIMD byte scanning for the hot parse paths.
+//!
+//! The HTTP parser and the redirect miner spend their time finding
+//! delimiters (`\r\n\r\n`, `\r\n`, `:`) and anchor bytes in entity
+//! bodies. The scalar forms (`windows(n).position(..)`, `str::find`)
+//! compare one byte per iteration; the scanners here examine 16 bytes
+//! per step with SSE2 on `x86_64` (baseline for the target, no feature
+//! detection needed) and fall back to a SWAR word-at-a-time scan on
+//! other architectures. No external crates: the build environment is
+//! offline, so this is a hand-rolled `memchr` subset covering exactly
+//! what the parsers need.
+
+/// Returns the index of the first occurrence of `needle` in `haystack`.
+#[inline]
+pub fn memchr(needle: u8, haystack: &[u8]) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        memchr_sse2(needle, haystack)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        memchr_swar(needle, haystack)
+    }
+}
+
+/// Returns the index of the first byte equal to `a` or `b`.
+#[inline]
+pub fn memchr2(a: u8, b: u8, haystack: &[u8]) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        memchr2_sse2(a, b, haystack)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        haystack.iter().position(|&c| c == a || c == b)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn memchr_sse2(needle: u8, haystack: &[u8]) -> Option<usize> {
+    use std::arch::x86_64::{_mm_cmpeq_epi8, _mm_loadu_si128, _mm_movemask_epi8, _mm_set1_epi8};
+    // SAFETY: SSE2 is part of the x86_64 baseline; loads are unaligned
+    // (`loadu`) and stay within `haystack` by the loop bounds.
+    unsafe {
+        let pat = _mm_set1_epi8(needle as i8);
+        let mut i = 0usize;
+        while i + 16 <= haystack.len() {
+            let chunk = _mm_loadu_si128(haystack.as_ptr().add(i).cast());
+            let mask = _mm_movemask_epi8(_mm_cmpeq_epi8(chunk, pat));
+            if mask != 0 {
+                return Some(i + mask.trailing_zeros() as usize);
+            }
+            i += 16;
+        }
+        haystack[i..].iter().position(|&c| c == needle).map(|p| i + p)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn memchr2_sse2(a: u8, b: u8, haystack: &[u8]) -> Option<usize> {
+    use std::arch::x86_64::{
+        _mm_cmpeq_epi8, _mm_loadu_si128, _mm_movemask_epi8, _mm_or_si128, _mm_set1_epi8,
+    };
+    // SAFETY: see `memchr_sse2`.
+    unsafe {
+        let pa = _mm_set1_epi8(a as i8);
+        let pb = _mm_set1_epi8(b as i8);
+        let mut i = 0usize;
+        while i + 16 <= haystack.len() {
+            let chunk = _mm_loadu_si128(haystack.as_ptr().add(i).cast());
+            let hits = _mm_or_si128(_mm_cmpeq_epi8(chunk, pa), _mm_cmpeq_epi8(chunk, pb));
+            let mask = _mm_movemask_epi8(hits);
+            if mask != 0 {
+                return Some(i + mask.trailing_zeros() as usize);
+            }
+            i += 16;
+        }
+        haystack[i..].iter().position(|&c| c == a || c == b).map(|p| i + p)
+    }
+}
+
+/// Portable word-at-a-time fallback (Mycroft's "has zero byte" trick).
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn memchr_swar(needle: u8, haystack: &[u8]) -> Option<usize> {
+    const LO: usize = usize::from_ne_bytes([0x01; std::mem::size_of::<usize>()]);
+    const HI: usize = usize::from_ne_bytes([0x80; std::mem::size_of::<usize>()]);
+    let word = usize::from_ne_bytes([needle; std::mem::size_of::<usize>()]);
+    let step = std::mem::size_of::<usize>();
+    let mut i = 0usize;
+    while i + step <= haystack.len() {
+        let chunk = usize::from_ne_bytes(haystack[i..i + step].try_into().unwrap());
+        let x = chunk ^ word;
+        if x.wrapping_sub(LO) & !x & HI != 0 {
+            // A matching byte is in this word; pin it down bytewise.
+            return haystack[i..i + step].iter().position(|&c| c == needle).map(|p| i + p);
+        }
+        i += step;
+    }
+    haystack[i..].iter().position(|&c| c == needle).map(|p| i + p)
+}
+
+/// Finds the first occurrence of `needle` (non-empty) in `haystack`:
+/// SIMD scan for the first byte, then a direct comparison of the rest.
+#[inline]
+pub fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    debug_assert!(!needle.is_empty());
+    let first = needle[0];
+    let mut base = 0usize;
+    while base + needle.len() <= haystack.len() {
+        let i = base + memchr(first, &haystack[base..=haystack.len() - needle.len()])?;
+        if haystack[i..i + needle.len()] == *needle {
+            return Some(i);
+        }
+        base = i + 1;
+    }
+    None
+}
+
+/// ASCII-case-insensitive [`find`] for an already-lowercase non-empty
+/// needle: SIMD scan for either case of the first byte, then one
+/// `eq_ignore_ascii_case` confirmation.
+#[inline]
+pub fn find_ignore_ascii_case(haystack: &[u8], needle_lower: &[u8]) -> Option<usize> {
+    debug_assert!(!needle_lower.is_empty());
+    let lo = needle_lower[0];
+    let up = lo.to_ascii_uppercase();
+    let mut base = 0usize;
+    while base + needle_lower.len() <= haystack.len() {
+        let window = &haystack[base..=haystack.len() - needle_lower.len()];
+        let i = base
+            + if lo == up { memchr(lo, window)? } else { memchr2(lo, up, window)? };
+        if haystack[i..i + needle_lower.len()].eq_ignore_ascii_case(needle_lower) {
+            return Some(i);
+        }
+        base = i + 1;
+    }
+    None
+}
+
+/// Finds the `\r\n\r\n` head terminator: the index one past the blank
+/// line. Scans for `\r` and confirms the 4-byte sequence — head bytes
+/// are overwhelmingly non-`\r`, so nearly every position is skipped 16
+/// at a time.
+#[inline]
+pub fn find_head_end(buf: &[u8]) -> Option<usize> {
+    find(buf, b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Finds the next `\r\n` at or after the start of `buf`.
+#[inline]
+pub fn find_crlf(buf: &[u8]) -> Option<usize> {
+    find(buf, b"\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memchr_matches_scalar_on_all_offsets() {
+        // Cross the 16-byte boundary in every phase so both the SIMD
+        // body and the scalar tail are exercised.
+        for len in 0..64 {
+            let buf: Vec<u8> = (0..len as u8).map(|b| b % 7).collect();
+            for needle in 0..8u8 {
+                assert_eq!(
+                    memchr(needle, &buf),
+                    buf.iter().position(|&c| c == needle),
+                    "len {len} needle {needle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memchr2_matches_scalar() {
+        for len in 0..48 {
+            let buf: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(37)).collect();
+            assert_eq!(
+                memchr2(b'\r', b':', &buf),
+                buf.iter().position(|&c| c == b'\r' || c == b':')
+            );
+        }
+    }
+
+    #[test]
+    fn find_locates_subslices() {
+        let hay = b"abcXabcabYabcab\r\n\r\ntail";
+        assert_eq!(find(hay, b"abcab"), Some(4));
+        assert_eq!(find(hay, b"\r\n\r\n"), Some(15));
+        assert_eq!(find(hay, b"zzz"), None);
+        assert_eq!(find(b"ab", b"abc"), None);
+        assert_eq!(find(b"abc", b"abc"), Some(0));
+    }
+
+    #[test]
+    fn find_handles_repeated_first_bytes() {
+        // First-byte hits that fail confirmation must not skip matches.
+        let hay = b"aaaaaaaaaaaaaaaaaaaaaaab";
+        assert_eq!(find(hay, b"aab"), Some(21));
+    }
+
+    #[test]
+    fn find_ci_matches_any_case() {
+        let hay = b"...Location: x ...LOCATION: y";
+        assert_eq!(find_ignore_ascii_case(hay, b"location"), Some(3));
+        assert_eq!(find_ignore_ascii_case(&hay[4..], b"location"), Some(14));
+        assert_eq!(find_ignore_ascii_case(hay, b"refresh"), None);
+        // Non-alphabetic first byte (single-case path).
+        assert_eq!(find_ignore_ascii_case(hay, b":"), Some(11));
+    }
+
+    #[test]
+    fn head_end_and_crlf() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost: x\r\n\r\nbody"), Some(27));
+        assert_eq!(find_head_end(b"no terminator"), None);
+        assert_eq!(find_crlf(b"abc\r\ndef"), Some(3));
+        assert_eq!(find_crlf(b"abc\rdef"), None);
+    }
+}

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::{subslice_range, PacketSpan};
 use crate::ether::{EtherFrame, ETHERTYPE_IPV4};
 use crate::http::{
     parse_request_head, parse_response_head, request_body_framing, response_body_framing,
@@ -21,7 +22,9 @@ use crate::ingest::IngestReport;
 use crate::ipv4::{Ipv4Packet, PROTO_TCP};
 use crate::payload::{classify, PayloadClass};
 use crate::pcap::Packet;
-use crate::reassembly::{Endpoint, FlowKey, Stream, StreamReassembler};
+use crate::reassembly::{
+    Endpoint, FlowKey, SpanReassembler, Stream, StreamBuf, StreamReassembler, StreamView,
+};
 use crate::tcp::TcpSegment;
 use crate::{Error, Result};
 
@@ -135,14 +138,118 @@ impl HttpTransaction {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
 /// Computes the 64-bit FNV-1a digest of `data`.
 pub fn fnv1a(data: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut hash = FNV_OFFSET;
     for &b in data {
         hash ^= b as u64;
-        hash = hash.wrapping_mul(0x1000_0000_01b3);
+        hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
+}
+
+/// Digests many bodies, producing exactly `fnv1a(bodies[i])` in
+/// `out[i]` — but several times faster on a batch.
+///
+/// FNV-1a is a strict dependency chain (`xor` then multiply per byte),
+/// so a single body digests at the multiplier's *latency*, not its
+/// throughput. Bodies are independent, though: interleaving four of them
+/// keeps four multiply chains in flight, and the out-of-order core
+/// overlaps them. When a lane's body ends it is refilled from the queue;
+/// a non-full tail falls back to the sequential form. The per-body
+/// values are bit-identical to [`fnv1a`] by construction.
+pub fn fnv1a_many(bodies: &[&[u8]], out: &mut Vec<u64>) {
+    out.clear();
+    // Empty bodies hash to the offset basis; pre-fill so the lane refill
+    // can skip them without occupying a lane.
+    out.resize(bodies.len(), FNV_OFFSET);
+    let mut next = 0usize;
+    let mut lane = [usize::MAX; 4];
+    let mut pos = [0usize; 4];
+    let mut hash = [FNV_OFFSET; 4];
+    loop {
+        for l in 0..4 {
+            while lane[l] == usize::MAX && next < bodies.len() {
+                if bodies[next].is_empty() {
+                    next += 1;
+                    continue;
+                }
+                lane[l] = next;
+                pos[l] = 0;
+                hash[l] = FNV_OFFSET;
+                next += 1;
+            }
+        }
+        let active = lane.iter().filter(|&&i| i != usize::MAX).count();
+        if active == 0 {
+            return;
+        }
+        if active < 4 {
+            // Queue exhausted: finish the stragglers sequentially.
+            for l in 0..4 {
+                if lane[l] != usize::MAX {
+                    let body = bodies[lane[l]];
+                    let mut h = hash[l];
+                    for &b in &body[pos[l]..] {
+                        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+                    }
+                    out[lane[l]] = h;
+                    lane[l] = usize::MAX;
+                }
+            }
+            continue;
+        }
+        // All four lanes occupied: advance them in lockstep until the
+        // shortest remaining body ends.
+        let step = (0..4).map(|l| bodies[lane[l]].len() - pos[l]).min().expect("4 lanes");
+        let s0 = &bodies[lane[0]][pos[0]..pos[0] + step];
+        let s1 = &bodies[lane[1]][pos[1]..pos[1] + step];
+        let s2 = &bodies[lane[2]][pos[2]..pos[2] + step];
+        let s3 = &bodies[lane[3]][pos[3]..pos[3] + step];
+        let (mut h0, mut h1, mut h2, mut h3) = (hash[0], hash[1], hash[2], hash[3]);
+        for j in 0..step {
+            h0 = (h0 ^ s0[j] as u64).wrapping_mul(FNV_PRIME);
+            h1 = (h1 ^ s1[j] as u64).wrapping_mul(FNV_PRIME);
+            h2 = (h2 ^ s2[j] as u64).wrapping_mul(FNV_PRIME);
+            h3 = (h3 ^ s3[j] as u64).wrapping_mul(FNV_PRIME);
+        }
+        hash = [h0, h1, h2, h3];
+        for l in 0..4 {
+            pos[l] += step;
+            if pos[l] == bodies[lane[l]].len() {
+                out[lane[l]] = hash[l];
+                lane[l] = usize::MAX;
+            }
+        }
+    }
+}
+
+/// A response entity body: borrowed from reassembled stream storage when
+/// the framing permits (`Content-Length`, read-until-close), owned when
+/// chunk decoding or content-coding removal had to materialize it.
+#[derive(Debug)]
+enum Body<'a> {
+    Borrowed(&'a [u8]),
+    Owned(Vec<u8>),
+}
+
+impl<'a> Body<'a> {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Borrowed(b) => b,
+            Body::Owned(v) => v,
+        }
+    }
+
+    fn into_owned(self) -> Vec<u8> {
+        match self {
+            Body::Borrowed(b) => b.to_vec(),
+            Body::Owned(v) => v,
+        }
+    }
 }
 
 /// Reconstructs [`HttpTransaction`]s from captured packets.
@@ -218,7 +325,7 @@ impl TransactionExtractor {
         let mut out = Vec::new();
         for (_, (req, resp)) in connections {
             let Some(req_stream) = req else { continue };
-            out.extend(pair_connection(&req_stream, resp.as_ref())?);
+            out.extend(pair_connection(req_stream.as_view(), resp.as_ref().map(Stream::as_view))?);
         }
         out.sort_by(|a, b| a.ts.total_cmp(&b.ts));
         assign_seq(&mut out);
@@ -260,18 +367,24 @@ impl TransactionExtractor {
             let entry = connections.entry(id).or_default();
             let slot = if looks_like_request(&stream.data) { &mut entry.0 } else { &mut entry.1 };
             if let Some(displaced) = slot.replace(stream) {
-                count_unpaired(report, &displaced);
+                count_unpaired(report, &displaced.data);
             }
         }
         let mut out = Vec::new();
         for (_, (req, resp)) in connections {
             let Some(req_stream) = req else {
                 if let Some(r) = resp {
-                    count_unpaired(report, &r);
+                    count_unpaired(report, &r.data);
                 }
                 continue;
             };
-            out.extend(pair_connection_lenient(&req_stream, resp.as_ref(), report));
+            pair_connection_lenient(
+                req_stream.as_view(),
+                resp.as_ref().map(Stream::as_view),
+                report,
+                &mut out,
+                None,
+            );
         }
         out.sort_by(|a, b| a.ts.total_cmp(&b.ts));
         assign_seq(&mut out);
@@ -290,6 +403,135 @@ impl TransactionExtractor {
     }
 }
 
+/// Zero-copy capture → transaction pipeline: the lenient sibling of
+/// [`TransactionExtractor::extract_lenient`] that never copies packet
+/// bytes on the way in.
+///
+/// Packets are read as `(ts, range)` spans into the capture buffer
+/// ([`crate::capture::read_packet_spans_lenient`]), reassembled by span
+/// ([`SpanReassembler`]) with bytes materialized only for multi-segment
+/// flows, parsed from [`StreamView`]s that borrow stream storage, and
+/// digested in one batch ([`fnv1a_many`]) after all connections are
+/// paired. Every buffer lives in the pipeline and is reused across
+/// captures, so steady-state packet processing allocates nothing.
+///
+/// The produced transactions, their ordering, and the `report`
+/// accounting are byte-identical to the copying path — asserted by the
+/// equivalence tests here and the fault-injection proptests in
+/// `tests/fault_injection.rs`.
+#[derive(Debug, Default)]
+pub struct SpanPipeline {
+    spans: Vec<PacketSpan>,
+    reassembler: SpanReassembler,
+    streams: StreamBuf,
+    digests: Vec<u64>,
+}
+
+impl SpanPipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        SpanPipeline::default()
+    }
+
+    /// Extracts transactions from one capture, leniently: the zero-copy
+    /// equivalent of [`TransactionExtractor::extract_lenient`] fed from
+    /// [`crate::capture::read_packets_lenient`]. Never fails; losses are
+    /// accounted in `report`.
+    pub fn extract_lenient(
+        &mut self,
+        capture: &[u8],
+        report: &mut IngestReport,
+    ) -> Vec<HttpTransaction> {
+        self.spans.clear();
+        crate::capture::read_packet_spans_lenient(capture, report, &mut self.spans);
+        let mut dropped_decode = 0u64;
+        let mut non_tcp = 0u64;
+        for span in &self.spans {
+            let data = &capture[span.range.clone()];
+            let Ok(eth) = EtherFrame::parse(data) else {
+                dropped_decode += 1;
+                continue;
+            };
+            if eth.ethertype != ETHERTYPE_IPV4 {
+                non_tcp += 1;
+                continue;
+            }
+            let Ok(ip) = Ipv4Packet::parse(eth.payload) else {
+                dropped_decode += 1;
+                continue;
+            };
+            if ip.protocol != PROTO_TCP {
+                non_tcp += 1;
+                continue;
+            }
+            let Ok(tcp) = TcpSegment::parse(ip.payload) else {
+                dropped_decode += 1;
+                continue;
+            };
+            let key = FlowKey::new(
+                Endpoint::new(ip.src, tcp.src_port),
+                Endpoint::new(ip.dst, tcp.dst_port),
+            );
+            let payload = subslice_range(capture, tcp.payload);
+            self.reassembler.push_span(span.ts, key, &tcp, payload);
+        }
+        report.packets_dropped_decode += dropped_decode;
+        report.packets_non_tcp += non_tcp;
+        self.reassembler.gather_streams(capture, &mut report.reassembly_gaps, &mut self.streams);
+        report.streams_total += self.streams.len() as u64;
+        let mut connections: BTreeMap<(Endpoint, Endpoint), (Option<usize>, Option<usize>)> =
+            BTreeMap::new();
+        for i in 0..self.streams.len() {
+            let view = self.streams.view(capture, i);
+            let entry = connections.entry(view.key.connection_id()).or_default();
+            let slot = if looks_like_request(view.data) { &mut entry.0 } else { &mut entry.1 };
+            if let Some(displaced) = slot.replace(i) {
+                count_unpaired(report, self.streams.view(capture, displaced).data);
+            }
+        }
+        let mut out = Vec::new();
+        let mut deferred: Vec<(usize, Body<'_>)> = Vec::new();
+        for (_, (req, resp)) in connections {
+            let Some(ri) = req else {
+                if let Some(oi) = resp {
+                    count_unpaired(report, self.streams.view(capture, oi).data);
+                }
+                continue;
+            };
+            pair_connection_lenient(
+                self.streams.view(capture, ri),
+                resp.map(|i| self.streams.view(capture, i)),
+                report,
+                &mut out,
+                Some(&mut deferred),
+            );
+        }
+        // All bodies observed: digest the batch in interleaved lanes and
+        // write results back by index. Must happen before the sort below
+        // invalidates the queued indices.
+        {
+            let slices: Vec<&[u8]> = deferred.iter().map(|(_, b)| b.as_slice()).collect();
+            fnv1a_many(&slices, &mut self.digests);
+        }
+        for (j, (idx, _)) in deferred.iter().enumerate() {
+            out[*idx].payload_digest = self.digests[j];
+        }
+        drop(deferred);
+        out.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        assign_seq(&mut out);
+        report.transactions_recovered += out.len() as u64;
+        out
+    }
+
+    /// Convenience: one-shot lenient extraction from raw capture bytes.
+    pub fn extract_capture_lenient(
+        capture: &[u8],
+        report: &mut IngestReport,
+    ) -> Vec<HttpTransaction> {
+        SpanPipeline::new().extract_lenient(capture, report)
+    }
+}
+
 /// Renumbers a transaction stream's [`HttpTransaction::seq`] ingest
 /// sequence numbers to match the stream's current order. Call after
 /// merging or re-sorting streams from several sources so `(ts, seq)`
@@ -303,8 +545,8 @@ pub fn assign_seq(transactions: &mut [HttpTransaction]) {
 
 /// Accounts for a stream that will produce no transactions: orphan HTTP
 /// responses count as discarded, anything else as non-HTTP.
-fn count_unpaired(report: &mut IngestReport, stream: &Stream) {
-    if stream.data.starts_with(b"HTTP/") {
+fn count_unpaired(report: &mut IngestReport, data: &[u8]) {
+    if data.starts_with(b"HTTP/") {
         report.streams_discarded += 1;
     } else {
         report.streams_skipped_non_http += 1;
@@ -323,9 +565,9 @@ struct ParsedRequest {
     ts: f64,
 }
 
-struct ParsedResponse {
+struct ParsedResponse<'a> {
     head: crate::http::ResponseHead,
-    body: Vec<u8>,
+    body: Body<'a>,
     end_ts: f64,
 }
 
@@ -366,7 +608,7 @@ impl<T> Salvage<T> {
     }
 }
 
-fn parse_requests(stream: &Stream) -> Salvage<ParsedRequest> {
+fn parse_requests(stream: StreamView<'_>) -> Salvage<ParsedRequest> {
     let mut out = Salvage { items: Vec::new(), error: None, chunked_failure: false };
     let mut pos = 0usize;
     while pos < stream.data.len() {
@@ -402,7 +644,7 @@ fn parse_requests(stream: &Stream) -> Salvage<ParsedRequest> {
     out
 }
 
-fn parse_responses(stream: &Stream, methods: &[Method]) -> Salvage<ParsedResponse> {
+fn parse_responses<'a>(stream: StreamView<'a>, methods: &[Method]) -> Salvage<ParsedResponse<'a>> {
     let mut out = Salvage { items: Vec::new(), error: None, chunked_failure: false };
     let mut pos = 0usize;
     let mut idx = 0usize;
@@ -419,21 +661,21 @@ fn parse_responses(stream: &Stream, methods: &[Method]) -> Salvage<ParsedRespons
         let method = methods.get(idx).cloned().unwrap_or(Method::Get);
         let avail = &stream.data[pos + consumed..];
         let (body, body_consumed) = match response_body_framing(&head, &method) {
-            BodyFraming::None => (Vec::new(), 0),
+            BodyFraming::None => (Body::Borrowed(&[]), 0),
             BodyFraming::Length(n) => {
                 let take = n.min(avail.len());
-                (avail[..take].to_vec(), take)
+                (Body::Borrowed(&avail[..take]), take)
             }
             BodyFraming::Chunked => match crate::http::decode_chunked(avail) {
-                Ok(Some((body, c))) => (body, c),
-                Ok(None) => (avail.to_vec(), avail.len()),
+                Ok(Some((body, c))) => (Body::Owned(body), c),
+                Ok(None) => (Body::Borrowed(avail), avail.len()),
                 Err(e) => {
                     out.error = Some(e);
                     out.chunked_failure = true;
                     break;
                 }
             },
-            BodyFraming::UntilClose => (avail.to_vec(), avail.len()),
+            BodyFraming::UntilClose => (Body::Borrowed(avail), avail.len()),
         };
         let end = pos + consumed + body_consumed;
         let end_ts = stream.timestamp_at(end.saturating_sub(1));
@@ -444,24 +686,34 @@ fn parse_responses(stream: &Stream, methods: &[Method]) -> Salvage<ParsedRespons
     out
 }
 
-fn pair_connection(req_stream: &Stream, resp_stream: Option<&Stream>) -> Result<Vec<HttpTransaction>> {
+fn pair_connection(
+    req_stream: StreamView<'_>,
+    resp_stream: Option<StreamView<'_>>,
+) -> Result<Vec<HttpTransaction>> {
     let requests = parse_requests(req_stream).strict()?;
     let methods: Vec<Method> = requests.iter().map(|r| r.head.method.clone()).collect();
     let responses = match resp_stream {
         Some(s) => parse_responses(s, &methods).strict()?,
         None => Vec::new(),
     };
-    Ok(build_transactions(req_stream, requests, responses, None))
+    let mut out = Vec::new();
+    build_transactions(req_stream.key, requests, responses, None, &mut out, None);
+    Ok(out)
 }
 
 /// Lenient counterpart of [`pair_connection`]: pairs whatever both
 /// directions could salvage and never fails. Stream-level outcomes and
-/// body-decode failures are recorded in `report`.
-fn pair_connection_lenient(
-    req_stream: &Stream,
-    resp_stream: Option<&Stream>,
+/// body-decode failures are recorded in `report`. Transactions are
+/// appended to `out`; with a `deferred` queue, body digests are left at
+/// 0 and queued as `(out_index, body)` for batch digesting (see
+/// [`fnv1a_many`]).
+fn pair_connection_lenient<'a>(
+    req_stream: StreamView<'a>,
+    resp_stream: Option<StreamView<'a>>,
     report: &mut IngestReport,
-) -> Vec<HttpTransaction> {
+    out: &mut Vec<HttpTransaction>,
+    deferred: Option<&mut Vec<(usize, Body<'a>)>>,
+) {
     let requests = parse_requests(req_stream);
     requests.account(report);
     let methods: Vec<Method> = requests.items.iter().map(|r| r.head.method.clone()).collect();
@@ -473,7 +725,7 @@ fn pair_connection_lenient(
         }
         None => Vec::new(),
     };
-    build_transactions(req_stream, requests.items, responses, Some(report))
+    build_transactions(req_stream.key, requests.items, responses, Some(report), out, deferred);
 }
 
 /// Removes the response's `Content-Encoding` layers from `body`.
@@ -487,14 +739,17 @@ fn pair_connection_lenient(
 /// first failure or unknown coding (`br`, `zstd`, …) — the bytes
 /// recovered so far are kept so payload sizing still works, and
 /// failures are counted per coding in `report`.
-fn decode_content_codings(
-    mut body: Vec<u8>,
+fn decode_content_codings<'a>(
+    body: Body<'a>,
     resp_headers: &HeaderMap,
     mut report: Option<&mut IngestReport>,
-) -> Vec<u8> {
+) -> Body<'a> {
     let Some(encodings) = resp_headers.get("Content-Encoding") else {
+        // The common case: no coding, nothing to materialize — the body
+        // stays a borrow of reassembled stream storage.
         return body;
     };
+    let mut body = body.into_owned();
     for token in encodings.rsplit(',') {
         let token = token.trim();
         if token.is_empty() || token.eq_ignore_ascii_case("identity") {
@@ -524,21 +779,26 @@ fn decode_content_codings(
             break;
         }
     }
-    body
+    Body::Owned(body)
 }
 
-/// FIFO-pairs parsed requests with parsed responses on one connection.
-/// With a `report`, body decode failures are counted per coding (the
-/// raw body is kept either way).
-fn build_transactions(
-    req_stream: &Stream,
+/// FIFO-pairs parsed requests with parsed responses on one connection,
+/// appending to `out`. With a `report`, body decode failures are counted
+/// per coding (the raw body is kept either way). With a `deferred`
+/// queue, `payload_digest` is left at 0 and the body queued as
+/// `(out_index, body)` so the caller can batch-digest every body at once
+/// ([`fnv1a_many`]) — FNV's serial dependency chain makes per-body
+/// digesting the single hottest step of ingest.
+fn build_transactions<'a>(
+    key: FlowKey,
     requests: Vec<ParsedRequest>,
-    responses: Vec<ParsedResponse>,
+    responses: Vec<ParsedResponse<'a>>,
     mut report: Option<&mut IngestReport>,
-) -> Vec<HttpTransaction> {
-    let client = req_stream.key.src;
-    let server = req_stream.key.dst;
-    let mut out = Vec::new();
+    out: &mut Vec<HttpTransaction>,
+    mut deferred: Option<&mut Vec<(usize, Body<'a>)>>,
+) {
+    let client = key.src;
+    let server = key.dst;
     let mut responses = responses.into_iter();
     for req in requests {
         let resp = responses.next();
@@ -550,7 +810,7 @@ fn build_transactions(
             .unwrap_or_else(|| server.addr.to_string());
         let (status, resp_headers, body, end_ts) = match resp {
             Some(r) => (r.head.status, r.head.headers, r.body, r.end_ts),
-            None => (0, HeaderMap::new(), Vec::new(), req.ts),
+            None => (0, HeaderMap::new(), Body::Borrowed(&[]), req.ts),
         };
         // Entity bodies are exposed *decoded*: content codings are
         // removed so payload classification, digests, and redirect mining
@@ -558,9 +818,11 @@ fn build_transactions(
         // JavaScript actually live). Undecodable bodies fall back to the
         // raw bytes, counted per coding.
         let body = decode_content_codings(body, &resp_headers, report.as_deref_mut());
+        let bytes = body.as_slice();
         let content_type = resp_headers.get("Content-Type").map(str::to_string);
-        let payload_class = classify(&req.head.uri, content_type.as_deref(), body.len(), &body);
-        let preview_len = body.len().min(BODY_PREVIEW_LEN);
+        let payload_class = classify(&req.head.uri, content_type.as_deref(), bytes.len(), bytes);
+        let preview_len = bytes.len().min(BODY_PREVIEW_LEN);
+        let payload_digest = if deferred.is_some() { 0 } else { fnv1a(bytes) };
         out.push(HttpTransaction {
             seq: 0, // numbered in emission order by finish()/finish_lenient()
             ts: req.ts,
@@ -574,12 +836,14 @@ fn build_transactions(
             status,
             resp_headers,
             payload_class,
-            payload_size: body.len(),
-            payload_digest: fnv1a(&body),
-            body_preview: body[..preview_len].to_vec(),
+            payload_size: bytes.len(),
+            payload_digest,
+            body_preview: bytes[..preview_len].to_vec(),
         });
+        if let Some(q) = deferred.as_deref_mut() {
+            q.push((out.len() - 1, body));
+        }
     }
-    out
 }
 
 #[cfg(test)]
@@ -590,6 +854,20 @@ mod tests {
 
     fn mk_stream(key: FlowKey, data: &[u8], ts: f64) -> Stream {
         Stream { key, data: data.to_vec(), timeline: vec![(0, ts)], closed: true }
+    }
+
+    fn pair(req: &Stream, resp: Option<&Stream>) -> crate::Result<Vec<HttpTransaction>> {
+        pair_connection(req.as_view(), resp.map(Stream::as_view))
+    }
+
+    fn pair_lenient(
+        req: &Stream,
+        resp: Option<&Stream>,
+        report: &mut IngestReport,
+    ) -> Vec<HttpTransaction> {
+        let mut out = Vec::new();
+        pair_connection_lenient(req.as_view(), resp.map(Stream::as_view), report, &mut out, None);
+        out
     }
 
     fn conn() -> FlowKey {
@@ -603,7 +881,7 @@ mod tests {
     fn pairs_single_transaction() {
         let req = b"GET /page.html HTTP/1.1\r\nHost: example.com\r\nReferer: http://google.com/\r\n\r\n";
         let resp = b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: 5\r\n\r\nhello";
-        let txs = pair_connection(
+        let txs = pair(
             &mk_stream(conn(), req, 1.0),
             Some(&mk_stream(conn().reversed(), resp, 1.2)),
         )
@@ -623,7 +901,7 @@ mod tests {
     fn pairs_pipelined_transactions_in_order() {
         let req = b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b.js HTTP/1.1\r\nHost: h\r\n\r\n";
         let resp = b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\nAHTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nBB";
-        let txs = pair_connection(
+        let txs = pair(
             &mk_stream(conn(), req, 1.0),
             Some(&mk_stream(conn().reversed(), resp, 1.1)),
         )
@@ -639,7 +917,7 @@ mod tests {
     #[test]
     fn missing_response_yields_status_zero() {
         let req = b"POST /exfil HTTP/1.1\r\nHost: cc.evil\r\nContent-Length: 4\r\n\r\ndata";
-        let txs = pair_connection(&mk_stream(conn(), req, 2.0), None).unwrap();
+        let txs = pair(&mk_stream(conn(), req, 2.0), None).unwrap();
         assert_eq!(txs.len(), 1);
         assert_eq!(txs[0].status, 0);
         assert_eq!(txs[0].method, Method::Post);
@@ -651,7 +929,7 @@ mod tests {
         let req = b"GET /d.bin HTTP/1.1\r\nHost: h\r\n\r\n";
         let resp =
             b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nMZxx\r\n3\r\nyyy\r\n0\r\n\r\n";
-        let txs = pair_connection(
+        let txs = pair(
             &mk_stream(conn(), req, 0.0),
             Some(&mk_stream(conn().reversed(), resp, 0.0)),
         )
@@ -664,7 +942,7 @@ mod tests {
     fn until_close_body_consumes_rest() {
         let req = b"GET /v HTTP/1.1\r\nHost: h\r\n\r\n";
         let resp = b"HTTP/1.1 200 OK\r\n\r\nstream-until-close";
-        let txs = pair_connection(
+        let txs = pair(
             &mk_stream(conn(), req, 0.0),
             Some(&mk_stream(conn().reversed(), resp, 0.0)),
         )
@@ -707,7 +985,7 @@ mod tests {
         );
         let mut resp_bytes = resp.into_bytes();
         resp_bytes.extend_from_slice(&gz);
-        let txs = pair_connection(
+        let txs = pair(
             &mk_stream(conn(), req, 0.0),
             Some(&mk_stream(conn().reversed(), &resp_bytes, 0.1)),
         )
@@ -732,7 +1010,7 @@ mod tests {
     fn single_tx(encoding: &str, wire_body: &[u8]) -> HttpTransaction {
         let req = b"GET /page HTTP/1.1\r\nHost: h\r\n\r\n";
         let resp = resp_with_encoding(encoding, wire_body);
-        let mut txs = pair_connection(
+        let mut txs = pair(
             &mk_stream(conn(), req, 0.0),
             Some(&mk_stream(conn().reversed(), &resp, 0.1)),
         )
@@ -805,7 +1083,7 @@ mod tests {
         let req = b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n";
         let resp = resp_with_encoding("deflate", &garbage);
         let mut report = IngestReport::new();
-        let txs = pair_connection_lenient(
+        let txs = pair_lenient(
             &mk_stream(conn(), req, 0.0),
             Some(&mk_stream(conn().reversed(), &resp, 0.1)),
             &mut report,
@@ -827,7 +1105,7 @@ mod tests {
         );
         let mut resp_bytes = resp.into_bytes();
         resp_bytes.extend_from_slice(&gz);
-        let txs = pair_connection(
+        let txs = pair(
             &mk_stream(conn(), req, 0.0),
             Some(&mk_stream(conn().reversed(), &resp_bytes, 0.1)),
         )
@@ -841,9 +1119,9 @@ mod tests {
         let resp = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
         let req_stream = mk_stream(conn(), req, 1.0);
         let resp_stream = mk_stream(conn().reversed(), resp, 1.2);
-        assert!(pair_connection(&req_stream, Some(&resp_stream)).is_err(), "strict fails");
+        assert!(pair(&req_stream, Some(&resp_stream)).is_err(), "strict fails");
         let mut report = IngestReport::new();
-        let txs = pair_connection_lenient(&req_stream, Some(&resp_stream), &mut report);
+        let txs = pair_lenient(&req_stream, Some(&resp_stream), &mut report);
         assert_eq!(txs.len(), 1);
         assert_eq!(txs[0].uri, "/good");
         assert_eq!(txs[0].status, 200);
@@ -858,7 +1136,7 @@ mod tests {
         let req = b"GET /x HTTP/1.1\r\nNOCOLON\r\n\r\n";
         let req_stream = mk_stream(conn(), req, 1.0);
         let mut report = IngestReport::new();
-        let txs = pair_connection_lenient(&req_stream, None, &mut report);
+        let txs = pair_lenient(&req_stream, None, &mut report);
         assert!(txs.is_empty());
         assert_eq!(report.streams_discarded, 1);
         assert_eq!(report.streams_salvaged, 0);
@@ -871,7 +1149,7 @@ mod tests {
         let req_stream = mk_stream(conn(), req, 0.0);
         let resp_stream = mk_stream(conn().reversed(), resp, 0.1);
         let mut report = IngestReport::new();
-        let txs = pair_connection_lenient(&req_stream, Some(&resp_stream), &mut report);
+        let txs = pair_lenient(&req_stream, Some(&resp_stream), &mut report);
         // The request survives with no paired response (status 0).
         assert_eq!(txs.len(), 1);
         assert_eq!(txs[0].status, 0);
@@ -892,7 +1170,7 @@ mod tests {
         let mut resp_bytes = resp.into_bytes();
         resp_bytes.extend_from_slice(&gz);
         let mut report = IngestReport::new();
-        let txs = pair_connection_lenient(
+        let txs = pair_lenient(
             &mk_stream(conn(), req, 0.0),
             Some(&mk_stream(conn().reversed(), &resp_bytes, 0.1)),
             &mut report,
@@ -962,6 +1240,96 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
         assert_eq!(fnv1a(b"payload"), fnv1a(b"payload"));
+    }
+
+    #[test]
+    fn fnv1a_many_matches_sequential_digests() {
+        let bodies: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            (0u8..=255).cycle().take(1000).collect(),
+            b"hello world".to_vec(),
+            vec![0x4d; 7],
+            (0u8..=255).cycle().take(4097).collect(),
+            b"xy".to_vec(),
+            b"".to_vec(),
+            (1u8..=255).cycle().take(333).collect(),
+        ];
+        let refs: Vec<&[u8]> = bodies.iter().map(|b| b.as_slice()).collect();
+        let mut out = Vec::new();
+        fnv1a_many(&refs, &mut out);
+        assert_eq!(out.len(), bodies.len());
+        for (b, d) in bodies.iter().zip(&out) {
+            assert_eq!(*d, fnv1a(b));
+        }
+        // Fewer than four non-empty bodies exercises the sequential tail.
+        let small: Vec<&[u8]> = vec![b"one", b"two2"];
+        fnv1a_many(&small, &mut out);
+        assert_eq!(out, vec![fnv1a(b"one"), fnv1a(b"two2")]);
+    }
+
+    fn frame(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sp: u16,
+        dp: u16,
+        seq: u32,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        use crate::ether::MacAddr;
+        let tcp = crate::tcp::build(sp, dp, seq, 0, crate::tcp::TcpFlags::data(), payload);
+        let ip = crate::ipv4::build(src, dst, PROTO_TCP, 1, &tcp);
+        crate::ether::build(MacAddr::default(), MacAddr::default(), ETHERTYPE_IPV4, &ip)
+    }
+
+    /// Two conversations plus out-of-order, retransmitted, and
+    /// undecodable packets — every branch both pipelines must account
+    /// identically.
+    fn sample_capture() -> Vec<u8> {
+        let c = Ipv4Addr::new(10, 0, 0, 2);
+        let s = Ipv4Addr::new(203, 0, 113, 9);
+        let req1 = b"GET /a.html HTTP/1.1\r\nHost: ex.com\r\n\r\n";
+        let resp1 = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello";
+        let req2 = b"GET /b.js HTTP/1.1\r\nHost: ex.com\r\n\r\n";
+        let resp2a: &[u8] = b"HTTP/1.1 302 Found\r\nLocation: http://n/\r\nContent-Le";
+        let resp2b: &[u8] = b"ngth: 2\r\n\r\nok";
+        let packets = vec![
+            Packet::new(1.0, frame(c, s, 50000, 80, 1, req1)),
+            Packet::new(1.1, frame(s, c, 80, 50000, 1, resp1)),
+            Packet::new(1.2, frame(c, s, 50001, 80, 1, req2)),
+            // Out-of-order second half, then the first, then a retransmit.
+            Packet::new(1.4, frame(s, c, 80, 50001, 1 + resp2a.len() as u32, resp2b)),
+            Packet::new(1.3, frame(s, c, 80, 50001, 1, resp2a)),
+            Packet::new(1.5, frame(s, c, 80, 50001, 1, resp2a)),
+            Packet::new(1.6, vec![0u8; 6]), // undecodable
+        ];
+        let mut buf = Vec::new();
+        let mut w = crate::pcap::PcapWriter::new(&mut buf).unwrap();
+        for p in &packets {
+            w.write_packet(p).unwrap();
+        }
+        w.finish().unwrap();
+        buf
+    }
+
+    #[test]
+    fn span_pipeline_matches_packet_pipeline() {
+        let capture = sample_capture();
+        let mut report_a = IngestReport::new();
+        let packets = crate::capture::read_packets_lenient(&capture, &mut report_a);
+        let txs_a = TransactionExtractor::extract_lenient(&packets, &mut report_a);
+        let mut report_b = IngestReport::new();
+        let mut pipeline = SpanPipeline::new();
+        let txs_b = pipeline.extract_lenient(&capture, &mut report_b);
+        assert_eq!(report_a, report_b);
+        assert_eq!(txs_a, txs_b);
+        assert_eq!(txs_a.len(), 2);
+        assert!(txs_a.iter().all(|t| t.status != 0 && t.payload_digest != 0));
+        // Reusing the pipeline across captures leaks no state.
+        let mut report_c = IngestReport::new();
+        let txs_c = pipeline.extract_lenient(&capture, &mut report_c);
+        assert_eq!(txs_c, txs_b);
+        assert_eq!(report_c, report_b);
     }
 
     #[test]

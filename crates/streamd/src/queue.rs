@@ -67,6 +67,15 @@ impl Waiter {
     }
 }
 
+/// A cache-line-aligned atomic counter. `head` and `tail` are each
+/// written by exactly one side of the queue; padding them to separate
+/// 64-byte lines stops a producer-side store from invalidating the line
+/// the consumer spins on (false sharing) — each side's uncontended
+/// fast-path load stays a cache hit.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedAtomicU64(AtomicU64);
+
 /// A bounded SPSC queue (one feeder, one worker) of transaction batches
 /// with blocking and rejecting push variants.
 pub(crate) struct ShardQueue {
@@ -74,9 +83,9 @@ pub(crate) struct ShardQueue {
     /// producer at ring position `i` and taken by the consumer.
     slots: Box<[UnsafeCell<Option<Vec<HttpTransaction>>>]>,
     /// Next ring position to pop (monotone; consumer-advanced).
-    head: AtomicU64,
+    head: PaddedAtomicU64,
     /// Next ring position to push (monotone; producer-advanced).
-    tail: AtomicU64,
+    tail: PaddedAtomicU64,
     /// Transactions buffered across all queued batches.
     len: AtomicUsize,
     closed: AtomicBool,
@@ -105,8 +114,8 @@ impl ShardQueue {
         let slots = capacity.clamp(1, 65_536);
         ShardQueue {
             slots: (0..slots).map(|_| UnsafeCell::new(None)).collect(),
-            head: AtomicU64::new(0),
-            tail: AtomicU64::new(0),
+            head: PaddedAtomicU64::default(),
+            tail: PaddedAtomicU64::default(),
             len: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
             capacity,
@@ -131,8 +140,8 @@ impl ShardQueue {
         if !self.admits(n) {
             return Err(batch);
         }
-        let tail = self.tail.load(Ordering::Relaxed); // producer-owned
-        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.0.load(Ordering::Relaxed); // producer-owned
+        let head = self.head.0.load(Ordering::Acquire);
         if tail - head >= self.slots.len() as u64 {
             return Err(batch); // ring full (oversized-batch regimes only)
         }
@@ -143,15 +152,15 @@ impl ShardQueue {
         // SAFETY: see the `Sync` impl — the consumer does not read this
         // slot until `tail` advances past it below.
         unsafe { *slot.get() = Some(batch) };
-        self.tail.store(tail + 1, Ordering::SeqCst);
+        self.tail.0.store(tail + 1, Ordering::SeqCst);
         self.consumer.notify();
         Ok(())
     }
 
     /// Consumer-only: takes the next batch if one is published.
     fn try_pop(&self) -> Option<Vec<HttpTransaction>> {
-        let head = self.head.load(Ordering::Relaxed); // consumer-owned
-        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Relaxed); // consumer-owned
+        let tail = self.tail.0.load(Ordering::Acquire);
         if head == tail {
             return None;
         }
@@ -159,7 +168,7 @@ impl ShardQueue {
         // SAFETY: `tail > head` proves the producer published this slot
         // and will not touch it again until `head` advances past it.
         let batch = unsafe { (*slot.get()).take() }.expect("published slot holds a batch");
-        self.head.store(head + 1, Ordering::SeqCst);
+        self.head.0.store(head + 1, Ordering::SeqCst);
         self.len.fetch_sub(batch.len(), Ordering::SeqCst);
         self.producer.notify();
         Some(batch)

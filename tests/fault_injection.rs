@@ -7,6 +7,7 @@
 use std::sync::OnceLock;
 
 use dynaminer::classifier::{build_dataset, Classifier};
+use proptest::prelude::*;
 use dynaminer::detector::DetectorConfig;
 use dynaminer::forensic;
 use nettrace::{HttpTransaction, IngestReport, TransactionExtractor};
@@ -301,6 +302,81 @@ fn spill_accounting_balances_across_all_fault_classes() {
     // last-resort path — otherwise the identities above are vacuous.
     assert!(spilled_total > 0, "no conversation was ever spilled");
     assert!(spill_evicted_total > 0, "the spill budget never forced a hard eviction");
+}
+
+/// Runs damaged bytes through the copying packet pipeline and the
+/// zero-copy span pipeline and asserts they are indistinguishable:
+/// byte-identical transaction sequences and identical ingest counters.
+fn assert_pipelines_identical(bytes: &[u8]) -> (Vec<HttpTransaction>, IngestReport) {
+    let mut legacy_report = IngestReport::new();
+    let packets = nettrace::capture::read_packets_lenient(bytes, &mut legacy_report);
+    let legacy_txs = TransactionExtractor::extract_lenient(&packets, &mut legacy_report);
+    let mut span_report = IngestReport::new();
+    let span_txs = nettrace::SpanPipeline::extract_capture_lenient(bytes, &mut span_report);
+    assert_eq!(legacy_report, span_report, "ingest counters diverged");
+    assert_eq!(legacy_txs, span_txs, "transaction sequences diverged");
+    (span_txs, span_report)
+}
+
+/// Tentpole equivalence: across every `faultgen` mutation class, the
+/// zero-copy span pipeline must produce byte-identical transactions,
+/// identical ingest accounting, and an identical end-to-end
+/// `ForensicReport` JSON document to the copying path it replaced.
+#[test]
+fn zero_copy_path_matches_copying_path_for_every_fault_class() {
+    let clf = classifier();
+    for (i, fault) in Fault::ALL.into_iter().enumerate() {
+        for seed in 0..3u64 {
+            let pcap = infection_pcap(700 + seed, EkFamily::ALL[(i + seed as usize) % 10]);
+            let mut rng = StdRng::seed_from_u64(7000 + i as u64 * 10 + seed);
+            let hurt = faultgen::apply(&pcap, fault, &mut rng);
+            let (txs, ingest) = assert_pipelines_identical(&hurt);
+            if seed != 0 {
+                continue;
+            }
+            // End-to-end forensic JSON: replay the copying path's
+            // transactions through the detector and compare against the
+            // span-pipeline-backed `analyze_pcap_lenient`.
+            let span_json = serde_json::to_string(&forensic::analyze_pcap_lenient(
+                &hurt,
+                clf.clone(),
+                DetectorConfig::default(),
+            ))
+            .unwrap();
+            let mut legacy =
+                forensic::analyze_transactions(&txs, clf.clone(), DetectorConfig::default());
+            legacy.ingest = Some(ingest);
+            assert_eq!(
+                span_json,
+                serde_json::to_string(&legacy).unwrap(),
+                "{fault}: forensic JSON diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Randomized sweep over (seed, fault class, family): the copying
+    /// and zero-copy pipelines must agree on arbitrary hostile input,
+    /// not just the deterministic corpus above.
+    #[test]
+    fn zero_copy_equivalence_holds_for_arbitrary_damage(
+        seed in 0u64..10_000,
+        fault_idx in 0usize..Fault::ALL.len(),
+        family_idx in 0usize..EkFamily::ALL.len(),
+    ) {
+        let pcap = infection_pcap(seed + 1, EkFamily::ALL[family_idx]);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_f001);
+        let hurt = faultgen::apply(&pcap, Fault::ALL[fault_idx], &mut rng);
+        let (txs, report) = assert_pipelines_identical(&hurt);
+        prop_assert_eq!(txs.len() as u64, report.transactions_recovered);
+        // Truncation-style damage must also agree: cut the capture
+        // mid-record and mid-packet.
+        if hurt.len() > 40 {
+            assert_pipelines_identical(&hurt[..hurt.len() - 7]);
+            assert_pipelines_identical(&hurt[..hurt.len() / 2]);
+        }
+    }
 }
 
 #[test]
