@@ -58,6 +58,7 @@ use streamd::{StreamConfig, StreamEngine};
 use synthtraffic::benign::generate_benign;
 use synthtraffic::episode::generate_infection;
 use synthtraffic::pcapgen;
+use synthtraffic::wire::{drive_episodes, merged_wire_transactions, wire_episode_set, OriginServer};
 use synthtraffic::{BenignScenario, EkFamily};
 
 /// Every allocation in this binary goes through the counting wrapper, so
@@ -586,6 +587,61 @@ fn main() {
         unit: "allocs/extraction".to_string(),
     });
     println!("steady-state allocations per extraction: {allocs_per_extraction_steady}");
+
+    // 3g. Real-wire ingress: episodes driven as real loopback client
+    // connections through the inline forward proxy (PROXY protocol +
+    // replay-timestamp parity config), measured socket-to-transaction.
+    // Each iteration binds a fresh proxy against a persistent replay
+    // origin, drives every transaction sequentially, and pumps until
+    // the tap has synthesized them all.
+    {
+        use nettrace::source::TrafficSource;
+        let wire_episodes = wire_episode_set(5, 1, 1);
+        let wire_txs = merged_wire_transactions(&wire_episodes);
+        let origin = OriginServer::start(&wire_txs).expect("start replay origin");
+        let mut group = c.benchmark_group("wirefront");
+        let t = group.bench_function("proxy_loopback", |b| {
+            b.iter(|| {
+                let mut config = wirefront::ProxyConfig::new(origin.addr());
+                config.proxy_protocol = true;
+                config.tap.honor_replay_ts = true;
+                let mut source = wirefront::ProxySource::bind(
+                    "127.0.0.1:0".parse().unwrap(),
+                    config,
+                )
+                .expect("bind proxy");
+                let addr = source.local_addr();
+                // Pump until the driver has seen every connection
+                // close AND the tap has synthesized every transaction
+                // — the final close is relayed by a pump, so stopping
+                // at the transaction count alone would strand the last
+                // client in its read.
+                let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+                let driver = {
+                    let txs = wire_txs.clone();
+                    let done = done.clone();
+                    std::thread::spawn(move || {
+                        let n = drive_episodes(addr, &txs, true).unwrap();
+                        done.store(true, std::sync::atomic::Ordering::SeqCst);
+                        n
+                    })
+                };
+                let mut out = Vec::new();
+                while !done.load(std::sync::atomic::Ordering::SeqCst)
+                    || (source.stats().transactions as usize) < wire_txs.len()
+                {
+                    source.pump(&mut out).expect("pump");
+                    source.wait(1);
+                }
+                driver.join().unwrap();
+                source.shutdown(&mut out);
+                out.len()
+            })
+        });
+        group.finish();
+        entries.push(entry("wirefront/proxy_loopback", t, wire_txs.len() as f64, "transactions/s"));
+        origin.stop();
+    }
 
     // 4. Corpus featurization, sequential vs pooled (dataset build).
     let mut group = c.benchmark_group("dataset");

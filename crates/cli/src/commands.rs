@@ -30,6 +30,16 @@ USAGE:
   dynaminer dot      <capture.pcap>
   dynaminer features <capture.pcap>
   dynaminer inspect  --model model.json [--top N]
+  dynaminer wire proxy   --listen ADDR --origin ADDR [--proxy-protocol] [--honor-replay-ts] [--drop-newest]
+                         [--model model.json] [--threshold L] [--threads N] [--shards N] [--tap-capacity BYTES]
+                         [--max-connections N] [--snapshot-out FILE] [--resume FILE] [--checkpoint-every N]
+                         [--reload-model FILE] [--reload-at N] [--metrics-out FILE] [--report-out FILE]
+                         [--ready-file FILE] [--idle-exit-ms MS] [--format text|json]
+  dynaminer wire capture (--pcap FILE [--follow] | --iface IFACE) [--ports 80,8080] [--honor-replay-ts]
+                         [engine flags as for wire proxy]
+  dynaminer wire origin  [--seed N] [--infections N] [--benign N] [--ready-file FILE]
+  dynaminer wire drive   --proxy ADDR [--proxy-protocol] [--seed N] [--infections N] [--benign N]
+  dynaminer wire pcap    --out FILE [--seed N] [--infections N] [--benign N]
 
 Captures are read leniently by default: damaged records and malformed
 streams are skipped and accounted in ingest-health counters. --strict
@@ -58,6 +68,15 @@ sleeps between checkpoints (crash-drill pacing). --reload-model FILE
 [--reload-at N] atomically hot-swaps in a second model once N
 transactions have been fed (default 0: before the first).
 
+wire runs the on-the-wire ingress: `wire proxy` is an inline HTTP
+forward proxy (optionally PROXY-protocol v1/v2 aware) and `wire
+capture` a packet source (pcap tail or AF_PACKET interface), both
+feeding the live stream engine with the durable flag set of replay.
+SIGTERM/SIGINT triggers a graceful zero-loss drain. `wire origin`,
+`wire drive`, and `wire pcap` are the loopback parity harness: a
+deterministic replay origin, an episode driver, and the equivalent
+offline capture for the same --seed/--infections/--benign.
+
 drift runs a seeded adversarial-drift campaign: per-family evasion
 parameters walk over simulated time while each epoch replays through a
 persistent stream engine, printing per-epoch recall/FPR/latency next to
@@ -70,15 +89,16 @@ Families:  angler rig nuclear magnitude sweetorange flashpack neutrino goon fies
 Scenarios: search social webmail video alexa-browse software-update unofficial-download torrent-session";
 
 /// Parsed `--flag value` options plus positional arguments.
-struct Options {
-    flags: BTreeMap<String, String>,
-    positional: Vec<String>,
+pub(crate) struct Options {
+    pub(crate) flags: BTreeMap<String, String>,
+    pub(crate) positional: Vec<String>,
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 2] = ["strict", "retrain"];
+const BOOL_FLAGS: [&str; 6] =
+    ["strict", "retrain", "proxy-protocol", "honor-replay-ts", "drop-newest", "follow"];
 
-fn parse(args: &[String]) -> Result<Options, String> {
+pub(crate) fn parse(args: &[String]) -> Result<Options, String> {
     let mut flags = BTreeMap::new();
     let mut positional = Vec::new();
     let mut iter = args.iter();
@@ -100,34 +120,34 @@ fn parse(args: &[String]) -> Result<Options, String> {
 }
 
 impl Options {
-    fn f64_flag(&self, name: &str, default: f64) -> Result<f64, String> {
+    pub(crate) fn f64_flag(&self, name: &str, default: f64) -> Result<f64, String> {
         match self.flags.get(name) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
         }
     }
 
-    fn u64_flag(&self, name: &str, default: u64) -> Result<u64, String> {
+    pub(crate) fn u64_flag(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.flags.get(name) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
         }
     }
 
-    fn required(&self, name: &str) -> Result<&str, String> {
+    pub(crate) fn required(&self, name: &str) -> Result<&str, String> {
         self.flags
             .get(name)
             .map(String::as_str)
             .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
-    fn bool_flag(&self, name: &str) -> bool {
+    pub(crate) fn bool_flag(&self, name: &str) -> bool {
         self.flags.contains_key(name)
     }
 
     /// Worker threads from `--threads` (default: available parallelism;
     /// `0` also means "auto").
-    fn threads_flag(&self) -> Result<usize, String> {
+    pub(crate) fn threads_flag(&self) -> Result<usize, String> {
         Ok(mlearn::parallel::resolve_threads(self.u64_flag("threads", 0)? as usize))
     }
 }
@@ -136,7 +156,7 @@ impl Options {
 /// text exposition at `path` with the extension swapped to `.prom`
 /// (`metrics.json` → `metrics.prom`; extensionless paths just gain
 /// `.prom`).
-fn write_metrics(registry: &telemetry::Registry, path: &str) -> Result<(), String> {
+pub(crate) fn write_metrics(registry: &telemetry::Registry, path: &str) -> Result<(), String> {
     let snapshot = registry.snapshot();
     let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
     fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -182,7 +202,7 @@ struct SavedModel {
 
 const MODEL_FORMAT_VERSION: u32 = 1;
 
-fn load_model(path: &str) -> Result<Classifier, String> {
+pub(crate) fn load_model(path: &str) -> Result<Classifier, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let saved: SavedModel = serde_json::from_str(&text)
         .map_err(|e| format!("{path} is not a valid model: {e}"))?;
@@ -195,7 +215,7 @@ fn load_model(path: &str) -> Result<Classifier, String> {
     Ok(saved.classifier)
 }
 
-fn train_classifier(
+pub(crate) fn train_classifier(
     scale: f64,
     seed: u64,
     threads: usize,

@@ -3,3 +3,4 @@
 //! in-process.
 
 pub mod commands;
+pub mod wire;

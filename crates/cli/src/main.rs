@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         "dot" => commands::dot(rest),
         "inspect" => commands::inspect(rest),
         "features" => commands::features(rest),
+        "wire" => dynaminer_cli::wire::wire(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -1,0 +1,315 @@
+//! `dynaminer wire` — the on-the-wire ingress subcommands.
+//!
+//! `wire proxy` and `wire capture` join a live
+//! [`TrafficSource`] to the stream
+//! engine with the same durable flag set as `replay`
+//! (`--snapshot-out`, `--resume`, `--checkpoint-every`,
+//! `--reload-model`); `SIGTERM`/`SIGINT` triggers the zero-loss
+//! graceful drain. `wire origin`, `wire drive`, and `wire pcap` are
+//! the deterministic loopback parity harness: for the same
+//! `--seed`/`--infections`/`--benign` they serve, drive, and render
+//! the *same* episode set, so a proxy run and an offline `replay` of
+//! the generated capture can be compared field for field.
+
+use std::fs;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use dynaminer::detector::{ClueConfig, DetectorConfig};
+use dynaminer::forensic::ForensicReport;
+use nettrace::source::TrafficSource;
+use nettrace::wiretap::TapConfig;
+use streamd::BackpressurePolicy;
+use synthtraffic::wire::{
+    drive_episodes, episodes_pcap, merged_wire_transactions, wire_episode_set, OriginServer,
+};
+use synthtraffic::Episode;
+use wirefront::{run, CaptureConfig, CaptureSource, ProxyConfig, ProxySource, RunOptions};
+
+use crate::commands::{self, Options};
+
+/// Dispatches `dynaminer wire <subcommand>`.
+///
+/// # Errors
+///
+/// Unknown subcommand, bad flags, or any subcommand failure.
+pub fn wire(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(format!("wire expects a subcommand\n{}", commands::USAGE));
+    };
+    match sub.as_str() {
+        "proxy" => proxy(rest),
+        "capture" => capture(rest),
+        "origin" => origin(rest),
+        "drive" => drive(rest),
+        "pcap" => pcap(rest),
+        other => Err(format!("unknown wire subcommand {other:?}\n{}", commands::USAGE)),
+    }
+}
+
+/// The deterministic episode set shared by `origin`, `drive`, and
+/// `pcap`: same flags, same episodes, in every process.
+fn episode_set(opts: &Options) -> Result<Vec<Episode>, String> {
+    let seed = opts.u64_flag("seed", 7)?;
+    let infections = opts.u64_flag("infections", 2)? as usize;
+    let benign = opts.u64_flag("benign", 2)? as usize;
+    Ok(wire_episode_set(seed, infections, benign))
+}
+
+/// Publishes the bound address for harness coordination: written to
+/// `--ready-file` atomically (tmp + rename), so a watcher never reads
+/// a partial address.
+fn announce_ready(opts: &Options, addr: SocketAddr) -> Result<(), String> {
+    let Some(path) = opts.flags.get("ready-file") else {
+        return Ok(());
+    };
+    let tmp = format!("{path}.tmp");
+    fs::write(&tmp, format!("{addr}\n")).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))
+}
+
+fn parse_addr(opts: &Options, flag: &str) -> Result<SocketAddr, String> {
+    let text = opts.required(flag)?;
+    text.parse().map_err(|_| format!("--{flag} expects HOST:PORT, got {text:?}"))
+}
+
+fn tap_config(opts: &Options) -> Result<TapConfig, String> {
+    let mut tap = TapConfig::default();
+    let capacity = opts.u64_flag("tap-capacity", 0)?;
+    if capacity > 0 {
+        tap.capacity = capacity as usize;
+    }
+    tap.honor_replay_ts = opts.bool_flag("honor-replay-ts");
+    Ok(tap)
+}
+
+/// `wire proxy` — inline forward proxy feeding the engine.
+fn proxy(args: &[String]) -> Result<(), String> {
+    let opts = commands::parse(args)?;
+    let listen = parse_addr(&opts, "listen")?;
+    let origin_addr = parse_addr(&opts, "origin")?;
+    let mut config = ProxyConfig::new(origin_addr);
+    config.proxy_protocol = opts.bool_flag("proxy-protocol");
+    config.tap = tap_config(&opts)?;
+    if opts.bool_flag("drop-newest") {
+        config.policy = BackpressurePolicy::DropNewest;
+    }
+    config.max_connections = opts.u64_flag("max-connections", 1024)? as usize;
+    let mut source = ProxySource::bind(listen, config)
+        .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    announce_ready(&opts, source.local_addr())?;
+    eprintln!("wire proxy: {} -> {origin_addr}", source.local_addr());
+    run_source(&opts, &mut source)
+}
+
+#[cfg(target_os = "linux")]
+fn live_source(iface: &str, config: CaptureConfig) -> Result<CaptureSource, String> {
+    CaptureSource::live(iface, config)
+        .map_err(|e| format!("cannot capture on {iface} (CAP_NET_RAW required): {e}"))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn live_source(iface: &str, _config: CaptureConfig) -> Result<CaptureSource, String> {
+    Err(format!("--iface {iface}: live capture requires Linux AF_PACKET support"))
+}
+
+/// `wire capture` — packet source (pcap tail or AF_PACKET) feeding
+/// the engine.
+fn capture(args: &[String]) -> Result<(), String> {
+    let opts = commands::parse(args)?;
+    let mut config = CaptureConfig { tap: tap_config(&opts)?, ..CaptureConfig::default() };
+    if let Some(ports) = opts.flags.get("ports") {
+        config.ports = ports
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse()
+                    .map_err(|_| format!("--ports expects comma-separated ports, got {p:?}"))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    let mut source = match (opts.flags.get("pcap"), opts.flags.get("iface")) {
+        (Some(path), None) => {
+            CaptureSource::pcap_file(Path::new(path), opts.bool_flag("follow"), config)
+                .map_err(|e| format!("cannot open {path}: {e}"))?
+        }
+        (None, Some(iface)) => live_source(iface, config)?,
+        _ => return Err("wire capture needs exactly one of --pcap or --iface".into()),
+    };
+    run_source(&opts, &mut source)
+}
+
+/// `wire origin` — the loopback replay origin, serving the episode
+/// set until terminated.
+fn origin(args: &[String]) -> Result<(), String> {
+    let opts = commands::parse(args)?;
+    let episodes = episode_set(&opts)?;
+    let transactions = merged_wire_transactions(&episodes);
+    let server = OriginServer::start(&transactions).map_err(|e| format!("cannot bind: {e}"))?;
+    announce_ready(&opts, server.addr())?;
+    eprintln!("wire origin: serving {} transactions on {}", transactions.len(), server.addr());
+    let stop = wirefront::sys::install_termination_handler();
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.stop();
+    Ok(())
+}
+
+/// `wire drive` — replays the episode set through a proxy, as real
+/// sequential client connections.
+fn drive(args: &[String]) -> Result<(), String> {
+    let opts = commands::parse(args)?;
+    let proxy_addr = parse_addr(&opts, "proxy")?;
+    let episodes = episode_set(&opts)?;
+    let transactions = merged_wire_transactions(&episodes);
+    let driven = drive_episodes(proxy_addr, &transactions, opts.bool_flag("proxy-protocol"))
+        .map_err(|e| format!("drive through {proxy_addr} failed: {e}"))?;
+    println!("driven {driven} transactions through {proxy_addr}");
+    Ok(())
+}
+
+/// `wire pcap` — renders the same episode set as an offline capture
+/// file (the parity reference for `replay`).
+fn pcap(args: &[String]) -> Result<(), String> {
+    let opts = commands::parse(args)?;
+    let out = opts.required("out")?;
+    let episodes = episode_set(&opts)?;
+    let bytes = episodes_pcap(&episodes).map_err(|e| e.to_string())?;
+    fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("{out}: {} bytes, {} episodes", bytes.len(), episodes.len());
+    Ok(())
+}
+
+/// The drain accounting and report a wire run emits with
+/// `--report-out` (and `--format json`).
+#[derive(serde::Serialize)]
+struct WireReport {
+    enqueued: u64,
+    processed: u64,
+    dropped: u64,
+    backpressure_waits: u64,
+    connections: u64,
+    bytes_in: u64,
+    transactions: u64,
+    tap_overflows: u64,
+    source_drops: u64,
+    checkpoints: u64,
+    report: ForensicReport,
+}
+
+/// Shared engine loop for `wire proxy` and `wire capture`: model,
+/// durable state, signal handling, run, and reporting.
+fn run_source(opts: &Options, source: &mut dyn TrafficSource) -> Result<(), String> {
+    let threads = opts.threads_flag()?;
+    let registry = telemetry::Registry::new();
+    let metrics_out = opts.flags.get("metrics-out");
+    let classifier = match opts.flags.get("model") {
+        Some(path) => commands::load_model(path)?,
+        None => {
+            eprintln!("no --model given; training a default model first…");
+            commands::train_classifier(0.25, 42, threads, metrics_out.map(|_| &registry))
+        }
+    };
+    let threshold = opts.u64_flag("threshold", 2)? as usize;
+    let detector_config = DetectorConfig {
+        clue: ClueConfig { redirect_threshold: threshold, ..ClueConfig::default() },
+        scoring_threads: threads,
+        ..DetectorConfig::default()
+    };
+    let shards = opts.u64_flag("shards", 1)? as usize;
+    let stream_config =
+        streamd::StreamConfig { shards: shards.max(1), ..streamd::StreamConfig::default() };
+    let mut engine = match opts.flags.get("resume") {
+        Some(p) => {
+            let snapshot = streamd::read_snapshot(Path::new(p))?;
+            streamd::StreamEngine::restore(
+                classifier,
+                detector_config,
+                stream_config,
+                &registry,
+                snapshot,
+            )
+        }
+        None => streamd::StreamEngine::with_telemetry(
+            classifier,
+            detector_config,
+            stream_config,
+            &registry,
+        ),
+    };
+    let reload = match opts.flags.get("reload-model") {
+        Some(p) => Some((commands::load_model(p)?, opts.u64_flag("reload-at", 0)?)),
+        None => None,
+    };
+    let snapshot_out = opts.flags.get("snapshot-out");
+    let mut sink = snapshot_out.map(|p| {
+        let path = std::path::PathBuf::from(p);
+        move |snap: &streamd::EngineSnapshot| streamd::write_snapshot_atomic(&path, snap)
+    });
+    let idle_exit_ms = opts.u64_flag("idle-exit-ms", 0)?;
+    let stop = wirefront::sys::install_termination_handler();
+    let run_opts = RunOptions {
+        checkpoint_every: opts.u64_flag("checkpoint-every", 0)?,
+        snapshot_sink: sink.as_mut().map(|f| {
+            f as &mut dyn FnMut(&streamd::EngineSnapshot) -> Result<(), String>
+        }),
+        reload,
+        idle_timeout: (idle_exit_ms > 0).then(|| Duration::from_millis(idle_exit_ms)),
+        poll_wait_ms: 50,
+        scoring_threads: threads,
+        registry: Some(&registry),
+    };
+    let summary = run(source, &mut engine, stop, run_opts)?;
+
+    if let Some(path) = metrics_out {
+        commands::write_metrics(&registry, path)?;
+    }
+    let wire_report = WireReport {
+        enqueued: summary.enqueued,
+        processed: summary.processed,
+        dropped: summary.dropped,
+        backpressure_waits: summary.backpressure_waits,
+        connections: summary.stats.connections,
+        bytes_in: summary.stats.bytes_in,
+        transactions: summary.stats.transactions,
+        tap_overflows: summary.stats.tap_overflows,
+        source_drops: summary.stats.source_drops,
+        checkpoints: summary.checkpoints,
+        report: summary.report,
+    };
+    if let Some(path) = opts.flags.get("report-out") {
+        let json = serde_json::to_string_pretty(&wire_report).map_err(|e| e.to_string())?;
+        fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("report written to {path}");
+    }
+    if opts.flags.get("format").map(String::as_str) == Some("json") {
+        let json = serde_json::to_string_pretty(&wire_report).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+    println!(
+        "wire: {} transactions, {} conversations, {} alert(s)",
+        wire_report.report.transactions,
+        wire_report.report.conversations.len(),
+        wire_report.report.alerts,
+    );
+    println!(
+        "  drain: enqueued={} processed={} dropped={} backpressure_waits={}",
+        summary.enqueued, summary.processed, summary.dropped, summary.backpressure_waits,
+    );
+    println!(
+        "  source: connections={} bytes_in={} transactions={} tap_overflows={} source_drops={}",
+        summary.stats.connections,
+        summary.stats.bytes_in,
+        summary.stats.transactions,
+        summary.stats.tap_overflows,
+        summary.stats.source_drops,
+    );
+    if let Some(ingest) = &wire_report.report.ingest {
+        println!("  ingest: {ingest}");
+    }
+    Ok(())
+}

@@ -30,6 +30,13 @@ pub enum Error {
     /// An HTTP message violated the grammar (bad request line, header, or
     /// chunk framing).
     HttpSyntax(String),
+    /// A compressed body inflated past the configured output cap — the
+    /// zip-bomb guard. Distinct from a corrupt stream: the input may be
+    /// perfectly well-formed, it is just not worth materializing.
+    DecodedTooLarge {
+        /// The output cap (bytes) that was exceeded.
+        cap: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -45,6 +52,9 @@ impl fmt::Display for Error {
                 write!(f, "invalid {field} in {layer} header")
             }
             Error::HttpSyntax(msg) => write!(f, "http syntax error: {msg}"),
+            Error::DecodedTooLarge { cap } => {
+                write!(f, "decoded body exceeds the {cap}-byte expansion cap")
+            }
         }
     }
 }
@@ -76,6 +86,7 @@ mod tests {
             Error::Truncated { layer: "tcp", needed: 20, got: 3 },
             Error::InvalidField { layer: "ipv4", field: "ihl" },
             Error::HttpSyntax("missing request line".into()),
+            Error::DecodedTooLarge { cap: 4096 },
         ];
         for e in errors {
             let s = e.to_string();

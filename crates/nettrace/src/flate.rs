@@ -176,6 +176,20 @@ fn fixed_literal_lengths() -> Vec<u8> {
 /// Returns an error on malformed streams, truncation, or output larger
 /// than [`MAX_INFLATED`].
 pub fn inflate(data: &[u8]) -> Result<Vec<u8>> {
+    inflate_capped(data, MAX_INFLATED)
+}
+
+/// Decompresses a raw DEFLATE stream, refusing to produce more than
+/// `cap` output bytes.
+///
+/// The cap is enforced *during* decompression — a zip bomb is rejected
+/// after materializing at most `cap` bytes, not after expanding fully.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::DecodedTooLarge`] when the output exceeds
+/// `cap`, or another error on malformed or truncated streams.
+pub fn inflate_capped(data: &[u8], cap: usize) -> Result<Vec<u8>> {
     let mut r = BitReader::new(data);
     let mut out: Vec<u8> = Vec::new();
     loop {
@@ -195,7 +209,7 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>> {
             1 => {
                 let lit = Huffman::from_lengths(&fixed_literal_lengths())?;
                 let dist = Huffman::from_lengths(&[5u8; 30])?;
-                inflate_block(&mut r, &lit, &dist, &mut out)?;
+                inflate_block(&mut r, &lit, &dist, &mut out, cap)?;
             }
             2 => {
                 let hlit = r.read_bits(5)? as usize + 257;
@@ -251,12 +265,12 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>> {
                 }
                 let lit = Huffman::from_lengths(&lengths[..hlit])?;
                 let dist = Huffman::from_lengths(&lengths[hlit..])?;
-                inflate_block(&mut r, &lit, &dist, &mut out)?;
+                inflate_block(&mut r, &lit, &dist, &mut out, cap)?;
             }
             _ => return Err(corrupt("reserved block type")),
         }
-        if out.len() > MAX_INFLATED {
-            return Err(corrupt("output exceeds inflation limit"));
+        if out.len() > cap {
+            return Err(crate::Error::DecodedTooLarge { cap });
         }
         if bfinal == 1 {
             return Ok(out);
@@ -269,6 +283,7 @@ fn inflate_block(
     lit: &Huffman,
     dist: &Huffman,
     out: &mut Vec<u8>,
+    cap: usize,
 ) -> Result<()> {
     loop {
         let sym = lit.decode(r)?;
@@ -293,8 +308,8 @@ fn inflate_block(
                     let b = out[start + k];
                     out.push(b);
                 }
-                if out.len() > MAX_INFLATED {
-                    return Err(corrupt("output exceeds inflation limit"));
+                if out.len() > cap {
+                    return Err(crate::Error::DecodedTooLarge { cap });
                 }
             }
             _ => return Err(corrupt("bad literal/length symbol")),
@@ -370,6 +385,58 @@ pub fn deflate_fixed_literals(data: &[u8]) -> Vec<u8> {
     out
 }
 
+/// DEFLATE-compresses `count` copies of `byte` using the fixed Huffman
+/// code and maximal (length-258, distance-1) back-references — the
+/// densest stream this crate can emit, roughly 13 bits per 258 output
+/// bytes (a ~160× expansion ratio). Exercises the zip-bomb guard from
+/// the compressing side; also handy for synthesizing large compressible
+/// bodies without storing them.
+pub fn deflate_run(byte: u8, count: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut pos = 0u32;
+    let push_bit = |out: &mut Vec<u8>, bit: u32, pos: &mut u32| {
+        if pos.is_multiple_of(8) {
+            out.push(0);
+        }
+        *out.last_mut().expect("pushed above") |= (bit as u8) << (*pos % 8);
+        *pos += 1;
+    };
+    let code_msb = |out: &mut Vec<u8>, c: u32, len: u32, pos: &mut u32| {
+        for i in (0..len).rev() {
+            push_bit(out, (c >> i) & 1, pos);
+        }
+    };
+    let literal = |out: &mut Vec<u8>, b: u8, pos: &mut u32| {
+        if b < 144 {
+            code_msb(out, 0x30 + b as u32, 8, pos);
+        } else {
+            code_msb(out, 0x190 + (b - 144) as u32, 9, pos);
+        }
+    };
+    // BFINAL=1, BTYPE=01 (fixed Huffman), LSB first.
+    push_bit(&mut out, 1, &mut pos);
+    push_bit(&mut out, 1, &mut pos);
+    push_bit(&mut out, 0, &mut pos);
+    let mut remaining = count;
+    if remaining > 0 {
+        literal(&mut out, byte, &mut pos);
+        remaining -= 1;
+    }
+    while remaining >= 258 {
+        code_msb(&mut out, 0xc5, 8, &mut pos); // length symbol 285 → 258
+        code_msb(&mut out, 0, 5, &mut pos); // distance symbol 0 → 1
+        remaining -= 258;
+    }
+    // Tail shorter than one full back-reference: literals are simpler
+    // than picking length codes with extra bits, and the tail is < 258
+    // bytes regardless of `count`.
+    for _ in 0..remaining {
+        literal(&mut out, byte, &mut pos);
+    }
+    code_msb(&mut out, 0, 7, &mut pos); // end of block (symbol 256)
+    out
+}
+
 // ---------------------------------------------------------------------
 // CRC32 and gzip framing.
 // ---------------------------------------------------------------------
@@ -415,6 +482,16 @@ pub fn is_gzip(data: &[u8]) -> bool {
 /// Returns an error on bad framing, unsupported compression methods,
 /// truncation, CRC mismatch, or oversized output.
 pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>> {
+    gzip_decompress_capped(data, MAX_INFLATED)
+}
+
+/// [`gzip_decompress`] with an explicit output cap.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::DecodedTooLarge`] when the decompressed body
+/// would exceed `cap` bytes, or another error on bad framing.
+pub fn gzip_decompress_capped(data: &[u8], cap: usize) -> Result<Vec<u8>> {
     if !is_gzip(data) {
         return Err(corrupt("missing gzip magic"));
     }
@@ -447,7 +524,7 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>> {
         return Err(corrupt("gzip header truncated"));
     }
     let body = &data[pos..data.len() - 8];
-    let out = inflate(body)?;
+    let out = inflate_capped(body, cap)?;
     let tail = &data[data.len() - 8..];
     let expect_crc = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
     let expect_size = u32::from_le_bytes([tail[4], tail[5], tail[6], tail[7]]);
@@ -506,6 +583,16 @@ pub fn zlib_compress(data: &[u8]) -> Vec<u8> {
 /// Returns an error on malformed streams, truncation, checksum
 /// mismatch, or output larger than [`MAX_INFLATED`].
 pub fn deflate_decompress(data: &[u8]) -> Result<Vec<u8>> {
+    deflate_decompress_capped(data, MAX_INFLATED)
+}
+
+/// [`deflate_decompress`] with an explicit output cap.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::DecodedTooLarge`] when the decompressed body
+/// would exceed `cap` bytes, or another error on malformed streams.
+pub fn deflate_decompress_capped(data: &[u8], cap: usize) -> Result<Vec<u8>> {
     if data.len() >= 2 {
         let cmf = data[0];
         let flg = data[1];
@@ -514,22 +601,28 @@ pub fn deflate_decompress(data: &[u8]) -> Result<Vec<u8>> {
             && flg & 0x20 == 0 // no preset dictionary
             && u16::from_be_bytes([cmf, flg]).is_multiple_of(31);
         if zlib_header {
-            if let Ok(out) = inflate(&data[2..]) {
-                // Deflate consumes bits, not bytes; only a full 4-byte
-                // trailer after the compressed stream is checkable.
-                if data.len() >= 6 {
-                    let tail = &data[data.len() - 4..];
-                    let expect =
-                        u32::from_be_bytes([tail[0], tail[1], tail[2], tail[3]]);
-                    if adler32(&out) != expect {
-                        return Err(corrupt("zlib adler32 mismatch"));
+            match inflate_capped(&data[2..], cap) {
+                Ok(out) => {
+                    // Deflate consumes bits, not bytes; only a full 4-byte
+                    // trailer after the compressed stream is checkable.
+                    if data.len() >= 6 {
+                        let tail = &data[data.len() - 4..];
+                        let expect =
+                            u32::from_be_bytes([tail[0], tail[1], tail[2], tail[3]]);
+                        if adler32(&out) != expect {
+                            return Err(corrupt("zlib adler32 mismatch"));
+                        }
                     }
+                    return Ok(out);
                 }
-                return Ok(out);
+                // A stream that blew the cap as zlib would blow it raw
+                // too; don't inflate it a second time to find out.
+                Err(e @ crate::Error::DecodedTooLarge { .. }) => return Err(e),
+                Err(_) => {}
             }
         }
     }
-    inflate(data)
+    inflate_capped(data, cap)
 }
 
 #[cfg(test)]
@@ -605,6 +698,49 @@ mod tests {
         // First byte: BFINAL=1, BTYPE=01 → bits 1,1,0 then MSB-first code
         // for 'h' (0x30+0x68 = 0x98).
         assert_eq!(deflated[0] & 0b111, 0b011);
+    }
+
+    #[test]
+    fn deflate_run_round_trips() {
+        for count in [0usize, 1, 2, 257, 258, 259, 258 * 3 + 41, 10_000] {
+            let wire = deflate_run(b'x', count);
+            let out = inflate(&wire).unwrap();
+            assert_eq!(out.len(), count, "count {count}");
+            assert!(out.iter().all(|&b| b == b'x'));
+        }
+        // 9-bit literal path (byte ≥ 144).
+        assert_eq!(inflate(&deflate_run(0xee, 300)).unwrap(), vec![0xee; 300]);
+    }
+
+    #[test]
+    fn inflate_cap_rejects_high_ratio_stream() {
+        // ~1 MiB of output from ~650 bytes of input (ratio ≈ 1600×).
+        let reps = 4096;
+        let wire = deflate_run(b'Z', reps * 258 + 1);
+        assert!(wire.len() < 8 * 1024, "bomb must be small on the wire: {}", wire.len());
+        let full = inflate(&wire).unwrap();
+        assert_eq!(full.len(), reps * 258 + 1);
+        match inflate_capped(&wire, 64 * 1024) {
+            Err(crate::Error::DecodedTooLarge { cap }) => assert_eq!(cap, 64 * 1024),
+            other => panic!("expected DecodedTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gzip_and_deflate_caps_propagate() {
+        let body = vec![7u8; 100_000];
+        let gz = gzip_compress(&body);
+        assert!(matches!(
+            gzip_decompress_capped(&gz, 1024),
+            Err(crate::Error::DecodedTooLarge { .. })
+        ));
+        assert_eq!(gzip_decompress_capped(&gz, body.len()).unwrap(), body);
+        let z = zlib_compress(&body);
+        assert!(matches!(
+            deflate_decompress_capped(&z, 1024),
+            Err(crate::Error::DecodedTooLarge { .. })
+        ));
+        assert_eq!(deflate_decompress_capped(&z, body.len()).unwrap(), body);
     }
 
     #[test]

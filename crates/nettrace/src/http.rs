@@ -118,7 +118,7 @@ fn hot_id(name: &str) -> u8 {
 
 /// An ordered, case-insensitive multimap of HTTP headers.
 ///
-/// Hot header names (see [`HOT_HEADERS`]) are interned to dense ids when
+/// Hot header names (see `HOT_HEADERS`) are interned to dense ids when
 /// a header is inserted, so [`HeaderMap::get`]/[`HeaderMap::set`] on
 /// those names compare one byte per entry instead of running
 /// `eq_ignore_ascii_case` over every stored name. Lookups of other names
@@ -187,6 +187,28 @@ impl HeaderMap {
                 self.entries.push((name, value));
             }
         }
+    }
+
+    /// Removes every header named `name` (case-insensitively), returning
+    /// whether anything was removed. Order of the surviving entries is
+    /// preserved.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let id = hot_id(name);
+        let before = self.entries.len();
+        let keep = if id != COLD_HEADER {
+            self.ids.iter().map(|&e| e != id).collect::<Vec<bool>>()
+        } else {
+            self.entries
+                .iter()
+                .zip(&self.ids)
+                .map(|((n, _), &e)| e != COLD_HEADER || !n.eq_ignore_ascii_case(name))
+                .collect()
+        };
+        let mut it = keep.iter();
+        self.entries.retain(|_| *it.next().expect("parallel"));
+        let mut it = keep.iter();
+        self.ids.retain(|_| *it.next().expect("parallel"));
+        self.entries.len() != before
     }
 
     /// Number of header lines.
@@ -524,6 +546,24 @@ mod tests {
         assert_eq!(h.len(), 3);
         let names: Vec<_> = h.iter().map(|(n, _)| n).collect();
         assert_eq!(names, ["Host", "X-Test", "x-test"]);
+    }
+
+    #[test]
+    fn header_map_remove_deletes_all_matches() {
+        let mut h = HeaderMap::new();
+        h.append("Host", "a.example");
+        h.append("X-Replay-Ts", "1.5");
+        h.append("Cookie", "sid=1");
+        h.append("x-replay-ts", "2.5");
+        assert!(h.remove("X-REPLAY-TS"), "case-insensitive removal");
+        assert!(!h.remove("X-Replay-Ts"), "already gone");
+        assert_eq!(h.len(), 2);
+        let names: Vec<_> = h.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["Host", "Cookie"], "survivor order preserved");
+        // Hot (interned) names go through the id fast path.
+        assert!(h.remove("cookie"));
+        assert_eq!(h.get("Cookie"), None);
+        assert_eq!(h.get("Host"), Some("a.example"));
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub struct IngestReport {
     pub deflate_failures: u64,
     /// Chunked transfer framing errors (the stream prefix is kept).
     pub chunked_failures: u64,
+    /// Response bodies whose decoded size would exceed the expansion
+    /// cap ([`crate::transaction::MAX_DECODED_BODY_BYTES`]) — the
+    /// zip-bomb guard. The still-encoded wire bytes are kept.
+    pub decode_cap_exceeded: u64,
 }
 
 impl IngestReport {
@@ -96,6 +100,7 @@ impl IngestReport {
         self.gzip_failures += other.gzip_failures;
         self.deflate_failures += other.deflate_failures;
         self.chunked_failures += other.chunked_failures;
+        self.decode_cap_exceeded += other.decode_cap_exceeded;
     }
 
     /// Whether any layer dropped, skipped, or salvaged anything — i.e.
@@ -111,6 +116,7 @@ impl IngestReport {
             || self.gzip_failures > 0
             || self.deflate_failures > 0
             || self.chunked_failures > 0
+            || self.decode_cap_exceeded > 0
     }
 }
 
@@ -122,7 +128,7 @@ impl std::fmt::Display for IngestReport {
              decode: {} undecodable, {} non-tcp; \
              streams: {} total, {} salvaged, {} discarded, {} non-http, {} gaps; \
              http: {} transactions, {} gzip failures, {} deflate failures, \
-             {} chunked failures",
+             {} chunked failures, {} over decode cap",
             self.packets_read,
             self.records_dropped,
             self.bytes_skipped,
@@ -138,6 +144,7 @@ impl std::fmt::Display for IngestReport {
             self.gzip_failures,
             self.deflate_failures,
             self.chunked_failures,
+            self.decode_cap_exceeded,
         )
     }
 }
@@ -170,6 +177,7 @@ mod tests {
         assert!(IngestReport { records_dropped: 1, ..IngestReport::new() }.has_loss());
         assert!(IngestReport { deflate_failures: 1, ..IngestReport::new() }.has_loss());
         assert!(IngestReport { chunked_failures: 1, ..IngestReport::new() }.has_loss());
+        assert!(IngestReport { decode_cap_exceeded: 1, ..IngestReport::new() }.has_loss());
     }
 
     #[test]

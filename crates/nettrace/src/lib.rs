@@ -47,10 +47,13 @@ pub mod metrics;
 pub mod payload;
 pub mod pcap;
 pub mod pcapng;
+pub mod proxyproto;
 pub mod reassembly;
 pub mod scan;
+pub mod source;
 pub mod tcp;
 pub mod transaction;
+pub mod wiretap;
 
 mod error;
 

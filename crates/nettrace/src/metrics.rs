@@ -36,6 +36,7 @@ pub struct IngestMetrics {
     pub gzip_failures: Counter,
     pub deflate_failures: Counter,
     pub chunked_failures: Counter,
+    pub decode_cap_exceeded: Counter,
 }
 
 impl IngestMetrics {
@@ -98,6 +99,10 @@ impl IngestMetrics {
                 "ingest_chunked_failures_total",
                 "Chunked transfer framing errors",
             ),
+            decode_cap_exceeded: registry.counter(
+                "ingest_decode_cap_exceeded_total",
+                "Response bodies kept encoded because decoding would exceed the expansion cap",
+            ),
         }
     }
 
@@ -122,13 +127,14 @@ impl IngestMetrics {
         self.gzip_failures.add(report.gzip_failures);
         self.deflate_failures.add(report.deflate_failures);
         self.chunked_failures.add(report.chunked_failures);
+        self.decode_cap_exceeded.add(report.decode_cap_exceeded);
     }
 
     /// Asserts the counters equal a merged report plus a capture count
     /// — the consistency contract the fault-injection suite leans on.
     /// Panics with the first mismatching layer.
     pub fn assert_consistent_with(&self, merged: &IngestReport, captures: u64, truncated: u64) {
-        let pairs: [(&str, u64, u64); 16] = [
+        let pairs: [(&str, u64, u64); 17] = [
             ("captures", self.captures.get(), captures),
             ("packets_read", self.packets_read.get(), merged.packets_read),
             ("records_dropped", self.records_dropped.get(), merged.records_dropped),
@@ -157,6 +163,7 @@ impl IngestMetrics {
             ("gzip_failures", self.gzip_failures.get(), merged.gzip_failures),
             ("deflate_failures", self.deflate_failures.get(), merged.deflate_failures),
             ("chunked_failures", self.chunked_failures.get(), merged.chunked_failures),
+            ("decode_cap_exceeded", self.decode_cap_exceeded.get(), merged.decode_cap_exceeded),
         ];
         for (name, counter, report) in pairs {
             assert_eq!(counter, report, "telemetry/IngestReport divergence on {name}");
@@ -190,6 +197,7 @@ mod tests {
             gzip_failures: 37,
             deflate_failures: 43,
             chunked_failures: 41,
+            decode_cap_exceeded: 47,
         };
         metrics.record(&report);
         metrics.assert_consistent_with(&report, 1, 1);

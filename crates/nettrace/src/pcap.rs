@@ -182,7 +182,7 @@ fn walk_records_lenient(
 }
 
 /// Reads every decodable packet from classic pcap bytes, never failing.
-/// See [`walk_records_lenient`] for the degradation rules.
+/// See `walk_records_lenient` for the degradation rules.
 pub fn read_packets_lenient(bytes: &[u8], report: &mut IngestReport) -> Vec<Packet> {
     let mut out = Vec::new();
     walk_records_lenient(bytes, report, |ts, range| {

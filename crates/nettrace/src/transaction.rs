@@ -32,6 +32,16 @@ use crate::{Error, Result};
 /// de-obfuscation, signature hashing previews).
 pub const BODY_PREVIEW_LEN: usize = 4096;
 
+/// Maximum decoded (post-`Content-Encoding`) body size the decode gate
+/// will materialize — the zip-bomb guard. A kilobyte-scale gzip body
+/// can claim gigabytes of output; decoding is aborted at this bound
+/// (the partial output is discarded, the still-encoded wire bytes are
+/// kept, and [`IngestReport::decode_cap_exceeded`] counts the event).
+/// 8 MiB comfortably covers every payload the detector inspects —
+/// classification reads magic bytes and the [`BODY_PREVIEW_LEN`]
+/// prefix, and real drive-by payloads are single-digit megabytes.
+pub const MAX_DECODED_BODY_BYTES: usize = 8 << 20;
+
 /// One paired HTTP request/response exchange.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HttpTransaction {
@@ -231,13 +241,13 @@ pub fn fnv1a_many(bodies: &[&[u8]], out: &mut Vec<u64>) {
 /// the framing permits (`Content-Length`, read-until-close), owned when
 /// chunk decoding or content-coding removal had to materialize it.
 #[derive(Debug)]
-enum Body<'a> {
+pub(crate) enum Body<'a> {
     Borrowed(&'a [u8]),
     Owned(Vec<u8>),
 }
 
 impl<'a> Body<'a> {
-    fn as_slice(&self) -> &[u8] {
+    pub(crate) fn as_slice(&self) -> &[u8] {
         match self {
             Body::Borrowed(b) => b,
             Body::Owned(v) => v,
@@ -545,7 +555,7 @@ pub fn assign_seq(transactions: &mut [HttpTransaction]) {
 
 /// Accounts for a stream that will produce no transactions: orphan HTTP
 /// responses count as discarded, anything else as non-HTTP.
-fn count_unpaired(report: &mut IngestReport, data: &[u8]) {
+pub(crate) fn count_unpaired(report: &mut IngestReport, data: &[u8]) {
     if data.starts_with(b"HTTP/") {
         report.streams_discarded += 1;
     } else {
@@ -554,21 +564,22 @@ fn count_unpaired(report: &mut IngestReport, data: &[u8]) {
 }
 
 /// Whether a byte stream begins with a plausible HTTP request line.
-fn looks_like_request(data: &[u8]) -> bool {
+pub(crate) fn looks_like_request(data: &[u8]) -> bool {
     const METHODS: [&[u8]; 8] =
         [b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELET", b"OPTIO", b"PATCH", b"CONNE"];
     METHODS.iter().any(|m| data.starts_with(m))
 }
 
-struct ParsedRequest {
-    head: crate::http::RequestHead,
-    ts: f64,
+#[derive(Debug)]
+pub(crate) struct ParsedRequest {
+    pub(crate) head: crate::http::RequestHead,
+    pub(crate) ts: f64,
 }
 
-struct ParsedResponse<'a> {
-    head: crate::http::ResponseHead,
-    body: Body<'a>,
-    end_ts: f64,
+pub(crate) struct ParsedResponse<'a> {
+    pub(crate) head: crate::http::ResponseHead,
+    pub(crate) body: Body<'a>,
+    pub(crate) end_ts: f64,
 }
 
 /// The parseable prefix of one HTTP stream: the messages recovered
@@ -707,7 +718,7 @@ fn pair_connection(
 /// appended to `out`; with a `deferred` queue, body digests are left at
 /// 0 and queued as `(out_index, body)` for batch digesting (see
 /// [`fnv1a_many`]).
-fn pair_connection_lenient<'a>(
+pub(crate) fn pair_connection_lenient<'a>(
     req_stream: StreamView<'a>,
     resp_stream: Option<StreamView<'a>>,
     report: &mut IngestReport,
@@ -738,7 +749,10 @@ fn pair_connection_lenient<'a>(
 /// `identity` (or an empty token) is a no-op. Decoding stops at the
 /// first failure or unknown coding (`br`, `zstd`, …) — the bytes
 /// recovered so far are kept so payload sizing still works, and
-/// failures are counted per coding in `report`.
+/// failures are counted per coding in `report`. Decoded output is
+/// bounded by [`MAX_DECODED_BODY_BYTES`]: a body that would expand past
+/// it (a zip bomb) keeps its encoded bytes and is counted in
+/// [`IngestReport::decode_cap_exceeded`].
 fn decode_content_codings<'a>(
     body: Body<'a>,
     resp_headers: &HeaderMap,
@@ -755,28 +769,26 @@ fn decode_content_codings<'a>(
         if token.is_empty() || token.eq_ignore_ascii_case("identity") {
             continue;
         }
-        if token.eq_ignore_ascii_case("gzip") || token.eq_ignore_ascii_case("x-gzip") {
-            match crate::flate::gzip_decompress(&body) {
-                Ok(decoded) => body = decoded,
-                Err(_) => {
-                    if let Some(r) = report.as_deref_mut() {
-                        r.gzip_failures += 1;
-                    }
-                    break;
-                }
-            }
+        let decoded = if token.eq_ignore_ascii_case("gzip") || token.eq_ignore_ascii_case("x-gzip")
+        {
+            crate::flate::gzip_decompress_capped(&body, MAX_DECODED_BODY_BYTES)
         } else if token.eq_ignore_ascii_case("deflate") {
-            match crate::flate::deflate_decompress(&body) {
-                Ok(decoded) => body = decoded,
-                Err(_) => {
-                    if let Some(r) = report.as_deref_mut() {
-                        r.deflate_failures += 1;
-                    }
-                    break;
-                }
-            }
+            crate::flate::deflate_decompress_capped(&body, MAX_DECODED_BODY_BYTES)
         } else {
             break;
+        };
+        match decoded {
+            Ok(decoded) => body = decoded,
+            Err(e) => {
+                if let Some(r) = report.as_deref_mut() {
+                    match e {
+                        Error::DecodedTooLarge { .. } => r.decode_cap_exceeded += 1,
+                        _ if token.eq_ignore_ascii_case("deflate") => r.deflate_failures += 1,
+                        _ => r.gzip_failures += 1,
+                    }
+                }
+                break;
+            }
         }
     }
     Body::Owned(body)
@@ -802,48 +814,72 @@ fn build_transactions<'a>(
     let mut responses = responses.into_iter();
     for req in requests {
         let resp = responses.next();
-        let host = req
-            .head
-            .headers
-            .get("Host")
-            .map(str::to_string)
-            .unwrap_or_else(|| server.addr.to_string());
-        let (status, resp_headers, body, end_ts) = match resp {
-            Some(r) => (r.head.status, r.head.headers, r.body, r.end_ts),
-            None => (0, HeaderMap::new(), Body::Borrowed(&[]), req.ts),
-        };
-        // Entity bodies are exposed *decoded*: content codings are
-        // removed so payload classification, digests, and redirect mining
-        // see the real content (where meta-refresh tags and obfuscated
-        // JavaScript actually live). Undecodable bodies fall back to the
-        // raw bytes, counted per coding.
-        let body = decode_content_codings(body, &resp_headers, report.as_deref_mut());
-        let bytes = body.as_slice();
-        let content_type = resp_headers.get("Content-Type").map(str::to_string);
-        let payload_class = classify(&req.head.uri, content_type.as_deref(), bytes.len(), bytes);
-        let preview_len = bytes.len().min(BODY_PREVIEW_LEN);
-        let payload_digest = if deferred.is_some() { 0 } else { fnv1a(bytes) };
-        out.push(HttpTransaction {
-            seq: 0, // numbered in emission order by finish()/finish_lenient()
-            ts: req.ts,
-            resp_ts: end_ts,
-            client,
-            server,
-            host,
-            method: req.head.method,
-            uri: req.head.uri,
-            req_headers: req.head.headers,
-            status,
-            resp_headers,
-            payload_class,
-            payload_size: bytes.len(),
-            payload_digest,
-            body_preview: bytes[..preview_len].to_vec(),
-        });
+        let (mut tx, body) =
+            synthesize_transaction(client, server, req, resp, report.as_deref_mut());
+        if deferred.is_none() {
+            tx.payload_digest = fnv1a(body.as_slice());
+        }
+        out.push(tx);
         if let Some(q) = deferred.as_deref_mut() {
             q.push((out.len() - 1, body));
         }
     }
+}
+
+/// Synthesizes one [`HttpTransaction`] from a parsed request and its
+/// (optional) parsed response: Host resolution, the decode gate,
+/// payload classification, and the body preview — shared verbatim by
+/// the offline pairing paths above and the live wire tap
+/// ([`crate::wiretap`]), so a transaction observed on the wire is
+/// byte-identical to the same exchange extracted from a capture.
+///
+/// `payload_digest` is left at 0; the caller digests `body` directly
+/// ([`fnv1a`]) or queues it for batch digesting ([`fnv1a_many`]).
+pub(crate) fn synthesize_transaction<'a>(
+    client: Endpoint,
+    server: Endpoint,
+    req: ParsedRequest,
+    resp: Option<ParsedResponse<'a>>,
+    report: Option<&mut IngestReport>,
+) -> (HttpTransaction, Body<'a>) {
+    let host = req
+        .head
+        .headers
+        .get("Host")
+        .map(str::to_string)
+        .unwrap_or_else(|| server.addr.to_string());
+    let (status, resp_headers, body, end_ts) = match resp {
+        Some(r) => (r.head.status, r.head.headers, r.body, r.end_ts),
+        None => (0, HeaderMap::new(), Body::Borrowed(&[][..]), req.ts),
+    };
+    // Entity bodies are exposed *decoded*: content codings are
+    // removed so payload classification, digests, and redirect mining
+    // see the real content (where meta-refresh tags and obfuscated
+    // JavaScript actually live). Undecodable bodies fall back to the
+    // raw bytes, counted per coding.
+    let body = decode_content_codings(body, &resp_headers, report);
+    let bytes = body.as_slice();
+    let content_type = resp_headers.get("Content-Type").map(str::to_string);
+    let payload_class = classify(&req.head.uri, content_type.as_deref(), bytes.len(), bytes);
+    let preview_len = bytes.len().min(BODY_PREVIEW_LEN);
+    let tx = HttpTransaction {
+        seq: 0, // numbered in emission order by the caller
+        ts: req.ts,
+        resp_ts: end_ts,
+        client,
+        server,
+        host,
+        method: req.head.method,
+        uri: req.head.uri,
+        req_headers: req.head.headers,
+        status,
+        resp_headers,
+        payload_class,
+        payload_size: bytes.len(),
+        payload_digest: 0,
+        body_preview: bytes[..preview_len].to_vec(),
+    };
+    (tx, body)
 }
 
 #[cfg(test)]
@@ -1111,6 +1147,31 @@ mod tests {
         )
         .unwrap();
         assert_eq!(txs[0].payload_size, gz.len(), "raw bytes kept");
+    }
+
+    #[test]
+    fn zip_bomb_keeps_encoded_bytes_and_counts_cap() {
+        // ~44 KiB on the wire claiming ~8.6 MiB decoded — past
+        // MAX_DECODED_BODY_BYTES. The trailer (CRC/ISIZE) is garbage,
+        // which is fine: the guard must trip before it is ever checked.
+        let reps = MAX_DECODED_BODY_BYTES / 258 + 2;
+        let mut bomb = vec![0x1f, 0x8b, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xff];
+        bomb.extend_from_slice(&crate::flate::deflate_run(b'A', reps * 258 + 1));
+        bomb.extend_from_slice(&[0u8; 8]);
+        assert!(bomb.len() < 64 * 1024, "bomb is small on the wire: {}", bomb.len());
+        let req = b"GET /big HTTP/1.1\r\nHost: h\r\n\r\n";
+        let resp = resp_with_encoding("gzip", &bomb);
+        let mut report = IngestReport::new();
+        let txs = pair_lenient(
+            &mk_stream(conn(), req, 0.0),
+            Some(&mk_stream(conn().reversed(), &resp, 0.1)),
+            &mut report,
+        );
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].payload_size, bomb.len(), "encoded wire bytes kept");
+        assert_eq!(txs[0].payload_digest, fnv1a(&bomb));
+        assert_eq!(report.decode_cap_exceeded, 1);
+        assert_eq!(report.gzip_failures, 0, "a bomb is not a corrupt stream");
     }
 
     #[test]

@@ -213,6 +213,87 @@ struct ShardRun {
     cpu_ns: u64,
 }
 
+/// The push side of one [`StreamEngine::feed`] call: partitions
+/// transactions by client address onto the live shard queues while the
+/// workers consume them.
+///
+/// A handle only exists inside the closure passed to `feed` — the
+/// workers are guaranteed to be running for exactly as long as the
+/// handle can push. Pushes batch per shard ([`StreamConfig::batch_size`])
+/// and apply the engine's backpressure policy at full queues: `Block`
+/// parks the pushing thread until the worker catches up, `DropNewest`
+/// discards the offered batch and counts it.
+pub struct FeedHandle<'a> {
+    queues: &'a [ShardQueue],
+    depth_gauges: &'a [Gauge],
+    policy: BackpressurePolicy,
+    batch_size: usize,
+    pending: Vec<Vec<HttpTransaction>>,
+    enqueued: Vec<u64>,
+    dropped: Vec<u64>,
+    waits: Vec<u64>,
+    last_fed: Option<Watermark>,
+}
+
+impl FeedHandle<'_> {
+    /// Feeds one transaction: advances the watermark, hashes the
+    /// client onto its shard, and hands over a batch when one fills.
+    pub fn push(&mut self, tx: HttpTransaction) {
+        let advance = match self.last_fed {
+            Some(prev) => !prev.covers(&tx),
+            None => true,
+        };
+        if advance {
+            self.last_fed = Some(Watermark::of(&tx));
+        }
+        let s = shard_of(tx.client.addr, self.queues.len());
+        self.pending[s].push(tx);
+        if self.pending[s].len() >= self.batch_size {
+            self.flush_shard(s);
+        }
+    }
+
+    /// Hands over every partially filled batch immediately. Lowers
+    /// alert latency when the push side goes quiet (a live source with
+    /// no traffic); `feed` flushes automatically when the closure
+    /// returns.
+    pub fn flush(&mut self) {
+        for s in 0..self.pending.len() {
+            if !self.pending[s].is_empty() {
+                self.flush_shard(s);
+            }
+        }
+    }
+
+    /// Transactions offered to shard queues so far in this feed call
+    /// (buffered, processed, or dropped).
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.iter().sum::<u64>()
+            + self.pending.iter().map(|p| p.len() as u64).sum::<u64>()
+    }
+
+    /// Feed position of the newest transaction pushed (or inherited
+    /// from the engine when nothing was pushed yet).
+    pub fn watermark(&self) -> Option<Watermark> {
+        self.last_fed
+    }
+
+    fn flush_shard(&mut self, s: usize) {
+        let batch =
+            std::mem::replace(&mut self.pending[s], Vec::with_capacity(self.batch_size));
+        self.enqueued[s] += batch.len() as u64;
+        match self.policy {
+            BackpressurePolicy::Block => self.waits[s] += self.queues[s].push_blocking(batch),
+            BackpressurePolicy::DropNewest => {
+                if let Err(rejected) = self.queues[s].push_or_reject(batch) {
+                    self.dropped[s] += rejected.len() as u64;
+                }
+            }
+        }
+        self.depth_gauges[s].set(self.queues[s].depth() as i64);
+    }
+}
+
 /// Sharded, multi-worker wrapper around N per-shard
 /// [`OnTheWireDetector`] instances.
 ///
@@ -448,16 +529,34 @@ impl StreamEngine {
         aggregate.snapshot()
     }
 
-    /// Runs a transaction stream through the shards and drains: the
-    /// feeder (caller's thread) partitions transactions by client onto
-    /// the shard queues in batches, one worker per shard consumes its
-    /// queue, and when the stream ends the queues are closed, every
-    /// buffered batch is flushed, and the workers join. Returns the
-    /// call's alerts merged into `(ts, ingest seq)` order.
+    /// Runs a transaction stream through the shards and drains —
+    /// pull-style sugar over [`StreamEngine::feed`]: the feeder
+    /// (caller's thread) pushes every transaction of `stream` and the
+    /// drain happens when the iterator ends.
     pub fn process<I>(&mut self, stream: I) -> EngineReport
     where
         I: IntoIterator<Item = HttpTransaction>,
     {
+        let ((), report) = self.feed(|handle| {
+            for tx in stream {
+                handle.push(tx);
+            }
+        });
+        report
+    }
+
+    /// Runs the shard workers for the duration of `feeder`, which
+    /// pushes transactions through the [`FeedHandle`] it is given —
+    /// the push-style core that live sources (proxies, capture
+    /// readers) drive directly, interleaving socket work with pushes.
+    ///
+    /// When the closure returns, the engine drains: partial batches are
+    /// flushed, the queues close, every buffered batch is consumed, and
+    /// the workers join. Returns the closure's value and the call's
+    /// [`EngineReport`] with alerts merged into `(ts, ingest seq)`
+    /// order. The report's `feeder_cpu_ns` covers everything the
+    /// closure did on the feed thread, not just queue pushes.
+    pub fn feed<R>(&mut self, feeder: impl FnOnce(&mut FeedHandle<'_>) -> R) -> (R, EngineReport) {
         let shards = self.detectors.len();
         let batch_size = self.config.batch_size.max(1);
         let capacity = self.config.queue_capacity.max(batch_size);
@@ -465,93 +564,67 @@ impl StreamEngine {
         let queues: Vec<ShardQueue> = (0..shards).map(|_| ShardQueue::new(capacity)).collect();
         let queues = &queues;
 
-        let mut enqueued = vec![0u64; shards];
-        let mut dropped = vec![0u64; shards];
-        let mut waits = vec![0u64; shards];
-        let mut last_fed = self.watermark;
         let depth_gauges: Vec<Gauge> =
             self.shard_metrics.iter().map(|m| m.queue_depth.clone()).collect();
 
         let feeder_cpu_start = telemetry::thread_cpu_ns();
-        let mut runs: Vec<ShardRun> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .detectors
-                .iter_mut()
-                .zip(queues)
-                .zip(&depth_gauges)
-                .map(|((detector, queue), depth)| {
-                    scope.spawn(move || {
-                        let cpu_start = telemetry::thread_cpu_ns();
-                        let mut alerts: Vec<(u64, Alert)> = Vec::new();
-                        let mut processed = 0u64;
-                        while let Some(batch) = queue.pop() {
-                            depth.set(queue.depth() as i64);
-                            processed += batch.len() as u64;
-                            for tx in batch {
-                                let seq = tx.seq;
-                                if let Some(alert) = detector.observe_owned(tx) {
-                                    alerts.push((seq, alert));
+        let (value, enqueued, dropped, waits, last_fed, mut runs) =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .detectors
+                    .iter_mut()
+                    .zip(queues)
+                    .zip(&depth_gauges)
+                    .map(|((detector, queue), depth)| {
+                        scope.spawn(move || {
+                            let cpu_start = telemetry::thread_cpu_ns();
+                            let mut alerts: Vec<(u64, Alert)> = Vec::new();
+                            let mut processed = 0u64;
+                            while let Some(batch) = queue.pop() {
+                                depth.set(queue.depth() as i64);
+                                processed += batch.len() as u64;
+                                for tx in batch {
+                                    let seq = tx.seq;
+                                    if let Some(alert) = detector.observe_owned(tx) {
+                                        alerts.push((seq, alert));
+                                    }
                                 }
                             }
-                        }
-                        // The delta excludes park time: a parked thread
-                        // accrues no CPU, so an idle shard reads near 0.
-                        let cpu_ns =
-                            telemetry::thread_cpu_ns().saturating_sub(cpu_start);
-                        ShardRun { alerts, processed, cpu_ns }
+                            // The delta excludes park time: a parked
+                            // thread accrues no CPU, so an idle shard
+                            // reads near 0.
+                            let cpu_ns =
+                                telemetry::thread_cpu_ns().saturating_sub(cpu_start);
+                            ShardRun { alerts, processed, cpu_ns }
+                        })
                     })
-                })
-                .collect();
+                    .collect();
 
-            // The flush closure's borrows (counters, queues) end with
-            // this block, before the queues are closed below.
-            {
-                let mut pending: Vec<Vec<HttpTransaction>> =
-                    (0..shards).map(|_| Vec::with_capacity(batch_size)).collect();
-                let mut flush = |s: usize, batch: Vec<HttpTransaction>| {
-                    enqueued[s] += batch.len() as u64;
-                    match policy {
-                        BackpressurePolicy::Block => waits[s] += queues[s].push_blocking(batch),
-                        BackpressurePolicy::DropNewest => {
-                            if let Err(rejected) = queues[s].push_or_reject(batch) {
-                                dropped[s] += rejected.len() as u64;
-                            }
-                        }
-                    }
-                    depth_gauges[s].set(queues[s].depth() as i64);
+                let mut handle = FeedHandle {
+                    queues,
+                    depth_gauges: &depth_gauges,
+                    policy,
+                    batch_size,
+                    pending: (0..shards).map(|_| Vec::with_capacity(batch_size)).collect(),
+                    enqueued: vec![0u64; shards],
+                    dropped: vec![0u64; shards],
+                    waits: vec![0u64; shards],
+                    last_fed: self.watermark,
                 };
-                for tx in stream {
-                    let advance = match last_fed {
-                        Some(prev) => !prev.covers(&tx),
-                        None => true,
-                    };
-                    if advance {
-                        last_fed = Some(Watermark::of(&tx));
-                    }
-                    let s = shard_of(tx.client.addr, shards);
-                    pending[s].push(tx);
-                    if pending[s].len() >= batch_size {
-                        let batch =
-                            std::mem::replace(&mut pending[s], Vec::with_capacity(batch_size));
-                        flush(s, batch);
-                    }
-                }
+                let value = feeder(&mut handle);
                 // Drain: flush partial batches, then close every queue
                 // so workers finish what is buffered and exit.
-                for (s, batch) in pending.into_iter().enumerate() {
-                    if !batch.is_empty() {
-                        flush(s, batch);
-                    }
+                handle.flush();
+                let FeedHandle { enqueued, dropped, waits, last_fed, .. } = handle;
+                for queue in queues {
+                    queue.close();
                 }
-            }
-            for queue in queues {
-                queue.close();
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
+                let runs: Vec<ShardRun> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect();
+                (value, enqueued, dropped, waits, last_fed, runs)
+            });
         // Joining parks the feeder, so this delta is feed work only.
         let feeder_cpu_ns = telemetry::thread_cpu_ns().saturating_sub(feeder_cpu_start);
 
@@ -600,6 +673,6 @@ impl StreamEngine {
         let mut tagged: Vec<(u64, Alert)> =
             runs.iter_mut().flat_map(|r| r.alerts.drain(..)).collect();
         tagged.sort_by(|a, b| a.1.ts.total_cmp(&b.1.ts).then(a.0.cmp(&b.0)));
-        EngineReport { alerts: tagged.into_iter().map(|(_, a)| a).collect(), ..report }
+        (value, EngineReport { alerts: tagged.into_iter().map(|(_, a)| a).collect(), ..report })
     }
 }

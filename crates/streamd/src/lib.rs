@@ -33,7 +33,9 @@ mod engine;
 mod queue;
 pub mod snapshot;
 
-pub use engine::{shard_of, BackpressurePolicy, EngineReport, StreamConfig, StreamEngine};
+pub use engine::{
+    shard_of, BackpressurePolicy, EngineReport, FeedHandle, StreamConfig, StreamEngine,
+};
 pub use snapshot::{
     read_snapshot, write_snapshot_atomic, EngineSnapshot, Watermark, SNAPSHOT_FORMAT_VERSION,
 };

@@ -28,6 +28,11 @@
 //!   that walk a family's parameters over simulated time,
 //! * [`pcapgen`] — serializing an episode to real pcap bytes so the
 //!   `nettrace` parsing pipeline is exercised end-to-end,
+//! * [`wire`] — the loopback replay harness: a replay origin server, a
+//!   sequential episode driver, and merged episode sets with globally
+//!   unique client ports and pcap-quantized timestamps, so wire-proxy
+//!   observation and offline pcap analysis of the same episodes can be
+//!   compared field-for-field,
 //! * [`faultgen`] — seeded capture mutation (truncation, bit rot, packet
 //!   loss, TCP and HTTP corruption) for fault-injection testing of the
 //!   lenient ingest pipeline.
@@ -44,6 +49,7 @@ pub mod families;
 pub mod faultgen;
 pub mod hostgen;
 pub mod pcapgen;
+pub mod wire;
 
 pub use corpus::{ground_truth, validation_set, CorpusStats};
 pub use drift::DriftKnobs;

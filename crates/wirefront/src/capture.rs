@@ -1,0 +1,667 @@
+//! The live-capture traffic source: packets in, transactions out.
+//!
+//! Two backends sit behind one [`CaptureSource`]:
+//!
+//! * **pcap tail** (portable, the testable path) — follows a classic
+//!   libpcap file as it grows, `tail -f` style: partial records at the
+//!   current end of file are retried on the next pump, so a capture
+//!   being written by another process streams through incrementally.
+//! * **`AF_PACKET`** (Linux, compile-gated, requires `CAP_NET_RAW`) —
+//!   a non-blocking raw socket bound to one interface, with kernel
+//!   ring-drop accounting folded into `source_drops`.
+//!
+//! Both feed the same flow table: TCP segments are delivered in-order
+//! per direction (a bounded out-of-order buffer absorbs reordering;
+//! overflow and unfillable gaps count as `source_drops`) into a
+//! [`ConnectionTap`] per flow, which synthesizes transactions through
+//! the same lenient span pipeline as offline ingest. A BPF-style port
+//! filter keeps non-web flows out of the taps entirely.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Read;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+use nettrace::reassembly::Endpoint;
+use nettrace::source::{PumpOutcome, SourceStats, TrafficSource};
+use nettrace::wiretap::{ConnectionTap, TapConfig, TapDir};
+use nettrace::{ether, ipv4, pcap, tcp, Error, HttpTransaction, IngestReport};
+
+use crate::sys;
+
+/// Frames handled per pump slice, bounding one slice's work.
+const FRAMES_PER_SLICE: usize = 256;
+/// Out-of-order segments buffered per flow direction before the oldest
+/// is dropped.
+const MAX_OOO_SEGMENTS: usize = 64;
+/// pcap global header length.
+const PCAP_HEADER_LEN: usize = 24;
+/// pcap per-record header length.
+const PCAP_RECORD_LEN: usize = 16;
+/// Nanosecond-resolution pcap magic (little-endian writers).
+const MAGIC_NSEC: u32 = 0xa1b2_3c4d;
+
+/// Capture tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CaptureConfig {
+    /// Flows are admitted only when either endpoint's port is listed
+    /// (BPF-style `port A or port B` filtering). Empty admits all.
+    pub ports: Vec<u16>,
+    /// Per-flow observation buffers.
+    pub tap: TapConfig,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        CaptureConfig { ports: vec![80], tap: TapConfig::default() }
+    }
+}
+
+/// One direction's in-order delivery state.
+#[derive(Default)]
+struct DirState {
+    /// Next expected TCP sequence number; `None` until the first
+    /// segment (or SYN) fixes the origin.
+    next_seq: Option<u32>,
+    /// Out-of-order segments keyed by sequence number, bounded.
+    ooo: BTreeMap<u32, Vec<u8>>,
+    fin: bool,
+}
+
+/// One observed TCP flow.
+struct Flow {
+    tap: ConnectionTap,
+    client: Endpoint,
+    c2s: DirState,
+    s2c: DirState,
+}
+
+/// Canonical (order-independent) flow key.
+type FlowKey = ((Ipv4Addr, u16), (Ipv4Addr, u16));
+
+fn flow_key(a: Endpoint, b: Endpoint) -> FlowKey {
+    let ka = (a.addr, a.port);
+    let kb = (b.addr, b.port);
+    if ka <= kb {
+        (ka, kb)
+    } else {
+        (kb, ka)
+    }
+}
+
+/// Incremental pcap-file reader state.
+struct PcapTail {
+    file: File,
+    path: PathBuf,
+    /// Unconsumed bytes (tail may end mid-record).
+    pending: Vec<u8>,
+    /// Parsed the 24-byte global header yet?
+    header_done: bool,
+    /// Sub-second field scale (1e-6 for usec captures, 1e-9 for nsec),
+    /// applied by *multiplication* — the identical arithmetic to
+    /// [`nettrace::pcap`]'s reader, so a tailed capture yields
+    /// bit-identical timestamps to offline extraction.
+    ts_scale: f64,
+    /// Keep polling for growth after EOF (`tail -f`), or report
+    /// [`PumpOutcome::Exhausted`] once the file is drained.
+    follow: bool,
+}
+
+enum Backend {
+    PcapTail(PcapTail),
+    #[cfg(target_os = "linux")]
+    Live { socket: sys::packet::PacketSocket, iface: String },
+}
+
+/// Packet capture as a [`TrafficSource`].
+pub struct CaptureSource {
+    backend: Backend,
+    config: CaptureConfig,
+    flows: BTreeMap<FlowKey, Flow>,
+    stats: SourceStats,
+    report: IngestReport,
+    shut: bool,
+}
+
+impl CaptureSource {
+    /// Opens a pcap file source. With `follow` the source tails the
+    /// file indefinitely (a capture being written live); without it
+    /// the source is exhausted at end of file.
+    ///
+    /// # Errors
+    ///
+    /// Only an unopenable file; damaged records are absorbed into the
+    /// ingest report during pumping.
+    pub fn pcap_file(path: &Path, follow: bool, config: CaptureConfig) -> std::io::Result<Self> {
+        let file = File::open(path)?;
+        Ok(CaptureSource {
+            backend: Backend::PcapTail(PcapTail {
+                file,
+                path: path.to_path_buf(),
+                pending: Vec::new(),
+                header_done: false,
+                ts_scale: 1e-6,
+                follow,
+            }),
+            config,
+            flows: BTreeMap::new(),
+            stats: SourceStats::default(),
+            report: IngestReport::new(),
+            shut: false,
+        })
+    }
+
+    /// Opens a live `AF_PACKET` source on `iface` (Linux only;
+    /// requires `CAP_NET_RAW` at runtime).
+    ///
+    /// # Errors
+    ///
+    /// Missing capability, unknown interface, or socket failure.
+    #[cfg(target_os = "linux")]
+    pub fn live(iface: &str, config: CaptureConfig) -> std::io::Result<Self> {
+        let socket = sys::packet::PacketSocket::open(iface)?;
+        Ok(CaptureSource {
+            backend: Backend::Live { socket, iface: iface.to_string() },
+            config,
+            flows: BTreeMap::new(),
+            stats: SourceStats::default(),
+            report: IngestReport::new(),
+            shut: false,
+        })
+    }
+
+    /// Flows currently tracked.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Parses one captured frame down to TCP and routes it to its
+    /// flow. Non-IPv4/non-TCP frames are skipped silently (they are
+    /// not losses); filtered-out ports never create flows.
+    fn handle_frame(&mut self, ts: f64, frame: &[u8], out: &mut Vec<HttpTransaction>) {
+        self.report.packets_read += 1;
+        let Ok(eth) = ether::EtherFrame::parse(frame) else {
+            self.report.packets_dropped_decode += 1;
+            return;
+        };
+        if eth.ethertype != ether::ETHERTYPE_IPV4 {
+            self.report.packets_non_tcp += 1;
+            return;
+        }
+        let Ok(ip) = ipv4::Ipv4Packet::parse(eth.payload) else {
+            self.report.packets_dropped_decode += 1;
+            return;
+        };
+        if ip.protocol != ipv4::PROTO_TCP {
+            self.report.packets_non_tcp += 1;
+            return;
+        }
+        let Ok(seg) = tcp::TcpSegment::parse(ip.payload) else {
+            self.report.packets_dropped_decode += 1;
+            return;
+        };
+        let src = Endpoint::new(ip.src, seg.src_port);
+        let dst = Endpoint::new(ip.dst, seg.dst_port);
+        if !self.config.ports.is_empty()
+            && !self.config.ports.contains(&src.port)
+            && !self.config.ports.contains(&dst.port)
+        {
+            return;
+        }
+        let key = flow_key(src, dst);
+        let flow = match self.flows.get_mut(&key) {
+            Some(f) => f,
+            None => {
+                // First packet decides direction: a bare SYN is the
+                // client; otherwise whoever is talking *to* a filtered
+                // port; otherwise the first speaker.
+                let client_is_src = if seg.flags.syn && !seg.flags.ack {
+                    true
+                } else if !self.config.ports.is_empty() {
+                    self.config.ports.contains(&dst.port)
+                } else {
+                    true
+                };
+                let (client, server) = if client_is_src { (src, dst) } else { (dst, src) };
+                self.stats.connections += 1;
+                self.flows.entry(key).or_insert(Flow {
+                    tap: ConnectionTap::new(client, server, self.config.tap),
+                    client,
+                    c2s: DirState::default(),
+                    s2c: DirState::default(),
+                })
+            }
+        };
+        let from_client = src == flow.client;
+        let dir = if from_client { TapDir::Request } else { TapDir::Response };
+        let state = if from_client { &mut flow.c2s } else { &mut flow.s2c };
+        if seg.flags.syn {
+            state.next_seq = Some(seg.seq.wrapping_add(1));
+        }
+        if !seg.payload.is_empty() {
+            deliver_in_order(
+                state,
+                seg.seq,
+                seg.payload,
+                &mut flow.tap,
+                dir,
+                ts,
+                &mut self.stats,
+                &mut self.report,
+                out,
+            );
+        }
+        if seg.flags.fin || seg.flags.rst {
+            state.fin = true;
+        }
+        let overflowed = flow.tap.overflowed();
+        let finished = flow.c2s.fin && flow.s2c.fin;
+        if overflowed {
+            self.stats.tap_overflows += 1;
+        }
+        if overflowed || finished {
+            let mut flow = self.flows.remove(&key).expect("flow present");
+            flow.tap.close(&mut self.report, out);
+        }
+    }
+
+    /// Pumps the pcap-tail backend: read new bytes, parse complete
+    /// records, leave the partial tail pending.
+    fn pump_pcap(&mut self, out: &mut Vec<HttpTransaction>) -> nettrace::Result<PumpOutcome> {
+        let tail = match &mut self.backend {
+            Backend::PcapTail(t) => t,
+            #[cfg(target_os = "linux")]
+            Backend::Live { .. } => unreachable!("pump_pcap on live backend"),
+        };
+        let mut chunk = [0u8; 64 * 1024];
+        let mut read_any = false;
+        loop {
+            match tail.file.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    read_any = true;
+                    tail.pending.extend_from_slice(&chunk[..n]);
+                    if tail.pending.len() >= 1 << 26 {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Error::Io(e)),
+            }
+        }
+        if !tail.header_done {
+            if tail.pending.len() < PCAP_HEADER_LEN {
+                return Ok(if tail.follow { PumpOutcome::Idle } else { PumpOutcome::Exhausted });
+            }
+            let magic = u32::from_le_bytes(tail.pending[..4].try_into().expect("4 bytes"));
+            tail.ts_scale = match magic {
+                pcap::MAGIC_USEC => 1e-6,
+                MAGIC_NSEC => 1e-9,
+                other => return Err(Error::BadPcapMagic(other)),
+            };
+            tail.pending.drain(..PCAP_HEADER_LEN);
+            tail.header_done = true;
+        }
+        // Parse complete records; a record split at the end of file
+        // stays pending for the next pump (the writer is mid-append).
+        let mut consumed = 0;
+        let mut frames = 0;
+        let mut parsed: Vec<(f64, usize, usize)> = Vec::new();
+        while frames < FRAMES_PER_SLICE {
+            let rest = &tail.pending[consumed..];
+            if rest.len() < PCAP_RECORD_LEN {
+                break;
+            }
+            let sec = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+            let frac = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+            let incl = u32::from_le_bytes(rest[8..12].try_into().expect("4 bytes")) as usize;
+            if incl as u32 > pcap::MAX_CAPTURE_LEN {
+                return Err(Error::BadCaptureLength(incl as u32));
+            }
+            if rest.len() < PCAP_RECORD_LEN + incl {
+                break;
+            }
+            let ts = f64::from(sec) + f64::from(frac) * tail.ts_scale;
+            parsed.push((ts, consumed + PCAP_RECORD_LEN, incl));
+            consumed += PCAP_RECORD_LEN + incl;
+            frames += 1;
+        }
+        // Frames are handled after the borrow of `tail` ends.
+        let records: Vec<(f64, Vec<u8>)> = parsed
+            .into_iter()
+            .map(|(ts, off, len)| (ts, tail.pending[off..off + len].to_vec()))
+            .collect();
+        tail.pending.drain(..consumed);
+        let follow = tail.follow;
+        let more_buffered = tail.pending.len() >= PCAP_RECORD_LEN;
+        for (ts, frame) in &records {
+            self.handle_frame(*ts, frame, out);
+        }
+        if !records.is_empty() || read_any {
+            Ok(PumpOutcome::Progress)
+        } else if follow || more_buffered {
+            Ok(PumpOutcome::Idle)
+        } else {
+            Ok(PumpOutcome::Exhausted)
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn pump_live(&mut self, out: &mut Vec<HttpTransaction>) -> nettrace::Result<PumpOutcome> {
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut frames: Vec<(f64, Vec<u8>)> = Vec::new();
+        {
+            let Backend::Live { socket, .. } = &mut self.backend else { unreachable!() };
+            for _ in 0..FRAMES_PER_SLICE {
+                match socket.recv_frame(&mut buf) {
+                    Ok(Some(n)) => frames.push((sys::wall_clock(), buf[..n].to_vec())),
+                    Ok(None) => break,
+                    Err(e) => return Err(Error::Io(e)),
+                }
+            }
+            self.stats.source_drops = socket.kernel_drops();
+        }
+        let any = !frames.is_empty();
+        for (ts, frame) in &frames {
+            self.handle_frame(*ts, frame, out);
+        }
+        Ok(if any { PumpOutcome::Progress } else { PumpOutcome::Idle })
+    }
+}
+
+/// Delivers one TCP segment respecting sequence order: exact matches
+/// flow straight into the tap (then drain any now-contiguous buffered
+/// segments), future segments wait in the bounded out-of-order buffer,
+/// stale overlap is trimmed.
+#[allow(clippy::too_many_arguments)]
+fn deliver_in_order(
+    state: &mut DirState,
+    seq: u32,
+    payload: &[u8],
+    tap: &mut ConnectionTap,
+    dir: TapDir,
+    ts: f64,
+    stats: &mut SourceStats,
+    report: &mut IngestReport,
+    out: &mut Vec<HttpTransaction>,
+) {
+    let next = *state.next_seq.get_or_insert(seq);
+    let ahead = seq.wrapping_sub(next);
+    if ahead == 0 {
+        stats.bytes_in += payload.len() as u64;
+        tap.offer(dir, payload, ts, report, out);
+        state.next_seq = Some(seq.wrapping_add(payload.len() as u32));
+    } else if ahead < 0x8000_0000 {
+        // Future segment: hold it (bounded).
+        if state.ooo.len() >= MAX_OOO_SEGMENTS {
+            stats.source_drops += 1;
+            return;
+        }
+        state.ooo.entry(seq).or_insert_with(|| payload.to_vec());
+        return;
+    } else {
+        // Overlap/retransmission: deliver only the unseen suffix.
+        let trim = next.wrapping_sub(seq) as usize;
+        if trim >= payload.len() {
+            return;
+        }
+        stats.bytes_in += (payload.len() - trim) as u64;
+        tap.offer(dir, &payload[trim..], ts, report, out);
+        state.next_seq = Some(seq.wrapping_add(payload.len() as u32));
+    }
+    // Drain buffered segments that became contiguous.
+    while let Some(next_seq) = state.next_seq {
+        let Some((&s, _)) = state.ooo.iter().next() else { break };
+        let ahead = s.wrapping_sub(next_seq);
+        if ahead >= 0x8000_0000 {
+            // Entirely stale now.
+            let data = state.ooo.remove(&s).expect("present");
+            let trim = next_seq.wrapping_sub(s) as usize;
+            if trim < data.len() {
+                stats.bytes_in += (data.len() - trim) as u64;
+                tap.offer(dir, &data[trim..], ts, report, out);
+                state.next_seq = Some(s.wrapping_add(data.len() as u32));
+            }
+            continue;
+        }
+        if ahead != 0 {
+            break;
+        }
+        let data = state.ooo.remove(&s).expect("present");
+        stats.bytes_in += data.len() as u64;
+        tap.offer(dir, &data, ts, report, out);
+        state.next_seq = Some(s.wrapping_add(data.len() as u32));
+    }
+}
+
+impl TrafficSource for CaptureSource {
+    fn pump(&mut self, out: &mut Vec<HttpTransaction>) -> nettrace::Result<PumpOutcome> {
+        if self.shut {
+            return Ok(PumpOutcome::Exhausted);
+        }
+        let before = out.len();
+        let is_pcap = matches!(self.backend, Backend::PcapTail(_));
+        #[cfg(target_os = "linux")]
+        let outcome = if is_pcap { self.pump_pcap(out) } else { self.pump_live(out) };
+        #[cfg(not(target_os = "linux"))]
+        let outcome = {
+            debug_assert!(is_pcap);
+            self.pump_pcap(out)
+        };
+        self.stats.transactions += (out.len() - before) as u64;
+        // An exhausted non-follow capture still holds open flows; they
+        // flush at shutdown.
+        outcome
+    }
+
+    fn shutdown(&mut self, out: &mut Vec<HttpTransaction>) {
+        if self.shut {
+            return;
+        }
+        self.shut = true;
+        let before = out.len();
+        let flows = std::mem::take(&mut self.flows);
+        for (_, mut flow) in flows {
+            flow.tap.close(&mut self.report, out);
+        }
+        self.stats.transactions += (out.len() - before) as u64;
+    }
+
+    fn stats(&self) -> SourceStats {
+        self.stats
+    }
+
+    fn ingest_report(&self) -> IngestReport {
+        let mut report = IngestReport::new();
+        report.merge(&self.report);
+        report
+    }
+}
+
+impl std::fmt::Debug for CaptureSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let backend = match &self.backend {
+            Backend::PcapTail(t) => format!("pcap-tail {:?} (follow={})", t.path, t.follow),
+            #[cfg(target_os = "linux")]
+            Backend::Live { iface, .. } => format!("af-packet {iface}"),
+        };
+        f.debug_struct("CaptureSource")
+            .field("backend", &backend)
+            .field("flows", &self.flows.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::ether::MacAddr;
+    use nettrace::tcp::TcpFlags;
+    use nettrace::transaction::assign_seq;
+    use std::io::Write;
+    use synthtraffic::wire::{episodes_pcap, wire_episode_set};
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("wirefront_capture_{name}_{}", std::process::id()))
+    }
+
+    fn pump_to_exhaustion(src: &mut CaptureSource, out: &mut Vec<HttpTransaction>) {
+        for _ in 0..10_000 {
+            match src.pump(out).expect("pump") {
+                PumpOutcome::Exhausted => return,
+                PumpOutcome::Progress | PumpOutcome::Idle => {}
+            }
+        }
+        panic!("capture never exhausted");
+    }
+
+    /// The tentpole parity claim, held at the source level: tailing a
+    /// pcap through the live flow table produces transactions
+    /// bit-identical to the offline span pipeline over the same bytes.
+    #[test]
+    fn pcap_tail_matches_offline_extraction() {
+        let episodes = wire_episode_set(21, 1, 1);
+        let bytes = episodes_pcap(&episodes).expect("render pcap");
+        let path = tmp_path("parity.pcap");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut src =
+            CaptureSource::pcap_file(&path, false, CaptureConfig::default()).unwrap();
+        let mut out = Vec::new();
+        pump_to_exhaustion(&mut src, &mut out);
+        src.shutdown(&mut out);
+        out.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        assign_seq(&mut out);
+
+        let mut report = IngestReport::new();
+        let offline = nettrace::SpanPipeline::new().extract_lenient(&bytes, &mut report);
+        assert_eq!(out.len(), offline.len(), "transaction count");
+        assert!(!out.is_empty());
+        for (wire, off) in out.iter().zip(&offline) {
+            assert_eq!(format!("{wire:?}"), format!("{off:?}"));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `tail -f` semantics: a record split at the end of file is
+    /// retried once the writer appends the rest.
+    #[test]
+    fn tail_retries_partial_records_across_appends() {
+        let episodes = wire_episode_set(22, 1, 0);
+        let bytes = episodes_pcap(&episodes).expect("render pcap");
+        let split = PCAP_HEADER_LEN + PCAP_RECORD_LEN / 2; // mid first record header
+        let path = tmp_path("tail.pcap");
+        std::fs::write(&path, &bytes[..split]).unwrap();
+
+        let mut src = CaptureSource::pcap_file(&path, true, CaptureConfig::default()).unwrap();
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            assert_ne!(src.pump(&mut out).expect("pump"), PumpOutcome::Exhausted);
+        }
+        assert!(out.is_empty(), "no transaction can exist yet");
+
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&bytes[split..]).unwrap();
+        drop(f);
+        // Follow mode never exhausts; pump until quiet.
+        let mut idle = 0;
+        while idle < 5 {
+            match src.pump(&mut out).expect("pump") {
+                PumpOutcome::Progress => idle = 0,
+                _ => idle += 1,
+            }
+        }
+        src.shutdown(&mut out);
+
+        let mut report = IngestReport::new();
+        let offline = nettrace::SpanPipeline::new().extract_lenient(&bytes, &mut report);
+        assert_eq!(out.len(), offline.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn frame(
+        src: (Ipv4Addr, u16),
+        dst: (Ipv4Addr, u16),
+        seq: u32,
+        flags: TcpFlags,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let t = tcp::build(src.1, dst.1, seq, 0, flags, payload);
+        let ip = ipv4::build(src.0, dst.0, ipv4::PROTO_TCP, 7, &t);
+        ether::build(MacAddr([1; 6]), MacAddr([2; 6]), ether::ETHERTYPE_IPV4, &ip)
+    }
+
+    fn empty_source(config: CaptureConfig) -> CaptureSource {
+        let path = tmp_path("empty.pcap");
+        std::fs::write(&path, b"").unwrap();
+        CaptureSource::pcap_file(&path, true, config).unwrap()
+    }
+
+    /// Segments delivered out of order still reassemble: the bounded
+    /// OOO buffer holds the future segment until the gap fills.
+    #[test]
+    fn out_of_order_segments_reassemble() {
+        let client = (Ipv4Addr::new(10, 0, 0, 5), 30001u16);
+        let server = (Ipv4Addr::new(93, 0, 0, 1), 80u16);
+        let req = b"GET /x HTTP/1.1\r\nHost: ooo.test\r\n\r\n";
+        let (a, b) = req.split_at(10);
+        let resp = b"HTTP/1.1 200 X\r\nContent-Length: 0\r\n\r\n";
+
+        let mut src = empty_source(CaptureConfig::default());
+        let mut out = Vec::new();
+        src.handle_frame(1.0, &frame(client, server, 100, TcpFlags::syn(), &[]), &mut out);
+        // Second chunk first: must wait in the OOO buffer.
+        src.handle_frame(
+            1.1,
+            &frame(client, server, 101 + a.len() as u32, TcpFlags::data(), b),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        src.handle_frame(1.2, &frame(client, server, 101, TcpFlags::data(), a), &mut out);
+        src.handle_frame(2.0, &frame(server, client, 500, TcpFlags::data(), resp), &mut out);
+        src.handle_frame(2.1, &frame(client, server, 200, TcpFlags::fin(), &[]), &mut out);
+        src.handle_frame(2.2, &frame(server, client, 600, TcpFlags::fin(), &[]), &mut out);
+
+        assert_eq!(out.len(), 1, "one request/response pair, one transaction");
+        assert_eq!(out[0].host, "ooo.test");
+        assert_eq!(out[0].status, 200);
+        assert_eq!(src.stats().connections, 1);
+        assert_eq!(src.active_flows(), 0, "finished flow was reaped");
+    }
+
+    /// Retransmitted overlap is trimmed, not re-delivered.
+    #[test]
+    fn retransmission_overlap_is_trimmed() {
+        let client = (Ipv4Addr::new(10, 0, 0, 6), 30002u16);
+        let server = (Ipv4Addr::new(93, 0, 0, 2), 80u16);
+        let req = b"GET /r HTTP/1.1\r\nHost: dup.test\r\n\r\n";
+        let mut src = empty_source(CaptureConfig::default());
+        let mut out = Vec::new();
+        src.handle_frame(1.0, &frame(client, server, 100, TcpFlags::syn(), &[]), &mut out);
+        src.handle_frame(1.1, &frame(client, server, 101, TcpFlags::data(), req), &mut out);
+        // Full retransmission: zero new bytes.
+        let before = src.stats().bytes_in;
+        src.handle_frame(1.2, &frame(client, server, 101, TcpFlags::data(), req), &mut out);
+        assert_eq!(src.stats().bytes_in, before, "retransmission added bytes");
+        src.shutdown(&mut out);
+        assert_eq!(out.len(), 1, "one unanswered request");
+        assert_eq!(out[0].status, 0);
+        assert_eq!(out[0].host, "dup.test");
+    }
+
+    /// The BPF-style port filter keeps non-web flows out of the flow
+    /// table entirely.
+    #[test]
+    fn port_filter_excludes_other_flows() {
+        let client = (Ipv4Addr::new(10, 0, 0, 7), 30003u16);
+        let other = (Ipv4Addr::new(93, 0, 0, 3), 9999u16);
+        let mut src = empty_source(CaptureConfig::default());
+        let mut out = Vec::new();
+        src.handle_frame(1.0, &frame(client, other, 1, TcpFlags::syn(), &[]), &mut out);
+        src.handle_frame(1.1, &frame(client, other, 2, TcpFlags::data(), b"hello"), &mut out);
+        assert_eq!(src.active_flows(), 0);
+        assert_eq!(src.stats().connections, 0);
+        assert!(out.is_empty());
+    }
+}

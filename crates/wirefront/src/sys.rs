@@ -1,0 +1,299 @@
+//! Thin raw-syscall layer: `poll(2)`, a `signal(2)` termination latch,
+//! and (Linux only) an `AF_PACKET` capture socket.
+//!
+//! The build environment has no `libc` crate; every symbol here is
+//! declared directly against the platform C library. The declarations
+//! are kept to the handful of calls the ingress front end actually
+//! needs, with types matching the Linux/glibc ABI (the only tier-1
+//! target; the `poll`/`signal` prototypes are identical on the BSDs).
+
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One entry of a `poll(2)` fd set (`struct pollfd`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// File descriptor to watch (negative entries are ignored by the
+    /// kernel, which is the standard way to hole-punch a set).
+    pub fd: i32,
+    /// Requested events ([`POLLIN`] / [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events; also [`POLLERR`] / [`POLLHUP`] / [`POLLNVAL`],
+    /// which are reported regardless of `events`.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events`.
+    pub fn new(fd: i32, events: i16) -> Self {
+        PollFd { fd, events, revents: 0 }
+    }
+
+    /// Whether any of `mask` came back in `revents`.
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+}
+
+pub const POLLIN: i16 = 0x001;
+pub const POLLOUT: i16 = 0x004;
+pub const POLLERR: i16 = 0x008;
+pub const POLLHUP: i16 = 0x010;
+pub const POLLNVAL: i16 = 0x020;
+
+/// C signal-handler type (`void (*)(int)`).
+type SigHandler = extern "C" fn(c_int);
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn signal(signum: c_int, handler: SigHandler) -> usize;
+}
+
+/// Blocks up to `timeout_ms` for readiness on `fds` (`-1` = forever,
+/// `0` = non-blocking check). Returns the number of ready entries;
+/// `EINTR` is reported as zero ready entries so a latched signal is
+/// observed by the caller's next loop iteration instead of surfacing
+/// as an error.
+///
+/// # Errors
+///
+/// Any `poll(2)` failure other than `EINTR` (e.g. `EINVAL` on an
+/// over-long set) is returned as the raw OS error.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+const SIGINT: c_int = 2;
+const SIGTERM: c_int = 15;
+
+/// Process-wide termination latch, set by the signal handler. A static
+/// is the only state an async-signal-safe handler may touch, so the
+/// latch cannot live inside a source or engine struct.
+static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn latch_termination(_signum: c_int) {
+    TERMINATED.store(true, Ordering::SeqCst);
+}
+
+/// Installs `SIGTERM`/`SIGINT` handlers that latch a flag instead of
+/// killing the process, and returns the flag. The ingress run loop
+/// polls it between work slices and performs a graceful drain — flush
+/// taps, push the remaining transactions, join the shard workers —
+/// before exiting, so a signal never loses accepted traffic.
+pub fn install_termination_handler() -> &'static AtomicBool {
+    unsafe {
+        signal(SIGTERM, latch_termination);
+        signal(SIGINT, latch_termination);
+    }
+    &TERMINATED
+}
+
+/// The current wall clock as fractional seconds since the Unix epoch —
+/// the timestamp base for wire-observed traffic (replay harnesses
+/// override it per message via the `X-Replay-Ts` mechanism instead).
+pub fn wall_clock() -> f64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs_f64(),
+        Err(_) => 0.0,
+    }
+}
+
+/// `AF_PACKET` raw capture socket (Linux only; compile-gated, and at
+/// runtime requires `CAP_NET_RAW`). Other platforms use the portable
+/// pcap-file tail source instead.
+#[cfg(target_os = "linux")]
+pub mod packet {
+    use super::*;
+    use std::os::raw::c_char;
+
+    const AF_PACKET: c_int = 17;
+    const SOCK_RAW: c_int = 3;
+    /// `ETH_P_ALL` in network byte order, as `socket(2)` expects it.
+    const ETH_P_ALL_BE: c_int = 0x0003u16.to_be() as c_int;
+    const SOL_PACKET: c_int = 263;
+    const PACKET_STATISTICS: c_int = 6;
+    const MSG_DONTWAIT: c_int = 0x40;
+    const EAGAIN: i32 = 11;
+
+    /// `struct sockaddr_ll` — the bind address of a packet socket.
+    #[repr(C)]
+    struct SockaddrLl {
+        sll_family: u16,
+        sll_protocol: u16,
+        sll_ifindex: c_int,
+        sll_hatype: u16,
+        sll_pkttype: u8,
+        sll_halen: u8,
+        sll_addr: [u8; 8],
+    }
+
+    /// `struct tpacket_stats` — kernel-side receive/drop counters.
+    #[repr(C)]
+    #[derive(Default)]
+    struct TpacketStats {
+        tp_packets: u32,
+        tp_drops: u32,
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn bind(fd: c_int, addr: *const SockaddrLl, len: u32) -> c_int;
+        fn recv(fd: c_int, buf: *mut u8, len: usize, flags: c_int) -> isize;
+        fn getsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            val: *mut TpacketStats,
+            len: *mut u32,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn if_nametoindex(name: *const c_char) -> u32;
+    }
+
+    /// A bound, non-blocking `AF_PACKET` socket delivering whole L2
+    /// frames from one interface.
+    pub struct PacketSocket {
+        fd: c_int,
+        /// Cumulative kernel drop count observed so far; the kernel
+        /// counter resets on every `PACKET_STATISTICS` read, so we
+        /// accumulate here.
+        drops: u64,
+    }
+
+    impl PacketSocket {
+        /// Opens and binds a capture socket on `iface`.
+        ///
+        /// # Errors
+        ///
+        /// Fails without `CAP_NET_RAW`, on an unknown interface name,
+        /// or on any underlying socket error.
+        pub fn open(iface: &str) -> io::Result<PacketSocket> {
+            let mut name: Vec<u8> = iface.as_bytes().to_vec();
+            if name.contains(&0) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "interface name contains NUL",
+                ));
+            }
+            name.push(0);
+            let ifindex = unsafe { if_nametoindex(name.as_ptr() as *const c_char) };
+            if ifindex == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no such interface: {iface}"),
+                ));
+            }
+            let fd = unsafe { socket(AF_PACKET, SOCK_RAW, ETH_P_ALL_BE) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let addr = SockaddrLl {
+                sll_family: AF_PACKET as u16,
+                sll_protocol: ETH_P_ALL_BE as u16,
+                sll_ifindex: ifindex as c_int,
+                sll_hatype: 0,
+                sll_pkttype: 0,
+                sll_halen: 0,
+                sll_addr: [0; 8],
+            };
+            let rc = unsafe {
+                bind(fd, &addr, std::mem::size_of::<SockaddrLl>() as u32)
+            };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                unsafe { close(fd) };
+                return Err(err);
+            }
+            Ok(PacketSocket { fd, drops: 0 })
+        }
+
+        /// Receives one frame without blocking. `Ok(None)` means the
+        /// ring is currently empty.
+        ///
+        /// # Errors
+        ///
+        /// Any `recv(2)` failure other than `EAGAIN`/`EINTR`.
+        pub fn recv_frame(&self, buf: &mut [u8]) -> io::Result<Option<usize>> {
+            let n = unsafe { recv(self.fd, buf.as_mut_ptr(), buf.len(), MSG_DONTWAIT) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                return match err.raw_os_error() {
+                    Some(EAGAIN) => Ok(None),
+                    _ if err.kind() == io::ErrorKind::Interrupted => Ok(None),
+                    _ => Err(err),
+                };
+            }
+            Ok(Some(n as usize))
+        }
+
+        /// Total frames the kernel dropped on this socket since open
+        /// (ring overflow — the drop-accounting input for
+        /// [`SourceStats::source_drops`](nettrace::source::SourceStats)).
+        pub fn kernel_drops(&mut self) -> u64 {
+            let mut stats = TpacketStats::default();
+            let mut len = std::mem::size_of::<TpacketStats>() as u32;
+            let rc = unsafe {
+                getsockopt(self.fd, SOL_PACKET, PACKET_STATISTICS, &mut stats, &mut len)
+            };
+            if rc == 0 {
+                self.drops += u64::from(stats.tp_drops);
+            }
+            self.drops
+        }
+    }
+
+    impl Drop for PacketSocket {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poll_reports_readable_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        // Nothing pending yet: an immediate poll sees no readiness.
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        let _client = TcpStream::connect(addr).unwrap();
+        let ready = poll_fds(&mut fds, 2000).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].ready(POLLIN));
+    }
+
+    #[test]
+    fn poll_flags_negative_fd_as_ignored() {
+        let mut fds = [PollFd::new(-1, POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+
+    #[test]
+    fn termination_handler_installs_and_latch_reads_false() {
+        let flag = install_termination_handler();
+        // Installing must not spuriously latch.
+        assert!(!flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn wall_clock_is_past_2020() {
+        assert!(wall_clock() > 1.577e9);
+    }
+}
